@@ -1,0 +1,231 @@
+package pepatags_test
+
+// One benchmark per reproduced artefact (figures 6-12 and the
+// state-space, approximation, fluid and burstiness tables), plus
+// kernel benchmarks for the substrates (PEPA derivation, steady-state
+// solvers, simulator event loop). The figure benchmarks run the same
+// runners as cmd/tagseval on trimmed grids; `go run ./cmd/tagseval
+// -all` regenerates the full-resolution tables recorded in
+// EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"pepatags/internal/core"
+	"pepatags/internal/dist"
+	"pepatags/internal/exp"
+	"pepatags/internal/linalg"
+	"pepatags/internal/pepa"
+	"pepatags/internal/policies"
+	"pepatags/internal/sim"
+	"pepatags/internal/workload"
+)
+
+func benchFigure(b *testing.B, run func(exp.Params) (*exp.Figure, error)) {
+	b.Helper()
+	p := exp.ShortParams()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f, err := run(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(f.Series) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkFigure6(b *testing.B)  { benchFigure(b, exp.Figure6) }
+func BenchmarkFigure7(b *testing.B)  { benchFigure(b, exp.Figure7) }
+func BenchmarkFigure8(b *testing.B)  { benchFigure(b, exp.Figure8) }
+func BenchmarkFigure9(b *testing.B)  { benchFigure(b, exp.Figure9) }
+func BenchmarkFigure10(b *testing.B) { benchFigure(b, exp.Figure10) }
+func BenchmarkFigure11(b *testing.B) { benchFigure(b, exp.Figure11) }
+func BenchmarkFigure12(b *testing.B) { benchFigure(b, exp.Figure12) }
+
+func BenchmarkStateSpaceTable(b *testing.B) { benchFigure(b, exp.StateSpaceTable) }
+func BenchmarkApproxTable(b *testing.B)     { benchFigure(b, exp.ApproxTable) }
+func BenchmarkFluidTable(b *testing.B)      { benchFigure(b, exp.FluidTable) }
+
+func BenchmarkBurstyTable(b *testing.B) {
+	p := exp.ShortParams()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.BurstyTable(p, 30000, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSlowdownTable(b *testing.B) {
+	p := exp.ShortParams()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.SlowdownTable(p, 30000, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- substrate kernels ---
+
+// BenchmarkTAGExpBuild measures reachable-state derivation of the
+// 4331-state Figure 3 model.
+func BenchmarkTAGExpBuild(b *testing.B) {
+	m := core.NewTAGExp(5, 10, 42, 6, 10, 10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if c := m.Build(); c.NumStates() != 4331 {
+			b.Fatal("wrong state count")
+		}
+	}
+}
+
+// BenchmarkTAGExpSolve measures a full build + steady-state solve +
+// measures pass.
+func BenchmarkTAGExpSolve(b *testing.B) {
+	m := core.NewTAGExp(5, 10, 42, 6, 10, 10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Analyze(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPEPADerive measures the generic engine on the generated
+// Figure 3 source (parse + derive).
+func BenchmarkPEPADerive(b *testing.B) {
+	src := core.NewTAGExp(5, 10, 42, 6, 10, 10).PEPASource()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := pepa.Parse(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ss, err := pepa.Derive(m, pepa.DeriveOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ss.Chain.NumStates() != 4331 {
+			b.Fatal("wrong state count")
+		}
+	}
+}
+
+// BenchmarkSteadyStateGTH solves a 400-state birth-death chain with
+// the stable direct method.
+func BenchmarkSteadyStateGTH(b *testing.B) {
+	const k = 399
+	coo := linalg.NewCOO(k+1, k+1)
+	for i := 0; i <= k; i++ {
+		var out float64
+		if i < k {
+			coo.Add(i, i+1, 5)
+			out += 5
+		}
+		if i > 0 {
+			coo.Add(i, i-1, 10)
+			out += 10
+		}
+		coo.Add(i, i, -out)
+	}
+	q := coo.ToCSR().ToDense()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := linalg.SteadyStateGTH(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSteadyStateGaussSeidel solves the 4331-state TAG generator
+// iteratively.
+func BenchmarkSteadyStateGaussSeidel(b *testing.B) {
+	q := core.NewTAGExp(5, 10, 42, 6, 10, 10).Build().Generator()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := linalg.SteadyStateGaussSeidel(q, linalg.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorTAG measures simulator throughput (events/op is
+// roughly jobs * 2.2 for this configuration).
+func BenchmarkSimulatorTAG(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := sim.Config{
+			Nodes: []sim.NodeConfig{
+				{Capacity: 10, Timeout: policies.ConstantTimeout(0.35)},
+				{Capacity: 10},
+			},
+			Policy: policies.FirstNode{},
+			Source: &workload.StochasticSource{
+				Arrivals: workload.NewPoisson(8),
+				Sizes:    dist.H2ForTAG(0.1, 0.99, 100),
+				Limit:    50000,
+			},
+			Seed: uint64(i + 1),
+		}
+		m := sim.NewSystem(cfg).Run(0)
+		if m.Completed == 0 {
+			b.Fatal("no completions")
+		}
+	}
+}
+
+// BenchmarkH2Solve measures the hyper-exponential model (9801 states).
+func BenchmarkH2Solve(b *testing.B) {
+	m := core.NewTAGH2(11, dist.H2ForTAG(0.1, 0.99, 100), 12, 6, 10, 10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Analyze(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMultiNodeTable(b *testing.B) { benchFigure(b, exp.MultiNodeTable) }
+
+// BenchmarkPassageTable uses a reduced configuration: the hitting-time
+// systems are dense LU solves, cubic in the state count.
+func BenchmarkPassageTable(b *testing.B) {
+	p := exp.ShortParams()
+	p.N, p.K = 3, 6
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.PassageTable(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkErlangErrorTable(b *testing.B) {
+	p := exp.ShortParams()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.ErlangErrorTable(p, 60000, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFairnessTable(b *testing.B) { benchFigure(b, exp.FairnessTable) }
+
+func BenchmarkTaggedTable(b *testing.B) {
+	p := exp.ShortParams()
+	p.N, p.K = 4, 8 // keep the absorbing chains modest per iteration
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.TaggedTable(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVariantsTable(b *testing.B)    { benchFigure(b, exp.VariantsTable) }
+func BenchmarkSensitivityTable(b *testing.B) { benchFigure(b, exp.SensitivityTable) }

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunBuiltinTAG(t *testing.T) {
+	var out, errs bytes.Buffer
+	if err := run([]string{"-tag"}, strings.NewReader(""), &out, &errs); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errs.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "states: 4331") {
+		t.Fatalf("missing state count:\n%s", s)
+	}
+	if !strings.Contains(s, "service1") || !strings.Contains(s, "timeout") {
+		t.Fatalf("missing throughputs:\n%s", s)
+	}
+}
+
+func TestRunFromStdin(t *testing.T) {
+	src := `
+	P = (a, 2).P1;
+	P1 = (b, 3).P;
+	P
+	`
+	var out, errs bytes.Buffer
+	if err := run([]string{"-states", "-lump", "-echo", "-"}, strings.NewReader(src), &out, &errs); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{"states: 2", "stationary distribution", "lumped quotient", "P = (a, 2).P1;"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunParseError(t *testing.T) {
+	var out, errs bytes.Buffer
+	if err := run([]string{"-"}, strings.NewReader("garbage @@"), &out, &errs); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestRunUsage(t *testing.T) {
+	var out, errs bytes.Buffer
+	if err := run(nil, strings.NewReader(""), &out, &errs); err == nil {
+		t.Fatal("expected usage error")
+	}
+}
+
+func TestRunMaxStatesCap(t *testing.T) {
+	var out, errs bytes.Buffer
+	err := run([]string{"-max-states", "2", "-tag"}, strings.NewReader(""), &out, &errs)
+	if err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("expected overflow error, got %v", err)
+	}
+}
+
+func TestRunLevelMeasure(t *testing.T) {
+	var out, errs bytes.Buffer
+	if err := run([]string{"-level", "1:QA", "-tag"}, strings.NewReader(""), &out, &errs); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "mean level of leaf 1 (QA*)") {
+		t.Fatalf("missing level output:\n%s", out.String())
+	}
+	if err := run([]string{"-level", "zz", "-tag"}, strings.NewReader(""), &out, &errs); err == nil {
+		t.Fatal("bad level spec must fail")
+	}
+}

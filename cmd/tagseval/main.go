@@ -1,0 +1,128 @@
+// tagseval regenerates the paper's numerical results: every figure of
+// the evaluation section plus the state-space, approximation, fluid,
+// burstiness, slowdown, multi-node, first-passage, Erlang-error,
+// fairness and tagged-percentile tables.
+//
+// Usage:
+//
+//	tagseval -fig figure6            # one artefact
+//	tagseval -all                    # everything
+//	tagseval -all -short             # trimmed grids (fast)
+//	tagseval -fig figure9 -csv       # CSV instead of a text table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"pepatags/internal/exp"
+)
+
+type runner func(exp.Params) (*exp.Figure, error)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("tagseval", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		figName = fs.String("fig", "", "artefact to run (see -list)")
+		all     = fs.Bool("all", false, "run every artefact")
+		list    = fs.Bool("list", false, "list available artefacts")
+		short   = fs.Bool("short", false, "use trimmed parameter grids")
+		csv     = fs.Bool("csv", false, "emit CSV instead of text tables")
+		jobs    = fs.Int("jobs", 200000, "simulated jobs for the simulation tables")
+		seed    = fs.Uint64("seed", 1, "simulation seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	runners := map[string]runner{
+		"figure6":     exp.Figure6,
+		"figure7":     exp.Figure7,
+		"figure8":     exp.Figure8,
+		"figure9":     exp.Figure9,
+		"figure10":    exp.Figure10,
+		"figure11":    exp.Figure11,
+		"figure12":    exp.Figure12,
+		"statespace":  exp.StateSpaceTable,
+		"approx":      exp.ApproxTable,
+		"fluid":       exp.FluidTable,
+		"multinode":   exp.MultiNodeTable,
+		"fairness":    exp.FairnessTable,
+		"tagged":      exp.TaggedTable,
+		"variants":    exp.VariantsTable,
+		"sensitivity": exp.SensitivityTable,
+		"passage":     exp.PassageTable,
+		"bursty": func(p exp.Params) (*exp.Figure, error) {
+			return exp.BurstyTable(p, *jobs, *seed)
+		},
+		"slowdown": func(p exp.Params) (*exp.Figure, error) {
+			return exp.SlowdownTable(p, *jobs, *seed)
+		},
+		"erlangerror": func(p exp.Params) (*exp.Figure, error) {
+			return exp.ErlangErrorTable(p, *jobs, *seed)
+		},
+	}
+	available := sortedKeys(runners)
+
+	if *list {
+		fmt.Fprintln(stdout, strings.Join(available, "\n"))
+		return nil
+	}
+
+	p := exp.DefaultParams()
+	if *short {
+		p = exp.ShortParams()
+	}
+
+	var names []string
+	switch {
+	case *all:
+		names = available
+	case *figName != "":
+		if _, ok := runners[*figName]; !ok {
+			return fmt.Errorf("unknown artefact %q; available: %s", *figName, strings.Join(available, ", "))
+		}
+		names = []string{*figName}
+	default:
+		return fmt.Errorf("nothing to do: pass -fig <name>, -all or -list")
+	}
+
+	for _, n := range names {
+		f, err := runners[n](p)
+		if err != nil {
+			return fmt.Errorf("%s: %w", n, err)
+		}
+		var werr error
+		if *csv {
+			werr = f.CSV(stdout)
+		} else {
+			werr = f.Render(stdout)
+		}
+		if werr != nil {
+			return fmt.Errorf("%s: %w", n, werr)
+		}
+		fmt.Fprintln(stdout)
+	}
+	return nil
+}
+
+func sortedKeys(m map[string]runner) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out, errs bytes.Buffer
+	if err := run([]string{"-list"}, &out, &errs); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"figure6", "figure12", "statespace", "tagged", "fairness"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("missing %q in list:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunOneFigureCSV(t *testing.T) {
+	var out, errs bytes.Buffer
+	if err := run([]string{"-short", "-csv", "-fig", "statespace"}, &out, &errs); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "4331") {
+		t.Fatalf("missing state count:\n%s", s)
+	}
+	if strings.Contains(s, "#") {
+		t.Fatalf("CSV should drop comments:\n%s", s)
+	}
+}
+
+func TestRunApproxTable(t *testing.T) {
+	var out, errs bytes.Buffer
+	if err := run([]string{"-fig", "approx"}, &out, &errs); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "6.18") {
+		t.Fatalf("missing balance timeout:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	var out, errs bytes.Buffer
+	if err := run([]string{"-fig", "nope"}, &out, &errs); err == nil {
+		t.Fatal("expected unknown-artefact error")
+	}
+}
+
+func TestRunNoArgs(t *testing.T) {
+	var out, errs bytes.Buffer
+	if err := run(nil, &out, &errs); err == nil {
+		t.Fatal("expected nothing-to-do error")
+	}
+}

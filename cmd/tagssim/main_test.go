@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+func runOK(t *testing.T, args ...string) string {
+	t.Helper()
+	var out, errs bytes.Buffer
+	if err := run(args, &out, &errs); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return out.String()
+}
+
+func TestRunTAGH2(t *testing.T) {
+	out := runOK(t, "-policy", "tag", "-dist", "h2", "-jobs", "20000", "-timeout", "0.35")
+	for _, want := range []string{"policy:", "tag/first-node", "response time:", "throughput:", "node 0 util"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunAllPolicies(t *testing.T) {
+	for _, p := range []string{"tag", "random", "rr", "sq", "lwl", "dynamic"} {
+		out := runOK(t, "-policy", p, "-jobs", "5000")
+		if !strings.Contains(out, "completed:") {
+			t.Fatalf("policy %s: missing output:\n%s", p, out)
+		}
+	}
+}
+
+func TestRunAllDists(t *testing.T) {
+	for _, d := range []string{"exp", "h2", "h2mild", "pareto", "det"} {
+		out := runOK(t, "-dist", d, "-jobs", "5000")
+		if !strings.Contains(out, "service:") {
+			t.Fatalf("dist %s: missing output:\n%s", d, out)
+		}
+	}
+}
+
+func TestRunBurstyAndErlangAndResume(t *testing.T) {
+	out := runOK(t, "-bursty", "-erlang", "6", "-resume", "-jobs", "5000")
+	if !strings.Contains(out, "MMPP2") {
+		t.Fatalf("expected bursty arrivals:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errs bytes.Buffer
+	if err := run([]string{"-policy", "nope", "-jobs", "10"}, &out, &errs); err == nil {
+		t.Fatal("unknown policy must fail")
+	}
+	if err := run([]string{"-dist", "nope", "-jobs", "10"}, &out, &errs); err == nil {
+		t.Fatal("unknown dist must fail")
+	}
+}
+
+func TestRunWeibull(t *testing.T) {
+	out := runOK(t, "-dist", "weibull", "-jobs", "5000")
+	if !strings.Contains(out, "Weibull") {
+		t.Fatalf("expected Weibull service:\n%s", out)
+	}
+}
+
+func TestRunTraceFile(t *testing.T) {
+	f, err := os.CreateTemp(t.TempDir(), "trace*.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The intro worked example with timeout 3.5 -> mean response 16.67.
+	if _, err := f.WriteString("0,4\n0,5\n0,6\n0,7\n0,3\n0,2\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	out := runOK(t, "-trace", f.Name(), "-policy", "tag", "-timeout", "3.5", "-cap", "0")
+	if !strings.Contains(out, "16.6667") {
+		t.Fatalf("expected the worked-example mean:\n%s", out)
+	}
+}

@@ -1,0 +1,12 @@
+// Package pepatags reproduces "Modelling job allocation where service
+// duration is unknown" (Nigel Thomas, IPPS 2006): a PEPA/CTMC analysis
+// of the TAG task-assignment policy with bounded queues, phase-type
+// service demands, analytic timeout approximations, a fluid (ODE)
+// analysis and a discrete-event simulator.
+//
+// The implementation lives under internal/ (see DESIGN.md for the
+// module inventory); runnable entry points are the commands under
+// cmd/ and the programs under examples/. The benchmarks in
+// bench_test.go regenerate every figure and table of the paper's
+// evaluation section.
+package pepatags

@@ -1,0 +1,43 @@
+// Timeouttuning: Section 4 of the paper — choosing the TAG timeout.
+// Compares the analytic balance approximations against the exact
+// optimum found by sweeping the full CTMC, for several loads.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pepatags/internal/approx"
+)
+
+func main() {
+	const mu = 10.0
+	const n = 6
+
+	fmt.Println("== Section 4 balance approximations (mu = 10) ==")
+	fmt.Printf("exponential-timeout balance: T = %.4f (paper: ~6.17)\n",
+		approx.ExponentialBalanceTimeout(mu))
+	for _, phases := range []int{1, 2, 6, 24, 96} {
+		t, err := approx.ErlangRaceBalanceRate(mu, phases)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Erlang-%-3d race balance:     t = %8.3f  effective rate t/n = %.4f\n",
+			phases, t, t/float64(phases))
+	}
+	fmt.Printf("deterministic limit:         effective rate = %.4f (paper: 'around 9')\n\n",
+		approx.DeterministicBalanceRate(mu))
+
+	fmt.Println("== bounded-queue two-stage decomposition vs exact CTMC optimum ==")
+	fmt.Println("lambda   approx-opt-t   exact-opt-t  (minimising total queue length)")
+	for _, lambda := range []float64{5, 7, 9, 11} {
+		a := approx.TwoStage{Lambda: lambda, Mu: mu, N: n, K1: 10, K2: 10}
+		ta, _ := a.OptimalRate(approx.MinQueueLength, 1, 200)
+		te, _, err := approx.OptimalIntegerTExp(lambda, mu, n, 10, 10, approx.MinQueueLength, 12, 90)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%6g   %12.1f   %11d\n", lambda, ta, te)
+	}
+	fmt.Println("\npaper's exact optima: 51, 49, 45, 42 for lambda = 5, 7, 9, 11")
+}

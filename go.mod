@@ -1,0 +1,3 @@
+module pepatags
+
+go 1.22

@@ -1,0 +1,120 @@
+package approx
+
+import (
+	"pepatags/internal/core"
+	"pepatags/internal/dist"
+	"pepatags/internal/numeric"
+)
+
+// Exact optimisers: sweep the full CTMC model rather than the
+// decomposition. These reproduce the paper's "optimal (integer) values
+// of t" (42, 45, 49, 51 for lambda = 11, 9, 7, 5 in Figure 8).
+
+// scoreMeasures maps core measures onto a minimisation objective.
+func (m Metric) scoreMeasures(r core.Measures) float64 {
+	switch m {
+	case MinQueueLength:
+		return r.L
+	case MinResponseTime:
+		return r.W
+	case MaxThroughput:
+		return -r.Throughput
+	default:
+		panic("approx: unknown metric")
+	}
+}
+
+// OptimalIntegerTExp finds the integer Erlang phase rate t in [lo, hi]
+// optimising the metric for the exponential TAG model.
+func OptimalIntegerTExp(lambda, mu float64, n, k1, k2 int, metric Metric, lo, hi int) (int, core.Measures, error) {
+	var firstErr error
+	best := numeric.IntArgMin(func(t int) float64 {
+		r, err := core.NewTAGExp(lambda, mu, float64(t), n, k1, k2).Analyze()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return 1e300
+		}
+		return metric.scoreMeasures(r)
+	}, lo, hi)
+	if firstErr != nil {
+		return 0, core.Measures{}, firstErr
+	}
+	r, err := core.NewTAGExp(lambda, mu, float64(best), n, k1, k2).Analyze()
+	return best, r, err
+}
+
+// OptimalIntegerTH2Coarse performs a coarse integer sweep with the
+// given step followed by a +-(step-1) refinement, cutting the number
+// of (expensive) H2 CTMC solves roughly by the step factor.
+func OptimalIntegerTH2Coarse(lambda float64, service dist.HyperExp, n, k1, k2 int, metric Metric, lo, hi, step int) (int, core.Measures, error) {
+	if step < 1 {
+		step = 1
+	}
+	score := func(t int) (float64, error) {
+		r, err := core.NewTAGH2(lambda, service, float64(t), n, k1, k2).Analyze()
+		if err != nil {
+			return 0, err
+		}
+		return metric.scoreMeasures(r), nil
+	}
+	best, bestScore := lo, 1e300
+	var firstErr error
+	for t := lo; t <= hi; t += step {
+		s, err := score(t)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if s < bestScore {
+			best, bestScore = t, s
+		}
+	}
+	if firstErr != nil {
+		return 0, core.Measures{}, firstErr
+	}
+	rl, rh := best-step+1, best+step-1
+	if rl < lo {
+		rl = lo
+	}
+	if rh > hi {
+		rh = hi
+	}
+	for t := rl; t <= rh; t++ {
+		if (t-lo)%step == 0 {
+			continue // already scored in the coarse pass
+		}
+		s, err := score(t)
+		if err != nil {
+			return 0, core.Measures{}, err
+		}
+		if s < bestScore {
+			best, bestScore = t, s
+		}
+	}
+	r, err := core.NewTAGH2(lambda, service, float64(best), n, k1, k2).Analyze()
+	return best, r, err
+}
+
+// OptimalIntegerTH2 is the H2 analogue.
+func OptimalIntegerTH2(lambda float64, service dist.HyperExp, n, k1, k2 int, metric Metric, lo, hi int) (int, core.Measures, error) {
+	var firstErr error
+	best := numeric.IntArgMin(func(t int) float64 {
+		r, err := core.NewTAGH2(lambda, service, float64(t), n, k1, k2).Analyze()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return 1e300
+		}
+		return metric.scoreMeasures(r)
+	}, lo, hi)
+	if firstErr != nil {
+		return 0, core.Measures{}, firstErr
+	}
+	r, err := core.NewTAGH2(lambda, service, float64(best), n, k1, k2).Analyze()
+	return best, r, err
+}

@@ -1,0 +1,84 @@
+package approx
+
+import (
+	"fmt"
+
+	"pepatags/internal/core"
+	"pepatags/internal/dist"
+)
+
+// Sensitivity quantifies the paper's warning that TAG "is also quite
+// sensitive to t": the relative change of each measure per unit
+// relative change of the phase rate (elasticities), estimated by
+// central finite differences on the exact CTMC.
+type Sensitivity struct {
+	T float64
+	// Elasticities d log(measure) / d log(t).
+	W, Throughput, Loss, QueueLength float64
+}
+
+// sensitivityFrom computes elasticities from three measure evaluations.
+func sensitivityFrom(t, h float64, lo, mid, hi core.Measures) Sensitivity {
+	el := func(a, m, b float64) float64 {
+		if m == 0 {
+			return 0
+		}
+		return (b - a) / (2 * h) * t / m
+	}
+	return Sensitivity{
+		T:           t,
+		W:           el(lo.W, mid.W, hi.W),
+		Throughput:  el(lo.Throughput, mid.Throughput, hi.Throughput),
+		Loss:        el(lo.Loss, mid.Loss, hi.Loss),
+		QueueLength: el(lo.L, mid.L, hi.L),
+	}
+}
+
+// SensitivityExp computes timeout elasticities for the exponential TAG
+// model at phase rate t, using a step of rel*t (default 1%).
+func SensitivityExp(lambda, mu, t float64, n, k1, k2 int, rel float64) (Sensitivity, error) {
+	if rel <= 0 {
+		rel = 0.01
+	}
+	h := rel * t
+	eval := func(tt float64) (core.Measures, error) {
+		return core.NewTAGExp(lambda, mu, tt, n, k1, k2).Analyze()
+	}
+	lo, err := eval(t - h)
+	if err != nil {
+		return Sensitivity{}, fmt.Errorf("approx: sensitivity at t-h: %w", err)
+	}
+	mid, err := eval(t)
+	if err != nil {
+		return Sensitivity{}, err
+	}
+	hi, err := eval(t + h)
+	if err != nil {
+		return Sensitivity{}, fmt.Errorf("approx: sensitivity at t+h: %w", err)
+	}
+	return sensitivityFrom(t, h, lo, mid, hi), nil
+}
+
+// SensitivityH2 is the hyper-exponential analogue.
+func SensitivityH2(lambda float64, service dist.HyperExp, t float64, n, k1, k2 int, rel float64) (Sensitivity, error) {
+	if rel <= 0 {
+		rel = 0.01
+	}
+	h := rel * t
+	eval := func(tt float64) (core.Measures, error) {
+		return core.NewTAGH2(lambda, service, tt, n, k1, k2).Analyze()
+	}
+	lo, err := eval(t - h)
+	if err != nil {
+		return Sensitivity{}, err
+	}
+	mid, err := eval(t)
+	if err != nil {
+		return Sensitivity{}, err
+	}
+	hi, err := eval(t + h)
+	if err != nil {
+		return Sensitivity{}, err
+	}
+	return sensitivityFrom(t, h, lo, mid, hi), nil
+}

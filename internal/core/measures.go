@@ -1,0 +1,62 @@
+// Package core implements the paper's models as first-class Go types:
+// the two-node TAG system with exponential (Figure 3) and
+// hyper-exponential (Figure 5) service, the weighted random-allocation
+// baseline (Appendix A) and the shortest-queue strategy (Appendix B),
+// plus a multi-node TAG extension. Every model builds a labelled CTMC
+// (internal/ctmc) and reports the stationary measures the paper plots:
+// mean queue lengths, throughput, loss and response time via Little's
+// law.
+package core
+
+import "pepatags/internal/queueing"
+
+// Action labels shared by the models.
+const (
+	ActArrival       = "arrival"
+	ActService1      = "service1"
+	ActService2      = "service2"
+	ActTimeout       = "timeout"       // successful transfer node1 -> node2
+	ActRepeatService = "repeatservice" // start of residual service at node 2
+	ActTick1         = "tick1"
+	ActTick2         = "tick2"
+	ActLossArrival   = "loss_arrival"  // dropped on arrival at node 1
+	ActLossTransfer  = "loss_transfer" // dropped at node 2 after timing out
+)
+
+// Measures are the stationary performance measures of a two-node
+// allocation system.
+type Measures struct {
+	States int // CTMC size
+
+	L1, L2 float64 // mean jobs at node 1 / node 2
+	L      float64 // total mean population
+
+	X1, X2     float64 // completion rates at node 1 / node 2
+	Throughput float64 // X1 + X2
+
+	LossArrival  float64 // jobs/s dropped at node 1 on arrival
+	LossTransfer float64 // jobs/s dropped at node 2 after a timed-out service
+	Loss         float64 // total loss rate
+
+	W float64 // mean response time, L / Throughput (Little's law)
+
+	Util1, Util2 float64 // P(node busy)
+
+	TimeoutRate float64 // jobs/s moved from node 1 to node 2 (TAG only)
+}
+
+// finish derives the aggregates from the per-node figures.
+func (m *Measures) finish() {
+	m.L = m.L1 + m.L2
+	m.Throughput = m.X1 + m.X2
+	m.Loss = m.LossArrival + m.LossTransfer
+	m.W = queueing.Little(m.L, m.Throughput)
+}
+
+// System is any allocation model that can be solved for its stationary
+// measures.
+type System interface {
+	// Analyze builds the model's CTMC, solves for the stationary
+	// distribution and returns the measures.
+	Analyze() (Measures, error)
+}

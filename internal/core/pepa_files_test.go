@@ -1,0 +1,87 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pepatags/internal/dist"
+	"pepatags/internal/numeric"
+	"pepatags/internal/pepa"
+)
+
+// The shipped .pepa files render the paper's appendix models; they
+// must parse, derive, and agree with the direct builders.
+
+func loadModel(t *testing.T, name string) *pepa.StateSpace {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("..", "..", "models", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := pepa.Parse(string(src))
+	if err != nil {
+		t.Fatalf("parse %s: %v", name, err)
+	}
+	if err := m.CheckCyclic(); err != nil {
+		t.Fatalf("%s not cyclic: %v", name, err)
+	}
+	ss, err := pepa.Derive(m, pepa.DeriveOptions{})
+	if err != nil {
+		t.Fatalf("derive %s: %v", name, err)
+	}
+	return ss
+}
+
+func TestAppendixARandomModelMatchesClosedForm(t *testing.T) {
+	ss := loadModel(t, "appendixA_random.pepa")
+	pi, err := ss.Chain.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each queue is M/M/1/5 with lambda 2.5, mu 10; throughput of
+	// service1 equals the closed-form effective arrival rate.
+	x := ss.Chain.ActionThroughput(pi, "service1")
+	rho := 0.25
+	var norm, top float64
+	p := 1.0
+	for i := 0; i <= 5; i++ {
+		norm += p
+		if i == 5 {
+			top = p
+		}
+		p *= rho
+	}
+	want := 2.5 * (1 - top/norm)
+	if !numeric.AlmostEqual(x, want, 1e-9) {
+		t.Fatalf("X %v want %v", x, want)
+	}
+}
+
+func TestAppendixBShortestQueueModelMatchesDirect(t *testing.T) {
+	ss := loadModel(t, "appendixB_shortestqueue.pepa")
+	pi, err := ss.Chain.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	xPepa := ss.Chain.ActionThroughput(pi, "serv1") + ss.Chain.ActionThroughput(pi, "serv2")
+	direct, err := NewShortestQueue(5, dist.NewExponential(10), 3).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(xPepa, direct.Throughput, 1e-8) {
+		t.Fatalf("throughput: pepa %v direct %v", xPepa, direct.Throughput)
+	}
+	// Mean population from leaf derivative names (leaves 0, 1 are the
+	// queues; labels QA<i>/QB<i>).
+	var l float64
+	for s := 0; s < ss.Chain.NumStates(); s++ {
+		for leaf := 0; leaf < 2; leaf++ {
+			lbl := ss.LeafDerivative(s, leaf)
+			l += pi[s] * float64(lbl[2]-'0')
+		}
+	}
+	if !numeric.AlmostEqual(l, direct.L, 1e-8) {
+		t.Fatalf("L: pepa %v direct %v", l, direct.L)
+	}
+}

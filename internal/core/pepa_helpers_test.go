@@ -1,0 +1,35 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"pepatags/internal/pepa"
+)
+
+// Thin wrappers so the main test file reads cleanly.
+
+func parsePEPA(src string) (*pepa.Model, error) { return pepa.Parse(src) }
+
+func derivePEPA(m *pepa.Model) (*pepa.StateSpace, error) {
+	return pepa.Derive(m, pepa.DeriveOptions{})
+}
+
+// sscanLeaf extracts the integer suffix of a derivative name with the
+// given prefix, e.g. ("QBS7", "QBS") -> 7. It fails if the prefix does
+// not match exactly (so "QBS7" is not misread by prefix "QB").
+func sscanLeaf(label, prefix string, out *int) (int, error) {
+	rest, ok := strings.CutPrefix(label, prefix)
+	if !ok || rest == "" {
+		return 0, fmt.Errorf("label %q lacks prefix %q", label, prefix)
+	}
+	n := 0
+	for i := 0; i < len(rest); i++ {
+		if rest[i] < '0' || rest[i] > '9' {
+			return 0, fmt.Errorf("label %q has non-numeric suffix", label)
+		}
+		n = n*10 + int(rest[i]-'0')
+	}
+	*out = n
+	return 1, nil
+}

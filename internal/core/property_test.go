@@ -1,0 +1,127 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pepatags/internal/dist"
+	"pepatags/internal/numeric"
+)
+
+// Property tests over randomised (bounded) parameters: flow
+// conservation and basic sanity must hold for every well-formed model.
+
+// clampParams maps arbitrary quick-generated values into a valid,
+// small parameter box so each property trial stays fast.
+func clampParams(a, b, c uint32) (lambda, mu, tr float64, n, k int) {
+	lambda = 1 + float64(a%150)/10 // 1 .. 15.9
+	mu = 2 + float64(b%200)/10     // 2 .. 21.9
+	tr = 1 + float64(c%500)/10     // 1 .. 50.9
+	n = 1 + int(a%3)               // 1 .. 3
+	k = 2 + int(b%4)               // 2 .. 5
+	return
+}
+
+func TestTAGExpConservationProperty(t *testing.T) {
+	prop := func(a, b, c uint32) bool {
+		lambda, mu, tr, n, k := clampParams(a, b, c)
+		m, err := NewTAGExp(lambda, mu, tr, n, k, k).Analyze()
+		if err != nil {
+			return false
+		}
+		return numeric.AlmostEqual(m.Throughput+m.Loss, lambda, 1e-7) &&
+			numeric.AlmostEqual(m.X2, m.TimeoutRate, 1e-7) &&
+			m.L1 >= 0 && m.L1 <= float64(k)+1e-9 &&
+			m.L2 >= 0 && m.L2 <= float64(k)+1e-9 &&
+			m.Util1 >= 0 && m.Util1 <= 1+1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTAGH2ConservationProperty(t *testing.T) {
+	prop := func(a, b, c, d uint32) bool {
+		lambda, _, tr, n, k := clampParams(a, b, c)
+		alpha := 0.5 + float64(d%50)/100 // 0.5 .. 0.99
+		ratio := 2 + float64(d%20)       // 2 .. 21
+		h := dist.H2ForTAG(0.2, alpha, ratio)
+		m, err := NewTAGH2(lambda, h, tr, n, k, k).Analyze()
+		if err != nil {
+			return false
+		}
+		return numeric.AlmostEqual(m.Throughput+m.Loss, lambda, 1e-6) &&
+			m.W > 0 && !math.IsInf(m.W, 0)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlphaPrimeNeverExceedsAlphaProperty(t *testing.T) {
+	// Long jobs always survive the timeout at least as often as short
+	// ones, so the residual short-job share cannot grow.
+	prop := func(a, b, c uint32) bool {
+		alpha := float64(a%99+1) / 100
+		ratio := 1 + float64(b%100)
+		tr := 0.5 + float64(c%400)/10
+		h := dist.H2ForTAG(0.2, alpha, ratio)
+		m := TAGH2{Lambda: 1, Service: h, T: tr, N: 1 + int(c%6), K1: 2, K2: 2}
+		return m.AlphaPrime() <= alpha+1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShortestQueueConservationProperty(t *testing.T) {
+	prop := func(a, b, c uint32) bool {
+		lambda, mu, _, _, k := clampParams(a, b, c)
+		m, err := NewShortestQueue(lambda, dist.NewExponential(mu), k).Analyze()
+		if err != nil {
+			return false
+		}
+		return numeric.AlmostEqual(m.Throughput+m.Loss, lambda, 1e-8) &&
+			numeric.AlmostEqual(m.L1, m.L2, 1e-7) // symmetry
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomAllocLossMonotoneInLambdaProperty(t *testing.T) {
+	prop := func(a uint32) bool {
+		l1 := 1 + float64(a%100)/10
+		l2 := l1 + 0.5
+		m1, err := NewRandomTwoNode(l1, dist.NewExponential(10), 5).Analyze()
+		if err != nil {
+			return false
+		}
+		m2, err := NewRandomTwoNode(l2, dist.NewExponential(10), 5).Analyze()
+		if err != nil {
+			return false
+		}
+		return m2.Loss >= m1.Loss-1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTAGExpStateCountFormulaProperty(t *testing.T) {
+	// Reachable states = (K1*n + 1) * (K2*(n+1) + 1) for the calibrated
+	// model: node 1 contributes n timer phases per level and node 2
+	// n waiting phases plus the frozen-serving state per level.
+	prop := func(a, b uint32) bool {
+		n := 1 + int(a%4)
+		k1 := 1 + int(b%5)
+		k2 := 1 + int((b/8)%5)
+		m := TAGExp{Lambda: 3, Mu: 10, T: 12, N: n, K1: k1, K2: k2}
+		want := (k1*n + 1) * (k2*(n+1) + 1)
+		return m.Build().NumStates() == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

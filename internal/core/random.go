@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+
+	"pepatags/internal/dist"
+	"pepatags/internal/queueing"
+)
+
+// RandomAlloc is the weighted random allocation baseline of the
+// paper's Appendix A: each arriving job is routed to node i with a
+// fixed probability, so the system decomposes into independent
+// M/PH/1/K queues. For the homogeneous two-node system of the paper
+// the split is 50/50.
+type RandomAlloc struct {
+	Lambda  float64           // total arrival rate
+	Weights []float64         // routing probabilities, sum to 1
+	Service dist.Distribution // Exponential or HyperExp service
+	K       int               // per-node capacity
+}
+
+// NewRandomTwoNode returns the homogeneous two-node random allocator.
+func NewRandomTwoNode(lambda float64, service dist.Distribution, k int) RandomAlloc {
+	return RandomAlloc{Lambda: lambda, Weights: []float64{0.5, 0.5}, Service: service, K: k}
+}
+
+func (m RandomAlloc) validate() {
+	if m.Lambda <= 0 || m.K < 1 || len(m.Weights) == 0 {
+		panic(fmt.Sprintf("core: invalid RandomAlloc parameters %+v", m))
+	}
+	var sum float64
+	for _, w := range m.Weights {
+		if w < 0 {
+			panic("core: negative routing weight")
+		}
+		sum += w
+	}
+	if sum < 1-1e-9 || sum > 1+1e-9 {
+		panic(fmt.Sprintf("core: routing weights sum to %g", sum))
+	}
+}
+
+// servicePhaseType converts the service distribution for the M/PH/1/K
+// sub-model.
+func servicePhaseType(d dist.Distribution) *dist.PhaseType {
+	switch s := d.(type) {
+	case dist.Exponential:
+		return s.ToPhaseType()
+	case dist.Erlang:
+		return s.ToPhaseType()
+	case dist.HyperExp:
+		return s.ToPhaseType()
+	case *dist.PhaseType:
+		return s
+	default:
+		panic(fmt.Sprintf("core: unsupported service distribution %T (need a phase-type)", d))
+	}
+}
+
+// Analyze solves each node as an independent M/PH/1/K queue and
+// aggregates. For the two-node system L1 and L2 are the per-node mean
+// queue lengths.
+func (m RandomAlloc) Analyze() (Measures, error) {
+	m.validate()
+	ph := servicePhaseType(m.Service)
+	out := Measures{}
+	var totalL, totalX float64
+	for i, w := range m.Weights {
+		if w == 0 {
+			continue
+		}
+		q := queueing.MPH1K{Lambda: m.Lambda * w, Service: ph, K: m.K}
+		r, err := q.Analyze()
+		if err != nil {
+			return Measures{}, err
+		}
+		out.States += r.States
+		totalL += r.MeanQueueLength
+		totalX += r.Throughput
+		out.LossArrival += r.LossRate
+		switch i {
+		case 0:
+			out.L1, out.X1, out.Util1 = r.MeanQueueLength, r.Throughput, r.Utilization
+		case 1:
+			out.L2, out.X2, out.Util2 = r.MeanQueueLength, r.Throughput, r.Utilization
+		}
+	}
+	out.finish()
+	// finish() aggregates the first two nodes; correct the totals for
+	// systems with more.
+	out.L = totalL
+	out.Throughput = totalX
+	out.W = queueing.Little(totalL, totalX)
+	return out, nil
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"pepatags/internal/dist"
+	"pepatags/internal/numeric"
+)
+
+func TestRandomResponseDistributionMatchesTaggedFormula(t *testing.T) {
+	// M/M/1/K tagged response mean = E[position | admitted]/mu.
+	m := NewRandomTwoNode(10, dist.NewExponential(10), 10)
+	rd, err := m.ResponseDistribution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho := 0.5
+	var norm, posMean float64
+	p := 1.0
+	for i := 0; i < 10; i++ {
+		norm += p
+		posMean += p * float64(i+1)
+		p *= rho
+	}
+	want := posMean / norm / 10
+	if !numeric.AlmostEqual(rd.Mean(), want, 1e-10) {
+		t.Fatalf("mean %v want %v", rd.Mean(), want)
+	}
+	// CDF properties.
+	if rd.CDF(0) != 0 {
+		t.Fatal("CDF(0) != 0")
+	}
+	if rd.CDF(100) < 0.999999 {
+		t.Fatalf("CDF tail %v", rd.CDF(100))
+	}
+	med, err := rd.Percentile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rd.CDF(med)-0.5) > 1e-9 {
+		t.Fatalf("CDF(median) = %v", rd.CDF(med))
+	}
+}
+
+func TestShortestQueueResponseDistributionConsistent(t *testing.T) {
+	m := NewShortestQueue(11, dist.NewExponential(10), 10)
+	rd, err := m.ResponseDistribution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The distribution mean equals the tagged-job mean response; for
+	// JSQ with negligible blocking this coincides with Little's W.
+	meas, err := m.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(rd.Mean()-meas.W) / meas.W; rel > 0.05 {
+		t.Fatalf("mixture mean %v vs Little W %v (rel %v)", rd.Mean(), meas.W, rel)
+	}
+	p90, err := rd.Percentile(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p90 <= rd.Mean() {
+		t.Fatalf("p90 %v should exceed the mean %v", p90, rd.Mean())
+	}
+}
+
+func TestBaselineVsTAGPercentiles(t *testing.T) {
+	// Exponential service at lambda=9: the JSQ p99 undercuts TAG's
+	// (consistent with Figures 6-8 where SQ wins under exp demand).
+	sq, err := NewShortestQueue(9, dist.NewExponential(10), 10).ResponseDistribution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag, err := NewTAGExp(9, 10, 42, 6, 10, 10).TaggedJob()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sqP99, err := sq.Percentile(0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tagP99, err := tag.Percentile(0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sqP99 >= tagP99 {
+		t.Fatalf("JSQ p99 %v should undercut TAG p99 %v under exp demand", sqP99, tagP99)
+	}
+}
+
+func TestResponseDistributionRejectsNonExponential(t *testing.T) {
+	h := dist.H2ForTAG(0.1, 0.9, 10)
+	if _, err := NewShortestQueue(5, h, 5).ResponseDistribution(); err == nil {
+		t.Fatal("H2 must be rejected")
+	}
+	if _, err := (RandomAlloc{Lambda: 5, Weights: []float64{0.5, 0.5}, Service: h, K: 5}).ResponseDistribution(); err == nil {
+		t.Fatal("H2 must be rejected")
+	}
+}
+
+func TestRoundRobinResponseDistributionConsistent(t *testing.T) {
+	m := NewRoundRobinTwoNode(9, dist.NewExponential(10), 10)
+	rd, err := m.ResponseDistribution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	meas, err := m.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(rd.Mean()-meas.W) / meas.W; rel > 0.05 {
+		t.Fatalf("mixture mean %v vs Little W %v (rel %v)", rd.Mean(), meas.W, rel)
+	}
+	// Ordering of p99s: SQ < RR < random, as for the means.
+	sq, err := NewShortestQueue(9, dist.NewExponential(10), 10).ResponseDistribution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd, err := NewRandomTwoNode(9, dist.NewExponential(10), 10).ResponseDistribution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq99, _ := sq.Percentile(0.99)
+	rr99, _ := rd.Percentile(0.99)
+	rnd99, _ := rnd.Percentile(0.99)
+	if !(sq99 < rr99 && rr99 < rnd99) {
+		t.Fatalf("p99 ordering broken: sq %v rr %v rnd %v", sq99, rr99, rnd99)
+	}
+}

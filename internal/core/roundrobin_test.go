@@ -1,0 +1,96 @@
+package core
+
+import (
+	"testing"
+
+	"pepatags/internal/dist"
+	"pepatags/internal/policies"
+	"pepatags/internal/sim"
+	"pepatags/internal/workload"
+)
+
+// simulateRoundRobin returns the simulated mean response of a two-node
+// round-robin system with exponential service.
+func simulateRoundRobin(t *testing.T, lambda, mu float64, k, jobs int) float64 {
+	t.Helper()
+	cfg := sim.Config{
+		Nodes:  []sim.NodeConfig{{Capacity: k}, {Capacity: k}},
+		Policy: &policies.RoundRobin{},
+		Source: &workload.StochasticSource{
+			Arrivals: workload.NewPoisson(lambda),
+			Sizes:    dist.NewExponential(mu),
+			Limit:    jobs,
+		},
+		Seed:   23,
+		Warmup: 100,
+	}
+	return sim.NewSystem(cfg).Run(0).Response.Mean()
+}
+
+func TestRoundRobinConservationAndSymmetry(t *testing.T) {
+	m := NewRoundRobinTwoNode(10, dist.NewExponential(10), 10)
+	r, err := m.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(t, "conservation", r.Throughput+r.Loss, 10, 1e-8)
+	close(t, "symmetry", r.L1, r.L2, 1e-8)
+}
+
+func TestRoundRobinBetweenRandomAndJSQ(t *testing.T) {
+	// The classical ordering for exponential service: deterministic
+	// alternation smooths each queue's arrival stream (interarrivals
+	// become Erlang-2), so RR beats random; JSQ, which reacts to queue
+	// state, beats both.
+	for _, lambda := range []float64{8, 11, 14} {
+		rr, err := NewRoundRobinTwoNode(lambda, dist.NewExponential(10), 10).Analyze()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rnd, err := NewRandomTwoNode(lambda, dist.NewExponential(10), 10).Analyze()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sq, err := NewShortestQueue(lambda, dist.NewExponential(10), 10).Analyze()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(sq.W < rr.W && rr.W < rnd.W) {
+			t.Fatalf("lambda=%v: ordering broken: sq %v rr %v rnd %v", lambda, sq.W, rr.W, rnd.W)
+		}
+	}
+}
+
+func TestRoundRobinH2Degenerate(t *testing.T) {
+	h := dist.NewH2(1, 10, 3)
+	hr, err := NewRoundRobinTwoNode(8, h, 6).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	er, err := NewRoundRobinTwoNode(8, dist.NewExponential(10), 6).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(t, "W", hr.W, er.W, 1e-9)
+	close(t, "L", hr.L, er.L, 1e-9)
+}
+
+func TestRoundRobinSimCrossValidation(t *testing.T) {
+	// The CTMC against the simulator's RoundRobin policy.
+	m := NewRoundRobinTwoNode(9, dist.NewExponential(10), 10)
+	exact, err := m.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := simulateRoundRobin(t, 9, 10, 10, 400000)
+	if rel := abs(got-exact.W) / exact.W; rel > 0.05 {
+		t.Fatalf("sim W %v vs CTMC %v (rel %v)", got, exact.W, rel)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTaggedJobConsistencyWithMeasures(t *testing.T) {
+	m := NewTAGExp(9, 10, 42, 6, 10, 10)
+	tr, err := m.TaggedJob()
+	if err != nil {
+		t.Fatal(err)
+	}
+	meas, err := m.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flow identity: P(success | admitted) = X / (lambda - loss_arrival).
+	wantP := meas.Throughput / (m.Lambda - meas.LossArrival)
+	if math.Abs(tr.SuccessProbability()-wantP) > 1e-6 {
+		t.Fatalf("success prob %v want %v", tr.SuccessProbability(), wantP)
+	}
+	// The conditional mean response must be positive and in the same
+	// ballpark as the Little's-law W (they differ by the time accrued
+	// by eventually-dropped jobs).
+	if tr.MeanResponse() <= 0 {
+		t.Fatalf("mean response %v", tr.MeanResponse())
+	}
+	if rel := math.Abs(tr.MeanResponse()-meas.W) / meas.W; rel > 0.15 {
+		t.Fatalf("tagged mean %v vs Little W %v (rel %v)", tr.MeanResponse(), meas.W, rel)
+	}
+}
+
+func TestTaggedJobLightLoadMatchesMM1(t *testing.T) {
+	// With a timeout that never fires, the system is M/M/1/K and an
+	// admitted job's conditional response matches the M/M/1/K tagged
+	// response E[T] = E[N at arrival+1]/mu under PASTA.
+	m := NewTAGExp(5, 10, 0.1, 6, 10, 10)
+	tr, err := m.TaggedJob()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// M/M/1/K tagged response: sum over admitting states.
+	// pi_i ~ rho^i; response = (i+1)/mu.
+	rho := 0.5
+	var norm, resp float64
+	for i := 0; i < 10; i++ {
+		p := math.Pow(rho, float64(i))
+		norm += p
+		resp += p * float64(i+1) / 10
+	}
+	want := resp / norm
+	if math.Abs(tr.MeanResponse()-want)/want > 1e-3 {
+		t.Fatalf("tagged mean %v want %v", tr.MeanResponse(), want)
+	}
+	if tr.SuccessProbability() < 1-1e-6 {
+		t.Fatalf("no-timeout success prob %v should be ~1", tr.SuccessProbability())
+	}
+}
+
+func TestTaggedJobCDFProperties(t *testing.T) {
+	m := NewTAGExp(9, 10, 42, 4, 6, 6)
+	tr, err := m.TaggedJob()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.States() <= 2 {
+		t.Fatalf("suspicious chain size %d", tr.States())
+	}
+	// CDF at 0 is 0, grows monotonically, approaches 1.
+	prev := -1.0
+	for _, x := range []float64{0, 0.05, 0.1, 0.2, 0.5, 1, 3, 10} {
+		v, err := tr.CDF(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < prev-1e-9 {
+			t.Fatalf("CDF not monotone at %v: %v < %v", x, v, prev)
+		}
+		if v < -1e-9 || v > 1+1e-9 {
+			t.Fatalf("CDF out of range at %v: %v", x, v)
+		}
+		prev = v
+	}
+	tail, err := tr.CDF(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tail < 0.9999 {
+		t.Fatalf("CDF(50) = %v should be ~1", tail)
+	}
+	// Median below mean for this right-skewed distribution; mean is
+	// bracketed by the quartiles' span.
+	med, err := tr.Percentile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p99, err := tr.Percentile(0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(med < tr.MeanResponse() && tr.MeanResponse() < p99) {
+		t.Fatalf("ordering broken: median %v mean %v p99 %v", med, tr.MeanResponse(), p99)
+	}
+}
+
+func TestTaggedJobCDFMidpointNearMedian(t *testing.T) {
+	m := NewTAGExp(9, 10, 42, 4, 6, 6)
+	tr, err := m.TaggedJob()
+	if err != nil {
+		t.Fatal(err)
+	}
+	med, err := tr.Percentile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := tr.CDF(med)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-0.5) > 1e-3 {
+		t.Fatalf("CDF(median) = %v want 0.5", v)
+	}
+}
+
+func TestTaggedJobLiteralRejected(t *testing.T) {
+	m := NewTAGExp(5, 10, 42, 6, 10, 10)
+	m.LiteralFigure3 = true
+	if _, err := m.TaggedJob(); err == nil {
+		t.Fatal("literal semantics should be rejected")
+	}
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+
+	"pepatags/internal/ctmc"
+	"pepatags/internal/dist"
+)
+
+// TAGH2 is the two-node TAG system with hyper-exponential (H2)
+// service demand, the paper's Figure 5 / Section 3.2 model.
+//
+// A job is "short" (branch 1, rate Mu1) with probability Alpha and
+// "long" (branch 2, rate Mu2) otherwise; the branch is sampled when
+// the job reaches the head of the node-1 queue. A job that times out
+// carries no explicit type to node 2 — instead, after its Erlang
+// repeat period the residual service branch is sampled with the
+// re-weighted probability alpha' (dist.ResidualH2AfterErlang), exactly
+// as the paper's repeatservice branching prescribes.
+//
+// Following Figure 5 (unlike Figure 3), the node-2 timer does not tick
+// during the residual service: each job's repeat period is a full
+// Erlang.
+type TAGH2 struct {
+	Lambda  float64
+	Service dist.HyperExp // two-branch H2
+	T       float64       // phase rate of the Erlang timeout clock
+	N       int           // number of Erlang phases in the timeout
+	K1, K2  int
+}
+
+// NewTAGH2 validates and returns the model.
+func NewTAGH2(lambda float64, service dist.HyperExp, t float64, n, k1, k2 int) TAGH2 {
+	m := TAGH2{Lambda: lambda, Service: service, T: t, N: n, K1: k1, K2: k2}
+	m.validate()
+	return m
+}
+
+func (m TAGH2) validate() {
+	if m.Lambda <= 0 || m.T <= 0 || m.N < 1 || m.K1 < 1 || m.K2 < 1 {
+		panic(fmt.Sprintf("core: invalid TAGH2 parameters %+v", m))
+	}
+	if len(m.Service.Alpha) != 2 {
+		panic("core: TAGH2 requires a two-branch hyper-exponential service")
+	}
+}
+
+// AlphaPrime is the residual short-job probability after surviving the
+// Erlang timeout (N phases at rate T, matching the model's timer).
+func (m TAGH2) AlphaPrime() float64 {
+	return dist.ResidualH2AfterErlang(m.Service, m.N, m.T).Alpha[0]
+}
+
+// EffectiveTimeoutRate mirrors TAGExp: the reciprocal of the mean
+// total timeout duration N/T.
+func (m TAGH2) EffectiveTimeoutRate() float64 { return m.T / float64(m.N) }
+
+type tagH2State struct {
+	q1  int // jobs at node 1
+	ty1 int // head-of-line branch at node 1: 0 none, 1 short, 2 long
+	tm1 int // node-1 timer phase
+	q2  int // jobs at node 2
+	sv2 int // node-2 head: 0 repeat period, 1 residual short, 2 residual long
+	tm2 int // node-2 timer phase
+}
+
+func (s tagH2State) label() string {
+	return fmt.Sprintf("Q1_%d.%d.T1_%d|Q2_%d.%d.T2_%d", s.q1, s.ty1, s.tm1, s.q2, s.sv2, s.tm2)
+}
+
+// Build derives the reachable CTMC.
+func (m TAGH2) Build() *ctmc.Chain {
+	m.validate()
+	alpha := m.Service.Alpha[0]
+	mu := [3]float64{0, m.Service.Mu[0], m.Service.Mu[1]}
+	ap := m.AlphaPrime()
+
+	top := m.N - 1 // timer reset value (N phases at rate T)
+	b := ctmc.NewBuilder()
+	init := tagH2State{q1: 0, ty1: 0, tm1: top, q2: 0, sv2: 0, tm2: top}
+	b.State(init.label())
+	frontier := []tagH2State{init}
+	type edge struct {
+		from, to tagH2State
+		rate     float64
+		action   string
+	}
+	var edges []edge
+	for len(frontier) > 0 {
+		s := frontier[0]
+		frontier = frontier[1:]
+		emit := func(to tagH2State, rate float64, action string) {
+			if rate <= 0 {
+				return // degenerate branch probability (alpha 0 or 1)
+			}
+			if !b.HasState(to.label()) {
+				b.State(to.label())
+				frontier = append(frontier, to)
+			}
+			edges = append(edges, edge{from: s, to: to, rate: rate, action: action})
+		}
+		// departNode1 emits the two next-head branches of a node-1
+		// departure occurring at the given rate.
+		departNode1 := func(base tagH2State, rate float64, action string) {
+			base.q1 = s.q1 - 1
+			base.tm1 = top
+			if base.q1 == 0 {
+				base.ty1 = 0
+				emit(base, rate, action)
+				return
+			}
+			short := base
+			short.ty1 = 1
+			emit(short, rate*alpha, action)
+			long := base
+			long.ty1 = 2
+			emit(long, rate*(1-alpha), action)
+		}
+
+		// --- Node 1 ---
+		if s.q1 < m.K1 {
+			to := s
+			to.q1++
+			if s.q1 == 0 {
+				// New head: sample its branch on arrival.
+				short := to
+				short.ty1 = 1
+				emit(short, m.Lambda*alpha, ActArrival)
+				long := to
+				long.ty1 = 2
+				emit(long, m.Lambda*(1-alpha), ActArrival)
+			} else {
+				emit(to, m.Lambda, ActArrival)
+			}
+		} else {
+			emit(s, m.Lambda, ActLossArrival)
+		}
+		if s.q1 > 0 {
+			// Service at the head's branch rate.
+			departNode1(s, mu[s.ty1], ActService1)
+			if s.tm1 > 0 {
+				to := s
+				to.tm1--
+				emit(to, m.T, ActTick1)
+			} else {
+				// Timeout: job restarts at node 2 (or is dropped).
+				to := s
+				if s.q2 < m.K2 {
+					to.q2++
+					departNode1(to, m.T, ActTimeout)
+				} else {
+					departNode1(to, m.T, ActLossTransfer)
+				}
+			}
+		}
+
+		// --- Node 2 ---
+		if s.q2 > 0 {
+			switch s.sv2 {
+			case 0: // repeat period
+				if s.tm2 > 0 {
+					to := s
+					to.tm2--
+					emit(to, m.T, ActTick2)
+				} else {
+					// repeatservice branches on the residual type.
+					short := s
+					short.sv2 = 1
+					short.tm2 = top
+					emit(short, m.T*ap, ActRepeatService)
+					long := s
+					long.sv2 = 2
+					long.tm2 = top
+					emit(long, m.T*(1-ap), ActRepeatService)
+				}
+			default: // residual service; timer frozen (Figure 5 semantics)
+				to := s
+				to.q2--
+				to.sv2 = 0
+				emit(to, mu[s.sv2], ActService2)
+			}
+		}
+	}
+	for _, e := range edges {
+		b.Transition(b.State(e.from.label()), b.State(e.to.label()), e.rate, e.action)
+	}
+	return b.Build()
+}
+
+func (m TAGH2) stateInfo(c *ctmc.Chain) []tagH2State {
+	states := make([]tagH2State, c.NumStates())
+	for i := range states {
+		var s tagH2State
+		if _, err := fmt.Sscanf(c.Label(i), "Q1_%d.%d.T1_%d|Q2_%d.%d.T2_%d",
+			&s.q1, &s.ty1, &s.tm1, &s.q2, &s.sv2, &s.tm2); err != nil {
+			panic(fmt.Sprintf("core: cannot decode %q: %v", c.Label(i), err))
+		}
+		states[i] = s
+	}
+	return states
+}
+
+// Analyze solves the model.
+func (m TAGH2) Analyze() (Measures, error) {
+	c := m.Build()
+	pi, err := c.SteadyState()
+	if err != nil {
+		return Measures{}, err
+	}
+	states := m.stateInfo(c)
+	out := Measures{States: c.NumStates()}
+	out.L1 = c.Expectation(pi, func(s int) float64 { return float64(states[s].q1) })
+	out.L2 = c.Expectation(pi, func(s int) float64 { return float64(states[s].q2) })
+	out.X1 = c.ActionThroughput(pi, ActService1)
+	out.X2 = c.ActionThroughput(pi, ActService2)
+	out.LossArrival = c.ActionThroughput(pi, ActLossArrival)
+	out.LossTransfer = c.ActionThroughput(pi, ActLossTransfer)
+	out.TimeoutRate = c.ActionThroughput(pi, ActTimeout)
+	out.Util1 = c.Probability(pi, func(s int) bool { return states[s].q1 > 0 })
+	out.Util2 = c.Probability(pi, func(s int) bool { return states[s].q2 > 0 })
+	out.finish()
+	return out, nil
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+
+	"pepatags/internal/ctmc"
+)
+
+// TAGHetero generalises the Figure 3 model to heterogeneous nodes, the
+// extension Section 3 sketches: "if the system is heterogeneous, then
+// it would be necessary to introduce new rates for the ticks of the
+// repeated service and for service2". Node 1 serves at Mu1 with an
+// N-phase timeout at phase rate T1; node 2 repeats at phase rate T2
+// (N phases) and serves the residual at Mu2.
+//
+// ServeAloneToCompletion enables the other Section 3 variant: when the
+// node-1 queue holds a single job, the timeout is suppressed and the
+// job is served to completion unless another arrival re-arms the
+// timer ("removing the timeout action from Queue1_1").
+type TAGHetero struct {
+	Lambda   float64
+	Mu1, Mu2 float64
+	T1, T2   float64
+	N        int
+	K1, K2   int
+
+	ServeAloneToCompletion bool
+}
+
+// NewTAGHetero validates and returns the model.
+func NewTAGHetero(lambda, mu1, mu2, t1, t2 float64, n, k1, k2 int) TAGHetero {
+	m := TAGHetero{Lambda: lambda, Mu1: mu1, Mu2: mu2, T1: t1, T2: t2, N: n, K1: k1, K2: k2}
+	m.validate()
+	return m
+}
+
+func (m TAGHetero) validate() {
+	if m.Lambda <= 0 || m.Mu1 <= 0 || m.Mu2 <= 0 || m.T1 <= 0 || m.T2 <= 0 ||
+		m.N < 1 || m.K1 < 1 || m.K2 < 1 {
+		panic(fmt.Sprintf("core: invalid TAGHetero parameters %+v", m))
+	}
+}
+
+// Build derives the reachable CTMC, reusing the Figure 3 state shape.
+func (m TAGHetero) Build() *ctmc.Chain {
+	m.validate()
+	top := m.N - 1
+	b := ctmc.NewBuilder()
+	init := tagExpState{q1: 0, tm1: top, q2: 0, sv2: false, tm2: top}
+	frontier := []tagExpState{init}
+	b.State(init.label())
+	type edge struct {
+		from, to tagExpState
+		rate     float64
+		action   string
+	}
+	var edges []edge
+	for len(frontier) > 0 {
+		s := frontier[0]
+		frontier = frontier[1:]
+		emit := func(to tagExpState, rate float64, action string) {
+			if !b.HasState(to.label()) {
+				b.State(to.label())
+				frontier = append(frontier, to)
+			}
+			edges = append(edges, edge{from: s, to: to, rate: rate, action: action})
+		}
+
+		// Node 1.
+		if s.q1 < m.K1 {
+			to := s
+			to.q1++
+			emit(to, m.Lambda, ActArrival)
+		} else {
+			emit(s, m.Lambda, ActLossArrival)
+		}
+		if s.q1 > 0 {
+			to := s
+			to.q1--
+			to.tm1 = top
+			emit(to, m.Mu1, ActService1)
+			if s.tm1 > 0 {
+				to := s
+				to.tm1--
+				emit(to, m.T1, ActTick1)
+			} else if !(m.ServeAloneToCompletion && s.q1 == 1) {
+				// Timeout fires (suppressed when alone under the
+				// serve-to-completion variant).
+				to := s
+				to.q1--
+				to.tm1 = top
+				if s.q2 < m.K2 {
+					to.q2++
+					emit(to, m.T1, ActTimeout)
+				} else {
+					emit(to, m.T1, ActLossTransfer)
+				}
+			}
+		}
+
+		// Node 2.
+		if s.q2 > 0 {
+			if !s.sv2 {
+				if s.tm2 > 0 {
+					to := s
+					to.tm2--
+					emit(to, m.T2, ActTick2)
+				} else {
+					to := s
+					to.sv2 = true
+					to.tm2 = top
+					emit(to, m.T2, ActRepeatService)
+				}
+			} else {
+				to := s
+				to.q2--
+				to.sv2 = false
+				emit(to, m.Mu2, ActService2)
+			}
+		}
+	}
+	for _, e := range edges {
+		b.Transition(b.State(e.from.label()), b.State(e.to.label()), e.rate, e.action)
+	}
+	return b.Build()
+}
+
+// Analyze solves the model.
+func (m TAGHetero) Analyze() (Measures, error) {
+	c := m.Build()
+	pi, err := c.SteadyState()
+	if err != nil {
+		return Measures{}, err
+	}
+	// Reuse the Figure 3 label decoding.
+	states := TAGExp{Lambda: m.Lambda, Mu: m.Mu1, T: m.T1, N: m.N, K1: m.K1, K2: m.K2}.stateInfo(c)
+	out := Measures{States: c.NumStates()}
+	out.L1 = c.Expectation(pi, func(s int) float64 { return float64(states[s].q1) })
+	out.L2 = c.Expectation(pi, func(s int) float64 { return float64(states[s].q2) })
+	out.X1 = c.ActionThroughput(pi, ActService1)
+	out.X2 = c.ActionThroughput(pi, ActService2)
+	out.LossArrival = c.ActionThroughput(pi, ActLossArrival)
+	out.LossTransfer = c.ActionThroughput(pi, ActLossTransfer)
+	out.TimeoutRate = c.ActionThroughput(pi, ActTimeout)
+	out.Util1 = c.Probability(pi, func(s int) bool { return states[s].q1 > 0 })
+	out.Util2 = c.Probability(pi, func(s int) bool { return states[s].q2 > 0 })
+	out.finish()
+	return out, nil
+}

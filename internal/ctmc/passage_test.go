@@ -1,0 +1,257 @@
+package ctmc
+
+import (
+	"math"
+	"testing"
+
+	"pepatags/internal/numeric"
+)
+
+func TestExpectedHittingTimesPureBirth(t *testing.T) {
+	// Pure birth chain 0 -> 1 -> 2 at rate 2: E[hit 2 from 0] = 1.
+	b := NewBuilder()
+	for i := 0; i <= 2; i++ {
+		b.State(labelOf(i))
+	}
+	b.Transition(0, 1, 2, "up")
+	b.Transition(1, 2, 2, "up")
+	b.Transition(2, 0, 1, "reset") // keep the chain irreducible
+	c := b.Build()
+	h, err := c.ExpectedHittingTimes(func(s int) bool { return s == 2 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(h[0], 1, 1e-12) || !numeric.AlmostEqual(h[1], 0.5, 1e-12) || h[2] != 0 {
+		t.Fatalf("h=%v", h)
+	}
+}
+
+func labelOf(i int) string { return string(rune('a' + i)) }
+
+func TestExpectedHittingTimesMM1KFill(t *testing.T) {
+	// Expected time for an M/M/1/K queue to fill from empty; verify
+	// against the classical birth-death ladder formula
+	//   E[T_{0->K}] = sum_{i=0}^{K-1} (1/lambda_i) sum ... ,
+	// computed here by the recursive form
+	//   m_i = 1/lambda + (mu/lambda) m_{i-1}, m_0 = 1/lambda,
+	// where m_i is the expected time to go from i to i+1.
+	lambda, mu := 5.0, 10.0
+	k := 6
+	c := buildMM1K(lambda, mu, k)
+	h, err := c.ExpectedHittingTimes(func(s int) bool { return s == k })
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := make([]float64, k)
+	m[0] = 1 / lambda
+	for i := 1; i < k; i++ {
+		m[i] = 1/lambda + mu/lambda*m[i-1]
+	}
+	var want float64
+	for _, v := range m {
+		want += v
+	}
+	if !numeric.AlmostEqual(h[0], want, 1e-10) {
+		t.Fatalf("fill time %v want %v", h[0], want)
+	}
+}
+
+func TestHittingProbabilitiesGamblersRuin(t *testing.T) {
+	// Birth-death on 0..4 with up rate p=2, down rate q=1. P(hit 4
+	// before 0 | start i) follows the classic ruin formula with ratio
+	// r = q/p = 1/2: P_i = (1-r^i)/(1-r^N).
+	b := NewBuilder()
+	n := 4
+	for i := 0; i <= n; i++ {
+		b.State(labelOf(i))
+	}
+	for i := 1; i < n; i++ {
+		b.Transition(i, i+1, 2, "up")
+		b.Transition(i, i-1, 1, "down")
+	}
+	// Make boundary states non-absorbing so the chain is well formed.
+	b.Transition(0, 1, 1, "re")
+	b.Transition(n, n-1, 1, "re")
+	c := b.Build()
+	p, err := c.HittingProbabilities(
+		func(s int) bool { return s == n },
+		func(s int) bool { return s == 0 },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := 0.5
+	for i := 1; i < n; i++ {
+		want := (1 - math.Pow(r, float64(i))) / (1 - math.Pow(r, float64(n)))
+		if !numeric.AlmostEqual(p[i], want, 1e-12) {
+			t.Fatalf("P[%d]=%v want %v", i, p[i], want)
+		}
+	}
+	if p[0] != 0 || p[n] != 1 {
+		t.Fatalf("boundary probabilities %v", p)
+	}
+}
+
+func TestHittingValidation(t *testing.T) {
+	c := buildMM1K(1, 2, 2)
+	if _, err := c.HittingProbabilities(
+		func(s int) bool { return s == 0 },
+		func(s int) bool { return s == 0 },
+	); err == nil {
+		t.Fatal("overlapping sets must fail")
+	}
+}
+
+func TestLumpMergesTimerPhases(t *testing.T) {
+	// A chain where two states are exactly symmetric: a 2-phase Erlang
+	// "work" loop with identical phase rates collapses under lumping
+	// when the phases emit the same action to the same blocks.
+	b := NewBuilder()
+	b.State("idle")
+	b.State("ph0")
+	b.State("ph1")
+	b.Transition(0, 1, 3, "start")
+	// Both phases return to idle at the same rate with the same action:
+	// they are lumpable.
+	b.Transition(1, 0, 5, "done")
+	b.Transition(2, 0, 5, "done")
+	b.Transition(0, 2, 3, "start") // idle can enter either phase
+	c := b.Build()
+	part, q, err := c.Lump(make(Partition, c.NumStates()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumStates() != 2 {
+		t.Fatalf("quotient states %d want 2 (partition %v)", q.NumStates(), part)
+	}
+	if part[1] != part[2] {
+		t.Fatalf("phases should share a block: %v", part)
+	}
+	// Quotient preserves throughput of "done".
+	piQ, err := q.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	piC, err := c.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(q.ActionThroughput(piQ, "done"), c.ActionThroughput(piC, "done"), 1e-10) {
+		t.Fatal("lumping changed the throughput")
+	}
+}
+
+func TestLumpIrregularChainStaysIntact(t *testing.T) {
+	// An asymmetric chain must not lump at all.
+	b := NewBuilder()
+	b.State("a")
+	b.State("b")
+	b.State("c")
+	b.Transition(0, 1, 1, "x")
+	b.Transition(1, 2, 2, "y")
+	b.Transition(2, 0, 3, "z")
+	c := b.Build()
+	_, q, err := c.Lump(make(Partition, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumStates() != 3 {
+		t.Fatalf("quotient states %d want 3", q.NumStates())
+	}
+}
+
+func TestLumpMM1KTimerlessIsIdentityOnLevels(t *testing.T) {
+	// M/M/1/K has no symmetric states (each level has distinct
+	// signatures), so lumping is the identity; stationary measures of
+	// quotient and original agree.
+	c := buildMM1K(5, 10, 6)
+	part, q, err := c.Lump(make(Partition, c.NumStates()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumStates() != c.NumStates() {
+		t.Fatalf("unexpected lumping: %v", part)
+	}
+}
+
+func TestLumpPartitionValidation(t *testing.T) {
+	c := buildMM1K(1, 1, 1)
+	if _, _, err := c.Lump(make(Partition, 1)); err == nil {
+		t.Fatal("wrong partition size must fail")
+	}
+}
+
+func TestHittingTimesSparsePathMatchesDense(t *testing.T) {
+	// A chain big enough to trigger the sparse solver (> 1500 states):
+	// an overloaded M/M/1/K ladder with K = 2000 (rho > 1 keeps the
+	// fill times moderate and the linear system well conditioned; at
+	// rho < 1 the answer grows like (mu/lambda)^K and is numerically
+	// meaningless for any solver).
+	lambda, mu := 12.0, 10.0
+	k := 2000
+	c := buildMM1K(lambda, mu, k)
+	target := k / 2
+	h, err := c.ExpectedHittingTimes(func(s int) bool { return s >= target })
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := make([]float64, target)
+	m[0] = 1 / lambda
+	for i := 1; i < target; i++ {
+		m[i] = 1/lambda + mu/lambda*m[i-1]
+	}
+	var want float64
+	for _, v := range m {
+		want += v
+	}
+	if math.Abs(h[0]-want)/want > 1e-6 {
+		t.Fatalf("sparse fill time %v want %v", h[0], want)
+	}
+}
+
+func TestPassageTimeCDFPureBirth(t *testing.T) {
+	// 0 -> 1 -> 2 at rate 2: time to hit 2 is Erlang(2, 2);
+	// P(T <= x) = 1 - e^{-2x}(1 + 2x).
+	b := NewBuilder()
+	for i := 0; i <= 2; i++ {
+		b.State(labelOf(i))
+	}
+	b.Transition(0, 1, 2, "up")
+	b.Transition(1, 2, 2, "up")
+	b.Transition(2, 0, 1, "reset")
+	c := b.Build()
+	init := c.PointMass(0)
+	for _, x := range []float64{0.1, 0.5, 1, 2} {
+		got, err := c.PassageTimeCDF(init, func(s int) bool { return s == 2 }, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1 - math.Exp(-2*x)*(1+2*x)
+		if math.Abs(got-want) > 1e-8 {
+			t.Fatalf("CDF(%v) = %v want %v", x, got, want)
+		}
+	}
+}
+
+func TestPassageTimeCDFMonotoneAndBounded(t *testing.T) {
+	c := buildMM1K(8, 10, 5)
+	init := c.PointMass(0)
+	prev := -1.0
+	for _, x := range []float64{0, 0.5, 1, 2, 5, 20} {
+		v, err := c.PassageTimeCDF(init, func(s int) bool { return s == 5 }, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < prev-1e-12 || v < 0 || v > 1 {
+			t.Fatalf("CDF broken at %v: %v (prev %v)", x, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestPassageTimeCDFValidation(t *testing.T) {
+	c := buildMM1K(1, 1, 1)
+	if _, err := c.PassageTimeCDF([]float64{1}, func(int) bool { return false }, 1); err == nil {
+		t.Fatal("bad init length must fail")
+	}
+}

@@ -1,0 +1,408 @@
+// Package dist implements the service-demand distributions used by the
+// TAG models: exponential, Erlang, hyper-exponential and general
+// phase-type distributions, plus the deterministic and bounded-Pareto
+// distributions used by the simulator.
+//
+// Everything the paper needs from phase-type theory is here: moments,
+// CDFs, Laplace transforms, the residual-life calculation of Section
+// 3.2 (the type mix of a hyper-exponential job that survives an Erlang
+// timeout) and moment-matching/EM fitting as a stand-in for the EMpht
+// tool the paper cites.
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Distribution is a non-negative continuous random variable.
+type Distribution interface {
+	// Mean returns E[X].
+	Mean() float64
+	// Var returns Var[X].
+	Var() float64
+	// CDF returns P(X <= x).
+	CDF(x float64) float64
+	// LaplaceTransform returns E[exp(-s X)] for s >= 0.
+	LaplaceTransform(s float64) float64
+	// Sample draws one variate using rng.
+	Sample(rng *rand.Rand) float64
+	// String describes the distribution.
+	String() string
+}
+
+// SCV returns the squared coefficient of variation Var/Mean^2.
+func SCV(d Distribution) float64 {
+	m := d.Mean()
+	return d.Var() / (m * m)
+}
+
+// Exponential is the negative exponential distribution with rate Mu.
+type Exponential struct {
+	Mu float64
+}
+
+// NewExponential returns an exponential distribution with rate mu > 0.
+func NewExponential(mu float64) Exponential {
+	if mu <= 0 {
+		panic("dist: exponential rate must be positive")
+	}
+	return Exponential{Mu: mu}
+}
+
+func (e Exponential) Mean() float64 { return 1 / e.Mu }
+func (e Exponential) Var() float64  { return 1 / (e.Mu * e.Mu) }
+func (e Exponential) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-e.Mu*x)
+}
+func (e Exponential) LaplaceTransform(s float64) float64 { return e.Mu / (e.Mu + s) }
+func (e Exponential) Sample(rng *rand.Rand) float64      { return rng.ExpFloat64() / e.Mu }
+func (e Exponential) String() string                     { return fmt.Sprintf("Exp(mu=%g)", e.Mu) }
+
+// Erlang is the Erlang distribution: the sum of K independent
+// exponential phases each with rate Rate. Mean K/Rate. For large K it
+// approximates a deterministic delay of K/Rate, which is how the paper
+// models the TAG timeout.
+type Erlang struct {
+	K    int
+	Rate float64
+}
+
+// NewErlang returns an Erlang distribution with k >= 1 phases of rate > 0.
+func NewErlang(k int, rate float64) Erlang {
+	if k < 1 {
+		panic("dist: Erlang needs k >= 1")
+	}
+	if rate <= 0 {
+		panic("dist: Erlang rate must be positive")
+	}
+	return Erlang{K: k, Rate: rate}
+}
+
+func (e Erlang) Mean() float64 { return float64(e.K) / e.Rate }
+func (e Erlang) Var() float64  { return float64(e.K) / (e.Rate * e.Rate) }
+
+// CDF is the regularised lower incomplete gamma at integer shape,
+// computed with the stable series P(X<=x) = 1 - e^{-rx} sum_{i<K} (rx)^i/i!.
+func (e Erlang) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	rx := e.Rate * x
+	term := 1.0
+	sum := 1.0
+	for i := 1; i < e.K; i++ {
+		term *= rx / float64(i)
+		sum += term
+	}
+	return 1 - math.Exp(-rx)*sum
+}
+
+func (e Erlang) LaplaceTransform(s float64) float64 {
+	return math.Pow(e.Rate/(e.Rate+s), float64(e.K))
+}
+
+func (e Erlang) Sample(rng *rand.Rand) float64 {
+	var sum float64
+	for i := 0; i < e.K; i++ {
+		sum += rng.ExpFloat64()
+	}
+	return sum / e.Rate
+}
+
+func (e Erlang) String() string { return fmt.Sprintf("Erlang(k=%d, rate=%g)", e.K, e.Rate) }
+
+// HyperExp is a finite mixture of exponentials: with probability
+// Alpha[i] the variate is exponential with rate Mu[i]. The H2 special
+// case (two branches) is the service distribution of the paper's
+// Section 3.2 and Figures 9-12.
+type HyperExp struct {
+	Alpha []float64
+	Mu    []float64
+}
+
+// NewHyperExp validates and returns a hyper-exponential distribution.
+// Probabilities must be non-negative and sum to 1 (within 1e-9); rates
+// must be positive.
+func NewHyperExp(alpha, mu []float64) HyperExp {
+	if len(alpha) != len(mu) || len(alpha) == 0 {
+		panic("dist: HyperExp needs matching non-empty alpha, mu")
+	}
+	var sum float64
+	for i := range alpha {
+		if alpha[i] < 0 {
+			panic("dist: HyperExp probabilities must be non-negative")
+		}
+		if mu[i] <= 0 {
+			panic("dist: HyperExp rates must be positive")
+		}
+		sum += alpha[i]
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		panic(fmt.Sprintf("dist: HyperExp probabilities sum to %g, want 1", sum))
+	}
+	a := make([]float64, len(alpha))
+	m := make([]float64, len(mu))
+	copy(a, alpha)
+	copy(m, mu)
+	return HyperExp{Alpha: a, Mu: m}
+}
+
+// NewH2 returns the two-branch hyper-exponential H2(alpha, mu1, mu2)
+// with CDF 1 - alpha e^{-mu1 t} - (1-alpha) e^{-mu2 t}.
+func NewH2(alpha, mu1, mu2 float64) HyperExp {
+	if alpha < 0 || alpha > 1 {
+		panic("dist: H2 alpha must lie in [0,1]")
+	}
+	return NewHyperExp([]float64{alpha, 1 - alpha}, []float64{mu1, mu2})
+}
+
+// H2ForTAG constructs the H2 distribution the paper uses: overall mean
+// `mean`, short-job probability alpha, and rate ratio mu1 = ratio*mu2
+// (short jobs are `ratio` times faster). For Figures 9-10 the paper
+// takes mean=0.1, alpha=0.99, ratio=100; Figures 11-12 use ratio=10.
+func H2ForTAG(mean, alpha, ratio float64) HyperExp {
+	if mean <= 0 || ratio <= 0 {
+		panic("dist: H2ForTAG needs positive mean and ratio")
+	}
+	// mean = alpha/mu1 + (1-alpha)/mu2 with mu1 = ratio*mu2
+	//      = (alpha/ratio + 1 - alpha) / mu2.
+	mu2 := (alpha/ratio + 1 - alpha) / mean
+	return NewH2(alpha, ratio*mu2, mu2)
+}
+
+func (h HyperExp) Mean() float64 {
+	var m float64
+	for i := range h.Alpha {
+		m += h.Alpha[i] / h.Mu[i]
+	}
+	return m
+}
+
+func (h HyperExp) secondMoment() float64 {
+	var m2 float64
+	for i := range h.Alpha {
+		m2 += 2 * h.Alpha[i] / (h.Mu[i] * h.Mu[i])
+	}
+	return m2
+}
+
+func (h HyperExp) Var() float64 {
+	m := h.Mean()
+	return h.secondMoment() - m*m
+}
+
+func (h HyperExp) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	var surv float64
+	for i := range h.Alpha {
+		surv += h.Alpha[i] * math.Exp(-h.Mu[i]*x)
+	}
+	return 1 - surv
+}
+
+func (h HyperExp) LaplaceTransform(s float64) float64 {
+	var lt float64
+	for i := range h.Alpha {
+		lt += h.Alpha[i] * h.Mu[i] / (h.Mu[i] + s)
+	}
+	return lt
+}
+
+func (h HyperExp) Sample(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	var cum float64
+	for i := range h.Alpha {
+		cum += h.Alpha[i]
+		if u <= cum {
+			return rng.ExpFloat64() / h.Mu[i]
+		}
+	}
+	return rng.ExpFloat64() / h.Mu[len(h.Mu)-1]
+}
+
+func (h HyperExp) String() string {
+	return fmt.Sprintf("HyperExp(alpha=%v, mu=%v)", h.Alpha, h.Mu)
+}
+
+// Deterministic is a point mass at Value (used by the intro's worked
+// example and as the n->inf limit of the Erlang timeout).
+type Deterministic struct {
+	Value float64
+}
+
+func (d Deterministic) Mean() float64 { return d.Value }
+func (d Deterministic) Var() float64  { return 0 }
+func (d Deterministic) CDF(x float64) float64 {
+	if x >= d.Value {
+		return 1
+	}
+	return 0
+}
+func (d Deterministic) LaplaceTransform(s float64) float64 { return math.Exp(-s * d.Value) }
+func (d Deterministic) Sample(*rand.Rand) float64          { return d.Value }
+func (d Deterministic) String() string                     { return fmt.Sprintf("Det(%g)", d.Value) }
+
+// BoundedPareto is the bounded Pareto distribution B(k, p, alpha) used
+// by Harchol-Balter's TAGS evaluation: density proportional to
+// x^{-alpha-1} on [k, p]. The paper notes its extreme H2 parameters
+// "broadly correspond" to this distribution.
+type BoundedPareto struct {
+	K, P  float64 // lower and upper bounds, 0 < K < P
+	Alpha float64 // tail exponent, > 0, typically ~1.1 for process lifetimes
+}
+
+// NewBoundedPareto validates and returns a bounded Pareto distribution.
+func NewBoundedPareto(k, p, alpha float64) BoundedPareto {
+	if !(0 < k && k < p) || alpha <= 0 {
+		panic("dist: BoundedPareto needs 0 < k < p and alpha > 0")
+	}
+	return BoundedPareto{K: k, P: p, Alpha: alpha}
+}
+
+func (b BoundedPareto) norm() float64 {
+	return 1 - math.Pow(b.K/b.P, b.Alpha)
+}
+
+// Moment returns E[X^r].
+func (b BoundedPareto) Moment(r float64) float64 {
+	a := b.Alpha
+	if math.Abs(a-r) < 1e-12 {
+		// E[X^r] with alpha == r: logarithmic case.
+		return a * math.Pow(b.K, a) * math.Log(b.P/b.K) / b.norm()
+	}
+	return a * math.Pow(b.K, a) / (a - r) *
+		(math.Pow(b.K, r-a) - math.Pow(b.P, r-a)) / b.norm()
+}
+
+func (b BoundedPareto) Mean() float64 { return b.Moment(1) }
+func (b BoundedPareto) Var() float64 {
+	m := b.Mean()
+	return b.Moment(2) - m*m
+}
+
+func (b BoundedPareto) CDF(x float64) float64 {
+	switch {
+	case x < b.K:
+		return 0
+	case x >= b.P:
+		return 1
+	default:
+		return (1 - math.Pow(b.K/x, b.Alpha)) / b.norm()
+	}
+}
+
+// LaplaceTransform is computed by adaptive Simpson quadrature (no
+// closed form exists).
+func (b BoundedPareto) LaplaceTransform(s float64) float64 {
+	if s == 0 {
+		return 1
+	}
+	f := func(x float64) float64 {
+		return math.Exp(-s*x) * b.Alpha * math.Pow(b.K, b.Alpha) / math.Pow(x, b.Alpha+1) / b.norm()
+	}
+	return simpson(f, b.K, b.P, 1e-10, 24)
+}
+
+// Sample draws by inverse-CDF.
+func (b BoundedPareto) Sample(rng *rand.Rand) float64 {
+	u := rng.Float64() * b.norm()
+	return b.K / math.Pow(1-u, 1/b.Alpha)
+}
+
+func (b BoundedPareto) String() string {
+	return fmt.Sprintf("BoundedPareto(k=%g, p=%g, alpha=%g)", b.K, b.P, b.Alpha)
+}
+
+// simpson performs adaptive Simpson quadrature of f on [a, b].
+func simpson(f func(float64) float64, a, b, eps float64, depth int) float64 {
+	c := (a + b) / 2
+	fa, fb, fc := f(a), f(b), f(c)
+	s := (b - a) / 6 * (fa + 4*fc + fb)
+	return simpsonAux(f, a, b, eps, s, fa, fb, fc, depth)
+}
+
+func simpsonAux(f func(float64) float64, a, b, eps, s, fa, fb, fc float64, depth int) float64 {
+	c := (a + b) / 2
+	d, e := (a+c)/2, (c+b)/2
+	fd, fe := f(d), f(e)
+	left := (c - a) / 6 * (fa + 4*fd + fc)
+	right := (b - c) / 6 * (fc + 4*fe + fb)
+	if depth <= 0 || math.Abs(left+right-s) <= 15*eps {
+		return left + right + (left+right-s)/15
+	}
+	return simpsonAux(f, a, c, eps/2, left, fa, fc, fd, depth-1) +
+		simpsonAux(f, c, b, eps/2, right, fc, fb, fe, depth-1)
+}
+
+// Weibull is the Weibull distribution with shape K and scale Lambda:
+// CDF 1 - exp(-(x/Lambda)^K). Shape < 1 gives a heavy-ish tail (all
+// moments finite but SCV > 1), another common model for job lifetimes
+// alongside the bounded Pareto.
+type Weibull struct {
+	K, Lambda float64 // shape > 0, scale > 0
+}
+
+// NewWeibull validates and returns the distribution.
+func NewWeibull(shape, scale float64) Weibull {
+	if shape <= 0 || scale <= 0 {
+		panic("dist: Weibull needs positive shape and scale")
+	}
+	return Weibull{K: shape, Lambda: scale}
+}
+
+// WeibullWithMean returns a Weibull of the given shape scaled to the
+// requested mean.
+func WeibullWithMean(shape, mean float64) Weibull {
+	if mean <= 0 {
+		panic("dist: mean must be positive")
+	}
+	return NewWeibull(shape, mean/math.Gamma(1+1/shape))
+}
+
+func (w Weibull) Mean() float64 { return w.Lambda * math.Gamma(1+1/w.K) }
+
+func (w Weibull) Var() float64 {
+	m := w.Mean()
+	return w.Lambda*w.Lambda*math.Gamma(1+2/w.K) - m*m
+}
+
+func (w Weibull) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-math.Pow(x/w.Lambda, w.K))
+}
+
+// LaplaceTransform is computed by adaptive quadrature (no elementary
+// closed form for general shape).
+func (w Weibull) LaplaceTransform(s float64) float64 {
+	if s == 0 {
+		return 1
+	}
+	// Integrate the density against exp(-s x); the effective support is
+	// bounded by a high quantile.
+	hi := w.Lambda * math.Pow(40, 1/w.K) // CDF ~ 1 - e^-40
+	f := func(x float64) float64 {
+		if x <= 0 {
+			return 0
+		}
+		z := math.Pow(x/w.Lambda, w.K)
+		pdf := w.K / w.Lambda * math.Pow(x/w.Lambda, w.K-1) * math.Exp(-z)
+		return math.Exp(-s*x) * pdf
+	}
+	return simpson(f, 1e-12, hi, 1e-10, 28)
+}
+
+// Sample draws by inverse CDF.
+func (w Weibull) Sample(rng *rand.Rand) float64 {
+	return w.Lambda * math.Pow(rng.ExpFloat64(), 1/w.K)
+}
+
+func (w Weibull) String() string { return fmt.Sprintf("Weibull(k=%g, scale=%g)", w.K, w.Lambda) }

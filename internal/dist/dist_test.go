@@ -1,0 +1,302 @@
+package dist
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"pepatags/internal/numeric"
+)
+
+func newRNG(seed uint64) *rand.Rand { return rand.New(rand.NewPCG(seed, seed^0x9e3779b9)) }
+
+// sampleMoments estimates mean and variance from n samples.
+func sampleMoments(d Distribution, n int, seed uint64) (mean, variance float64) {
+	rng := newRNG(seed)
+	var s, s2 float64
+	for i := 0; i < n; i++ {
+		x := d.Sample(rng)
+		s += x
+		s2 += x * x
+	}
+	mean = s / float64(n)
+	variance = s2/float64(n) - mean*mean
+	return
+}
+
+func TestExponentialMoments(t *testing.T) {
+	e := NewExponential(10)
+	if e.Mean() != 0.1 || e.Var() != 0.01 {
+		t.Fatalf("mean=%v var=%v", e.Mean(), e.Var())
+	}
+	if !numeric.AlmostEqual(e.CDF(e.Mean()), 1-math.Exp(-1), 1e-14) {
+		t.Fatal("CDF at mean wrong")
+	}
+	if e.CDF(-1) != 0 {
+		t.Fatal("CDF negative arg")
+	}
+	if !numeric.AlmostEqual(e.LaplaceTransform(10), 0.5, 1e-14) {
+		t.Fatal("LT wrong")
+	}
+}
+
+func TestErlangMoments(t *testing.T) {
+	e := NewErlang(6, 42)
+	if !numeric.AlmostEqual(e.Mean(), 6.0/42, 1e-14) {
+		t.Fatalf("mean %v", e.Mean())
+	}
+	if !numeric.AlmostEqual(e.Var(), 6.0/(42*42), 1e-14) {
+		t.Fatalf("var %v", e.Var())
+	}
+	// SCV = 1/k.
+	if !numeric.AlmostEqual(SCV(e), 1.0/6, 1e-12) {
+		t.Fatalf("scv %v", SCV(e))
+	}
+}
+
+func TestErlangCDFAgainstExponential(t *testing.T) {
+	// Erlang with k=1 must equal the exponential.
+	er := NewErlang(1, 3)
+	ex := NewExponential(3)
+	for _, x := range []float64{0.01, 0.1, 0.5, 1, 2} {
+		if !numeric.AlmostEqual(er.CDF(x), ex.CDF(x), 1e-13) {
+			t.Fatalf("CDF mismatch at %v: %v vs %v", x, er.CDF(x), ex.CDF(x))
+		}
+	}
+}
+
+func TestErlangDeterministicLimit(t *testing.T) {
+	// Large-k Erlang with mean 1 concentrates at 1.
+	e := NewErlang(4096, 4096)
+	if e.CDF(0.9) > 0.05 || e.CDF(1.1) < 0.95 {
+		t.Fatalf("Erlang(4096) not concentrated: F(0.9)=%v F(1.1)=%v", e.CDF(0.9), e.CDF(1.1))
+	}
+}
+
+func TestHyperExpMomentsAndVarianceExceedsExponential(t *testing.T) {
+	h := NewH2(0.99, 19.9, 0.199)
+	if !numeric.AlmostEqual(h.Mean(), 0.1, 1e-12) {
+		t.Fatalf("mean %v want 0.1", h.Mean())
+	}
+	// Paper: H2 variance exceeds exponential of same mean when mu1 != mu2.
+	ex := NewExponential(1 / h.Mean())
+	if h.Var() <= ex.Var() {
+		t.Fatalf("H2 var %v should exceed exp var %v", h.Var(), ex.Var())
+	}
+}
+
+func TestH2ForTAGParameters(t *testing.T) {
+	// Figures 9-10 parameters: mean 0.1, alpha=0.99, mu1=100mu2.
+	h := H2ForTAG(0.1, 0.99, 100)
+	if !numeric.AlmostEqual(h.Mu[1], 0.199, 1e-12) {
+		t.Fatalf("mu2 %v want 0.199", h.Mu[1])
+	}
+	if !numeric.AlmostEqual(h.Mu[0], 19.9, 1e-12) {
+		t.Fatalf("mu1 %v want 19.9", h.Mu[0])
+	}
+	if !numeric.AlmostEqual(h.Mean(), 0.1, 1e-12) {
+		t.Fatalf("mean %v", h.Mean())
+	}
+	// Figures 11-12: ratio 10, alpha varies; mean stays 0.1.
+	for _, a := range []float64{0.89, 0.93, 0.99} {
+		h := H2ForTAG(0.1, a, 10)
+		if !numeric.AlmostEqual(h.Mean(), 0.1, 1e-12) {
+			t.Fatalf("alpha=%v mean %v", a, h.Mean())
+		}
+		if !numeric.AlmostEqual(h.Mu[0], 10*h.Mu[1], 1e-9) {
+			t.Fatalf("ratio broken: %v", h)
+		}
+	}
+}
+
+func TestHyperExpCDFMatchesPaperFormula(t *testing.T) {
+	h := NewH2(0.3, 2, 0.5)
+	for _, x := range []float64{0.1, 1, 3} {
+		want := 1 - 0.3*math.Exp(-2*x) - 0.7*math.Exp(-0.5*x)
+		if !numeric.AlmostEqual(h.CDF(x), want, 1e-14) {
+			t.Fatalf("CDF(%v)=%v want %v", x, h.CDF(x), want)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	d := Deterministic{Value: 3}
+	if d.Mean() != 3 || d.Var() != 0 {
+		t.Fatal("moments wrong")
+	}
+	if d.CDF(2.9) != 0 || d.CDF(3) != 1 {
+		t.Fatal("CDF wrong")
+	}
+	if !numeric.AlmostEqual(d.LaplaceTransform(2), math.Exp(-6), 1e-14) {
+		t.Fatal("LT wrong")
+	}
+	if d.Sample(nil) != 3 {
+		t.Fatal("sample wrong")
+	}
+}
+
+func TestBoundedParetoMoments(t *testing.T) {
+	b := NewBoundedPareto(512, 1e7, 1.1) // roughly Harchol-Balter parameters
+	// Mean must be between bounds.
+	if m := b.Mean(); m <= b.K || m >= b.P {
+		t.Fatalf("mean %v outside bounds", m)
+	}
+	if b.Var() <= 0 {
+		t.Fatal("variance must be positive")
+	}
+	// SCV should be large (heavy tail).
+	if SCV(b) < 5 {
+		t.Fatalf("expected heavy-tailed SCV, got %v", SCV(b))
+	}
+	if b.CDF(b.K-1) != 0 || b.CDF(b.P) != 1 {
+		t.Fatal("CDF bounds wrong")
+	}
+}
+
+func TestBoundedParetoAlphaEqualsMomentOrder(t *testing.T) {
+	// r == alpha hits the logarithmic branch.
+	b := NewBoundedPareto(1, 100, 1)
+	got := b.Moment(1)
+	want := math.Log(100) / (1 - 0.01) // k=1: E[X] = ln(p/k)/norm
+	if !numeric.AlmostEqual(got, want, 1e-10) {
+		t.Fatalf("Moment(1)=%v want %v", got, want)
+	}
+}
+
+func TestBoundedParetoLaplaceTransform(t *testing.T) {
+	b := NewBoundedPareto(1, 50, 1.5)
+	if !numeric.AlmostEqual(b.LaplaceTransform(0), 1, 1e-12) {
+		t.Fatal("LT(0) != 1")
+	}
+	lt1, lt2 := b.LaplaceTransform(0.1), b.LaplaceTransform(1)
+	if !(0 < lt2 && lt2 < lt1 && lt1 < 1) {
+		t.Fatalf("LT not decreasing in s: %v %v", lt1, lt2)
+	}
+}
+
+func TestSamplerMomentsMatchAnalytic(t *testing.T) {
+	const n = 200000
+	cases := []Distribution{
+		NewExponential(10),
+		NewErlang(6, 42),
+		NewH2(0.9, 10, 1),
+		NewBoundedPareto(1, 1000, 1.5),
+	}
+	for _, d := range cases {
+		mean, variance := sampleMoments(d, n, 42)
+		if !numeric.AlmostEqual(mean, d.Mean(), 0.03) {
+			t.Errorf("%v: sample mean %v vs %v", d, mean, d.Mean())
+		}
+		if !numeric.AlmostEqual(variance, d.Var(), 0.12) {
+			t.Errorf("%v: sample var %v vs %v", d, variance, d.Var())
+		}
+	}
+}
+
+func TestSamplerCDFAgreement(t *testing.T) {
+	// Empirical CDF at the median should match analytic CDF.
+	const n = 100000
+	for _, d := range []Distribution{NewExponential(2), NewErlang(3, 6), NewH2(0.5, 4, 1)} {
+		rng := newRNG(7)
+		med := d.Mean() // arbitrary probe point
+		var count int
+		for i := 0; i < n; i++ {
+			if d.Sample(rng) <= med {
+				count++
+			}
+		}
+		emp := float64(count) / n
+		if math.Abs(emp-d.CDF(med)) > 0.01 {
+			t.Errorf("%v: empirical %v analytic %v", d, emp, d.CDF(med))
+		}
+	}
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	ds := []Distribution{NewExponential(3), NewErlang(4, 8), NewH2(0.7, 5, 0.5), NewBoundedPareto(1, 100, 1.2)}
+	prop := func(a, b float64) bool {
+		x, y := math.Abs(a), math.Abs(b)
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+			return true
+		}
+		if x > y {
+			x, y = y, x
+		}
+		for _, d := range ds {
+			if d.CDF(x) > d.CDF(y)+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidationPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"exp":      func() { NewExponential(0) },
+		"erlangK":  func() { NewErlang(0, 1) },
+		"erlangR":  func() { NewErlang(1, -1) },
+		"h2alpha":  func() { NewH2(1.5, 1, 1) },
+		"hyperSum": func() { NewHyperExp([]float64{0.5, 0.1}, []float64{1, 1}) },
+		"pareto":   func() { NewBoundedPareto(5, 2, 1) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		})
+	}
+}
+
+func TestWeibullShapeOneIsExponential(t *testing.T) {
+	w := NewWeibull(1, 0.1) // = Exp(10)
+	e := NewExponential(10)
+	if !numeric.AlmostEqual(w.Mean(), e.Mean(), 1e-12) {
+		t.Fatalf("mean %v vs %v", w.Mean(), e.Mean())
+	}
+	if !numeric.AlmostEqual(w.Var(), e.Var(), 1e-12) {
+		t.Fatalf("var %v vs %v", w.Var(), e.Var())
+	}
+	for _, x := range []float64{0.01, 0.1, 0.5} {
+		if !numeric.AlmostEqual(w.CDF(x), e.CDF(x), 1e-12) {
+			t.Fatalf("CDF(%v): %v vs %v", x, w.CDF(x), e.CDF(x))
+		}
+	}
+	if !numeric.AlmostEqual(w.LaplaceTransform(3), e.LaplaceTransform(3), 1e-6) {
+		t.Fatalf("LT %v vs %v", w.LaplaceTransform(3), e.LaplaceTransform(3))
+	}
+}
+
+func TestWeibullHeavyShape(t *testing.T) {
+	w := WeibullWithMean(0.5, 0.1)
+	if !numeric.AlmostEqual(w.Mean(), 0.1, 1e-12) {
+		t.Fatalf("mean %v", w.Mean())
+	}
+	// Shape 0.5: SCV = Gamma(5)/Gamma(3)^2 - 1 = 24/4 - 1 = 5.
+	if !numeric.AlmostEqual(SCV(w), 5, 1e-9) {
+		t.Fatalf("SCV %v want 5", SCV(w))
+	}
+	mean, variance := sampleMoments(w, 300000, 77)
+	if !numeric.AlmostEqual(mean, w.Mean(), 0.03) {
+		t.Fatalf("sample mean %v vs %v", mean, w.Mean())
+	}
+	if !numeric.AlmostEqual(variance, w.Var(), 0.2) {
+		t.Fatalf("sample var %v vs %v", variance, w.Var())
+	}
+}
+
+func TestWeibullValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewWeibull(0, 1)
+}

@@ -1,0 +1,281 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"pepatags/internal/linalg"
+)
+
+// PhaseType is a general continuous phase-type distribution PH(alpha, T):
+// the absorption time of a CTMC with transient states 1..n, initial
+// distribution alpha over the transient states, sub-generator T
+// (T[i][i] < 0, T[i][j] >= 0 for i != j, row sums <= 0) and exit rate
+// vector t0 = -T 1.
+type PhaseType struct {
+	Alpha []float64
+	T     *linalg.Dense
+	exit  []float64
+}
+
+// NewPhaseType validates (alpha, T) and returns the distribution. Any
+// initial mass 1 - sum(alpha) is a point mass at zero.
+func NewPhaseType(alpha []float64, t *linalg.Dense) *PhaseType {
+	n := len(alpha)
+	if t.Rows != n || t.Cols != n || n == 0 {
+		panic("dist: PhaseType dimension mismatch")
+	}
+	var asum float64
+	for _, a := range alpha {
+		if a < 0 {
+			panic("dist: PhaseType alpha must be non-negative")
+		}
+		asum += a
+	}
+	if asum > 1+1e-9 {
+		panic(fmt.Sprintf("dist: PhaseType alpha sums to %g > 1", asum))
+	}
+	exit := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var rowSum float64
+		for j := 0; j < n; j++ {
+			v := t.At(i, j)
+			if i != j && v < 0 {
+				panic("dist: PhaseType off-diagonal must be non-negative")
+			}
+			rowSum += v
+		}
+		if rowSum > 1e-9 {
+			panic("dist: PhaseType row sums must be <= 0")
+		}
+		exit[i] = -rowSum
+	}
+	a := make([]float64, n)
+	copy(a, alpha)
+	return &PhaseType{Alpha: a, T: t.Clone(), exit: exit}
+}
+
+// Exit returns the exit rate vector t0 = -T 1.
+func (p *PhaseType) Exit() []float64 {
+	out := make([]float64, len(p.exit))
+	copy(out, p.exit)
+	return out
+}
+
+// Order returns the number of transient phases.
+func (p *PhaseType) Order() int { return len(p.Alpha) }
+
+// solveT returns x with T x = b.
+func (p *PhaseType) solveT(b []float64) []float64 {
+	x, err := linalg.LUSolve(p.T, b)
+	if err != nil {
+		panic(fmt.Sprintf("dist: PhaseType sub-generator singular: %v", err))
+	}
+	return x
+}
+
+// Moment returns E[X^k] = (-1)^k k! alpha T^{-k} 1.
+func (p *PhaseType) Moment(k int) float64 {
+	n := p.Order()
+	ones := make([]float64, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	v := ones
+	fact := 1.0
+	for i := 1; i <= k; i++ {
+		v = p.solveT(v)
+		fact *= float64(i)
+	}
+	var m float64
+	for i := range v {
+		m += p.Alpha[i] * v[i]
+	}
+	if k%2 == 1 {
+		m = -m
+	}
+	return fact * m
+}
+
+func (p *PhaseType) Mean() float64 { return p.Moment(1) }
+
+func (p *PhaseType) Var() float64 {
+	m := p.Mean()
+	return p.Moment(2) - m*m
+}
+
+// CDF evaluates P(X <= x) = 1 - alpha exp(Tx) 1 using uniformisation,
+// which is numerically robust for the stiff sub-generators that arise
+// from extreme H2 mixes.
+func (p *PhaseType) CDF(x float64) float64 {
+	if x <= 0 {
+		var asum float64
+		for _, a := range p.Alpha {
+			asum += a
+		}
+		return 1 - asum
+	}
+	n := p.Order()
+	// Uniformise: P = I + T/q with q >= max |T_ii|.
+	q := 0.0
+	for i := 0; i < n; i++ {
+		if d := -p.T.At(i, i); d > q {
+			q = d
+		}
+	}
+	if q == 0 {
+		return 0
+	}
+	q *= 1.0000001
+	// v = alpha; repeatedly multiply by P accumulating Poisson weights.
+	v := make([]float64, n)
+	copy(v, p.Alpha)
+	qt := q * x
+	// Poisson(qt) weights, computed iteratively; truncate when the
+	// accumulated mass is within 1e-14 of 1.
+	logw := -qt
+	w := math.Exp(logw)
+	var surv, cum float64
+	for i := range v {
+		surv += w * v[i]
+	}
+	cum = w
+	tmp := make([]float64, n)
+	for k := 1; k < 100000 && cum < 1-1e-14; k++ {
+		// v <- v P (row vector times uniformised matrix).
+		for j := 0; j < n; j++ {
+			tmp[j] = v[j]
+			for i := 0; i < n; i++ {
+				tmp[j] += v[i] * p.T.At(i, j) / q
+			}
+		}
+		for j := 0; j < n; j++ {
+			if tmp[j] < 0 {
+				tmp[j] = 0
+			}
+		}
+		copy(v, tmp)
+		w *= qt / float64(k)
+		cum += w
+		var mass float64
+		for i := range v {
+			mass += v[i]
+		}
+		surv += w * mass
+	}
+	if surv < 0 {
+		surv = 0
+	}
+	if surv > 1 {
+		surv = 1
+	}
+	return 1 - surv
+}
+
+// LaplaceTransform returns E[e^{-sX}] = alpha (sI - T)^{-1} t0 plus any
+// point mass at zero.
+func (p *PhaseType) LaplaceTransform(s float64) float64 {
+	n := p.Order()
+	a := linalg.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := -p.T.At(i, j)
+			if i == j {
+				v += s
+			}
+			a.Set(i, j, v)
+		}
+	}
+	x, err := linalg.LUSolve(a, p.exit)
+	if err != nil {
+		panic(fmt.Sprintf("dist: (sI - T) singular: %v", err))
+	}
+	var lt float64
+	for i := range x {
+		lt += p.Alpha[i] * x[i]
+	}
+	var asum float64
+	for _, ai := range p.Alpha {
+		asum += ai
+	}
+	return lt + (1 - asum)
+}
+
+// Sample simulates the absorbing CTMC.
+func (p *PhaseType) Sample(rng *rand.Rand) float64 {
+	n := p.Order()
+	// Choose initial phase (or immediate absorption).
+	u := rng.Float64()
+	phase := -1
+	var cum float64
+	for i := 0; i < n; i++ {
+		cum += p.Alpha[i]
+		if u <= cum {
+			phase = i
+			break
+		}
+	}
+	if phase < 0 {
+		return 0
+	}
+	var t float64
+	for {
+		rate := -p.T.At(phase, phase)
+		t += rng.ExpFloat64() / rate
+		// Choose next phase or absorb.
+		u := rng.Float64() * rate
+		var c float64
+		next := -1
+		for j := 0; j < n; j++ {
+			if j == phase {
+				continue
+			}
+			c += p.T.At(phase, j)
+			if u <= c {
+				next = j
+				break
+			}
+		}
+		if next < 0 {
+			return t // absorbed via exit rate
+		}
+		phase = next
+	}
+}
+
+func (p *PhaseType) String() string {
+	return fmt.Sprintf("PhaseType(order=%d, mean=%g)", p.Order(), p.Mean())
+}
+
+// ToPhaseType converts the concrete distributions to their canonical
+// PH representations.
+func (e Exponential) ToPhaseType() *PhaseType {
+	t := linalg.NewDense(1, 1)
+	t.Set(0, 0, -e.Mu)
+	return NewPhaseType([]float64{1}, t)
+}
+
+// ToPhaseType represents the Erlang as a chain of K phases.
+func (e Erlang) ToPhaseType() *PhaseType {
+	t := linalg.NewDense(e.K, e.K)
+	for i := 0; i < e.K; i++ {
+		t.Set(i, i, -e.Rate)
+		if i+1 < e.K {
+			t.Set(i, i+1, e.Rate)
+		}
+	}
+	alpha := make([]float64, e.K)
+	alpha[0] = 1
+	return NewPhaseType(alpha, t)
+}
+
+// ToPhaseType represents the mixture as parallel phases.
+func (h HyperExp) ToPhaseType() *PhaseType {
+	n := len(h.Alpha)
+	t := linalg.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		t.Set(i, i, -h.Mu[i])
+	}
+	return NewPhaseType(h.Alpha, t)
+}

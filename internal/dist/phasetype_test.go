@@ -1,0 +1,188 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"pepatags/internal/numeric"
+)
+
+func TestPhaseTypeExponentialEquivalence(t *testing.T) {
+	e := NewExponential(5)
+	p := e.ToPhaseType()
+	if !numeric.AlmostEqual(p.Mean(), e.Mean(), 1e-12) {
+		t.Fatalf("mean %v vs %v", p.Mean(), e.Mean())
+	}
+	if !numeric.AlmostEqual(p.Var(), e.Var(), 1e-12) {
+		t.Fatalf("var %v vs %v", p.Var(), e.Var())
+	}
+	for _, x := range []float64{0.01, 0.2, 1} {
+		if !numeric.AlmostEqual(p.CDF(x), e.CDF(x), 1e-9) {
+			t.Fatalf("CDF(%v): %v vs %v", x, p.CDF(x), e.CDF(x))
+		}
+	}
+	for _, s := range []float64{0, 1, 10} {
+		if !numeric.AlmostEqual(p.LaplaceTransform(s), e.LaplaceTransform(s), 1e-12) {
+			t.Fatalf("LT(%v): %v vs %v", s, p.LaplaceTransform(s), e.LaplaceTransform(s))
+		}
+	}
+}
+
+func TestPhaseTypeErlangEquivalence(t *testing.T) {
+	e := NewErlang(6, 42)
+	p := e.ToPhaseType()
+	if !numeric.AlmostEqual(p.Mean(), e.Mean(), 1e-12) {
+		t.Fatalf("mean %v vs %v", p.Mean(), e.Mean())
+	}
+	if !numeric.AlmostEqual(p.Var(), e.Var(), 1e-10) {
+		t.Fatalf("var %v vs %v", p.Var(), e.Var())
+	}
+	for _, x := range []float64{0.05, 0.14, 0.3} {
+		if !numeric.AlmostEqual(p.CDF(x), e.CDF(x), 1e-8) {
+			t.Fatalf("CDF(%v): %v vs %v", x, p.CDF(x), e.CDF(x))
+		}
+	}
+	if !numeric.AlmostEqual(p.LaplaceTransform(3), e.LaplaceTransform(3), 1e-12) {
+		t.Fatal("LT mismatch")
+	}
+}
+
+func TestPhaseTypeHyperExpEquivalence(t *testing.T) {
+	h := NewH2(0.99, 19.9, 0.199)
+	p := h.ToPhaseType()
+	if !numeric.AlmostEqual(p.Mean(), h.Mean(), 1e-12) {
+		t.Fatalf("mean %v vs %v", p.Mean(), h.Mean())
+	}
+	if !numeric.AlmostEqual(p.Var(), h.Var(), 1e-9) {
+		t.Fatalf("var %v vs %v", p.Var(), h.Var())
+	}
+	for _, x := range []float64{0.01, 0.1, 1, 10} {
+		if !numeric.AlmostEqual(p.CDF(x), h.CDF(x), 1e-8) {
+			t.Fatalf("CDF(%v): %v vs %v", x, p.CDF(x), h.CDF(x))
+		}
+	}
+}
+
+func TestPhaseTypeThirdMoment(t *testing.T) {
+	// Exponential: E[X^3] = 6/mu^3.
+	p := NewExponential(2).ToPhaseType()
+	if !numeric.AlmostEqual(p.Moment(3), 6.0/8, 1e-12) {
+		t.Fatalf("third moment %v want %v", p.Moment(3), 6.0/8)
+	}
+}
+
+func TestPhaseTypeSampler(t *testing.T) {
+	p := NewErlang(4, 8).ToPhaseType()
+	mean, variance := sampleMoments(p, 100000, 11)
+	if !numeric.AlmostEqual(mean, p.Mean(), 0.02) {
+		t.Fatalf("sample mean %v vs %v", mean, p.Mean())
+	}
+	if !numeric.AlmostEqual(variance, p.Var(), 0.05) {
+		t.Fatalf("sample var %v vs %v", variance, p.Var())
+	}
+}
+
+func TestPhaseTypePointMassAtZero(t *testing.T) {
+	// alpha summing to 0.5 leaves mass 0.5 at zero.
+	e := NewExponential(1).ToPhaseType()
+	p := NewPhaseType([]float64{0.5}, e.T)
+	if !numeric.AlmostEqual(p.CDF(0), 0.5, 1e-12) {
+		t.Fatalf("CDF(0) = %v want 0.5", p.CDF(0))
+	}
+	if !numeric.AlmostEqual(p.LaplaceTransform(1), 0.5+0.5*0.5, 1e-12) {
+		t.Fatalf("LT = %v", p.LaplaceTransform(1))
+	}
+	if !numeric.AlmostEqual(p.Mean(), 0.5, 1e-12) {
+		t.Fatalf("mean %v", p.Mean())
+	}
+}
+
+func TestPhaseTypeValidation(t *testing.T) {
+	e := NewExponential(1).ToPhaseType()
+	bad := e.T.Clone()
+	bad.Set(0, 0, 1) // positive row sum
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPhaseType([]float64{1}, bad)
+}
+
+func TestResidualH2AfterErlang(t *testing.T) {
+	h := NewH2(0.99, 19.9, 0.199)
+	r := ResidualH2AfterErlang(h, 6, 42)
+	// Long jobs (branch 2, slow rate) survive the timeout far more often,
+	// so the residual mix must shift towards branch 2: alpha' << alpha.
+	if r.Alpha[0] >= h.Alpha[0] {
+		t.Fatalf("alpha' = %v not reduced from %v", r.Alpha[0], h.Alpha[0])
+	}
+	// Rates unchanged.
+	if r.Mu[0] != h.Mu[0] || r.Mu[1] != h.Mu[1] {
+		t.Fatal("rates must be preserved")
+	}
+	// Cross-check with the generic routine.
+	g := ResidualHyperExpAfter(h, NewErlang(6, 42))
+	if !numeric.AlmostEqual(g.Alpha[0], r.Alpha[0], 1e-12) {
+		t.Fatalf("generic %v vs specific %v", g.Alpha[0], r.Alpha[0])
+	}
+	// Hand computation: w_i = alpha_i (t/(t+mu_i))^n.
+	l := func(mu float64) float64 { return math.Pow(42/(42+mu), 6) }
+	want := 0.99 * l(19.9) / (0.99*l(19.9) + 0.01*l(0.199))
+	if !numeric.AlmostEqual(r.Alpha[0], want, 1e-12) {
+		t.Fatalf("alpha' %v want %v", r.Alpha[0], want)
+	}
+}
+
+func TestResidualEqualRatesIsNoop(t *testing.T) {
+	h := NewH2(0.3, 2, 2)
+	r := ResidualH2AfterErlang(h, 6, 10)
+	if !numeric.AlmostEqual(r.Alpha[0], 0.3, 1e-12) {
+		t.Fatalf("equal rates should not shift mix: %v", r.Alpha[0])
+	}
+}
+
+func TestSurvivalProbability(t *testing.T) {
+	// Exponential-as-H2 against the closed form (t/(t+mu))^n.
+	h := NewH2(1, 10, 10)
+	got := SurvivalProbability(h, 6, 42)
+	want := math.Pow(42.0/52, 6)
+	if !numeric.AlmostEqual(got, want, 1e-12) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestExpectedMin(t *testing.T) {
+	// As t -> inf (instant timeout in rate, i.e. huge rate -> long
+	// duration? No: larger t means faster ticks, SHORTER timeout), the
+	// timeout wins immediately, so occupancy -> 0... Verify limits:
+	// t small => timeout almost never fires before service: E[min] -> 1/mu.
+	if got := ExpectedMin(10, 6, 1e-6); !numeric.AlmostEqual(got, 0.1, 1e-6) {
+		t.Fatalf("small t: %v want 0.1", got)
+	}
+	// t huge => timeout immediate: E[min] -> 0.
+	if got := ExpectedMin(10, 6, 1e9); got > 1e-6 {
+		t.Fatalf("large t: %v want ~0", got)
+	}
+	// Monte-Carlo check at moderate parameters.
+	mu, n, tr := 10.0, 6, 42.0
+	rng := newRNG(3)
+	e := NewErlang(n, tr)
+	s := NewExponential(mu)
+	var sum float64
+	const trials = 200000
+	for i := 0; i < trials; i++ {
+		sum += math.Min(s.Sample(rng), e.Sample(rng))
+	}
+	mc := sum / trials
+	if !numeric.AlmostEqual(mc, ExpectedMin(mu, n, tr), 0.02) {
+		t.Fatalf("MC %v analytic %v", mc, ExpectedMin(mu, n, tr))
+	}
+}
+
+func TestExpectedMinH2(t *testing.T) {
+	h := NewH2(1, 10, 10) // degenerate exponential
+	if !numeric.AlmostEqual(ExpectedMinH2(h, 6, 42), ExpectedMin(10, 6, 42), 1e-12) {
+		t.Fatal("H2 degenerate case mismatch")
+	}
+}

@@ -1,0 +1,278 @@
+// Package fluid implements the fluid-flow (ODE) approximation of PEPA
+// models that the paper's Section 3.1 attributes to Hillston [8] and
+// the Dizzy tool [9]: instead of deriving the CTMC of the alternative
+// (replicated-place) model of Figure 4, one counts the number of
+// components in each derivative and integrates a system of ODEs whose
+// rates follow the min-semantics of cooperation.
+//
+// The package provides a generic transition-based ODE model, fixed and
+// adaptive Runge-Kutta integrators, equilibrium detection, and the
+// fluid TAG model itself.
+package fluid
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Transition is one reaction of the fluid model: it occurs at
+// Rate(x) >= 0 and adds Delta to the species vector.
+type Transition struct {
+	Name  string
+	Rate  func(x []float64) float64
+	Delta []float64
+}
+
+// Model is a fluid model: named species with initial counts and a set
+// of transitions.
+type Model struct {
+	Species     []string
+	Init        []float64
+	Transitions []Transition
+}
+
+// Validate checks dimensions.
+func (m *Model) Validate() error {
+	n := len(m.Species)
+	if len(m.Init) != n {
+		return fmt.Errorf("fluid: init length %d != %d species", len(m.Init), n)
+	}
+	for _, tr := range m.Transitions {
+		if len(tr.Delta) != n {
+			return fmt.Errorf("fluid: transition %q delta length %d != %d species", tr.Name, len(tr.Delta), n)
+		}
+	}
+	return nil
+}
+
+// Derivative evaluates dx/dt at x.
+func (m *Model) Derivative(x []float64) []float64 {
+	d := make([]float64, len(x))
+	m.derivativeInto(x, d)
+	return d
+}
+
+func (m *Model) derivativeInto(x, d []float64) {
+	for i := range d {
+		d[i] = 0
+	}
+	for _, tr := range m.Transitions {
+		r := tr.Rate(x)
+		if r <= 0 {
+			continue
+		}
+		for i, dd := range tr.Delta {
+			if dd != 0 {
+				d[i] += r * dd
+			}
+		}
+	}
+}
+
+// Flow returns the steady flow of the named transition at state x.
+func (m *Model) Flow(x []float64, name string) float64 {
+	var total float64
+	for _, tr := range m.Transitions {
+		if tr.Name == name {
+			if r := tr.Rate(x); r > 0 {
+				total += r
+			}
+		}
+	}
+	return total
+}
+
+// RK4 integrates dx/dt with the classical fourth-order Runge-Kutta
+// method from x0 over [0, tEnd] with fixed step h, returning the final
+// state.
+func (m *Model) RK4(x0 []float64, tEnd, h float64) ([]float64, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if h <= 0 || tEnd < 0 {
+		return nil, errors.New("fluid: need positive step and horizon")
+	}
+	n := len(x0)
+	x := append([]float64(nil), x0...)
+	k1, k2, k3, k4, tmp := make([]float64, n), make([]float64, n), make([]float64, n), make([]float64, n), make([]float64, n)
+	steps := int(math.Ceil(tEnd / h))
+	for s := 0; s < steps; s++ {
+		m.derivativeInto(x, k1)
+		for i := range tmp {
+			tmp[i] = x[i] + h/2*k1[i]
+		}
+		m.derivativeInto(tmp, k2)
+		for i := range tmp {
+			tmp[i] = x[i] + h/2*k2[i]
+		}
+		m.derivativeInto(tmp, k3)
+		for i := range tmp {
+			tmp[i] = x[i] + h*k3[i]
+		}
+		m.derivativeInto(tmp, k4)
+		for i := range x {
+			x[i] += h / 6 * (k1[i] + 2*k2[i] + 2*k3[i] + k4[i])
+			if x[i] < 0 {
+				x[i] = 0 // counts cannot go negative
+			}
+		}
+	}
+	return x, nil
+}
+
+// Trajectory records sampled states of an integration.
+type Trajectory struct {
+	Times  []float64
+	States [][]float64
+}
+
+// RK4Trajectory integrates and samples the state every sampleEvery
+// time units (>= h).
+func (m *Model) RK4Trajectory(x0 []float64, tEnd, h, sampleEvery float64) (*Trajectory, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if h <= 0 || sampleEvery < h {
+		return nil, errors.New("fluid: need 0 < h <= sampleEvery")
+	}
+	tr := &Trajectory{}
+	x := append([]float64(nil), x0...)
+	t := 0.0
+	nextSample := 0.0
+	for t < tEnd {
+		if t >= nextSample {
+			tr.Times = append(tr.Times, t)
+			tr.States = append(tr.States, append([]float64(nil), x...))
+			nextSample += sampleEvery
+		}
+		nx, err := m.RK4(x, h, h)
+		if err != nil {
+			return nil, err
+		}
+		x = nx
+		t += h
+	}
+	tr.Times = append(tr.Times, t)
+	tr.States = append(tr.States, append([]float64(nil), x...))
+	return tr, nil
+}
+
+// RKF45 integrates with the adaptive Runge-Kutta-Fehlberg 4(5) scheme
+// until tEnd, controlling the local error per step to tol.
+func (m *Model) RKF45(x0 []float64, tEnd, tol float64) ([]float64, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if tol <= 0 {
+		tol = 1e-8
+	}
+	x := append([]float64(nil), x0...)
+	n := len(x)
+	t := 0.0
+	h := math.Min(1e-2, tEnd)
+	k := make([][]float64, 6)
+	for i := range k {
+		k[i] = make([]float64, n)
+	}
+	tmp := make([]float64, n)
+	// Fehlberg coefficients.
+	a := [6][5]float64{
+		{},
+		{1.0 / 4},
+		{3.0 / 32, 9.0 / 32},
+		{1932.0 / 2197, -7200.0 / 2197, 7296.0 / 2197},
+		{439.0 / 216, -8, 3680.0 / 513, -845.0 / 4104},
+		{-8.0 / 27, 2, -3544.0 / 2565, 1859.0 / 4104, -11.0 / 40},
+	}
+	b4 := [6]float64{25.0 / 216, 0, 1408.0 / 2565, 2197.0 / 4104, -1.0 / 5, 0}
+	b5 := [6]float64{16.0 / 135, 0, 6656.0 / 12825, 28561.0 / 56430, -9.0 / 50, 2.0 / 55}
+	const maxSteps = 10_000_000
+	for step := 0; step < maxSteps && t < tEnd; step++ {
+		if t+h > tEnd {
+			h = tEnd - t
+		}
+		for s := 0; s < 6; s++ {
+			for i := range tmp {
+				tmp[i] = x[i]
+				for j := 0; j < s; j++ {
+					tmp[i] += h * a[s][j] * k[j][i]
+				}
+				if tmp[i] < 0 {
+					tmp[i] = 0
+				}
+			}
+			m.derivativeInto(tmp, k[s])
+		}
+		// Error estimate = |x5 - x4|.
+		var errEst float64
+		for i := range x {
+			var d4, d5 float64
+			for s := 0; s < 6; s++ {
+				d4 += b4[s] * k[s][i]
+				d5 += b5[s] * k[s][i]
+			}
+			if e := math.Abs(h * (d5 - d4)); e > errEst {
+				errEst = e
+			}
+		}
+		if errEst <= tol || h < 1e-12 {
+			for i := range x {
+				var d5 float64
+				for s := 0; s < 6; s++ {
+					d5 += b5[s] * k[s][i]
+				}
+				x[i] += h * d5
+				if x[i] < 0 {
+					x[i] = 0
+				}
+			}
+			t += h
+		}
+		// Step-size update.
+		if errEst > 0 {
+			h *= 0.9 * math.Pow(tol/errEst, 0.2)
+			if h > tEnd/10 {
+				h = tEnd / 10
+			}
+			if h < 1e-12 {
+				h = 1e-12
+			}
+		} else {
+			h *= 2
+		}
+	}
+	if t < tEnd {
+		return nil, errors.New("fluid: RKF45 exceeded step budget")
+	}
+	return x, nil
+}
+
+// Equilibrium integrates until the derivative's infinity norm falls
+// below tol or the horizon maxT is reached, returning the equilibrium
+// state.
+func (m *Model) Equilibrium(x0 []float64, tol, maxT float64) ([]float64, error) {
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	x := append([]float64(nil), x0...)
+	const chunk = 10.0
+	for t := 0.0; t < maxT; t += chunk {
+		nx, err := m.RKF45(x, chunk, 1e-10)
+		if err != nil {
+			return nil, err
+		}
+		x = nx
+		d := m.Derivative(x)
+		var norm float64
+		for _, v := range d {
+			if a := math.Abs(v); a > norm {
+				norm = a
+			}
+		}
+		if norm < tol {
+			return x, nil
+		}
+	}
+	return x, fmt.Errorf("fluid: no equilibrium within horizon %g", maxT)
+}

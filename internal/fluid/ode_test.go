@@ -1,0 +1,238 @@
+package fluid
+
+import (
+	"math"
+	"testing"
+
+	"pepatags/internal/core"
+	"pepatags/internal/numeric"
+)
+
+// decayModel is dx/dt = -k x, solution x0 e^{-kt}.
+func decayModel(k float64) *Model {
+	return &Model{
+		Species: []string{"X"},
+		Init:    []float64{1},
+		Transitions: []Transition{{
+			Name:  "decay",
+			Rate:  func(x []float64) float64 { return k * x[0] },
+			Delta: []float64{-1},
+		}},
+	}
+}
+
+func TestRK4ExponentialDecay(t *testing.T) {
+	m := decayModel(2)
+	x, err := m.RK4([]float64{1}, 1, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(x[0], math.Exp(-2), 1e-8) {
+		t.Fatalf("x(1) = %v want %v", x[0], math.Exp(-2))
+	}
+}
+
+func TestRKF45MatchesRK4(t *testing.T) {
+	m := decayModel(3)
+	x4, err := m.RK4([]float64{1}, 2, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x5, err := m.RKF45([]float64{1}, 2, 1e-11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(x4[0], x5[0], 1e-7) {
+		t.Fatalf("RK4 %v RKF45 %v", x4[0], x5[0])
+	}
+	if !numeric.AlmostEqual(x5[0], math.Exp(-6), 1e-7) {
+		t.Fatalf("RKF45 %v want %v", x5[0], math.Exp(-6))
+	}
+}
+
+func TestHarmonicOscillatorEnergy(t *testing.T) {
+	// x'' = -x as a 2-species system with signed "rates": use two
+	// transitions with rate functions allowed to be positive only, so
+	// encode via 4 transitions (x gains v+, loses v-; v loses x+ ...).
+	// Simpler: velocity split into positive/negative parts is awkward;
+	// instead verify a linear birth-death flow balance at equilibrium.
+	m := &Model{
+		Species: []string{"A", "B"},
+		Init:    []float64{10, 0},
+		Transitions: []Transition{
+			{Name: "ab", Rate: func(x []float64) float64 { return 2 * x[0] }, Delta: []float64{-1, 1}},
+			{Name: "ba", Rate: func(x []float64) float64 { return 3 * x[1] }, Delta: []float64{1, -1}},
+		},
+	}
+	x, err := m.Equilibrium(m.Init, 1e-12, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equilibrium: 2A = 3B, A+B = 10 -> A = 6, B = 4.
+	if !numeric.AlmostEqual(x[0], 6, 1e-6) || !numeric.AlmostEqual(x[1], 4, 1e-6) {
+		t.Fatalf("equilibrium %v want [6 4]", x)
+	}
+	// Mass conservation.
+	if !numeric.AlmostEqual(x[0]+x[1], 10, 1e-9) {
+		t.Fatal("mass not conserved")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	m := &Model{Species: []string{"A"}, Init: []float64{1, 2}}
+	if err := m.Validate(); err == nil {
+		t.Fatal("bad init must fail")
+	}
+	m = &Model{
+		Species:     []string{"A"},
+		Init:        []float64{1},
+		Transitions: []Transition{{Name: "x", Rate: func([]float64) float64 { return 1 }, Delta: []float64{1, 2}}},
+	}
+	if err := m.Validate(); err == nil {
+		t.Fatal("bad delta must fail")
+	}
+	ok := decayModel(1)
+	if _, err := ok.RK4([]float64{1}, 1, 0); err == nil {
+		t.Fatal("zero step must fail")
+	}
+}
+
+func TestTrajectorySampling(t *testing.T) {
+	m := decayModel(1)
+	tr, err := m.RK4Trajectory([]float64{1}, 1, 1e-3, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Times) < 4 {
+		t.Fatalf("too few samples: %v", tr.Times)
+	}
+	// Values decrease along the trajectory.
+	for i := 1; i < len(tr.States); i++ {
+		if tr.States[i][0] > tr.States[i-1][0] {
+			t.Fatal("decay not monotone")
+		}
+	}
+}
+
+func TestTAGFluidEquilibriumLightLoad(t *testing.T) {
+	// At light load the fluid node-1 level is lambda * E[occupancy],
+	// and flows balance: X ~ lambda.
+	f := TAGFluid{Lambda: 5, Mu: 10, T: 51, N: 6, K1: 10, K2: 10}
+	r, err := f.Equilibrium()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(r.X, 5, 1e-6) {
+		t.Fatalf("fluid throughput %v want 5 (no loss at light load)", r.X)
+	}
+	if r.L1 <= 0 || r.L2 <= 0 {
+		t.Fatalf("levels %v %v must be positive", r.L1, r.L2)
+	}
+}
+
+func TestTAGFluidOverload(t *testing.T) {
+	// lambda far above capacity: node 1 saturates at K1 and loss
+	// appears (throughput < lambda).
+	f := TAGFluid{Lambda: 40, Mu: 10, T: 51, N: 6, K1: 10, K2: 10}
+	r, err := f.Equilibrium()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.L1 < 9.5 {
+		t.Fatalf("node 1 should saturate: L1 = %v", r.L1)
+	}
+	if r.X >= 40 {
+		t.Fatalf("overload must lose jobs: X = %v", r.X)
+	}
+}
+
+func TestTAGFluidTracksCTMCShape(t *testing.T) {
+	// The fluid equilibrium is a large-buffer approximation; check it
+	// moves in the same direction as the exact CTMC when the timeout
+	// rate changes (node-2 level grows with faster timeouts).
+	l2At := func(tr float64) (fluid, exact float64) {
+		f := TAGFluid{Lambda: 5, Mu: 10, T: tr, N: 6, K1: 10, K2: 10}
+		r, err := f.Equilibrium()
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := core.NewTAGExp(5, 10, tr, 6, 10, 10).Analyze()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.L2, e.L2
+	}
+	f30, e30 := l2At(30)
+	f90, e90 := l2At(90)
+	if (f90 > f30) != (e90 > e30) {
+		t.Fatalf("fluid and CTMC disagree on direction: fluid %v->%v exact %v->%v", f30, f90, e30, e90)
+	}
+}
+
+func TestFlowByName(t *testing.T) {
+	m := decayModel(2)
+	if f := m.Flow([]float64{3}, "decay"); f != 6 {
+		t.Fatalf("flow %v want 6", f)
+	}
+	if f := m.Flow([]float64{3}, "nope"); f != 0 {
+		t.Fatalf("unknown flow %v want 0", f)
+	}
+}
+
+func TestTAGFluidPlacesPhaseMassConserved(t *testing.T) {
+	f := TAGFluidPlaces{Lambda: 5, Mu: 10, T: 51, N: 6, K1: 10, K2: 10}
+	m := f.Model()
+	x, err := m.RK4(m.Init, 5, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, m2 := f.PhaseMass(x)
+	if !numeric.AlmostEqual(m1, 1, 1e-6) || !numeric.AlmostEqual(m2, 1, 1e-6) {
+		t.Fatalf("phase masses drifted: %v %v", m1, m2)
+	}
+}
+
+func TestTAGFluidPlacesEquilibriumMatchesLumpedThroughput(t *testing.T) {
+	// Light load: both fluid variants deliver all offered work.
+	lumped := TAGFluid{Lambda: 5, Mu: 10, T: 51, N: 6, K1: 10, K2: 10}
+	places := TAGFluidPlaces{Lambda: 5, Mu: 10, T: 51, N: 6, K1: 10, K2: 10}
+	rl, err := lumped.Equilibrium()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := places.Equilibrium()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(rl.X, 5, 1e-5) || !numeric.AlmostEqual(rp.X, 5, 1e-5) {
+		t.Fatalf("throughputs %v %v want 5", rl.X, rp.X)
+	}
+	// The phase-resolved model splits the flows in the same direction:
+	// both route part of the work to node 2.
+	if rp.X2 <= 0 || rl.X2 <= 0 {
+		t.Fatalf("node-2 flows %v %v must be positive", rp.X2, rl.X2)
+	}
+}
+
+func TestTAGFluidPlacesTimeoutShareGrowsWithRate(t *testing.T) {
+	share := func(tr float64) float64 {
+		f := TAGFluidPlaces{Lambda: 5, Mu: 10, T: tr, N: 6, K1: 10, K2: 10}
+		r, err := f.Equilibrium()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.X2 / r.X
+	}
+	if !(share(90) > share(30)) {
+		t.Fatal("faster timers should push more flow through node 2")
+	}
+}
+
+func TestTAGFluidPlacesValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	TAGFluidPlaces{}.Model()
+}

@@ -1,0 +1,107 @@
+package fluid
+
+import (
+	"fmt"
+	"math"
+
+	"pepatags/internal/dist"
+)
+
+// TAGFluid is the fluid-flow counterpart of the two-node TAG system,
+// in the style the paper sketches for the Figure 4 replicated-place
+// model: the state counts the occupied places of each queue and the
+// ODE rates follow cooperation min-semantics (a single server serves
+// at full rate while any place is occupied, saturating smoothly below
+// one job).
+//
+// The Erlang timer race is folded into two effective flows out of the
+// node-1 server — completions at rate delta1 (1 - pTO) and kills at
+// rate delta1 pTO, with delta1 = 1/E[min(S, TO)] — and the node-2
+// repeat+residual service into a single rate delta2 = 1/(N/T + 1/mu).
+// This preserves the throughput split of the phase-resolved model
+// while keeping the ODE system two-dimensional.
+type TAGFluid struct {
+	Lambda, Mu float64
+	T          float64
+	N          int
+	K1, K2     float64 // buffer sizes (fluid, may be non-integral)
+}
+
+// pTO is the probability a served job times out.
+func (f TAGFluid) pTO() float64 {
+	return math.Pow(f.T/(f.T+f.Mu), float64(f.N))
+}
+
+// Model builds the two-species fluid model (x0 = jobs at node 1,
+// x1 = jobs at node 2).
+func (f TAGFluid) Model() *Model {
+	if f.Lambda <= 0 || f.Mu <= 0 || f.T <= 0 || f.N < 1 || f.K1 < 1 || f.K2 < 1 {
+		panic(fmt.Sprintf("fluid: invalid TAGFluid %+v", f))
+	}
+	pTO := f.pTO()
+	delta1 := 1 / dist.ExpectedMin(f.Mu, f.N, f.T)
+	delta2 := 1 / (float64(f.N)/f.T + 1/f.Mu)
+	sat := func(v float64) float64 { return math.Max(0, math.Min(1, v)) }
+	return &Model{
+		Species: []string{"Q1", "Q2"},
+		Init:    []float64{0, 0},
+		Transitions: []Transition{
+			{
+				Name:  "arrival",
+				Rate:  func(x []float64) float64 { return f.Lambda * sat(f.K1-x[0]) },
+				Delta: []float64{1, 0},
+			},
+			{
+				Name:  "service1",
+				Rate:  func(x []float64) float64 { return delta1 * (1 - pTO) * sat(x[0]) },
+				Delta: []float64{-1, 0},
+			},
+			{
+				Name:  "timeout",
+				Rate:  func(x []float64) float64 { return delta1 * pTO * sat(x[0]) * sat(f.K2-x[1]) },
+				Delta: []float64{-1, 1},
+			},
+			{
+				// Kills that find node 2 full: work is lost.
+				Name: "loss_transfer",
+				Rate: func(x []float64) float64 {
+					return delta1 * pTO * sat(x[0]) * (1 - sat(f.K2-x[1]))
+				},
+				Delta: []float64{-1, 0},
+			},
+			{
+				Name:  "service2",
+				Rate:  func(x []float64) float64 { return delta2 * sat(x[1]) },
+				Delta: []float64{0, -1},
+			},
+		},
+	}
+}
+
+// FluidMeasures are the equilibrium measures of the fluid model.
+type FluidMeasures struct {
+	L1, L2, L  float64
+	X1, X2, X  float64
+	W          float64
+	Throughput float64
+}
+
+// Equilibrium integrates the fluid model to its fixed point and
+// derives the measures.
+func (f TAGFluid) Equilibrium() (FluidMeasures, error) {
+	m := f.Model()
+	x, err := m.Equilibrium(m.Init, 1e-7, 10_000)
+	if err != nil {
+		return FluidMeasures{}, err
+	}
+	out := FluidMeasures{L1: x[0], L2: x[1]}
+	out.L = out.L1 + out.L2
+	out.X1 = m.Flow(x, "service1")
+	out.X2 = m.Flow(x, "service2")
+	out.X = out.X1 + out.X2
+	out.Throughput = out.X
+	if out.X > 0 {
+		out.W = out.L / out.X
+	}
+	return out, nil
+}

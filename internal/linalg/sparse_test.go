@@ -1,0 +1,112 @@
+package linalg
+
+import (
+	"testing"
+)
+
+func TestCOODuplicatesSummed(t *testing.T) {
+	c := NewCOO(2, 2)
+	c.Add(0, 1, 1)
+	c.Add(0, 1, 2)
+	c.Add(1, 0, 5)
+	m := c.ToCSR()
+	if m.At(0, 1) != 3 {
+		t.Fatalf("duplicate sum got %v want 3", m.At(0, 1))
+	}
+	if m.At(1, 0) != 5 || m.At(0, 0) != 0 {
+		t.Fatal("CSR entries wrong")
+	}
+	if m.NNZ() != 2 {
+		t.Fatalf("NNZ got %d want 2", m.NNZ())
+	}
+}
+
+func TestCOOZeroIgnoredAndCancellationDropped(t *testing.T) {
+	c := NewCOO(1, 2)
+	c.Add(0, 0, 0) // ignored
+	c.Add(0, 1, 2)
+	c.Add(0, 1, -2) // cancels to zero -> dropped at conversion
+	m := c.ToCSR()
+	if m.NNZ() != 0 {
+		t.Fatalf("NNZ got %d want 0", m.NNZ())
+	}
+}
+
+func TestCOOOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCOO(1, 1).Add(1, 0, 1)
+}
+
+func buildTestCSR() *CSR {
+	// [[1 0 2] [0 3 0] [4 0 5]]
+	c := NewCOO(3, 3)
+	c.Add(0, 0, 1)
+	c.Add(0, 2, 2)
+	c.Add(1, 1, 3)
+	c.Add(2, 0, 4)
+	c.Add(2, 2, 5)
+	return c.ToCSR()
+}
+
+func TestCSRMulVec(t *testing.T) {
+	m := buildTestCSR()
+	y := m.MulVec([]float64{1, 2, 3})
+	want := []float64{7, 6, 19}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("MulVec got %v want %v", y, want)
+		}
+	}
+}
+
+func TestCSRVecMulMatchesDense(t *testing.T) {
+	m := buildTestCSR()
+	d := m.ToDense()
+	x := []float64{1, 2, 3}
+	ys, yd := m.VecMul(x), d.VecMul(x)
+	for i := range ys {
+		if ys[i] != yd[i] {
+			t.Fatalf("VecMul sparse %v dense %v", ys, yd)
+		}
+	}
+	buf := make([]float64, 3)
+	m.VecMulInto(x, buf)
+	for i := range buf {
+		if buf[i] != yd[i] {
+			t.Fatalf("VecMulInto %v dense %v", buf, yd)
+		}
+	}
+}
+
+func TestCSRRangeRowAndAt(t *testing.T) {
+	m := buildTestCSR()
+	var cols []int
+	m.RangeRow(2, func(j int, v float64) { cols = append(cols, j) })
+	if len(cols) != 2 || cols[0] != 0 || cols[1] != 2 {
+		t.Fatalf("RangeRow cols %v", cols)
+	}
+	if m.At(1, 1) != 3 || m.At(1, 0) != 0 {
+		t.Fatal("At wrong")
+	}
+}
+
+func TestCSRTranspose(t *testing.T) {
+	m := buildTestCSR()
+	mt := m.Transpose()
+	d := m.ToDense()
+	dt := mt.ToDense()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if d.At(i, j) != dt.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	if mt.NNZ() != m.NNZ() {
+		t.Fatal("transpose changed NNZ")
+	}
+}

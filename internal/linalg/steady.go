@@ -1,0 +1,273 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"pepatags/internal/numeric"
+)
+
+// Solver options and defaults for the iterative stationary solvers.
+const (
+	DefaultMaxIter = 200000
+	DefaultEps     = 1e-12
+)
+
+// ErrNotConverged is returned when an iterative solver exhausts its
+// iteration budget before reaching the requested residual.
+var ErrNotConverged = errors.New("linalg: iterative solver did not converge")
+
+// Options configures the iterative stationary solvers.
+type Options struct {
+	MaxIter int     // maximum sweeps (default DefaultMaxIter)
+	Eps     float64 // convergence threshold on successive-iterate l∞ difference (default DefaultEps)
+	Omega   float64 // SOR relaxation factor; 1 = plain Gauss-Seidel
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIter <= 0 {
+		o.MaxIter = DefaultMaxIter
+	}
+	if o.Eps <= 0 {
+		o.Eps = DefaultEps
+	}
+	if o.Omega <= 0 {
+		o.Omega = 1
+	}
+	return o
+}
+
+// SteadyStateGTH computes the stationary distribution of the generator
+// matrix q (dense, q[i][i] = -row sum) using the Grassmann–Taksar–Heyman
+// algorithm. GTH performs Gaussian elimination without subtractions on
+// the diagonal, making it numerically stable for Markov chains. The
+// chain must be irreducible. Cost is O(n^3): intended for validation
+// and small models.
+func SteadyStateGTH(q *Dense) ([]float64, error) {
+	if q.Rows != q.Cols {
+		return nil, fmt.Errorf("linalg: GTH needs square matrix, got %dx%d", q.Rows, q.Cols)
+	}
+	n := q.Rows
+	if n == 0 {
+		return nil, errors.New("linalg: empty matrix")
+	}
+	if n == 1 {
+		return []float64{1}, nil
+	}
+	a := q.Clone()
+	scale := make([]float64, n) // outflow normaliser recorded per eliminated state
+	// Elimination: fold state k into states 0..k-1.
+	for k := n - 1; k >= 1; k-- {
+		// s = total outflow of state k to states 0..k-1.
+		var s float64
+		row := a.Row(k)
+		for j := 0; j < k; j++ {
+			s += row[j]
+		}
+		if s <= 0 {
+			return nil, fmt.Errorf("linalg: GTH: state %d has no transitions to lower states (reducible chain?)", k)
+		}
+		scale[k] = s
+		for j := 0; j < k; j++ {
+			row[j] /= s
+		}
+		for i := 0; i < k; i++ {
+			aik := a.At(i, k)
+			if aik == 0 {
+				continue
+			}
+			ri := a.Row(i)
+			for j := 0; j < k; j++ {
+				if i != j {
+					ri[j] += aik * row[j]
+				}
+			}
+		}
+	}
+	// Back substitution: pi[0] = 1, pi[k] = inflow from lower states
+	// divided by state k's recorded outflow.
+	pi := make([]float64, n)
+	pi[0] = 1
+	for k := 1; k < n; k++ {
+		var s numeric.Accumulator
+		for i := 0; i < k; i++ {
+			s.Add(pi[i] * a.At(i, k))
+		}
+		pi[k] = s.Sum() / scale[k]
+	}
+	numeric.Normalize(pi)
+	return pi, nil
+}
+
+// SteadyStateLU computes the stationary vector by solving the linear
+// system Q^T pi^T = 0 with the last equation replaced by the
+// normalisation constraint. Less stable than GTH; used for
+// cross-validation.
+func SteadyStateLU(q *Dense) ([]float64, error) {
+	if q.Rows != q.Cols {
+		return nil, fmt.Errorf("linalg: SteadyStateLU needs square matrix")
+	}
+	n := q.Rows
+	a := q.Transpose()
+	for j := 0; j < n; j++ {
+		a.Set(n-1, j, 1)
+	}
+	b := make([]float64, n)
+	b[n-1] = 1
+	pi, err := LUSolve(a, b)
+	if err != nil {
+		return nil, err
+	}
+	numeric.Normalize(pi)
+	return pi, nil
+}
+
+// UniformizationConstant returns a rate Lambda >= max_i |q_ii|,
+// slightly inflated to keep the DTMC aperiodic.
+func UniformizationConstant(q *CSR) float64 {
+	var maxDiag float64
+	for i := 0; i < q.Rows; i++ {
+		for k := q.RowPtr[i]; k < q.RowPtr[i+1]; k++ {
+			if q.ColIdx[k] == i {
+				if d := -q.Val[k]; d > maxDiag {
+					maxDiag = d
+				}
+			}
+		}
+	}
+	if maxDiag == 0 {
+		maxDiag = 1
+	}
+	return maxDiag * 1.02
+}
+
+// SteadyStatePower computes the stationary distribution of the sparse
+// generator q by power iteration on the uniformised DTMC
+// P = I + Q/Lambda.
+func SteadyStatePower(q *CSR, opts Options) ([]float64, error) {
+	opts = opts.withDefaults()
+	if q.Rows != q.Cols {
+		return nil, fmt.Errorf("linalg: SteadyStatePower needs square matrix")
+	}
+	n := q.Rows
+	lambda := UniformizationConstant(q)
+	pi := make([]float64, n)
+	for i := range pi {
+		pi[i] = 1 / float64(n)
+	}
+	tmp := make([]float64, n)
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		// tmp = pi * Q
+		q.VecMulInto(pi, tmp)
+		var diff float64
+		for i := range tmp {
+			next := pi[i] + tmp[i]/lambda
+			if next < 0 { // round-off guard
+				next = 0
+			}
+			if d := math.Abs(next - pi[i]); d > diff {
+				diff = d
+			}
+			tmp[i] = next
+		}
+		copy(pi, tmp)
+		if diff < opts.Eps {
+			numeric.Normalize(pi)
+			return pi, nil
+		}
+	}
+	numeric.Normalize(pi)
+	return pi, ErrNotConverged
+}
+
+// SteadyStateGaussSeidel computes the stationary distribution of the
+// sparse generator q by (S)SOR sweeps on pi Q = 0:
+//
+//	pi_j <- (1-w) pi_j + w * sum_{i != j} pi_i q_ij / (-q_jj)
+//
+// It requires column access, obtained from the transpose of q.
+func SteadyStateGaussSeidel(q *CSR, opts Options) ([]float64, error) {
+	opts = opts.withDefaults()
+	if q.Rows != q.Cols {
+		return nil, fmt.Errorf("linalg: SteadyStateGaussSeidel needs square matrix")
+	}
+	n := q.Rows
+	qt := q.Transpose() // row j of qt holds column j of q
+	diag := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for k := qt.RowPtr[j]; k < qt.RowPtr[j+1]; k++ {
+			if qt.ColIdx[k] == j {
+				diag[j] = qt.Val[k]
+			}
+		}
+		if diag[j] >= 0 {
+			return nil, fmt.Errorf("linalg: state %d has non-negative diagonal %g (absorbing state?)", j, diag[j])
+		}
+	}
+	pi := make([]float64, n)
+	for i := range pi {
+		pi[i] = 1 / float64(n)
+	}
+	w := opts.Omega
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		var diff float64
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := qt.RowPtr[j]; k < qt.RowPtr[j+1]; k++ {
+				i := qt.ColIdx[k]
+				if i != j {
+					s += pi[i] * qt.Val[k]
+				}
+			}
+			next := (1-w)*pi[j] + w*s/(-diag[j])
+			if next < 0 {
+				next = 0
+			}
+			if d := math.Abs(next - pi[j]); d > diff {
+				diff = d
+			}
+			pi[j] = next
+		}
+		// Renormalise periodically to avoid drift.
+		if iter%16 == 15 {
+			numeric.Normalize(pi)
+		}
+		if diff < opts.Eps {
+			numeric.Normalize(pi)
+			return pi, nil
+		}
+	}
+	numeric.Normalize(pi)
+	return pi, ErrNotConverged
+}
+
+// SteadyState picks a solver automatically: GTH for small systems,
+// Gauss–Seidel (with a power-method fallback) for larger sparse ones.
+func SteadyState(q *CSR) ([]float64, error) {
+	const denseCutoff = 400
+	if q.Rows <= denseCutoff {
+		pi, err := SteadyStateGTH(q.ToDense())
+		if err == nil {
+			return pi, nil
+		}
+	}
+	pi, err := SteadyStateGaussSeidel(q, Options{})
+	if err == nil {
+		return pi, nil
+	}
+	return SteadyStatePower(q, Options{})
+}
+
+// Residual returns max_j |(pi Q)_j|, a direct check that pi is
+// stationary for q.
+func Residual(q *CSR, pi []float64) float64 {
+	r := q.VecMul(pi)
+	var m float64
+	for _, v := range r {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}

@@ -1,0 +1,207 @@
+package pepa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Process is a sequential PEPA component: prefix, choice or constant.
+// Cooperation and hiding live at the model (composition) level, per the
+// cyclic-model restriction the paper adopts.
+type Process interface {
+	// Key returns a canonical representation used to intern
+	// derivatives during state-space derivation.
+	Key() string
+}
+
+// Prefix is (Action, Rate).Next.
+type Prefix struct {
+	Action string
+	Rate   Rate
+	Next   Process
+}
+
+// Choice is Left + Right.
+type Choice struct {
+	Left, Right Process
+}
+
+// Const references a named component definition.
+type Const struct {
+	Name string
+}
+
+func (p *Prefix) Key() string {
+	return fmt.Sprintf("(%s,%s).%s", p.Action, p.Rate, p.Next.Key())
+}
+
+func (c *Choice) Key() string {
+	return c.Left.Key() + " + " + c.Right.Key()
+}
+
+func (c *Const) Key() string { return c.Name }
+
+// Pre builds a prefix process.
+func Pre(action string, rate Rate, next Process) *Prefix {
+	return &Prefix{Action: action, Rate: rate, Next: next}
+}
+
+// Sum folds a non-empty list of processes into a right-nested choice.
+func Sum(ps ...Process) Process {
+	if len(ps) == 0 {
+		panic("pepa: Sum of no processes")
+	}
+	p := ps[len(ps)-1]
+	for i := len(ps) - 2; i >= 0; i-- {
+		p = &Choice{Left: ps[i], Right: p}
+	}
+	return p
+}
+
+// Ref references the named definition.
+func Ref(name string) *Const { return &Const{Name: name} }
+
+// ActionSet is a cooperation or hiding set.
+type ActionSet map[string]struct{}
+
+// NewActionSet builds a set from names.
+func NewActionSet(names ...string) ActionSet {
+	s := make(ActionSet, len(names))
+	for _, n := range names {
+		s[n] = struct{}{}
+	}
+	return s
+}
+
+// Has reports membership.
+func (s ActionSet) Has(a string) bool {
+	_, ok := s[a]
+	return ok
+}
+
+// Names returns the sorted member names.
+func (s ActionSet) Names() []string {
+	out := make([]string, 0, len(s))
+	for a := range s {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (s ActionSet) String() string { return "{" + strings.Join(s.Names(), ",") + "}" }
+
+// Composition is a model-level term: a leaf (sequential component), a
+// cooperation of two compositions, or a hiding.
+type Composition interface {
+	compNode()
+	String() string
+}
+
+// Leaf is a sequential component with its initial derivative.
+type Leaf struct {
+	Init Process
+}
+
+// Coop is Left ⋈(Set) Right. An empty set is the parallel combinator ||.
+type Coop struct {
+	Left, Right Composition
+	Set         ActionSet
+}
+
+// Hide conceals the actions in Set, relabelling them tau.
+type Hide struct {
+	Inner Composition
+	Set   ActionSet
+}
+
+func (*Leaf) compNode() {}
+func (*Coop) compNode() {}
+func (*Hide) compNode() {}
+
+func (l *Leaf) String() string { return l.Init.Key() }
+func (c *Coop) String() string {
+	op := "||"
+	if len(c.Set) > 0 {
+		op = "<" + strings.Join(c.Set.Names(), ",") + ">"
+	}
+	return "(" + c.Left.String() + " " + op + " " + c.Right.String() + ")"
+}
+func (h *Hide) String() string { return h.Inner.String() + "/" + h.Set.String() }
+
+// Tau is the concealed action label produced by hiding.
+const Tau = "tau"
+
+// Model is a complete PEPA specification: a set of constant
+// definitions and a system composition.
+type Model struct {
+	Defs   map[string]Process
+	System Composition
+}
+
+// NewModel returns an empty model.
+func NewModel() *Model {
+	return &Model{Defs: make(map[string]Process)}
+}
+
+// Define binds a constant name to a sequential process body.
+func (m *Model) Define(name string, body Process) {
+	if _, dup := m.Defs[name]; dup {
+		panic(fmt.Sprintf("pepa: duplicate definition of %s", name))
+	}
+	m.Defs[name] = body
+}
+
+// resolve unfolds constants until the head is a prefix or choice, so
+// transitions can be read off. Unguarded recursion (e.g. A = A) is
+// reported as an error.
+func (m *Model) resolve(p Process) (Process, error) {
+	seen := map[string]bool{}
+	for {
+		c, ok := p.(*Const)
+		if !ok {
+			return p, nil
+		}
+		if seen[c.Name] {
+			return nil, fmt.Errorf("pepa: unguarded recursion through constant %s", c.Name)
+		}
+		seen[c.Name] = true
+		body, ok := m.Defs[c.Name]
+		if !ok {
+			return nil, fmt.Errorf("pepa: undefined constant %s", c.Name)
+		}
+		p = body
+	}
+}
+
+// transition is one labelled move of a sequential derivative.
+type transition struct {
+	action string
+	rate   Rate
+	next   Process
+}
+
+// seqTransitions enumerates the transitions of a sequential process.
+func (m *Model) seqTransitions(p Process) ([]transition, error) {
+	p, err := m.resolve(p)
+	if err != nil {
+		return nil, err
+	}
+	switch t := p.(type) {
+	case *Prefix:
+		return []transition{{action: t.Action, rate: t.Rate, next: t.Next}}, nil
+	case *Choice:
+		l, err := m.seqTransitions(t.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := m.seqTransitions(t.Right)
+		if err != nil {
+			return nil, err
+		}
+		return append(l, r...), nil
+	default:
+		return nil, fmt.Errorf("pepa: cannot derive transitions of %T", p)
+	}
+}

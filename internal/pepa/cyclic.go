@@ -1,0 +1,114 @@
+package pepa
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CheckCyclic verifies, at the syntactic level the paper's Section 2
+// refers to ("necessary conditions for a cyclic model may be defined
+// on the component and model definitions without recourse to the
+// entire state space"), that each sequential component of the system
+// is cyclic: every syntactic derivative reachable from the leaf's
+// initial derivative can reach the initial derivative again. Blocking
+// introduced by cooperation can still prevent global cyclicity (that
+// is detected during derivation), but a component failing this check
+// can never be cyclic.
+func (m *Model) CheckCyclic() error {
+	if m.System == nil {
+		return fmt.Errorf("pepa: no system composition")
+	}
+	var leaves []*Leaf
+	var walk func(Composition)
+	walk = func(c Composition) {
+		switch t := c.(type) {
+		case *Leaf:
+			leaves = append(leaves, t)
+		case *Coop:
+			walk(t.Left)
+			walk(t.Right)
+		case *Hide:
+			walk(t.Inner)
+		}
+	}
+	walk(m.System)
+	for i, l := range leaves {
+		if err := m.checkLeafCyclic(l); err != nil {
+			return fmt.Errorf("pepa: component %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// derivativeGraph explores the syntactic derivatives of a sequential
+// process: nodes are canonical keys, edges follow prefix continuations
+// through choices and constants.
+func (m *Model) derivativeGraph(init Process) (map[string][]string, string, error) {
+	adj := map[string][]string{}
+	keyOf := func(p Process) string { return p.Key() }
+	initKey := keyOf(init)
+	frontier := []Process{init}
+	seenKeys := map[string]bool{initKey: true}
+	for len(frontier) > 0 {
+		p := frontier[0]
+		frontier = frontier[1:]
+		k := keyOf(p)
+		trs, err := m.seqTransitions(p)
+		if err != nil {
+			return nil, "", err
+		}
+		for _, tr := range trs {
+			nk := keyOf(tr.next)
+			adj[k] = append(adj[k], nk)
+			if !seenKeys[nk] {
+				seenKeys[nk] = true
+				frontier = append(frontier, tr.next)
+			}
+		}
+	}
+	return adj, initKey, nil
+}
+
+func (m *Model) checkLeafCyclic(l *Leaf) error {
+	adj, initKey, err := m.derivativeGraph(l.Init)
+	if err != nil {
+		return err
+	}
+	// Forward reachability from init.
+	fwd := reachFrom(adj, initKey)
+	// Backward reachability: reverse edges.
+	rev := map[string][]string{}
+	for from, tos := range adj {
+		for _, to := range tos {
+			rev[to] = append(rev[to], from)
+		}
+	}
+	bwd := reachFrom(rev, initKey)
+	var bad []string
+	for k := range fwd {
+		if !bwd[k] {
+			bad = append(bad, k)
+		}
+	}
+	if len(bad) > 0 {
+		sort.Strings(bad)
+		return fmt.Errorf("derivative %q cannot return to %q (not cyclic)", bad[0], initKey)
+	}
+	return nil
+}
+
+func reachFrom(adj map[string][]string, start string) map[string]bool {
+	seen := map[string]bool{start: true}
+	stack := []string{start}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return seen
+}

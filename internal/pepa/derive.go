@@ -1,0 +1,315 @@
+package pepa
+
+import (
+	"fmt"
+	"strings"
+
+	"pepatags/internal/ctmc"
+)
+
+// DefaultMaxStates bounds state-space derivation.
+const DefaultMaxStates = 2_000_000
+
+// StateSpace is the result of deriving a model: the underlying labelled
+// CTMC plus, for every global state, the local derivative of each
+// sequential component (leaf), which measure code uses to extract
+// populations such as queue lengths.
+type StateSpace struct {
+	Chain    *ctmc.Chain
+	NumLeaf  int
+	leafKeys [][]string // [state][leaf] canonical derivative key
+}
+
+// LeafDerivative returns the canonical key of leaf l in global state s.
+func (ss *StateSpace) LeafDerivative(s, l int) string { return ss.leafKeys[s][l] }
+
+// move is a transition of a composition node: the action, the rate and
+// the leaf updates it performs.
+type move struct {
+	action  string
+	rate    Rate
+	changes []leafChange
+}
+
+type leafChange struct {
+	leaf int
+	next Process
+}
+
+// compiled composition: leaves are numbered left to right.
+type compiled struct {
+	model  *Model
+	node   Composition
+	leaves []*Leaf
+}
+
+func compile(m *Model, c Composition) *compiled {
+	cc := &compiled{model: m, node: c}
+	var walk func(Composition)
+	walk = func(n Composition) {
+		switch t := n.(type) {
+		case *Leaf:
+			cc.leaves = append(cc.leaves, t)
+		case *Coop:
+			walk(t.Left)
+			walk(t.Right)
+		case *Hide:
+			walk(t.Inner)
+		default:
+			panic(fmt.Sprintf("pepa: unknown composition node %T", n))
+		}
+	}
+	walk(c)
+	return cc
+}
+
+// moves derives the transitions of the composition node given the
+// current leaf derivatives. nextLeaf tracks the leaf numbering while
+// recursing; callers pass a pointer to 0.
+func (cc *compiled) moves(n Composition, state []Process, nextLeaf *int) ([]move, error) {
+	switch t := n.(type) {
+	case *Leaf:
+		i := *nextLeaf
+		*nextLeaf++
+		trs, err := cc.model.seqTransitions(state[i])
+		if err != nil {
+			return nil, err
+		}
+		out := make([]move, len(trs))
+		for k, tr := range trs {
+			out[k] = move{action: tr.action, rate: tr.rate, changes: []leafChange{{leaf: i, next: tr.next}}}
+		}
+		return out, nil
+
+	case *Hide:
+		inner, err := cc.moves(t.Inner, state, nextLeaf)
+		if err != nil {
+			return nil, err
+		}
+		for i := range inner {
+			if t.Set.Has(inner[i].action) {
+				inner[i].action = Tau
+			}
+		}
+		return inner, nil
+
+	case *Coop:
+		ml, err := cc.moves(t.Left, state, nextLeaf)
+		if err != nil {
+			return nil, err
+		}
+		mr, err := cc.moves(t.Right, state, nextLeaf)
+		if err != nil {
+			return nil, err
+		}
+		var out []move
+		// Independent moves: actions outside the cooperation set.
+		for _, m := range ml {
+			if !t.Set.Has(m.action) {
+				out = append(out, m)
+			}
+		}
+		for _, m := range mr {
+			if !t.Set.Has(m.action) {
+				out = append(out, m)
+			}
+		}
+		// Shared moves: pair up left and right activities of each
+		// action in the set, scaling by apparent rates.
+		for a := range t.Set {
+			var la, ra apparent
+			var lms, rms []move
+			for _, m := range ml {
+				if m.action == a {
+					lms = append(lms, m)
+					if m.rate.Passive {
+						la.passive += m.rate.Weight
+					} else {
+						la.active += m.rate.Value
+					}
+				}
+			}
+			for _, m := range mr {
+				if m.action == a {
+					rms = append(rms, m)
+					if m.rate.Passive {
+						ra.passive += m.rate.Weight
+					} else {
+						ra.active += m.rate.Value
+					}
+				}
+			}
+			if la.mixed() || ra.mixed() {
+				return nil, fmt.Errorf("pepa: action %q mixes active and passive rates within one cooperand", a)
+			}
+			for _, x := range lms {
+				for _, y := range rms {
+					changes := make([]leafChange, 0, len(x.changes)+len(y.changes))
+					changes = append(changes, x.changes...)
+					changes = append(changes, y.changes...)
+					out = append(out, move{action: a, rate: combine(x.rate, y.rate, la, ra), changes: changes})
+				}
+			}
+		}
+		return out, nil
+
+	default:
+		return nil, fmt.Errorf("pepa: unknown composition node %T", n)
+	}
+}
+
+// DeriveOptions controls state-space derivation.
+type DeriveOptions struct {
+	MaxStates int // cap on explored states (default DefaultMaxStates)
+}
+
+// Derive explores the reachable state space of the model's system
+// composition breadth-first and returns the labelled CTMC.
+//
+// Errors are returned for undefined constants, unguarded recursion,
+// passive activities that remain unsynchronised at the top level,
+// deadlocked states, and state-space overflow.
+func Derive(m *Model, opts DeriveOptions) (*StateSpace, error) {
+	if m.System == nil {
+		return nil, fmt.Errorf("pepa: model has no system composition")
+	}
+	maxStates := opts.MaxStates
+	if maxStates <= 0 {
+		maxStates = DefaultMaxStates
+	}
+	cc := compile(m, m.System)
+	nLeaf := len(cc.leaves)
+	if nLeaf == 0 {
+		return nil, fmt.Errorf("pepa: system has no sequential components")
+	}
+
+	// Intern sequential derivatives per leaf by canonical key.
+	keyOf := func(p Process) string { return p.Key() }
+
+	init := make([]Process, nLeaf)
+	for i, l := range cc.leaves {
+		init[i] = l.Init
+	}
+	stateKey := func(s []Process) string {
+		keys := make([]string, len(s))
+		for i, p := range s {
+			keys[i] = keyOf(p)
+		}
+		return strings.Join(keys, " | ")
+	}
+
+	b := ctmc.NewBuilder()
+	type queued struct {
+		idx   int
+		state []Process
+	}
+	var frontier []queued
+	var leafKeys [][]string
+
+	addState := func(s []Process) (int, bool) {
+		k := stateKey(s)
+		if b.HasState(k) {
+			i := b.State(k)
+			return i, false
+		}
+		i := b.State(k)
+		lk := make([]string, nLeaf)
+		for j, p := range s {
+			lk[j] = keyOf(p)
+		}
+		leafKeys = append(leafKeys, lk)
+		return i, true
+	}
+
+	idx0, _ := addState(init)
+	frontier = append(frontier, queued{idx: idx0, state: init})
+
+	type pending struct {
+		from, to int
+		rate     float64
+		action   string
+	}
+	var edges []pending
+
+	for len(frontier) > 0 {
+		cur := frontier[0]
+		frontier = frontier[1:]
+		var zero int
+		ms, err := cc.moves(cc.node, cur.state, &zero)
+		if err != nil {
+			return nil, err
+		}
+		if len(ms) == 0 {
+			return nil, fmt.Errorf("pepa: deadlock in state %s", stateKey(cur.state))
+		}
+		for _, mv := range ms {
+			if mv.rate.Passive {
+				return nil, fmt.Errorf("pepa: passive action %q unsynchronised at top level (state %s)",
+					mv.action, stateKey(cur.state))
+			}
+			next := make([]Process, nLeaf)
+			copy(next, cur.state)
+			for _, ch := range mv.changes {
+				next[ch.leaf] = ch.next
+			}
+			ni, fresh := addState(next)
+			if fresh {
+				if b.NumStates() > maxStates {
+					return nil, fmt.Errorf("pepa: state space exceeds %d states", maxStates)
+				}
+				frontier = append(frontier, queued{idx: ni, state: next})
+			}
+			edges = append(edges, pending{from: cur.idx, to: ni, rate: mv.rate.Value, action: mv.action})
+		}
+	}
+	for _, e := range edges {
+		b.Transition(e.from, e.to, e.rate, e.action)
+	}
+	return &StateSpace{Chain: b.Build(), NumLeaf: nLeaf, leafKeys: leafKeys}, nil
+}
+
+// LevelExpectation interprets leaf derivatives named <prefix><integer>
+// (e.g. QA0..QA10) as population levels and returns the expectation of
+// the level of the given leaf under the distribution pi. States whose
+// leaf derivative does not match the prefix+integer shape contribute
+// zero; if no state matches at all an error is returned, to catch
+// typos.
+func (ss *StateSpace) LevelExpectation(pi []float64, leaf int, prefix string) (float64, error) {
+	if leaf < 0 || leaf >= ss.NumLeaf {
+		return 0, fmt.Errorf("pepa: leaf %d out of range [0,%d)", leaf, ss.NumLeaf)
+	}
+	if len(pi) != ss.Chain.NumStates() {
+		return 0, fmt.Errorf("pepa: pi length %d != %d states", len(pi), ss.Chain.NumStates())
+	}
+	var acc float64
+	matched := false
+	for s := 0; s < ss.Chain.NumStates(); s++ {
+		lbl := ss.leafKeys[s][leaf]
+		lvl, ok := trailingInt(lbl, prefix)
+		if !ok {
+			continue
+		}
+		matched = true
+		acc += pi[s] * float64(lvl)
+	}
+	if !matched {
+		return 0, fmt.Errorf("pepa: no derivative of leaf %d matches %q<n>", leaf, prefix)
+	}
+	return acc, nil
+}
+
+// trailingInt matches labels of the exact shape prefix + digits.
+func trailingInt(label, prefix string) (int, bool) {
+	if !strings.HasPrefix(label, prefix) || len(label) == len(prefix) {
+		return 0, false
+	}
+	n := 0
+	for i := len(prefix); i < len(label); i++ {
+		c := label[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, true
+}

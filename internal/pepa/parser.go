@@ -1,0 +1,476 @@
+package pepa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse reads a PEPA specification in Workbench-like concrete syntax:
+//
+//	// rate constants are lowercase
+//	lambda = 5;
+//	mu = 10;
+//	// process constants are Uppercase
+//	Q0 = (arrival, lambda).Q1;
+//	Q1 = (arrival, lambda).Q2 + (service, mu).Q0;
+//	Q2 = (service, mu).Q1;
+//	// the final expression (no '=') is the system
+//	Q0 <arrival> Source
+//
+// Supported forms: prefix "(action, rate).P", choice "P + Q",
+// cooperation "P <a,b> Q", parallel "P || Q", hiding "P / {a,b}",
+// passive rate "T" or "infty" (optionally weighted: "2*T"), rate
+// arithmetic (+ - * / and parentheses) over numbers and rate
+// constants. Comments: // and # to end of line.
+func Parse(src string) (*Model, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, model: NewModel(), rates: map[string]float64{}}
+	if err := p.parseSpec(); err != nil {
+		return nil, err
+	}
+	return p.model, nil
+}
+
+type tokKind int
+
+const (
+	tokIdent tokKind = iota
+	tokNumber
+	tokSym // single-rune symbols and "||"
+	tokEOF
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+	line int
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '#':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '|' && i+1 < len(src) && src[i+1] == '|':
+			toks = append(toks, token{tokSym, "||", i, line})
+			i += 2
+		case strings.ContainsRune("=;(),.+-*/<>{}", rune(c)):
+			toks = append(toks, token{tokSym, string(c), i, line})
+			i++
+		case unicode.IsDigit(rune(c)):
+			j := i
+			for j < len(src) && (unicode.IsDigit(rune(src[j])) || src[j] == '.' ||
+				src[j] == 'e' || src[j] == 'E' ||
+				((src[j] == '+' || src[j] == '-') && j > i && (src[j-1] == 'e' || src[j-1] == 'E'))) {
+				j++
+			}
+			toks = append(toks, token{tokNumber, src[i:j], i, line})
+			i = j
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) ||
+				src[j] == '_' || src[j] == '\'') {
+				j++
+			}
+			toks = append(toks, token{tokIdent, src[i:j], i, line})
+			i = j
+		default:
+			return nil, fmt.Errorf("pepa: line %d: unexpected character %q", line, c)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", i, line})
+	return toks, nil
+}
+
+type parser struct {
+	toks  []token
+	pos   int
+	model *Model
+	rates map[string]float64
+}
+
+func (p *parser) peek() token   { return p.toks[p.pos] }
+func (p *parser) next() token   { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) atEOF() bool   { return p.peek().kind == tokEOF }
+func (p *parser) save() int     { return p.pos }
+func (p *parser) restore(s int) { p.pos = s }
+
+func (p *parser) errf(format string, args ...any) error {
+	t := p.peek()
+	return fmt.Errorf("pepa: line %d: %s", t.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectSym(s string) error {
+	t := p.peek()
+	if t.kind != tokSym || t.text != s {
+		return p.errf("expected %q, found %q", s, t.text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) isSym(s string) bool {
+	t := p.peek()
+	return t.kind == tokSym && t.text == s
+}
+
+// parseSpec reads definitions then the system expression.
+func (p *parser) parseSpec() error {
+	for !p.atEOF() {
+		// Lookahead: IDENT '=' starts a definition.
+		if p.peek().kind == tokIdent && p.toks[p.pos+1].kind == tokSym && p.toks[p.pos+1].text == "=" {
+			if err := p.parseDef(); err != nil {
+				return err
+			}
+			continue
+		}
+		// Otherwise the rest is the system composition.
+		sys, err := p.parseComposition()
+		if err != nil {
+			return err
+		}
+		if p.isSym(";") {
+			p.next()
+		}
+		if !p.atEOF() {
+			return p.errf("unexpected trailing input %q", p.peek().text)
+		}
+		p.model.System = sys
+		return nil
+	}
+	return fmt.Errorf("pepa: specification has no system composition")
+}
+
+func isRateName(name string) bool {
+	r := rune(name[0])
+	return unicode.IsLower(r) || r == '_'
+}
+
+func (p *parser) parseDef() error {
+	name := p.next().text
+	if err := p.expectSym("="); err != nil {
+		return err
+	}
+	if isRateName(name) {
+		v, err := p.parseRateArith()
+		if err != nil {
+			return err
+		}
+		if err := p.expectSym(";"); err != nil {
+			return err
+		}
+		p.rates[name] = v
+		return nil
+	}
+	body, err := p.parseChoice()
+	if err != nil {
+		return err
+	}
+	if err := p.expectSym(";"); err != nil {
+		return err
+	}
+	p.model.Define(name, body)
+	return nil
+}
+
+// parseChoice := seq ('+' seq)*
+func (p *parser) parseChoice() (Process, error) {
+	left, err := p.parseSeq()
+	if err != nil {
+		return nil, err
+	}
+	for p.isSym("+") {
+		p.next()
+		right, err := p.parseSeq()
+		if err != nil {
+			return nil, err
+		}
+		left = &Choice{Left: left, Right: right}
+	}
+	return left, nil
+}
+
+// parseSeq := prefix | IDENT | '(' choice ')'
+func (p *parser) parseSeq() (Process, error) {
+	t := p.peek()
+	if t.kind == tokIdent {
+		p.next()
+		return Ref(t.text), nil
+	}
+	if t.kind == tokSym && t.text == "(" {
+		// Try prefix: '(' IDENT ',' ...
+		if pre, ok, err := p.tryParsePrefix(); err != nil {
+			return nil, err
+		} else if ok {
+			return pre, nil
+		}
+		// Parenthesised choice.
+		p.next() // consume '('
+		inner, err := p.parseChoice()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	return nil, p.errf("expected process, found %q", t.text)
+}
+
+// tryParsePrefix parses "(action, rate).cont" if the lookahead matches.
+func (p *parser) tryParsePrefix() (Process, bool, error) {
+	s := p.save()
+	if !p.isSym("(") {
+		return nil, false, nil
+	}
+	p.next()
+	if p.peek().kind != tokIdent {
+		p.restore(s)
+		return nil, false, nil
+	}
+	action := p.next().text
+	if !p.isSym(",") {
+		p.restore(s)
+		return nil, false, nil
+	}
+	p.next()
+	rate, err := p.parseRate()
+	if err != nil {
+		return nil, false, err
+	}
+	if err := p.expectSym(")"); err != nil {
+		return nil, false, err
+	}
+	if err := p.expectSym("."); err != nil {
+		return nil, false, err
+	}
+	cont, err := p.parseSeq()
+	if err != nil {
+		return nil, false, err
+	}
+	return Pre(action, rate, cont), true, nil
+}
+
+// parseRate parses either a passive rate ("T", "infty", "w*T") or an
+// active arithmetic expression.
+func (p *parser) parseRate() (Rate, error) {
+	// Weighted passive: NUMBER '*' T — try it first.
+	s := p.save()
+	if p.peek().kind == tokNumber {
+		numTok := p.next()
+		if p.isSym("*") {
+			p.next()
+			if t := p.peek(); t.kind == tokIdent && (t.text == "T" || t.text == "infty") {
+				p.next()
+				w, err := strconv.ParseFloat(numTok.text, 64)
+				if err != nil {
+					return Rate{}, p.errf("bad number %q", numTok.text)
+				}
+				return WeightedPassive(w), nil
+			}
+		}
+		p.restore(s)
+	}
+	if t := p.peek(); t.kind == tokIdent && (t.text == "T" || t.text == "infty") {
+		p.next()
+		return PassiveRate(), nil
+	}
+	v, err := p.parseRateArith()
+	if err != nil {
+		return Rate{}, err
+	}
+	if v <= 0 {
+		return Rate{}, p.errf("rate must be positive, got %g", v)
+	}
+	return ActiveRate(v), nil
+}
+
+// Rate arithmetic: expr := term (('+'|'-') term)*; term := factor
+// (('*'|'/') factor)*; factor := NUMBER | lowercase IDENT | '(' expr ')'.
+func (p *parser) parseRateArith() (float64, error) {
+	v, err := p.parseRateTerm()
+	if err != nil {
+		return 0, err
+	}
+	for p.isSym("+") || p.isSym("-") {
+		op := p.next().text
+		w, err := p.parseRateTerm()
+		if err != nil {
+			return 0, err
+		}
+		if op == "+" {
+			v += w
+		} else {
+			v -= w
+		}
+	}
+	return v, nil
+}
+
+func (p *parser) parseRateTerm() (float64, error) {
+	v, err := p.parseRateFactor()
+	if err != nil {
+		return 0, err
+	}
+	for p.isSym("*") || p.isSym("/") {
+		op := p.next().text
+		w, err := p.parseRateFactor()
+		if err != nil {
+			return 0, err
+		}
+		if op == "*" {
+			v *= w
+		} else {
+			v /= w
+		}
+	}
+	return v, nil
+}
+
+func (p *parser) parseRateFactor() (float64, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokNumber:
+		p.next()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return 0, p.errf("bad number %q", t.text)
+		}
+		return v, nil
+	case t.kind == tokIdent:
+		if !isRateName(t.text) {
+			return 0, p.errf("process name %q used as rate", t.text)
+		}
+		v, ok := p.rates[t.text]
+		if !ok {
+			return 0, p.errf("undefined rate constant %q", t.text)
+		}
+		p.next()
+		return v, nil
+	case t.kind == tokSym && t.text == "(":
+		p.next()
+		v, err := p.parseRateArith()
+		if err != nil {
+			return 0, err
+		}
+		if err := p.expectSym(")"); err != nil {
+			return 0, err
+		}
+		return v, nil
+	default:
+		return 0, p.errf("expected rate, found %q", t.text)
+	}
+}
+
+// parseComposition := compTerm (('<' actions '>' | '||') compTerm)*
+// with postfix hiding binding tighter than cooperation.
+func (p *parser) parseComposition() (Composition, error) {
+	left, err := p.parseCompTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.isSym("<"):
+			p.next()
+			set, err := p.parseActionList(">")
+			if err != nil {
+				return nil, err
+			}
+			right, err := p.parseCompTerm()
+			if err != nil {
+				return nil, err
+			}
+			left = &Coop{Left: left, Right: right, Set: set}
+		case p.isSym("||"):
+			p.next()
+			right, err := p.parseCompTerm()
+			if err != nil {
+				return nil, err
+			}
+			left = &Coop{Left: left, Right: right, Set: NewActionSet()}
+		default:
+			return left, nil
+		}
+	}
+}
+
+// parseCompTerm := (IDENT | '(' composition ')') ('/' '{' actions '}')*
+func (p *parser) parseCompTerm() (Composition, error) {
+	var c Composition
+	t := p.peek()
+	switch {
+	case t.kind == tokIdent:
+		p.next()
+		if isRateName(t.text) {
+			return nil, p.errf("rate name %q cannot appear in a composition", t.text)
+		}
+		c = &Leaf{Init: Ref(t.text)}
+	case t.kind == tokSym && t.text == "(":
+		p.next()
+		inner, err := p.parseComposition()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		c = inner
+	default:
+		return nil, p.errf("expected component, found %q", t.text)
+	}
+	for p.isSym("/") {
+		p.next()
+		if err := p.expectSym("{"); err != nil {
+			return nil, err
+		}
+		set, err := p.parseActionList("}")
+		if err != nil {
+			return nil, err
+		}
+		c = &Hide{Inner: c, Set: set}
+	}
+	return c, nil
+}
+
+func (p *parser) parseActionList(closer string) (ActionSet, error) {
+	set := NewActionSet()
+	for {
+		t := p.peek()
+		if t.kind != tokIdent {
+			return nil, p.errf("expected action name, found %q", t.text)
+		}
+		p.next()
+		set[t.text] = struct{}{}
+		if p.isSym(",") {
+			p.next()
+			continue
+		}
+		if err := p.expectSym(closer); err != nil {
+			return nil, err
+		}
+		return set, nil
+	}
+}

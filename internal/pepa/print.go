@@ -1,0 +1,146 @@
+package pepa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Source renders the model back to parseable concrete syntax:
+// definitions in sorted name order followed by the system expression.
+// Parse(m.Source()) derives an identical CTMC (round-trip property,
+// asserted in tests). Numeric rates are printed literally; rate
+// constants from the original source are not reconstructed.
+func (m *Model) Source() string {
+	var sb strings.Builder
+	names := make([]string, 0, len(m.Defs))
+	for n := range m.Defs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&sb, "%s = %s;\n", n, printProcess(m.Defs[n], false))
+	}
+	if m.System != nil {
+		sb.WriteString(printComposition(m.System, false))
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// printProcess renders a sequential process; nested marks positions
+// where a choice needs parentheses (prefix continuations).
+func printProcess(p Process, nested bool) string {
+	switch t := p.(type) {
+	case *Const:
+		return t.Name
+	case *Prefix:
+		return fmt.Sprintf("(%s, %s).%s", t.Action, rateSyntax(t.Rate), printProcess(t.Next, true))
+	case *Choice:
+		s := printProcess(t.Left, false) + " + " + printProcess(t.Right, false)
+		if nested {
+			return "(" + s + ")"
+		}
+		return s
+	default:
+		panic(fmt.Sprintf("pepa: cannot print %T", p))
+	}
+}
+
+// rateSyntax renders a rate in parseable form.
+func rateSyntax(r Rate) string {
+	if r.Passive {
+		if r.Weight == 1 {
+			return "T"
+		}
+		return fmt.Sprintf("%.17g*T", r.Weight)
+	}
+	return fmt.Sprintf("%.17g", r.Value)
+}
+
+// printComposition renders a composition; inner cooperations are
+// parenthesised.
+func printComposition(c Composition, nested bool) string {
+	switch t := c.(type) {
+	case *Leaf:
+		// A leaf must be a constant reference to stay parseable.
+		if cn, ok := t.Init.(*Const); ok {
+			return cn.Name
+		}
+		panic("pepa: cannot print a leaf whose initial derivative is anonymous; bind it to a constant")
+	case *Coop:
+		op := "||"
+		if len(t.Set) > 0 {
+			op = "<" + strings.Join(t.Set.Names(), ", ") + ">"
+		}
+		s := printComposition(t.Left, true) + " " + op + " " + printComposition(t.Right, true)
+		if nested {
+			return "(" + s + ")"
+		}
+		return s
+	case *Hide:
+		return printComposition(t.Inner, true) + " / {" + strings.Join(t.Set.Names(), ", ") + "}"
+	default:
+		panic(fmt.Sprintf("pepa: cannot print %T", c))
+	}
+}
+
+// Alphabet returns the sorted set of action types syntactically
+// occurring in the definitions reachable from the system leaves.
+func (m *Model) Alphabet() ([]string, error) {
+	set := map[string]struct{}{}
+	seen := map[string]bool{}
+	var walkP func(Process) error
+	walkP = func(p Process) error {
+		switch t := p.(type) {
+		case *Const:
+			if seen[t.Name] {
+				return nil
+			}
+			seen[t.Name] = true
+			body, ok := m.Defs[t.Name]
+			if !ok {
+				return fmt.Errorf("pepa: undefined constant %s", t.Name)
+			}
+			return walkP(body)
+		case *Prefix:
+			set[t.Action] = struct{}{}
+			return walkP(t.Next)
+		case *Choice:
+			if err := walkP(t.Left); err != nil {
+				return err
+			}
+			return walkP(t.Right)
+		default:
+			return fmt.Errorf("pepa: unexpected process %T", p)
+		}
+	}
+	var walkC func(Composition) error
+	walkC = func(c Composition) error {
+		switch t := c.(type) {
+		case *Leaf:
+			return walkP(t.Init)
+		case *Coop:
+			if err := walkC(t.Left); err != nil {
+				return err
+			}
+			return walkC(t.Right)
+		case *Hide:
+			return walkC(t.Inner)
+		default:
+			return fmt.Errorf("pepa: unexpected composition %T", c)
+		}
+	}
+	if m.System == nil {
+		return nil, fmt.Errorf("pepa: no system")
+	}
+	if err := walkC(m.System); err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -1,0 +1,125 @@
+package pepa
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"pepatags/internal/numeric"
+)
+
+// randomModel builds a random but well-formed two-component model:
+// each component is a cycle of derivatives with extra random chords,
+// all actions active, and a shared action that both components always
+// enable (so cooperation never deadlocks).
+func randomModel(rng *rand.Rand) *Model {
+	m := NewModel()
+	shared := "sync"
+	freeActs := []string{"a", "b", "c", "d"}
+	build := func(compName string, nDeriv int) {
+		for i := 0; i < nDeriv; i++ {
+			name := fmt.Sprintf("%s%d", compName, i)
+			next := fmt.Sprintf("%s%d", compName, (i+1)%nDeriv)
+			// Cycle edge keeps the component cyclic.
+			ps := []Process{Pre(freeActs[rng.IntN(len(freeActs))], ActiveRate(0.5+rng.Float64()*5), Ref(next))}
+			// The shared action self-loops so it is always enabled.
+			ps = append(ps, Pre(shared, ActiveRate(0.5+rng.Float64()*5), Ref(name)))
+			// Random chord.
+			if rng.IntN(2) == 0 {
+				to := fmt.Sprintf("%s%d", compName, rng.IntN(nDeriv))
+				ps = append(ps, Pre(freeActs[rng.IntN(len(freeActs))], ActiveRate(0.5+rng.Float64()*5), Ref(to)))
+			}
+			m.Define(name, Sum(ps...))
+		}
+	}
+	n1 := 2 + rng.IntN(4)
+	n2 := 2 + rng.IntN(4)
+	build("P", n1)
+	build("Q", n2)
+	m.System = &Coop{
+		Left:  &Leaf{Init: Ref("P0")},
+		Right: &Leaf{Init: Ref("Q0")},
+		Set:   NewActionSet(shared),
+	}
+	return m
+}
+
+func TestRandomModelsDeriveAndRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2024, 7))
+	for trial := 0; trial < 30; trial++ {
+		m := randomModel(rng)
+		if err := m.CheckCyclic(); err != nil {
+			t.Fatalf("trial %d: cyclic check: %v", trial, err)
+		}
+		ss, err := Derive(m, DeriveOptions{})
+		if err != nil {
+			t.Fatalf("trial %d: derive: %v", trial, err)
+		}
+		pi, err := ss.Chain.SteadyState()
+		if err != nil {
+			t.Fatalf("trial %d: steady state: %v", trial, err)
+		}
+		if !numeric.AlmostEqual(numeric.KahanSum(pi), 1, 1e-9) {
+			t.Fatalf("trial %d: pi does not sum to 1", trial)
+		}
+		if err := ss.Chain.CheckIrreducible(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		// Round trip through the printer.
+		m2, err := Parse(m.Source())
+		if err != nil {
+			t.Fatalf("trial %d: re-parse: %v\n%s", trial, err, m.Source())
+		}
+		ss2, err := Derive(m2, DeriveOptions{})
+		if err != nil {
+			t.Fatalf("trial %d: re-derive: %v", trial, err)
+		}
+		if ss2.Chain.NumStates() != ss.Chain.NumStates() {
+			t.Fatalf("trial %d: round trip changed states %d -> %d",
+				trial, ss.Chain.NumStates(), ss2.Chain.NumStates())
+		}
+		pi2, err := ss2.Chain.SteadyState()
+		if err != nil {
+			t.Fatalf("trial %d: round-trip steady state: %v", trial, err)
+		}
+		for _, a := range ss.Chain.Actions() {
+			x1 := ss.Chain.ActionThroughput(pi, a)
+			x2 := ss2.Chain.ActionThroughput(pi2, a)
+			if !numeric.AlmostEqual(x1, x2, 1e-8) {
+				t.Fatalf("trial %d: throughput of %s drifted %v -> %v", trial, a, x1, x2)
+			}
+		}
+	}
+}
+
+func TestRandomModelsLumpingPreservesThroughput(t *testing.T) {
+	rng := rand.New(rand.NewPCG(99, 3))
+	for trial := 0; trial < 10; trial++ {
+		m := randomModel(rng)
+		ss, err := Derive(m, DeriveOptions{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		pi, err := ss.Chain.SteadyState()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		part, q, err := ss.Chain.Lump(make([]int, ss.Chain.NumStates()))
+		if err != nil {
+			t.Fatalf("trial %d: lump: %v", trial, err)
+		}
+		_ = part
+		piQ, err := q.SteadyState()
+		if err != nil {
+			t.Fatalf("trial %d: quotient steady state: %v", trial, err)
+		}
+		for _, a := range ss.Chain.Actions() {
+			x1 := ss.Chain.ActionThroughput(pi, a)
+			x2 := q.ActionThroughput(piQ, a)
+			if !numeric.AlmostEqual(x1, x2, 1e-8) {
+				t.Fatalf("trial %d: lumping changed throughput of %s: %v -> %v", trial, a, x1, x2)
+			}
+		}
+	}
+}

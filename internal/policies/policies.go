@@ -1,0 +1,158 @@
+// Package policies implements the job-allocation policies compared in
+// the paper — TAG (route everything to node 0 and rely on kill timers),
+// weighted random, round robin, shortest queue — plus the
+// least-work-left oracle and a central-queue helper used for wider
+// comparisons.
+package policies
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"pepatags/internal/sim"
+)
+
+// FirstNode routes every job to node 0; combined with per-node kill
+// timers this is the TAG policy.
+type FirstNode struct{}
+
+func (FirstNode) Route(*sim.System, *sim.Job) int { return 0 }
+func (FirstNode) String() string                  { return "tag/first-node" }
+
+// Random routes to node i with probability Weights[i].
+type Random struct {
+	Weights []float64
+}
+
+// NewUniformRandom splits arrivals evenly over n nodes.
+func NewUniformRandom(n int) Random {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / float64(n)
+	}
+	return Random{Weights: w}
+}
+
+func (r Random) Route(s *sim.System, _ *sim.Job) int {
+	u := s.RNG().Float64()
+	var cum float64
+	for i, w := range r.Weights {
+		cum += w
+		if u <= cum {
+			return i
+		}
+	}
+	return len(r.Weights) - 1
+}
+func (r Random) String() string { return fmt.Sprintf("random%v", r.Weights) }
+
+// RoundRobin cycles through the nodes.
+type RoundRobin struct {
+	next int
+}
+
+func (r *RoundRobin) Route(s *sim.System, _ *sim.Job) int {
+	i := r.next % s.NumNodes()
+	r.next++
+	return i
+}
+func (r *RoundRobin) String() string { return "round-robin" }
+
+// ShortestQueue routes to the node with the fewest jobs; ties are
+// broken uniformly at random (the Appendix B semantics for the
+// two-node case).
+type ShortestQueue struct{}
+
+func (ShortestQueue) Route(s *sim.System, _ *sim.Job) int {
+	best := []int{0}
+	bestLen := s.QueueLength(0)
+	for i := 1; i < s.NumNodes(); i++ {
+		l := s.QueueLength(i)
+		switch {
+		case l < bestLen:
+			best = best[:1]
+			best[0] = i
+			bestLen = l
+		case l == bestLen:
+			best = append(best, i)
+		}
+	}
+	if len(best) == 1 {
+		return best[0]
+	}
+	return best[s.RNG().IntN(len(best))]
+}
+func (ShortestQueue) String() string { return "shortest-queue" }
+
+// LeastWorkLeft routes to the node with the least estimated unfinished
+// work. It needs job-size knowledge, so it serves as an oracle upper
+// bound rather than a deployable policy.
+type LeastWorkLeft struct{}
+
+func (LeastWorkLeft) Route(s *sim.System, _ *sim.Job) int {
+	best, bw := 0, s.WorkLeft(0)
+	for i := 1; i < s.NumNodes(); i++ {
+		if w := s.WorkLeft(i); w < bw {
+			best, bw = i, w
+		}
+	}
+	return best
+}
+func (LeastWorkLeft) String() string { return "least-work-left" }
+
+// SizeThreshold routes by exact job size against per-node thresholds —
+// the clairvoyant SITA-style policy TAG approximates without size
+// knowledge. Thresholds[i] is the largest size accepted by node i;
+// the last node takes everything else.
+type SizeThreshold struct {
+	Thresholds []float64
+}
+
+func (p SizeThreshold) Route(s *sim.System, j *sim.Job) int {
+	for i, th := range p.Thresholds {
+		if j.Size <= th {
+			return i
+		}
+	}
+	return s.NumNodes() - 1
+}
+func (p SizeThreshold) String() string { return fmt.Sprintf("size-threshold%v", p.Thresholds) }
+
+// DynamicTAG is the paper's Section 7 suggestion: route to node 0 but
+// let callers adapt the timeout to the backlog by reading queue state.
+// It is identical to FirstNode for routing; the adaptivity lives in a
+// TimeoutFunc closure over the system, constructed by AdaptiveTimeout.
+type DynamicTAG struct{}
+
+func (DynamicTAG) Route(*sim.System, *sim.Job) int { return 0 }
+func (DynamicTAG) String() string                  { return "dynamic-tag" }
+
+// AdaptiveTimeout builds a timeout sampler that scales a base timeout
+// by the current backlog: with q jobs waiting the timeout becomes
+// base / (1 + scale*q), shortening cut-offs under burst pressure.
+// The backlog getter is typically bound to sys.QueueLength(0) after
+// sim.NewSystem returns (Go closures make the late binding safe: the
+// sampler only runs during Run).
+func AdaptiveTimeout(backlog func() int, base, scale float64) func(*rand.Rand) float64 {
+	return func(*rand.Rand) float64 {
+		return base / (1 + scale*float64(backlog()))
+	}
+}
+
+// ConstantTimeout returns the deterministic timeout sampler used by
+// the real TAG algorithm.
+func ConstantTimeout(tau float64) func(*rand.Rand) float64 {
+	return func(*rand.Rand) float64 { return tau }
+}
+
+// ErlangTimeout returns an Erlang(n, rate) timeout sampler, matching
+// the PEPA model's approximation of the deterministic timer.
+func ErlangTimeout(n int, rate float64) func(*rand.Rand) float64 {
+	return func(rng *rand.Rand) float64 {
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += rng.ExpFloat64()
+		}
+		return sum / rate
+	}
+}

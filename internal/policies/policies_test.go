@@ -1,0 +1,155 @@
+package policies_test
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"pepatags/internal/policies"
+	"pepatags/internal/sim"
+	"pepatags/internal/workload"
+)
+
+func testSystem(nNodes int) *sim.System {
+	nodes := make([]sim.NodeConfig, nNodes)
+	return sim.NewSystem(sim.Config{
+		Nodes:  nodes,
+		Policy: policies.FirstNode{},
+		Source: workload.NewTrace(nil, nil),
+		Seed:   1,
+	})
+}
+
+func TestConstantTimeout(t *testing.T) {
+	f := policies.ConstantTimeout(3.5)
+	if f(nil) != 3.5 {
+		t.Fatal("constant timeout wrong")
+	}
+}
+
+func TestErlangTimeoutMean(t *testing.T) {
+	f := policies.ErlangTimeout(6, 42)
+	rng := rand.New(rand.NewPCG(1, 2))
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += f(rng)
+	}
+	want := 6.0 / 42
+	if math.Abs(sum/n-want)/want > 0.02 {
+		t.Fatalf("mean %v want %v", sum/n, want)
+	}
+}
+
+func TestAdaptiveTimeoutShrinksWithBacklog(t *testing.T) {
+	backlog := 0
+	f := policies.AdaptiveTimeout(func() int { return backlog }, 10, 0.5)
+	if f(nil) != 10 {
+		t.Fatalf("empty backlog timeout %v want 10", f(nil))
+	}
+	backlog = 4
+	if got := f(nil); math.Abs(got-10.0/3) > 1e-12 {
+		t.Fatalf("backlog-4 timeout %v want %v", got, 10.0/3)
+	}
+}
+
+func TestRandomRoutingDistribution(t *testing.T) {
+	s := testSystem(2)
+	p := policies.Random{Weights: []float64{0.2, 0.8}}
+	counts := [2]int{}
+	for i := 0; i < 100000; i++ {
+		counts[p.Route(s, nil)]++
+	}
+	frac := float64(counts[0]) / 100000
+	if math.Abs(frac-0.2) > 0.01 {
+		t.Fatalf("node-0 fraction %v want 0.2", frac)
+	}
+}
+
+func TestRoundRobinCycle(t *testing.T) {
+	s := testSystem(3)
+	rr := &policies.RoundRobin{}
+	got := []int{rr.Route(s, nil), rr.Route(s, nil), rr.Route(s, nil), rr.Route(s, nil)}
+	want := []int{0, 1, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sequence %v want %v", got, want)
+		}
+	}
+}
+
+func TestShortestQueueOnIdleSystemSplits(t *testing.T) {
+	s := testSystem(2)
+	p := policies.ShortestQueue{}
+	counts := [2]int{}
+	for i := 0; i < 20000; i++ {
+		counts[p.Route(s, nil)]++
+	}
+	frac := float64(counts[0]) / 20000
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Fatalf("tie split %v want 0.5", frac)
+	}
+}
+
+func TestSizeThresholdRouting(t *testing.T) {
+	s := testSystem(3)
+	p := policies.SizeThreshold{Thresholds: []float64{1, 5}}
+	cases := map[float64]int{0.5: 0, 1: 0, 3: 1, 5: 1, 100: 2}
+	for size, want := range cases {
+		if got := p.Route(s, &sim.Job{Size: size}); got != want {
+			t.Fatalf("size %v routed to %d want %d", size, got, want)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	s := []interface{ String() string }{
+		policies.FirstNode{}, policies.NewUniformRandom(2), &policies.RoundRobin{},
+		policies.ShortestQueue{}, policies.LeastWorkLeft{}, policies.DynamicTAG{},
+		policies.SizeThreshold{Thresholds: []float64{1}},
+	}
+	for _, p := range s {
+		if p.String() == "" {
+			t.Fatalf("%T has empty String", p)
+		}
+	}
+}
+
+func TestUniformRandomWeights(t *testing.T) {
+	p := policies.NewUniformRandom(4)
+	var sum float64
+	for _, w := range p.Weights {
+		if w != 0.25 {
+			t.Fatalf("weights %v", p.Weights)
+		}
+		sum += w
+	}
+	if sum != 1 {
+		t.Fatal("weights must sum to 1")
+	}
+}
+
+func TestDynamicTAGRoutesToFirstNode(t *testing.T) {
+	s := testSystem(3)
+	if (policies.DynamicTAG{}).Route(s, nil) != 0 {
+		t.Fatal("dynamic TAG must route to node 0")
+	}
+	if (policies.FirstNode{}).Route(s, nil) != 0 {
+		t.Fatal("first-node must route to node 0")
+	}
+}
+
+func TestLeastWorkLeftPrefersIdleNode(t *testing.T) {
+	// Run a tiny simulation where LWL must spread simultaneous jobs.
+	cfg := sim.Config{
+		Nodes:  []sim.NodeConfig{{}, {}},
+		Policy: policies.LeastWorkLeft{},
+		Source: workload.NewTrace([]float64{0, 0}, []float64{1, 1}),
+		Seed:   1,
+	}
+	m := sim.NewSystem(cfg).Run(0)
+	// Both unit jobs complete at t=1 only if they went to separate nodes.
+	if m.Response.Max() > 1+1e-12 {
+		t.Fatalf("LWL failed to spread: max response %v", m.Response.Max())
+	}
+}

@@ -1,0 +1,134 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+
+	"pepatags/internal/dist"
+	"pepatags/internal/numeric"
+)
+
+func TestMMcKSingleServerReducesToMM1K(t *testing.T) {
+	a := NewMMcK(5, 10, 1, 10)
+	b := NewMM1K(5, 10, 10)
+	if !numeric.AlmostEqual(a.MeanQueueLength(), b.MeanQueueLength(), 1e-12) {
+		t.Fatalf("L %v vs %v", a.MeanQueueLength(), b.MeanQueueLength())
+	}
+	if !numeric.AlmostEqual(a.LossProbability(), b.LossProbability(), 1e-12) {
+		t.Fatalf("loss %v vs %v", a.LossProbability(), b.LossProbability())
+	}
+	if !numeric.AlmostEqual(a.ResponseTime(), b.ResponseTime(), 1e-12) {
+		t.Fatalf("W %v vs %v", a.ResponseTime(), b.ResponseTime())
+	}
+}
+
+func TestMMcKCentralQueueBeatsSplit(t *testing.T) {
+	// A central M/M/2/20 queue dominates two separate M/M/1/10 queues
+	// fed half the load each (resource pooling).
+	central := NewMMcK(10, 10, 2, 20)
+	split := NewMM1K(5, 10, 10)
+	if central.ResponseTime() >= split.ResponseTime() {
+		t.Fatalf("pooling should win: central %v split %v",
+			central.ResponseTime(), split.ResponseTime())
+	}
+	if central.LossProbability() >= split.LossProbability() {
+		t.Fatalf("pooling loss should be lower: %v vs %v",
+			central.LossProbability(), split.LossProbability())
+	}
+}
+
+func TestMMcKConservationAndUtilization(t *testing.T) {
+	q := NewMMcK(15, 10, 2, 12)
+	if x, l := q.Throughput(), q.Lambda*q.LossProbability(); !numeric.AlmostEqual(x+l, 15, 1e-10) {
+		t.Fatalf("conservation broken: %v + %v", x, l)
+	}
+	// Utilization equals throughput / total capacity.
+	if !numeric.AlmostEqual(q.Utilization(), q.Throughput()/(2*10), 1e-10) {
+		t.Fatalf("util %v vs %v", q.Utilization(), q.Throughput()/20)
+	}
+}
+
+func TestMMPP2M1KDegeneratesToMM1K(t *testing.T) {
+	q := MMPP2M1K{Rate1: 5, Rate2: 5, Switch1: 1, Switch2: 1, Mu: 10, K: 10}
+	got, err := q.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewMM1K(5, 10, 10)
+	if !numeric.AlmostEqual(got.MeanQueueLength, want.MeanQueueLength(), 1e-8) {
+		t.Fatalf("L %v vs %v", got.MeanQueueLength, want.MeanQueueLength())
+	}
+	if !numeric.AlmostEqual(got.LossProbability, want.LossProbability(), 1e-8) {
+		t.Fatalf("loss %v vs %v", got.LossProbability, want.LossProbability())
+	}
+}
+
+func TestMMPP2M1KBurstinessRaisesLoss(t *testing.T) {
+	// Same mean rate (equal occupancy), increasing modulation.
+	base := MMPP2M1K{Rate1: 8, Rate2: 8, Switch1: 0.5, Switch2: 0.5, Mu: 10, K: 10}
+	burst := MMPP2M1K{Rate1: 15.2, Rate2: 0.8, Switch1: 0.5, Switch2: 0.5, Mu: 10, K: 10}
+	if !numeric.AlmostEqual(base.MeanRate(), burst.MeanRate(), 1e-12) {
+		t.Fatal("mean rates must match")
+	}
+	b, err := base.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := burst.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.LossProbability <= b.LossProbability {
+		t.Fatalf("burstiness should raise loss: %v vs %v", u.LossProbability, b.LossProbability)
+	}
+	if u.ResponseTime <= b.ResponseTime {
+		t.Fatalf("burstiness should raise W: %v vs %v", u.ResponseTime, b.ResponseTime)
+	}
+}
+
+func TestMMPP2M1KConservation(t *testing.T) {
+	q := MMPP2M1K{Rate1: 12, Rate2: 2, Switch1: 0.3, Switch2: 0.7, Mu: 10, K: 8}
+	m, err := q.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(m.Throughput+m.LossRate, q.MeanRate(), 1e-8) {
+		t.Fatalf("conservation: %v + %v vs %v", m.Throughput, m.LossRate, q.MeanRate())
+	}
+	if m.States != 2*(q.K+1) {
+		t.Fatalf("states %d", m.States)
+	}
+}
+
+func TestMG1ExponentialReducesToMM1(t *testing.T) {
+	q := MG1{Lambda: 5, Service: dist.NewExponential(10)}
+	want := 1.0 / (10 - 5)
+	if !numeric.AlmostEqual(q.ResponseTime(), want, 1e-12) {
+		t.Fatalf("W %v want %v", q.ResponseTime(), want)
+	}
+	if !numeric.AlmostEqual(q.Utilization(), 0.5, 1e-12) {
+		t.Fatalf("rho %v", q.Utilization())
+	}
+}
+
+func TestMG1VariancePenalty(t *testing.T) {
+	// Same mean service: higher variance means longer waits (P-K).
+	exp := MG1{Lambda: 8, Service: dist.NewExponential(10)}
+	h2 := MG1{Lambda: 8, Service: dist.H2ForTAG(0.1, 0.99, 100)}
+	det := MG1{Lambda: 8, Service: dist.Deterministic{Value: 0.1}}
+	if !(det.MeanWait() < exp.MeanWait() && exp.MeanWait() < h2.MeanWait()) {
+		t.Fatalf("P-K ordering broken: det %v exp %v h2 %v",
+			det.MeanWait(), exp.MeanWait(), h2.MeanWait())
+	}
+	// Deterministic wait is exactly half the exponential wait.
+	if !numeric.AlmostEqual(det.MeanWait(), exp.MeanWait()/2, 1e-12) {
+		t.Fatalf("det %v vs exp/2 %v", det.MeanWait(), exp.MeanWait()/2)
+	}
+}
+
+func TestMG1Overload(t *testing.T) {
+	q := MG1{Lambda: 11, Service: dist.NewExponential(10)}
+	if !math.IsInf(q.MeanWait(), 1) {
+		t.Fatal("overloaded M/G/1 wait must be infinite")
+	}
+}

@@ -1,0 +1,405 @@
+// Package sim is a discrete-event simulator for multi-node job
+// allocation systems. It complements the CTMC analysis with
+// general-distribution workloads (deterministic traces, bounded
+// Pareto), deterministic TAG timeouts (the real algorithm, vs. the
+// Erlang approximation the Markov models require), the mean-slowdown
+// metric of Harchol-Balter, and the bursty-arrival scenarios of the
+// paper's Section 7.
+//
+// The model: jobs arrive from a workload.Source, a Policy routes each
+// to a node (or drops it), nodes serve FIFO. A node may have a kill
+// timer: a job whose service at that node exceeds the (per-attempt,
+// possibly random) timeout is killed and moved to the next node —
+// restarting from scratch (TAG) or resuming (multi-level feedback),
+// per configuration.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand/v2"
+
+	"pepatags/internal/stats"
+	"pepatags/internal/workload"
+)
+
+// Job is the simulator's view of a unit of work.
+type Job struct {
+	ID        int
+	Arrival   float64
+	Size      float64
+	Remaining float64 // work left (differs from Size under resume semantics)
+	NodeIdx   int
+}
+
+// NodeConfig configures one service node.
+type NodeConfig struct {
+	Capacity int     // max jobs at the node incl. in service; 0 = unbounded
+	Servers  int     // parallel servers; 0 means 1
+	Speed    float64 // service speed; 0 means 1
+
+	// Timeout, when non-nil, samples the kill timer for each service
+	// attempt (use a constant function for the real deterministic TAG).
+	// On expiry the job is killed and moved to the next node; at the
+	// last node the timeout is ignored.
+	Timeout func(rng *rand.Rand) float64
+
+	// Resume continues from the interrupted point at the next node
+	// (multi-level feedback). Default false = TAG restart semantics.
+	Resume bool
+}
+
+// Policy routes an arriving job to a node index, or -1 to drop it.
+type Policy interface {
+	Route(sys *System, j *Job) int
+	String() string
+}
+
+// Config is a complete simulation setup.
+type Config struct {
+	Nodes  []NodeConfig
+	Policy Policy
+	Source workload.Source
+	Seed   uint64
+	// Warmup discards jobs arriving before this time from the metrics.
+	Warmup float64
+	// SizeBands, when non-empty, must be sorted ascending; completed
+	// jobs are classified by size into len(SizeBands)+1 bands and a
+	// slowdown summary is kept per band. This backs the fairness
+	// analysis (slowdown vs job size) of Harchol-Balter's TAGS paper,
+	// which the reproduced paper cites in its footnote on fairness.
+	SizeBands []float64
+	// PercentileSample, when > 0, keeps a reservoir sample of response
+	// times of that capacity so tail percentiles can be reported.
+	PercentileSample int
+}
+
+// Metrics aggregates the simulation output.
+type Metrics struct {
+	Response stats.Summary // completion - arrival
+	Slowdown stats.Summary // response / size
+	// BandSlowdown[i] is the slowdown summary of jobs in size band i
+	// (band i covers sizes in (SizeBands[i-1], SizeBands[i]]); empty
+	// when Config.SizeBands is unset.
+	BandSlowdown []stats.Summary
+	// ResponseSamples is a reservoir of response times, present when
+	// Config.PercentileSample > 0.
+	ResponseSamples *stats.Reservoir
+	Completed       int
+	Dropped         int // dropped at arrival (policy or full first queue)
+	Killed          int // dropped mid-route (full next queue after a timeout)
+	BusyTime        []float64
+	Elapsed         float64 // full simulated horizon
+	Warmup          float64 // initial period excluded from job metrics
+}
+
+// Throughput is completed (post-warmup) jobs per unit measured time.
+func (m *Metrics) Throughput() float64 {
+	t := m.Elapsed - m.Warmup
+	if t <= 0 {
+		return 0
+	}
+	return float64(m.Completed) / t
+}
+
+// LossProbability is the fraction of offered jobs that never complete.
+func (m *Metrics) LossProbability() float64 {
+	total := m.Completed + m.Dropped + m.Killed
+	if total == 0 {
+		return 0
+	}
+	return float64(m.Dropped+m.Killed) / float64(total)
+}
+
+// ResponsePercentile reports the p-quantile of sampled response times;
+// it returns 0 unless Config.PercentileSample was set.
+func (m *Metrics) ResponsePercentile(p float64) float64 {
+	if m.ResponseSamples == nil {
+		return 0
+	}
+	return m.ResponseSamples.Percentile(p)
+}
+
+// Utilization returns node i's busy fraction.
+func (m *Metrics) Utilization(i int) float64 {
+	if m.Elapsed <= 0 {
+		return 0
+	}
+	return m.BusyTime[i] / m.Elapsed
+}
+
+type node struct {
+	cfg   NodeConfig
+	queue []*Job
+	inUse int // busy servers
+	count int // jobs present (queue + in service)
+}
+
+type eventKind int
+
+const (
+	evArrival eventKind = iota
+	evDeparture
+)
+
+type event struct {
+	at       float64
+	kind     eventKind
+	seq      int // tie-breaker for determinism
+	job      *Job
+	node     int
+	kill     bool    // departure is a timeout kill
+	start    float64 // service start time (departure events)
+	progress float64 // work performed during the attempt (speed-adjusted)
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// System is a running simulation.
+type System struct {
+	cfg     Config
+	rng     *rand.Rand
+	nodes   []*node
+	events  eventHeap
+	now     float64
+	seq     int
+	metrics Metrics
+	pending bool // a source arrival event is scheduled
+}
+
+// NewSystem validates the configuration and prepares a simulation.
+func NewSystem(cfg Config) *System {
+	if len(cfg.Nodes) == 0 {
+		panic("sim: need at least one node")
+	}
+	if cfg.Policy == nil || cfg.Source == nil {
+		panic("sim: need policy and source")
+	}
+	s := &System{
+		cfg: cfg,
+		rng: rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xdeadbeefcafe)),
+	}
+	for i := range cfg.Nodes {
+		nc := cfg.Nodes[i]
+		if nc.Servers <= 0 {
+			nc.Servers = 1
+		}
+		if nc.Speed <= 0 {
+			nc.Speed = 1
+		}
+		s.nodes = append(s.nodes, &node{cfg: nc})
+	}
+	s.metrics.BusyTime = make([]float64, len(cfg.Nodes))
+	if cfg.PercentileSample > 0 {
+		s.metrics.ResponseSamples = stats.NewReservoir(cfg.PercentileSample, s.rng.Float64)
+	}
+	if len(cfg.SizeBands) > 0 {
+		for i := 1; i < len(cfg.SizeBands); i++ {
+			if cfg.SizeBands[i] <= cfg.SizeBands[i-1] {
+				panic("sim: SizeBands must be strictly ascending")
+			}
+		}
+		s.metrics.BandSlowdown = make([]stats.Summary, len(cfg.SizeBands)+1)
+	}
+	return s
+}
+
+// band classifies a job size against the configured boundaries.
+func (s *System) band(size float64) int {
+	for i, b := range s.cfg.SizeBands {
+		if size <= b {
+			return i
+		}
+	}
+	return len(s.cfg.SizeBands)
+}
+
+// NumNodes returns the node count.
+func (s *System) NumNodes() int { return len(s.nodes) }
+
+// QueueLength returns the number of jobs present at node i.
+func (s *System) QueueLength(i int) int { return s.nodes[i].count }
+
+// WorkLeft estimates the unfinished work queued at node i (the oracle
+// quantity used by the least-work-left policy).
+func (s *System) WorkLeft(i int) float64 {
+	var w float64
+	for _, j := range s.nodes[i].queue {
+		w += j.Remaining
+	}
+	// In-service work is not tracked per server; approximate by half a
+	// mean job. Policies needing exact values should use queue lengths.
+	return w + float64(s.nodes[i].inUse)*0.5
+}
+
+// Now returns the simulation clock.
+func (s *System) Now() float64 { return s.now }
+
+// RNG exposes the simulation RNG to policies.
+func (s *System) RNG() *rand.Rand { return s.rng }
+
+func (s *System) schedule(e *event) {
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.events, e)
+}
+
+// admit places a job at node i (post-routing); returns false when the
+// node is full.
+func (s *System) admit(j *Job, i int) bool {
+	n := s.nodes[i]
+	if n.cfg.Capacity > 0 && n.count >= n.cfg.Capacity {
+		return false
+	}
+	n.count++
+	j.NodeIdx = i
+	if n.inUse < n.cfg.Servers {
+		s.startService(j, i)
+	} else {
+		n.queue = append(n.queue, j)
+	}
+	return true
+}
+
+// startService begins serving j at node i and schedules its departure.
+func (s *System) startService(j *Job, i int) {
+	n := s.nodes[i]
+	n.inUse++
+	// Remaining equals Size under restart semantics (kills never deduct
+	// progress) and the true residual under resume semantics.
+	work := j.Remaining
+	serviceTime := work / n.cfg.Speed
+	last := i == len(s.nodes)-1
+	if n.cfg.Timeout != nil && !last {
+		to := n.cfg.Timeout(s.rng)
+		if to < serviceTime {
+			s.schedule(&event{at: s.now + to, kind: evDeparture, job: j, node: i,
+				kill: true, start: s.now, progress: to * n.cfg.Speed})
+			return
+		}
+	}
+	s.schedule(&event{at: s.now + serviceTime, kind: evDeparture, job: j, node: i,
+		start: s.now, progress: work})
+}
+
+// serveNext pulls the next queued job at node i, if any.
+func (s *System) serveNext(i int) {
+	n := s.nodes[i]
+	if len(n.queue) == 0 {
+		return
+	}
+	j := n.queue[0]
+	n.queue = n.queue[1:]
+	s.startService(j, i)
+}
+
+// Run drives the simulation until the source is exhausted and all
+// events drain, or until maxTime (0 = no limit) passes. It returns the
+// metrics.
+func (s *System) Run(maxTime float64) *Metrics {
+	s.scheduleNextArrival()
+	for s.events.Len() > 0 {
+		e := heap.Pop(&s.events).(*event)
+		if maxTime > 0 && e.at > maxTime {
+			s.now = maxTime
+			break
+		}
+		s.now = e.at
+		switch e.kind {
+		case evArrival:
+			s.pending = false
+			s.handleArrival(e.job)
+			s.scheduleNextArrival()
+		case evDeparture:
+			s.handleDeparture(e)
+		}
+	}
+	s.metrics.Elapsed = s.now
+	s.metrics.Warmup = s.cfg.Warmup
+	return &s.metrics
+}
+
+func (s *System) scheduleNextArrival() {
+	if s.pending {
+		return
+	}
+	wj, ok := s.cfg.Source.Next(s.rng)
+	if !ok {
+		return
+	}
+	j := &Job{ID: wj.ID, Arrival: wj.Arrival, Size: wj.Size, Remaining: wj.Size}
+	if j.Size <= 0 {
+		panic(fmt.Sprintf("sim: job %d has non-positive size %g", j.ID, j.Size))
+	}
+	s.pending = true
+	s.schedule(&event{at: j.Arrival, kind: evArrival, job: j})
+}
+
+func (s *System) handleArrival(j *Job) {
+	target := s.cfg.Policy.Route(s, j)
+	if target < 0 || target >= len(s.nodes) || !s.admit(j, target) {
+		if j.Arrival >= s.cfg.Warmup {
+			s.metrics.Dropped++
+		}
+		return
+	}
+}
+
+func (s *System) handleDeparture(e *event) {
+	i := e.node
+	n := s.nodes[i]
+	n.inUse--
+	n.count--
+	j := e.job
+	counted := j.Arrival >= s.cfg.Warmup
+	// Busy time covers the full attempt, whether or not the work is lost.
+	s.metrics.BusyTime[i] += e.at - e.start
+	if e.kill {
+		if n.cfg.Resume {
+			j.Remaining -= e.progress
+			if j.Remaining < 1e-12 {
+				j.Remaining = 1e-12 // guard against a zero-length final attempt
+			}
+		}
+		s.advanceKilled(j, i, counted)
+	} else {
+		if counted {
+			s.metrics.Response.Add(s.now - j.Arrival)
+			s.metrics.Slowdown.Add((s.now - j.Arrival) / j.Size)
+			if s.metrics.BandSlowdown != nil {
+				s.metrics.BandSlowdown[s.band(j.Size)].Add((s.now - j.Arrival) / j.Size)
+			}
+			if s.metrics.ResponseSamples != nil {
+				s.metrics.ResponseSamples.Add(s.now - j.Arrival)
+			}
+			s.metrics.Completed++
+		}
+	}
+	s.serveNext(i)
+}
+
+// advanceKilled moves a timed-out job to node i+1.
+func (s *System) advanceKilled(j *Job, i int, counted bool) {
+	if !s.admit(j, i+1) {
+		if counted {
+			s.metrics.Killed++
+		}
+	}
+}

@@ -1,0 +1,217 @@
+// Package stats provides the sample statistics used by the simulator:
+// streaming mean/variance (Welford), normal-approximation confidence
+// intervals, batch means and simple histograms.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates streaming sample statistics.
+type Summary struct {
+	n          int
+	mean, m2   float64
+	min, max   float64
+	hasSamples bool
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+	if !s.hasSamples || x < s.min {
+		s.min = x
+	}
+	if !s.hasSamples || x > s.max {
+		s.max = x
+	}
+	s.hasSamples = true
+}
+
+// N returns the sample count.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the sample mean (0 when empty).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Var returns the unbiased sample variance.
+func (s *Summary) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Var()) }
+
+// Min and Max return the extremes (0 when empty).
+func (s *Summary) Min() float64 { return s.min }
+func (s *Summary) Max() float64 { return s.max }
+
+// StdErr returns the standard error of the mean.
+func (s *Summary) StdErr() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+// CI95 returns the half-width of the 95% normal-approximation
+// confidence interval for the mean.
+func (s *Summary) CI95() float64 { return 1.959963984540054 * s.StdErr() }
+
+// String renders "mean ± ci (n)".
+func (s *Summary) String() string {
+	return fmt.Sprintf("%.6g ± %.2g (n=%d)", s.Mean(), s.CI95(), s.n)
+}
+
+// Merge folds another summary into this one (parallel batches).
+func (s *Summary) Merge(o *Summary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *o
+		return
+	}
+	n1, n2 := float64(s.n), float64(o.n)
+	d := o.mean - s.mean
+	mean := s.mean + d*n2/(n1+n2)
+	s.m2 = s.m2 + o.m2 + d*d*n1*n2/(n1+n2)
+	s.mean = mean
+	s.n += o.n
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+}
+
+// BatchMeans splits a series into nbatch equal batches and returns the
+// summary over batch means, the standard way to build confidence
+// intervals from correlated simulation output.
+func BatchMeans(xs []float64, nbatch int) (*Summary, error) {
+	if nbatch < 2 {
+		return nil, fmt.Errorf("stats: need at least 2 batches, got %d", nbatch)
+	}
+	if len(xs) < nbatch {
+		return nil, fmt.Errorf("stats: %d samples cannot fill %d batches", len(xs), nbatch)
+	}
+	size := len(xs) / nbatch
+	out := &Summary{}
+	for b := 0; b < nbatch; b++ {
+		var m float64
+		for i := b * size; i < (b+1)*size; i++ {
+			m += xs[i]
+		}
+		out.Add(m / float64(size))
+	}
+	return out, nil
+}
+
+// Histogram is a fixed-bin histogram over [Lo, Hi); out-of-range
+// samples land in the first/last bin.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram makes a histogram with bins over [lo, hi).
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins < 1 || hi <= lo {
+		panic("stats: invalid histogram spec")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	b := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+	if b < 0 {
+		b = 0
+	}
+	if b >= len(h.Counts) {
+		b = len(h.Counts) - 1
+	}
+	h.Counts[b]++
+	h.total++
+}
+
+// Fraction returns the share of samples in bin b.
+func (h *Histogram) Fraction(b int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Counts[b]) / float64(h.total)
+}
+
+// Total returns the number of recorded samples.
+func (h *Histogram) Total() int { return h.total }
+
+// Percentile returns the p-quantile (0 <= p <= 1) of xs by linear
+// interpolation on the sorted copy. It returns 0 for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	pos := p * float64(len(s)-1)
+	lo := int(pos)
+	if lo >= len(s)-1 {
+		return s[len(s)-1]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Reservoir keeps a uniform random sample of a stream with bounded
+// memory (Vitter's algorithm R), so percentile estimates stay cheap on
+// long simulations.
+type Reservoir struct {
+	cap  int
+	seen int
+	data []float64
+	rng  func() float64 // uniform [0,1); injectable for determinism
+}
+
+// NewReservoir allocates a reservoir of the given capacity using the
+// provided uniform RNG (e.g. rand.Float64).
+func NewReservoir(capacity int, rng func() float64) *Reservoir {
+	if capacity < 1 || rng == nil {
+		panic("stats: invalid reservoir")
+	}
+	return &Reservoir{cap: capacity, rng: rng}
+}
+
+// Add offers one observation to the reservoir.
+func (r *Reservoir) Add(x float64) {
+	r.seen++
+	if len(r.data) < r.cap {
+		r.data = append(r.data, x)
+		return
+	}
+	if i := int(r.rng() * float64(r.seen)); i < r.cap {
+		r.data[i] = x
+	}
+}
+
+// Seen returns the number of offered observations.
+func (r *Reservoir) Seen() int { return r.seen }
+
+// Percentile estimates the p-quantile from the retained sample.
+func (r *Reservoir) Percentile(p float64) float64 { return Percentile(r.data, p) }

@@ -1,0 +1,172 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{1, 2, 3, 4, 5} {
+		s.Add(x)
+	}
+	if s.N() != 5 || s.Mean() != 3 {
+		t.Fatalf("n=%d mean=%v", s.N(), s.Mean())
+	}
+	if s.Var() != 2.5 {
+		t.Fatalf("var %v want 2.5", s.Var())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("min/max %v %v", s.Min(), s.Max())
+	}
+	if s.CI95() <= 0 {
+		t.Fatal("CI must be positive")
+	}
+	if s.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Var() != 0 || s.StdErr() != 0 {
+		t.Fatal("empty summary should be zero")
+	}
+}
+
+func TestSummaryMergeMatchesSequential(t *testing.T) {
+	prop := func(xs []float64, split uint8) bool {
+		clean := xs[:0:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e100 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) < 2 {
+			return true
+		}
+		k := int(split) % len(clean)
+		var all, a, b Summary
+		for _, x := range clean {
+			all.Add(x)
+		}
+		for _, x := range clean[:k] {
+			a.Add(x)
+		}
+		for _, x := range clean[k:] {
+			b.Add(x)
+		}
+		a.Merge(&b)
+		return a.N() == all.N() &&
+			math.Abs(a.Mean()-all.Mean()) <= 1e-9*(1+math.Abs(all.Mean())) &&
+			math.Abs(a.Var()-all.Var()) <= 1e-6*(1+math.Abs(all.Var()))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchMeans(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i % 10)
+	}
+	s, err := BatchMeans(xs, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != 10 {
+		t.Fatalf("batches %d", s.N())
+	}
+	if math.Abs(s.Mean()-4.5) > 1e-12 {
+		t.Fatalf("mean %v want 4.5", s.Mean())
+	}
+	if _, err := BatchMeans(xs, 1); err == nil {
+		t.Fatal("1 batch must fail")
+	}
+	if _, err := BatchMeans(xs[:3], 10); err == nil {
+		t.Fatal("too few samples must fail")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i%10) + 0.5)
+	}
+	for b := 0; b < 10; b++ {
+		if h.Counts[b] != 10 {
+			t.Fatalf("bin %d count %d", b, h.Counts[b])
+		}
+		if h.Fraction(b) != 0.1 {
+			t.Fatalf("bin %d fraction %v", b, h.Fraction(b))
+		}
+	}
+	// Out-of-range clamping.
+	h.Add(-5)
+	h.Add(50)
+	if h.Counts[0] != 11 || h.Counts[9] != 11 {
+		t.Fatal("clamping broken")
+	}
+	if h.Total() != 102 {
+		t.Fatalf("total %d", h.Total())
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2, 5}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 1) != 5 {
+		t.Fatal("extremes wrong")
+	}
+	if Percentile(xs, 0.5) != 3 {
+		t.Fatalf("median %v want 3", Percentile(xs, 0.5))
+	}
+	// Interpolation between 4 and 5 at p=0.875: 4.5.
+	if got := Percentile(xs, 0.875); math.Abs(got-4.5) > 1e-12 {
+		t.Fatalf("p=0.875 got %v want 4.5", got)
+	}
+	// Input must not be reordered.
+	if xs[0] != 4 {
+		t.Fatal("input mutated")
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Fatal("empty input")
+	}
+	// Clamping.
+	if Percentile(xs, -1) != 1 || Percentile(xs, 2) != 5 {
+		t.Fatal("clamping broken")
+	}
+}
+
+func TestReservoirSmallStreamKeepsAll(t *testing.T) {
+	r := NewReservoir(10, func() float64 { return 0 })
+	for i := 1; i <= 5; i++ {
+		r.Add(float64(i))
+	}
+	if r.Seen() != 5 {
+		t.Fatal("seen wrong")
+	}
+	if r.Percentile(1) != 5 || r.Percentile(0) != 1 {
+		t.Fatal("retained values wrong")
+	}
+}
+
+func TestReservoirLongStreamQuantiles(t *testing.T) {
+	// Uniform stream 0..1: reservoir median should be near 0.5.
+	seed := uint64(12345)
+	lcg := func() float64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return float64(seed>>33) / float64(1<<31)
+	}
+	r := NewReservoir(2000, lcg)
+	for i := 0; i < 200000; i++ {
+		r.Add(lcg())
+	}
+	if med := r.Percentile(0.5); math.Abs(med-0.5) > 0.05 {
+		t.Fatalf("median %v", med)
+	}
+	if r.Seen() != 200000 {
+		t.Fatal("seen wrong")
+	}
+}
