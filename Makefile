@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test race vet fmt-check bench clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/pepa ./internal/linalg ./internal/ctmc ./internal/core ./internal/sim
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Run the derivation/solver benchmarks (serial vs parallel) and write a
+# machine-readable summary to BENCH_derive.json.
+bench:
+	$(GO) test -run=NONE -bench='BenchmarkDerive|BenchmarkSteady' -benchmem . | tee BENCH_derive.txt
+	$(GO) run ./tools/benchjson -o BENCH_derive.json < BENCH_derive.txt
+
+clean:
+	rm -f BENCH_derive.txt BENCH_derive.json

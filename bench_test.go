@@ -9,6 +9,10 @@ package pepatags_test
 // EXPERIMENTS.md.
 
 import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"pepatags/internal/core"
@@ -187,6 +191,133 @@ func BenchmarkH2Solve(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- serial vs parallel derivation and solvers ---
+//
+// The BenchmarkDerive*/BenchmarkSteady* families compare the serial
+// reference paths against the worker-pool paths on the paper's three
+// models at growing queue bounds. Run with -cpu to vary GOMAXPROCS;
+// the parallel variants only pay off with real cores behind them.
+
+// benchDerive parses once, then times derivation at each worker count.
+func benchDerive(b *testing.B, src string, workerCounts ...int) {
+	b.Helper()
+	m, err := pepa.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ref, err := pepa.Derive(m, pepa.DeriveOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	want := ref.Chain.NumStates()
+	for _, w := range workerCounts {
+		name := "serial"
+		if w > 1 {
+			name = fmt.Sprintf("workers=%d", w)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ss, err := pepa.Derive(m, pepa.DeriveOptions{Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if ss.Chain.NumStates() != want {
+					b.Fatalf("state count %d != %d", ss.Chain.NumStates(), want)
+				}
+			}
+		})
+	}
+}
+
+// randomAllocSource generates the Appendix A random-allocation model
+// (two independent M/M/1/N queues) at queue bound n.
+func randomAllocSource(n int) string {
+	var sb strings.Builder
+	sb.WriteString("l1 = 2.5;\nl2 = 2.5;\nmu = 10;\n")
+	for _, q := range []struct{ name, arr, srv string }{
+		{"QA", "arrival1", "service1"}, {"QB", "arrival2", "service2"},
+	} {
+		for i := 0; i <= n; i++ {
+			fmt.Fprintf(&sb, "%s%d = ", q.name, i)
+			switch {
+			case i == 0:
+				fmt.Fprintf(&sb, "(%s, l1).%s1;\n", q.arr, q.name)
+			case i == n:
+				fmt.Fprintf(&sb, "(%s, mu).%s%d;\n", q.srv, q.name, i-1)
+			default:
+				fmt.Fprintf(&sb, "(%s, l1).%s%d + (%s, mu).%s%d;\n", q.arr, q.name, i+1, q.srv, q.name, i-1)
+			}
+		}
+	}
+	sb.WriteString("QA0 || QB0\n")
+	return sb.String()
+}
+
+func BenchmarkDeriveTAG(b *testing.B) {
+	for _, k := range []int{10, 20, 28} {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			benchDerive(b, core.NewTAGExp(5, 10, 42, 6, k, k).PEPASource(), 1, 4)
+		})
+	}
+}
+
+func BenchmarkDeriveRandom(b *testing.B) {
+	for _, n := range []int{50, 150} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			benchDerive(b, randomAllocSource(n), 1, 4)
+		})
+	}
+}
+
+func BenchmarkDeriveShortestQueue(b *testing.B) {
+	src, err := os.ReadFile(filepath.Join("models", "appendixB_shortestqueue.pepa"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchDerive(b, string(src), 1, 4)
+}
+
+// benchSteady times one solver configuration on the largest TAG chain.
+func benchSteady(b *testing.B, q *linalg.CSR, solve func(*linalg.CSR) ([]float64, error)) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solve(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSteadyPower(b *testing.B) {
+	q := core.NewTAGExp(5, 10, 42, 6, 20, 20).Build().Generator()
+	b.Run("serial", func(b *testing.B) {
+		benchSteady(b, q, func(q *linalg.CSR) ([]float64, error) {
+			return linalg.SteadyStatePower(q, linalg.Options{})
+		})
+	})
+	b.Run("workers=4", func(b *testing.B) {
+		benchSteady(b, q, func(q *linalg.CSR) ([]float64, error) {
+			return linalg.SteadyStatePower(q, linalg.Options{Workers: 4})
+		})
+	})
+}
+
+func BenchmarkSteadyJacobi(b *testing.B) {
+	q := core.NewTAGExp(5, 10, 42, 6, 20, 20).Build().Generator()
+	b.Run("serial", func(b *testing.B) {
+		benchSteady(b, q, func(q *linalg.CSR) ([]float64, error) {
+			return linalg.SteadyStateJacobi(q, linalg.Options{})
+		})
+	})
+	b.Run("workers=4", func(b *testing.B) {
+		benchSteady(b, q, func(q *linalg.CSR) ([]float64, error) {
+			return linalg.SteadyStateJacobi(q, linalg.Options{Workers: 4})
+		})
+	})
 }
 
 func BenchmarkMultiNodeTable(b *testing.B) { benchFigure(b, exp.MultiNodeTable) }

@@ -9,6 +9,9 @@
 //	pepa -states model.pepa        # also dump the stationary vector
 //	pepa -tag                      # solve the built-in Figure 3 model
 //	pepa -lump model.pepa          # report the lumped quotient size
+//	pepa -workers 8 model.pepa     # parallel derivation + parallel solver
+//	pepa -solver power model.pepa  # force a solver: auto|gth|power|gs|jacobi
+//	pepa -stats model.pepa         # derivation/solver statistics on stderr
 //	echo '...' | pepa -            # read from stdin
 package main
 
@@ -17,9 +20,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"pepatags/internal/core"
 	"pepatags/internal/ctmc"
+	"pepatags/internal/linalg"
+	"pepatags/internal/obsv"
 	"pepatags/internal/pepa"
 )
 
@@ -40,9 +46,15 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		lump       = fs.Bool("lump", false, "report the exactly-lumped quotient size")
 		echo       = fs.Bool("echo", false, "pretty-print the parsed model before solving")
 		level      = fs.String("level", "", "report E[level] of a leaf: <leafIndex>:<derivativePrefix>, e.g. 1:QA")
+		workers    = fs.Int("workers", 1, "worker goroutines for derivation and the row-partitioned solvers (-1 = one per CPU)")
+		stats      = fs.Bool("stats", false, "print derivation and solver statistics to stderr")
+		solver     = fs.String("solver", "auto", "steady-state solver: auto, gth, power, gs (Gauss-Seidel), jacobi")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *workers < 0 {
+		*workers = runtime.GOMAXPROCS(0)
 	}
 
 	var src []byte
@@ -55,7 +67,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	case fs.NArg() == 1:
 		src, err = os.ReadFile(fs.Arg(0))
 	default:
-		return fmt.Errorf("usage: pepa [-states] [-lump] [-echo] [-tag] <model.pepa | ->")
+		return fmt.Errorf("usage: pepa [-states] [-lump] [-echo] [-tag] [-workers n] [-solver s] [-stats] <model.pepa | ->")
 	}
 	if err != nil {
 		return err
@@ -71,7 +83,15 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if err := model.CheckCyclic(); err != nil {
 		fmt.Fprintf(stderr, "warning: %v\n", err)
 	}
-	ss, err := pepa.Derive(model, pepa.DeriveOptions{MaxStates: *maxStates})
+	dopts := pepa.DeriveOptions{MaxStates: *maxStates, Workers: *workers}
+	var dstats obsv.DeriveStats
+	if *stats {
+		dopts.Stats = &dstats
+	}
+	ss, err := pepa.Derive(model, dopts)
+	if *stats && dstats.States > 0 {
+		fmt.Fprintln(stderr, dstats.String())
+	}
 	if err != nil {
 		return err
 	}
@@ -81,7 +101,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if err := c.CheckIrreducible(); err != nil {
 		fmt.Fprintf(stderr, "warning: %v\n", err)
 	}
-	pi, err := c.SteadyState()
+	pi, err := solveSteady(c, *solver, *workers, *stats, stderr)
 	if err != nil {
 		return err
 	}
@@ -115,4 +135,47 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// solveSteady dispatches on the -solver flag. See the "Choosing a
+// solver" section of README.md for when each wins.
+func solveSteady(c *ctmc.Chain, solver string, workers int, stats bool, stderr io.Writer) ([]float64, error) {
+	if solver == "auto" && !stats && workers <= 1 {
+		return c.SteadyState()
+	}
+	opts := linalg.Options{Workers: workers}
+	var sstats obsv.SolveStats
+	if stats {
+		opts.Stats = &sstats
+		defer func() {
+			if sstats.Solver != "" {
+				fmt.Fprintln(stderr, sstats.String())
+			}
+		}()
+	}
+	q := c.Generator()
+	switch solver {
+	case "auto":
+		// The automatic choice, but honouring -workers and -stats:
+		// GTH on small chains, iterative beyond.
+		if q.Rows <= 400 {
+			if pi, err := linalg.SteadyStateGTH(q.ToDense()); err == nil {
+				return pi, nil
+			}
+		}
+		if pi, err := linalg.SteadyStateGaussSeidel(q, opts); err == nil {
+			return pi, nil
+		}
+		return linalg.SteadyStatePower(q, opts)
+	case "gth":
+		return linalg.SteadyStateGTH(q.ToDense())
+	case "power":
+		return linalg.SteadyStatePower(q, opts)
+	case "gs":
+		return linalg.SteadyStateGaussSeidel(q, opts)
+	case "jacobi":
+		return linalg.SteadyStateJacobi(q, opts)
+	default:
+		return nil, fmt.Errorf("unknown -solver %q (want auto, gth, power, gs or jacobi)", solver)
+	}
 }

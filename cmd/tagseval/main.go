@@ -9,6 +9,8 @@
 //	tagseval -all                    # everything
 //	tagseval -all -short             # trimmed grids (fast)
 //	tagseval -fig figure9 -csv       # CSV instead of a text table
+//	tagseval -fig statespace -workers 8  # parallel PEPA derivation
+//	tagseval -all -stats             # per-artefact wall time on stderr
 package main
 
 import (
@@ -16,8 +18,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
+	"time"
 
 	"pepatags/internal/exp"
 )
@@ -42,9 +46,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		csv     = fs.Bool("csv", false, "emit CSV instead of text tables")
 		jobs    = fs.Int("jobs", 200000, "simulated jobs for the simulation tables")
 		seed    = fs.Uint64("seed", 1, "simulation seed")
+		workers = fs.Int("workers", 1, "worker goroutines for the PEPA-engine runners (-1 = one per CPU)")
+		stats   = fs.Bool("stats", false, "print per-artefact wall time to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *workers < 0 {
+		*workers = runtime.GOMAXPROCS(0)
 	}
 
 	runners := map[string]runner{
@@ -85,6 +94,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *short {
 		p = exp.ShortParams()
 	}
+	p.Workers = *workers
 
 	var names []string
 	switch {
@@ -100,9 +110,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	for _, n := range names {
+		start := time.Now()
 		f, err := runners[n](p)
 		if err != nil {
 			return fmt.Errorf("%s: %w", n, err)
+		}
+		if *stats {
+			fmt.Fprintf(stderr, "%s: %v (workers=%d)\n", n, time.Since(start).Round(time.Millisecond), *workers)
 		}
 		var werr error
 		if *csv {

@@ -1,12 +1,51 @@
 // Package pepatags reproduces "Modelling job allocation where service
-// duration is unknown" (Nigel Thomas, IPPS 2006): a PEPA/CTMC analysis
-// of the TAG task-assignment policy with bounded queues, phase-type
-// service demands, analytic timeout approximations, a fluid (ODE)
-// analysis and a discrete-event simulator.
+// duration is unknown" (Nigel Thomas, IPPS 2006): a PEPA/CTMC
+// analysis of the TAG task-assignment policy — allocate every job to
+// node 1, move it to node 2 if it exceeds a timeout — with bounded
+// queues, phase-type service demands, analytic timeout
+// approximations, a fluid (ODE) analysis and a discrete-event
+// simulator.
 //
-// The implementation lives under internal/ (see DESIGN.md for the
-// module inventory); runnable entry points are the commands under
-// cmd/ and the programs under examples/. The benchmarks in
-// bench_test.go regenerate every figure and table of the paper's
-// evaluation section.
+// # Architecture
+//
+// The packages under internal/ form layers; each layer builds only on
+// the ones below it:
+//
+//	cmd/pepa  cmd/tagseval  examples/           entry points
+//	─────────────────────────────────────────
+//	exp                                         one runner per figure/table (Sec. 5, 7)
+//	─────────────────────────────────────────
+//	core   approx   fluid   sim                 the paper's models and analyses:
+//	                                              core   exact TAG CTMCs      (Sec. 3)
+//	                                              approx balance heuristics   (Sec. 4)
+//	                                              fluid  mean-field ODEs      (Sec. 3.1)
+//	                                              sim    discrete-event sim   (Sec. 7)
+//	─────────────────────────────────────────
+//	pepa   queueing   policies   workload       modelling substrate:
+//	                                              pepa   PEPA engine + derivation (Sec. 2)
+//	                                              queueing closed-form baselines
+//	─────────────────────────────────────────
+//	ctmc   linalg   dist   stats   numeric      numerical foundation
+//	─────────────────────────────────────────
+//	obsv                                        instrumentation (stats + progress)
+//
+// A model is expressed either directly as a CTMC (internal/core) or
+// as PEPA text (internal/pepa, Section 2 of the paper); both routes
+// produce a ctmc.Chain whose generator is solved by internal/linalg
+// for stationary measures, or integrated in time for transient ones.
+// internal/exp turns those measures into the paper's figures and
+// tables, and cmd/tagseval regenerates the lot.
+//
+// # Concurrency
+//
+// The two hot paths scale across cores without changing results:
+// state-space derivation (pepa.DeriveOptions.Workers) uses a
+// level-synchronous sharded BFS that is bit-identical to the serial
+// reference, and the iterative solvers (linalg.Options.Workers) use
+// row-partitioned gather products that are bit-identical for any
+// worker count. DESIGN.md documents the design and the determinism
+// arguments; EXPERIMENTS.md records measured behaviour.
+//
+// The benchmarks in bench_test.go cover serial-vs-parallel derivation
+// and solving; `make bench` summarises them into BENCH_derive.json.
 package pepatags

@@ -1,8 +1,3 @@
-// Package approx implements the paper's Section 4 analytic
-// approximations for choosing the TAG timeout: the exponential-timeout
-// balance equation, the Erlang-race balance, and the two-stage bounded
-// M/M/1/K decomposition, together with optimisers over the timeout
-// rate for several metrics.
 package approx
 
 import (

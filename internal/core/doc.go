@@ -1,0 +1,28 @@
+// Package core contains the paper's models as Go types: the two-node
+// timeout-allocation-with-guess (TAG) system of Section 3 and the
+// comparison systems it is measured against.
+//
+//   - TAGExp (NewTAGExp): the exponential-demand TAG model with an
+//     n-phase Erlang timeout race, built both as a direct CTMC (the
+//     state space of Figure 3) and as generated PEPA source
+//     (PEPASource, the Appendix A model) — the two are
+//     cross-validated state-for-state in tests.
+//   - TAGH2 (NewTAGH2): the hyperexponential-demand variant
+//     (Section 3.2 / Figure 5), where the node-1 queue tracks the
+//     service phase of the job in service.
+//   - RandomAlloc: Bernoulli splitting to independent M/M/1/K queues,
+//     the paper's baseline, validated against the closed form in
+//     internal/queueing.
+//   - ShortestQueue (and its H2 variant): join-the-shortest-queue,
+//     the strongest conventional competitor (Appendix B PEPA model).
+//   - MultiNode: the >2-node TAG generalisation discussed in the
+//     paper's outlook.
+//
+// Each model offers Build (the ctmc.Chain) and Analyze, which solves
+// for the stationary distribution and fills Measures — mean queue
+// lengths L1/L2, mean response time, throughput, loss probability
+// and timeout/guess rates — the quantities plotted in Figures 6-12.
+// Models accept solver options so large instances can use the
+// parallel derivation and iterative solvers (see internal/pepa and
+// internal/linalg).
+package core

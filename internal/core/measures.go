@@ -1,11 +1,3 @@
-// Package core implements the paper's models as first-class Go types:
-// the two-node TAG system with exponential (Figure 3) and
-// hyper-exponential (Figure 5) service, the weighted random-allocation
-// baseline (Appendix A) and the shortest-queue strategy (Appendix B),
-// plus a multi-node TAG extension. Every model builds a labelled CTMC
-// (internal/ctmc) and reports the stationary measures the paper plots:
-// mean queue lengths, throughput, loss and response time via Little's
-// law.
 package core
 
 import "pepatags/internal/queueing"

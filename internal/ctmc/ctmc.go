@@ -1,11 +1,3 @@
-// Package ctmc represents labelled continuous-time Markov chains and
-// the stationary / transient measures the paper reports: action
-// throughputs, expected rewards (queue lengths), loss rates and
-// response times via Little's law.
-//
-// A chain is assembled through a Builder that interns states by label
-// and accumulates action-labelled transitions; the generator matrix is
-// materialised as sparse CSR.
 package ctmc
 
 import (

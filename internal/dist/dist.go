@@ -1,13 +1,3 @@
-// Package dist implements the service-demand distributions used by the
-// TAG models: exponential, Erlang, hyper-exponential and general
-// phase-type distributions, plus the deterministic and bounded-Pareto
-// distributions used by the simulator.
-//
-// Everything the paper needs from phase-type theory is here: moments,
-// CDFs, Laplace transforms, the residual-life calculation of Section
-// 3.2 (the type mix of a hyper-exponential job that survives an Erlang
-// timeout) and moment-matching/EM fitting as a stand-in for the EMpht
-// tool the paper cites.
 package dist
 
 import (

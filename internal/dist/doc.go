@@ -1,0 +1,24 @@
+// Package dist implements the service-time and timer distributions of
+// the paper's Section 3.2: exponential, Erlang (the paper's
+// deterministic-timeout stand-in — an n-phase Erlang race
+// approximates a deterministic timeout as n grows), hyperexponential
+// (H2, the high-variance job-size demand the TAG policy is designed
+// for) and deterministic point masses.
+//
+// Every distribution implements Distribution — Mean, Var, CDF,
+// LaplaceTransform and Sample — so the same object parameterises the
+// analytical models (internal/core, internal/queueing), the
+// approximations of Section 4 (internal/approx) and the discrete-event
+// simulator (internal/sim). SCV computes the squared coefficient of
+// variation used throughout the paper to characterise demand
+// variability.
+//
+// H2ForTAG builds the paper's two-branch hyperexponential from
+// (mean, short-branch probability, rate ratio), mirroring how the
+// paper's experiments fix a mean while sweeping variability. The
+// moment-matching constructors play the role the paper assigns to
+// PH-fitting tools (EMpht): fitting tractable phase-type stand-ins
+// for empirically observed durations; Section 3.2's residual-life
+// reasoning is what makes phase-type timers compose with the
+// memoryless queues.
+package dist

@@ -1,7 +1,3 @@
-// Package exp contains one runner per figure/table of the paper's
-// evaluation (Section 5), producing named data series that can be
-// rendered as aligned text tables or CSV. The benchmarks in the
-// repository root and the cmd/tagseval CLI drive these runners.
 package exp
 
 import (

@@ -27,6 +27,11 @@ type Params struct {
 	TMin, TMax, TStep int
 	// Alphas is the Figures 11-12 x-axis.
 	Alphas []float64
+	// Workers parallelises the runners that go through the generic
+	// PEPA engine (state-space derivation) and the row-partitioned
+	// solvers; 0 or 1 keeps the serial reference paths. Set by
+	// cmd/tagseval's -workers flag.
+	Workers int
 }
 
 // DefaultParams mirrors the paper.

@@ -38,7 +38,7 @@ func StateSpaceTable(p Params) (*Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		ss, err := pepa.Derive(pm, pepa.DeriveOptions{})
+		ss, err := pepa.Derive(pm, pepa.DeriveOptions{Workers: p.Workers})
 		if err != nil {
 			return nil, err
 		}

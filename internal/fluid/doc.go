@@ -1,0 +1,21 @@
+// Package fluid implements the fluid-flow (mean-field ODE)
+// interpretation of the paper's Section 3.1 alternative model, in the
+// style Hillston and the Dizzy tool apply to stochastic process
+// algebras: places hold continuous job mass, transitions move mass at
+// state-dependent rates, and the CTMC is replaced by the ODE system
+// dx/dt = f(x).
+//
+// Model is a generic place/transition ODE system with mass-action or
+// custom rate functions; it integrates with classic RK4 (fixed step),
+// RKF45 (adaptive), trajectory sampling, and Equilibrium detection by
+// derivative norm. TAGFluid and TAGFluidPlaces specialise it to the
+// TAG system — the latter keeps the Erlang timer phases as separate
+// places so phase mass is conserved and the timeout flow can be read
+// off directly.
+//
+// The fluid equilibrium tracks the exact CTMC's shape across timeout
+// rates but under-estimates queueing at small capacities (no
+// stochastic fluctuation), which is exactly the comparison
+// internal/exp's FluidTable tabulates against Section 5's exact
+// results.
+package fluid

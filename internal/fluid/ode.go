@@ -1,13 +1,3 @@
-// Package fluid implements the fluid-flow (ODE) approximation of PEPA
-// models that the paper's Section 3.1 attributes to Hillston [8] and
-// the Dizzy tool [9]: instead of deriving the CTMC of the alternative
-// (replicated-place) model of Figure 4, one counts the number of
-// components in each derivative and integrates a system of ODEs whose
-// rates follow the min-semantics of cooperation.
-//
-// The package provides a generic transition-based ODE model, fixed and
-// adaptive Runge-Kutta integrators, equilibrium detection, and the
-// fluid TAG model itself.
 package fluid
 
 import (

@@ -1,12 +1,3 @@
-// Package linalg provides the dense and sparse matrix types and the
-// linear-algebra kernels used to solve continuous-time Markov chains:
-// GTH elimination, LU factorisation and classic iterative stationary
-// solvers (power, Jacobi, Gauss–Seidel, SOR).
-//
-// Conventions: generator matrices Q are stored row-major with
-// Q[i][j] >= 0 for i != j and Q[i][i] = -sum of the off-diagonal row.
-// Stationary vectors pi are row vectors satisfying pi Q = 0,
-// sum(pi) = 1.
 package linalg
 
 import (

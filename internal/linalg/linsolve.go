@@ -32,8 +32,9 @@ func SolveSparseGaussSeidel(a *CSR, b []float64, opts Options) ([]float64, error
 	}
 	x := make([]float64, n)
 	w := opts.Omega
+	var diff, scale float64
 	for iter := 0; iter < opts.MaxIter; iter++ {
-		var diff, scale float64
+		diff, scale = 0, 0
 		for i := 0; i < n; i++ {
 			s := b[i]
 			for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
@@ -55,5 +56,5 @@ func SolveSparseGaussSeidel(a *CSR, b []float64, opts Options) ([]float64, error
 			return x, nil
 		}
 	}
-	return x, ErrNotConverged
+	return x, notConverged("sparse gauss-seidel linear solve", diff, opts.MaxIter, opts.Eps*(1+scale))
 }

@@ -4,8 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+	"time"
 
 	"pepatags/internal/numeric"
+	"pepatags/internal/obsv"
 )
 
 // Solver options and defaults for the iterative stationary solvers.
@@ -15,14 +18,41 @@ const (
 )
 
 // ErrNotConverged is returned when an iterative solver exhausts its
-// iteration budget before reaching the requested residual.
+// iteration budget before reaching the requested residual. Solvers
+// wrap it with the achieved difference and iteration count, so match
+// with errors.Is, not equality.
 var ErrNotConverged = errors.New("linalg: iterative solver did not converge")
+
+// notConverged wraps ErrNotConverged with what the solver achieved, so
+// callers can report how close a failed solve got.
+func notConverged(solver string, diff float64, iters int, eps float64) error {
+	return fmt.Errorf("linalg: %s reached diff %.3g after %d iterations (target %.3g): %w",
+		solver, diff, iters, eps, ErrNotConverged)
+}
 
 // Options configures the iterative stationary solvers.
 type Options struct {
 	MaxIter int     // maximum sweeps (default DefaultMaxIter)
 	Eps     float64 // convergence threshold on successive-iterate l∞ difference (default DefaultEps)
 	Omega   float64 // SOR relaxation factor; 1 = plain Gauss-Seidel
+
+	// Workers parallelises the row-partitioned solvers (power,
+	// Jacobi) across goroutines; <= 1 runs serially. Gauss-Seidel and
+	// GTH are inherently sequential and ignore it.
+	Workers int
+
+	// Stats, when non-nil, is filled with iteration counts, the final
+	// successive-iterate difference and wall time (also when the
+	// solver fails to converge).
+	Stats *obsv.SolveStats
+
+	// Progress, when non-nil, is called every TraceEvery sweeps (or
+	// every 64 when TraceEvery is 0) with the current difference.
+	Progress obsv.ProgressFunc
+
+	// TraceEvery samples the successive-iterate difference into
+	// Stats.ResidualTrace every TraceEvery sweeps (0 = no trace).
+	TraceEvery int
 }
 
 func (o Options) withDefaults() Options {
@@ -36,6 +66,34 @@ func (o Options) withDefaults() Options {
 		o.Omega = 1
 	}
 	return o
+}
+
+// tick drives the per-sweep instrumentation shared by the iterative
+// solvers: trace sampling and progress callbacks.
+func (o Options) tick(solver string, iter, n int, diff float64) {
+	every := o.TraceEvery
+	if o.TraceEvery > 0 && iter%o.TraceEvery == 0 && o.Stats != nil {
+		o.Stats.ResidualTrace = append(o.Stats.ResidualTrace, diff)
+	}
+	if every <= 0 {
+		every = 64
+	}
+	if o.Progress != nil && iter%every == 0 {
+		o.Progress(obsv.Progress{Phase: solver, Step: iter, Count: n, Value: diff})
+	}
+}
+
+// finish fills Stats at the end of a solve.
+func (o Options) finish(solver string, start time.Time, iters int, diff float64, converged bool) {
+	if o.Stats == nil {
+		return
+	}
+	o.Stats.Solver = solver
+	o.Stats.Iterations = iters
+	o.Stats.FinalDiff = diff
+	o.Stats.Converged = converged
+	o.Stats.Workers = max(1, o.Workers)
+	o.Stats.Elapsed = time.Since(start)
 }
 
 // SteadyStateGTH computes the stationary distribution of the generator
@@ -145,11 +203,19 @@ func UniformizationConstant(q *CSR) float64 {
 // SteadyStatePower computes the stationary distribution of the sparse
 // generator q by power iteration on the uniformised DTMC
 // P = I + Q/Lambda.
+//
+// With Options.Workers > 1 the sweep runs row-partitioned over the
+// transpose of q: each worker gathers a contiguous block of
+// components of pi P, so there is no write contention and the result
+// is bit-identical for every worker count (the serial scatter path
+// sums in a different order and may differ in the last ulp; both
+// agree with GTH to solver tolerance).
 func SteadyStatePower(q *CSR, opts Options) ([]float64, error) {
 	opts = opts.withDefaults()
 	if q.Rows != q.Cols {
 		return nil, fmt.Errorf("linalg: SteadyStatePower needs square matrix")
 	}
+	start := time.Now()
 	n := q.Rows
 	lambda := UniformizationConstant(q)
 	pi := make([]float64, n)
@@ -157,7 +223,11 @@ func SteadyStatePower(q *CSR, opts Options) ([]float64, error) {
 		pi[i] = 1 / float64(n)
 	}
 	tmp := make([]float64, n)
-	for iter := 0; iter < opts.MaxIter; iter++ {
+
+	if opts.Workers > 1 {
+		return steadyStatePowerPar(q, pi, tmp, lambda, start, opts)
+	}
+	for iter := 1; iter <= opts.MaxIter; iter++ {
 		// tmp = pi * Q
 		q.VecMulInto(pi, tmp)
 		var diff float64
@@ -172,13 +242,190 @@ func SteadyStatePower(q *CSR, opts Options) ([]float64, error) {
 			tmp[i] = next
 		}
 		copy(pi, tmp)
+		opts.tick("power", iter, n, diff)
 		if diff < opts.Eps {
 			numeric.Normalize(pi)
+			opts.finish("power", start, iter, diff, true)
+			return pi, nil
+		}
+		if iter == opts.MaxIter {
+			numeric.Normalize(pi)
+			opts.finish("power", start, iter, diff, false)
+			return pi, notConverged("power", diff, iter, opts.Eps)
+		}
+	}
+	panic("unreachable")
+}
+
+// steadyStatePowerPar is the row-partitioned parallel power sweep. qt
+// row j holds column j of q, so gathering qt rows against pi computes
+// (pi Q)_j without scatter races.
+func steadyStatePowerPar(q *CSR, pi, tmp []float64, lambda float64, start time.Time, opts Options) ([]float64, error) {
+	n := q.Rows
+	qt := q.Transpose()
+	diffs := make([]float64, opts.Workers)
+	sweep := func(w, lo, hi int) {
+		var diff float64
+		for j := lo; j < hi; j++ {
+			var s float64
+			for k := qt.RowPtr[j]; k < qt.RowPtr[j+1]; k++ {
+				s += qt.Val[k] * pi[qt.ColIdx[k]]
+			}
+			next := pi[j] + s/lambda
+			if next < 0 {
+				next = 0
+			}
+			if d := math.Abs(next - pi[j]); d > diff {
+				diff = d
+			}
+			tmp[j] = next
+		}
+		diffs[w] = diff
+	}
+	for iter := 1; iter <= opts.MaxIter; iter++ {
+		var wg sync.WaitGroup
+		for w := 0; w < opts.Workers; w++ {
+			lo := w * n / opts.Workers
+			hi := (w + 1) * n / opts.Workers
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				sweep(w, lo, hi)
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		var diff float64
+		for _, d := range diffs {
+			if d > diff {
+				diff = d
+			}
+		}
+		copy(pi, tmp)
+		opts.tick("power", iter, n, diff)
+		if diff < opts.Eps {
+			numeric.Normalize(pi)
+			opts.finish("power", start, iter, diff, true)
+			return pi, nil
+		}
+		if iter == opts.MaxIter {
+			numeric.Normalize(pi)
+			opts.finish("power", start, iter, diff, false)
+			return pi, notConverged("power", diff, iter, opts.Eps)
+		}
+	}
+	panic("unreachable")
+}
+
+// SteadyStateJacobi computes the stationary distribution by damped
+// Jacobi sweeps on pi Q = 0:
+//
+//	pi_j <- (1-w) pi_j + w * sum_{i != j} pi_i q_ij / (-q_jj)
+//
+// computed entirely from the previous iterate, which makes every
+// component independent: with Options.Workers > 1 the sweep is
+// row-partitioned like the parallel power method and bit-identical
+// for every worker count.
+//
+// In the variables u_j = pi_j (-q_jj) the undamped sweep is power
+// iteration on the embedded jump chain, which is periodic for
+// birth-death-like models (the queueing chains of the paper), so plain
+// w = 1 can oscillate forever. The damping mixes in the identity
+// ("lazy" jump chain), which restores convergence for any irreducible
+// chain; when Options.Omega is unset the solver defaults to w = 0.75
+// rather than the Gauss-Seidel default of 1.
+func SteadyStateJacobi(q *CSR, opts Options) ([]float64, error) {
+	if opts.Omega <= 0 {
+		opts.Omega = 0.75
+	}
+	opts = opts.withDefaults()
+	if q.Rows != q.Cols {
+		return nil, fmt.Errorf("linalg: SteadyStateJacobi needs square matrix")
+	}
+	start := time.Now()
+	n := q.Rows
+	qt := q.Transpose() // row j of qt holds column j of q
+	diag := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for k := qt.RowPtr[j]; k < qt.RowPtr[j+1]; k++ {
+			if qt.ColIdx[k] == j {
+				diag[j] = qt.Val[k]
+			}
+		}
+		if diag[j] >= 0 {
+			return nil, fmt.Errorf("linalg: state %d has non-negative diagonal %g (absorbing state?)", j, diag[j])
+		}
+	}
+	pi := make([]float64, n)
+	for i := range pi {
+		pi[i] = 1 / float64(n)
+	}
+	tmp := make([]float64, n)
+	w := opts.Omega
+	workers := max(1, opts.Workers)
+	diffs := make([]float64, workers)
+	sweep := func(wk, lo, hi int) {
+		var diff float64
+		for j := lo; j < hi; j++ {
+			var s float64
+			for k := qt.RowPtr[j]; k < qt.RowPtr[j+1]; k++ {
+				if i := qt.ColIdx[k]; i != j {
+					s += pi[i] * qt.Val[k]
+				}
+			}
+			next := (1-w)*pi[j] + w*s/(-diag[j])
+			if next < 0 {
+				next = 0
+			}
+			if d := math.Abs(next - pi[j]); d > diff {
+				diff = d
+			}
+			tmp[j] = next
+		}
+		diffs[wk] = diff
+	}
+	for iter := 1; iter <= opts.MaxIter; iter++ {
+		if workers <= 1 || n < 2*workers {
+			sweep(0, 0, n)
+		} else {
+			var wg sync.WaitGroup
+			for wk := 0; wk < workers; wk++ {
+				lo := wk * n / workers
+				hi := (wk + 1) * n / workers
+				wg.Add(1)
+				go func(wk, lo, hi int) {
+					defer wg.Done()
+					sweep(wk, lo, hi)
+				}(wk, lo, hi)
+			}
+			wg.Wait()
+		}
+		var diff float64
+		for _, d := range diffs[:workers] {
+			if d > diff {
+				diff = d
+			}
+		}
+		copy(pi, tmp)
+		// Renormalise periodically to avoid drift.
+		if iter%16 == 0 {
+			numeric.Normalize(pi)
+		}
+		opts.tick("jacobi", iter, n, diff)
+		if diff < opts.Eps {
+			numeric.Normalize(pi)
+			opts.finish("jacobi", start, iter, diff, true)
 			return pi, nil
 		}
 	}
 	numeric.Normalize(pi)
-	return pi, ErrNotConverged
+	finalDiff := diffs[0]
+	for _, d := range diffs[:workers] {
+		if d > finalDiff {
+			finalDiff = d
+		}
+	}
+	opts.finish("jacobi", start, opts.MaxIter, finalDiff, false)
+	return pi, notConverged("jacobi", finalDiff, opts.MaxIter, opts.Eps)
 }
 
 // SteadyStateGaussSeidel computes the stationary distribution of the
@@ -186,12 +433,18 @@ func SteadyStatePower(q *CSR, opts Options) ([]float64, error) {
 //
 //	pi_j <- (1-w) pi_j + w * sum_{i != j} pi_i q_ij / (-q_jj)
 //
-// It requires column access, obtained from the transpose of q.
+// It requires column access, obtained from the transpose of q. Each
+// update reads components already updated in the same sweep, which is
+// what makes Gauss-Seidel converge faster than Jacobi but also makes
+// it inherently sequential; it serves as the serial reference for the
+// parallel solvers and ignores Options.Workers.
 func SteadyStateGaussSeidel(q *CSR, opts Options) ([]float64, error) {
 	opts = opts.withDefaults()
+	opts.Workers = 1 // inherently sequential; keep Stats honest
 	if q.Rows != q.Cols {
 		return nil, fmt.Errorf("linalg: SteadyStateGaussSeidel needs square matrix")
 	}
+	start := time.Now()
 	n := q.Rows
 	qt := q.Transpose() // row j of qt holds column j of q
 	diag := make([]float64, n)
@@ -210,8 +463,9 @@ func SteadyStateGaussSeidel(q *CSR, opts Options) ([]float64, error) {
 		pi[i] = 1 / float64(n)
 	}
 	w := opts.Omega
-	for iter := 0; iter < opts.MaxIter; iter++ {
-		var diff float64
+	var diff float64
+	for iter := 1; iter <= opts.MaxIter; iter++ {
+		diff = 0
 		for j := 0; j < n; j++ {
 			var s float64
 			for k := qt.RowPtr[j]; k < qt.RowPtr[j+1]; k++ {
@@ -230,16 +484,19 @@ func SteadyStateGaussSeidel(q *CSR, opts Options) ([]float64, error) {
 			pi[j] = next
 		}
 		// Renormalise periodically to avoid drift.
-		if iter%16 == 15 {
+		if iter%16 == 0 {
 			numeric.Normalize(pi)
 		}
+		opts.tick("gauss-seidel", iter, n, diff)
 		if diff < opts.Eps {
 			numeric.Normalize(pi)
+			opts.finish("gauss-seidel", start, iter, diff, true)
 			return pi, nil
 		}
 	}
 	numeric.Normalize(pi)
-	return pi, ErrNotConverged
+	opts.finish("gauss-seidel", start, opts.MaxIter, diff, false)
+	return pi, notConverged("gauss-seidel", diff, opts.MaxIter, opts.Eps)
 }
 
 // SteadyState picks a solver automatically: GTH for small systems,

@@ -1,0 +1,186 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"pepatags/internal/obsv"
+)
+
+// birthDeath builds the generator of an M/M/1/k queue, the canonical
+// test chain with a known closed-form stationary vector and — in its
+// jump chain — exactly the periodic structure that breaks undamped
+// Jacobi.
+func birthDeath(k int, lambda, mu float64) *CSR {
+	coo := NewCOO(k+1, k+1)
+	for i := 0; i <= k; i++ {
+		var out float64
+		if i < k {
+			coo.Add(i, i+1, lambda)
+			out += lambda
+		}
+		if i > 0 {
+			coo.Add(i, i-1, mu)
+			out += mu
+		}
+		coo.Add(i, i, -out)
+	}
+	return coo.ToCSR()
+}
+
+func TestParallelPowerMatchesGTH(t *testing.T) {
+	q := birthDeath(200, 5, 10)
+	ref, err := SteadyStateGTH(q.ToDense())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		pi, err := SteadyStatePower(q, Options{Workers: workers, Eps: 1e-14})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range ref {
+			if d := math.Abs(pi[i] - ref[i]); d > 1e-10 {
+				t.Fatalf("workers=%d: pi[%d] off by %g", workers, i, d)
+			}
+		}
+	}
+}
+
+// The gather-based parallel sweep must be bit-identical across worker
+// counts: every component is accumulated in the same fixed order
+// regardless of how rows are chunked.
+func TestParallelPowerDeterministicAcrossWorkerCounts(t *testing.T) {
+	q := birthDeath(300, 7, 10)
+	ref, err := SteadyStatePower(q, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{3, 5, 8} {
+		pi, err := SteadyStatePower(q, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref {
+			if pi[i] != ref[i] {
+				t.Fatalf("workers=%d: pi[%d] = %v != %v (not bit-identical)", workers, i, pi[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestJacobiMatchesGTH(t *testing.T) {
+	q := birthDeath(150, 5, 10)
+	ref, err := SteadyStateGTH(q.ToDense())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		pi, err := SteadyStateJacobi(q, Options{Workers: workers, Eps: 1e-14})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range ref {
+			if d := math.Abs(pi[i] - ref[i]); d > 1e-9 {
+				t.Fatalf("workers=%d: pi[%d] off by %g", workers, i, d)
+			}
+		}
+	}
+}
+
+// Undamped Jacobi is power iteration on the embedded jump chain; for a
+// birth-death chain that jump chain has period 2, so Omega = 1 must
+// oscillate while the damped default converges. This pins down why the
+// solver overrides the Gauss-Seidel default. The bound must be odd:
+// with an even bound the uniform start has zero overlap with the
+// period-2 mode (the alternating sum of the diagonals telescopes to
+// lambda + mu - (lambda + mu)) and the iteration converges by fluke.
+func TestJacobiUndampedOscillatesOnPeriodicJumpChain(t *testing.T) {
+	q := birthDeath(21, 5, 10)
+	if _, err := SteadyStateJacobi(q, Options{Omega: 1, MaxIter: 2000}); !errors.Is(err, ErrNotConverged) {
+		t.Fatalf("expected non-convergence with Omega=1, got %v", err)
+	}
+	if _, err := SteadyStateJacobi(q, Options{MaxIter: 2000}); err != nil {
+		t.Fatalf("damped default should converge: %v", err)
+	}
+}
+
+func TestNotConvergedWrapsResidualAndIterations(t *testing.T) {
+	q := birthDeath(100, 9, 10)
+	for name, run := range map[string]func() error{
+		"gauss-seidel": func() error { _, err := SteadyStateGaussSeidel(q, Options{MaxIter: 3}); return err },
+		"power":        func() error { _, err := SteadyStatePower(q, Options{MaxIter: 3}); return err },
+		"jacobi":       func() error { _, err := SteadyStateJacobi(q, Options{MaxIter: 3}); return err },
+	} {
+		err := run()
+		if !errors.Is(err, ErrNotConverged) {
+			t.Fatalf("%s: expected ErrNotConverged, got %v", name, err)
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, "3 iterations") || !strings.Contains(msg, "diff") {
+			t.Fatalf("%s: error %q does not report achieved residual and iteration count", name, msg)
+		}
+	}
+}
+
+func TestSolveStatsAndTrace(t *testing.T) {
+	q := birthDeath(100, 5, 10)
+	var st obsv.SolveStats
+	var ticks int
+	pi, err := SteadyStatePower(q, Options{
+		Workers:    2,
+		Stats:      &st,
+		TraceEvery: 10,
+		Progress:   func(obsv.Progress) { ticks++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pi) != q.Rows {
+		t.Fatal("bad vector")
+	}
+	if st.Solver != "power" || !st.Converged || st.Iterations <= 0 || st.Workers != 2 || st.Elapsed <= 0 {
+		t.Fatalf("implausible stats %+v", st)
+	}
+	if len(st.ResidualTrace) == 0 || ticks == 0 {
+		t.Fatalf("trace/progress missing: %d samples, %d ticks", len(st.ResidualTrace), ticks)
+	}
+	// Trace must be (weakly) decreasing in order of magnitude overall.
+	if st.ResidualTrace[len(st.ResidualTrace)-1] > st.ResidualTrace[0] {
+		t.Fatalf("residual trace not decreasing: %v", st.ResidualTrace)
+	}
+	if s := st.String(); !strings.Contains(s, "power") {
+		t.Fatalf("stats string %q", s)
+	}
+	if s := st.TraceString(); s == "(no trace)" {
+		t.Fatalf("trace string empty despite samples")
+	}
+}
+
+func TestMulVecIntoParallelMatchesSerial(t *testing.T) {
+	q := birthDeath(500, 3, 7)
+	x := make([]float64, q.Cols)
+	for i := range x {
+		x[i] = float64(i%17) / 17
+	}
+	want := make([]float64, q.Rows)
+	q.MulVecInto(x, want, 1)
+	for _, workers := range []int{2, 4, 7} {
+		got := make([]float64, q.Rows)
+		q.MulVecInto(x, got, workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: y[%d] = %v != %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+	// And against the column-scatter reference kernel.
+	ref := q.MulVec(x)
+	for i := range ref {
+		if math.Abs(ref[i]-want[i]) > 1e-12 {
+			t.Fatalf("gather/scatter disagree at %d: %v vs %v", i, want[i], ref[i])
+		}
+	}
+}

@@ -1,0 +1,14 @@
+// Package numeric collects the small numerical routines the rest of
+// the repository leans on: root finding (Bisect, Brent, FindBracket)
+// for the balance equations of Section 4; scalar minimisation
+// (GoldenMin/GoldenMax, GridMin/GridMax, IntArgMin/IntArgMax) for
+// optimal-timeout searches over continuous rates and integer
+// timeouts; and compensated summation (KahanSum, Accumulator) plus
+// vector helpers (Dot, L1Dist, MaxAbsDiff, Normalize, Linspace,
+// AlmostEqual) used by the linear solvers and tests.
+//
+// Everything here is dependency-free and deterministic; keeping the
+// optimisers and compensated sums in one place means the analytical
+// packages (internal/approx, internal/linalg) and the experiment
+// runners share identical numerics.
+package numeric

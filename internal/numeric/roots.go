@@ -1,10 +1,3 @@
-// Package numeric provides scalar numerical routines used across the
-// repository: root finding, one-dimensional minimisation, compensated
-// summation and small utilities.
-//
-// The routines are deliberately dependency-free (stdlib math only) and
-// tuned for the well-behaved functions that arise in queueing analysis:
-// smooth, usually monotone or unimodal on the interval of interest.
 package numeric
 
 import (

@@ -1,0 +1,21 @@
+// Package obsv is the observability layer shared by the state-space
+// deriver (internal/pepa) and the iterative solvers (internal/linalg):
+// per-run statistics structs and a lightweight progress-callback
+// protocol. It exists so that the hot numerical packages can report
+// what they did (states/sec, frontier depth, dedup hits, solver
+// iterations, residual traces, wall time) without depending on any
+// output or CLI package, and so that cmd/pepa and cmd/tagseval can
+// surface the same numbers behind their -stats flags.
+//
+// DeriveStats describes one state-space derivation (filled via
+// pepa.DeriveOptions.Stats, even on failure — partial counts matter
+// when a model blows past its state cap). SolveStats describes one
+// iterative solve, including an optional residual trace
+// (linalg.Options.TraceEvery). Progress/ProgressFunc is the
+// callback protocol both packages invoke at coarse grain (per BFS
+// level, every few solver iterations) so a long run can be watched
+// live without measurable overhead.
+//
+// obsv depends only on the standard library and is imported by the
+// layers below it; it must never import any other internal package.
+package obsv

@@ -1,0 +1,83 @@
+package obsv
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// DeriveStats records one state-space derivation run. A caller passes
+// a pointer via pepa.DeriveOptions.Stats; the deriver fills it in
+// whether or not derivation succeeds (partial counts are reported on
+// error, which is useful when a model blows past its state cap).
+type DeriveStats struct {
+	States      int           // reachable states found
+	Transitions int           // labelled transitions recorded
+	Levels      int           // BFS frontier depth (number of levels explored)
+	DedupHits   int64         // successor states that were already interned
+	Workers     int           // worker goroutines used (1 = serial reference path)
+	Elapsed     time.Duration // wall time of the exploration
+}
+
+// StatesPerSec returns the exploration throughput, or 0 for an
+// instantaneous run.
+func (s *DeriveStats) StatesPerSec() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.States) / s.Elapsed.Seconds()
+}
+
+func (s *DeriveStats) String() string {
+	return fmt.Sprintf("derive: %d states, %d transitions, %d levels, %d dedup hits, %d workers, %v (%.0f states/s)",
+		s.States, s.Transitions, s.Levels, s.DedupHits, s.Workers, s.Elapsed.Round(time.Microsecond), s.StatesPerSec())
+}
+
+// SolveStats records one iterative steady-state solve. A caller passes
+// a pointer via linalg.Options.Stats.
+type SolveStats struct {
+	Solver        string        // "power", "gauss-seidel", "jacobi", ...
+	Iterations    int           // sweeps performed
+	FinalDiff     float64       // last successive-iterate l-inf difference
+	ResidualTrace []float64     // successive-iterate diff sampled every TraceEvery sweeps
+	Converged     bool          // reached the requested tolerance
+	Workers       int           // worker goroutines used (1 = serial)
+	Elapsed       time.Duration // wall time of the solve
+}
+
+func (s *SolveStats) String() string {
+	state := "converged"
+	if !s.Converged {
+		state = "NOT converged"
+	}
+	return fmt.Sprintf("%s: %d iterations, final diff %.3g, %s, %d workers, %v",
+		s.Solver, s.Iterations, s.FinalDiff, state, s.Workers, s.Elapsed.Round(time.Microsecond))
+}
+
+// TraceString renders the residual trace compactly for logs.
+func (s *SolveStats) TraceString() string {
+	if len(s.ResidualTrace) == 0 {
+		return "(no trace)"
+	}
+	parts := make([]string, len(s.ResidualTrace))
+	for i, r := range s.ResidualTrace {
+		parts[i] = fmt.Sprintf("%.2g", r)
+	}
+	return strings.Join(parts, " ")
+}
+
+// Progress is one tick of a long-running computation: a BFS level
+// completing during derivation, or a convergence check during an
+// iterative solve.
+type Progress struct {
+	Phase string  // "derive" or the solver name
+	Step  int     // BFS level or sweep number
+	Count int     // total states interned / matrix dimension
+	Value float64 // frontier size (derive) or current l-inf diff (solve)
+}
+
+// ProgressFunc receives Progress ticks. Implementations must be cheap
+// and must not retain the struct; they are called from the hot loop
+// (serial section) of the deriver and solvers. A nil ProgressFunc is
+// always permitted and means "no reporting".
+type ProgressFunc func(Progress)

@@ -2,9 +2,13 @@ package pepa
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
+	"time"
 
 	"pepatags/internal/ctmc"
+	"pepatags/internal/obsv"
 )
 
 // DefaultMaxStates bounds state-space derivation.
@@ -36,21 +40,28 @@ type leafChange struct {
 	next Process
 }
 
-// compiled composition: leaves are numbered left to right.
+// compiled composition: leaves are numbered left to right. The caches
+// make repeated per-state work (constant resolution, canonical keys,
+// per-Coop apparent-rate action lists) O(1) after first sight; they use
+// sync.Map so serial and parallel exploration share one code path.
 type compiled struct {
-	model  *Model
-	node   Composition
-	leaves []*Leaf
+	model    *Model
+	node     Composition
+	leaves   []*Leaf
+	coopActs map[*Coop][]string // sorted cooperation-set names, fixed at compile time
+	trMemo   sync.Map           // Process -> []transition (resolved sequential moves)
+	keyMemo  sync.Map           // Process -> string (canonical derivative key)
 }
 
 func compile(m *Model, c Composition) *compiled {
-	cc := &compiled{model: m, node: c}
+	cc := &compiled{model: m, node: c, coopActs: make(map[*Coop][]string)}
 	var walk func(Composition)
 	walk = func(n Composition) {
 		switch t := n.(type) {
 		case *Leaf:
 			cc.leaves = append(cc.leaves, t)
 		case *Coop:
+			cc.coopActs[t] = t.Set.Names()
 			walk(t.Left)
 			walk(t.Right)
 		case *Hide:
@@ -63,15 +74,49 @@ func compile(m *Model, c Composition) *compiled {
 	return cc
 }
 
+// key returns the canonical derivative key of p, memoised per AST node.
+// Erlang-style chains make Key() linear in the remaining phase count,
+// so caching turns the per-state cost from O(phases^2) into O(1).
+func (cc *compiled) key(p Process) string {
+	if k, ok := cc.keyMemo.Load(p); ok {
+		return k.(string)
+	}
+	k := p.Key()
+	cc.keyMemo.Store(p, k)
+	return k
+}
+
+// seqMoves returns the sequential transitions of derivative p,
+// memoised per AST node. The underlying Model is never mutated during
+// derivation, so the cached slices are shared read-only across
+// workers; callers must not modify them.
+func (cc *compiled) seqMoves(p Process) ([]transition, error) {
+	if v, ok := cc.trMemo.Load(p); ok {
+		return v.([]transition), nil
+	}
+	trs, err := cc.model.seqTransitions(p)
+	if err != nil {
+		return nil, err
+	}
+	cc.trMemo.Store(p, trs)
+	return trs, nil
+}
+
 // moves derives the transitions of the composition node given the
 // current leaf derivatives. nextLeaf tracks the leaf numbering while
 // recursing; callers pass a pointer to 0.
+//
+// Shared actions of a cooperation are expanded in sorted action order
+// (precomputed in compile), not Go map order, so the move list — and
+// therefore state numbering and the transition list — is fully
+// deterministic. Parallel derivation relies on this to reproduce the
+// serial chain bit for bit.
 func (cc *compiled) moves(n Composition, state []Process, nextLeaf *int) ([]move, error) {
 	switch t := n.(type) {
 	case *Leaf:
 		i := *nextLeaf
 		*nextLeaf++
-		trs, err := cc.model.seqTransitions(state[i])
+		trs, err := cc.seqMoves(state[i])
 		if err != nil {
 			return nil, err
 		}
@@ -116,7 +161,7 @@ func (cc *compiled) moves(n Composition, state []Process, nextLeaf *int) ([]move
 		}
 		// Shared moves: pair up left and right activities of each
 		// action in the set, scaling by apparent rates.
-		for a := range t.Set {
+		for _, a := range cc.coopActs[t] {
 			var la, ra apparent
 			var lms, rms []move
 			for _, m := range ml {
@@ -158,13 +203,54 @@ func (cc *compiled) moves(n Composition, state []Process, nextLeaf *int) ([]move
 	}
 }
 
+// stateKey joins the leaf derivative keys into the global state label.
+func (cc *compiled) stateKey(s []Process) string {
+	var sb strings.Builder
+	for i, p := range s {
+		if i > 0 {
+			sb.WriteString(" | ")
+		}
+		sb.WriteString(cc.key(p))
+	}
+	return sb.String()
+}
+
 // DeriveOptions controls state-space derivation.
 type DeriveOptions struct {
 	MaxStates int // cap on explored states (default DefaultMaxStates)
+
+	// Workers selects the exploration strategy: <= 1 runs the serial
+	// reference BFS, > 1 runs the sharded level-synchronous worker
+	// pool (see parallel.go). Both produce bit-identical chains; 0
+	// means serial, and a negative value means "one per CPU".
+	Workers int
+
+	// Stats, when non-nil, is filled with exploration statistics
+	// (also on error, with the partial counts reached).
+	Stats *obsv.DeriveStats
+
+	// Progress, when non-nil, is called once per completed BFS level
+	// from the coordinating goroutine.
+	Progress obsv.ProgressFunc
+}
+
+func (o DeriveOptions) workers() int {
+	if o.Workers < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if o.Workers == 0 {
+		return 1
+	}
+	return o.Workers
 }
 
 // Derive explores the reachable state space of the model's system
 // composition breadth-first and returns the labelled CTMC.
+//
+// States are numbered in BFS discovery order (the initial state is 0)
+// and the numbering is deterministic: shared-action expansion follows
+// sorted action order, so repeated runs — serial or parallel, any
+// worker count — yield identical chains.
 //
 // Errors are returned for undefined constants, unguarded recursion,
 // passive activities that remain unsynchronised at the top level,
@@ -182,47 +268,57 @@ func Derive(m *Model, opts DeriveOptions) (*StateSpace, error) {
 	if nLeaf == 0 {
 		return nil, fmt.Errorf("pepa: system has no sequential components")
 	}
+	if w := opts.workers(); w > 1 {
+		return deriveParallel(cc, nLeaf, maxStates, w, opts)
+	}
+	return deriveSerial(cc, nLeaf, maxStates, opts)
+}
 
-	// Intern sequential derivatives per leaf by canonical key.
-	keyOf := func(p Process) string { return p.Key() }
+// deriveSerial is the single-threaded reference exploration: a plain
+// FIFO BFS interning states in discovery order. parallel.go reproduces
+// exactly this numbering; TestParallelDeriveMatchesSerial holds the
+// two paths together.
+func deriveSerial(cc *compiled, nLeaf, maxStates int, opts DeriveOptions) (*StateSpace, error) {
+	start := time.Now()
+	stats := opts.Stats
+	if stats != nil {
+		*stats = obsv.DeriveStats{Workers: 1}
+		defer func() { stats.Elapsed = time.Since(start) }()
+	}
 
 	init := make([]Process, nLeaf)
 	for i, l := range cc.leaves {
 		init[i] = l.Init
 	}
-	stateKey := func(s []Process) string {
-		keys := make([]string, len(s))
-		for i, p := range s {
-			keys[i] = keyOf(p)
-		}
-		return strings.Join(keys, " | ")
-	}
 
 	b := ctmc.NewBuilder()
 	type queued struct {
 		idx   int
+		level int
 		state []Process
 	}
 	var frontier []queued
 	var leafKeys [][]string
 
 	addState := func(s []Process) (int, bool) {
-		k := stateKey(s)
+		k := cc.stateKey(s)
 		if b.HasState(k) {
-			i := b.State(k)
-			return i, false
+			if stats != nil {
+				stats.DedupHits++
+			}
+			return b.State(k), false
 		}
 		i := b.State(k)
 		lk := make([]string, nLeaf)
 		for j, p := range s {
-			lk[j] = keyOf(p)
+			lk[j] = cc.key(p)
 		}
 		leafKeys = append(leafKeys, lk)
 		return i, true
 	}
 
 	idx0, _ := addState(init)
-	frontier = append(frontier, queued{idx: idx0, state: init})
+	frontier = append(frontier, queued{idx: idx0, level: 0, state: init})
 
 	type pending struct {
 		from, to int
@@ -230,22 +326,29 @@ func Derive(m *Model, opts DeriveOptions) (*StateSpace, error) {
 		action   string
 	}
 	var edges []pending
+	levels := 1
 
 	for len(frontier) > 0 {
 		cur := frontier[0]
 		frontier = frontier[1:]
+		if cur.level+1 > levels {
+			levels = cur.level + 1
+			if opts.Progress != nil {
+				opts.Progress(obsv.Progress{Phase: "derive", Step: cur.level, Count: b.NumStates(), Value: float64(len(frontier) + 1)})
+			}
+		}
 		var zero int
 		ms, err := cc.moves(cc.node, cur.state, &zero)
 		if err != nil {
 			return nil, err
 		}
 		if len(ms) == 0 {
-			return nil, fmt.Errorf("pepa: deadlock in state %s", stateKey(cur.state))
+			return nil, fmt.Errorf("pepa: deadlock in state %s", cc.stateKey(cur.state))
 		}
 		for _, mv := range ms {
 			if mv.rate.Passive {
 				return nil, fmt.Errorf("pepa: passive action %q unsynchronised at top level (state %s)",
-					mv.action, stateKey(cur.state))
+					mv.action, cc.stateKey(cur.state))
 			}
 			next := make([]Process, nLeaf)
 			copy(next, cur.state)
@@ -257,9 +360,14 @@ func Derive(m *Model, opts DeriveOptions) (*StateSpace, error) {
 				if b.NumStates() > maxStates {
 					return nil, fmt.Errorf("pepa: state space exceeds %d states", maxStates)
 				}
-				frontier = append(frontier, queued{idx: ni, state: next})
+				frontier = append(frontier, queued{idx: ni, level: cur.level + 1, state: next})
 			}
 			edges = append(edges, pending{from: cur.idx, to: ni, rate: mv.rate.Value, action: mv.action})
+		}
+		if stats != nil {
+			stats.States = b.NumStates()
+			stats.Transitions = len(edges)
+			stats.Levels = levels
 		}
 	}
 	for _, e := range edges {

@@ -1,0 +1,39 @@
+// Package pepa implements the Markovian process algebra PEPA
+// (Hillston, 1996), the modelling substrate of the reproduced paper's
+// Section 2: sequential components built from prefix, choice and
+// constants; model-level cooperation and hiding; the apparent-rate
+// cooperation semantics with passive (unspecified, ⊤) rates; a textual
+// parser in PEPA Workbench style; and state-space derivation producing
+// a labelled CTMC (internal/ctmc.Chain).
+//
+// The paper specifies the TAG job-allocation system as the PEPA model
+//
+//	Node1 ⋈{timeout} Node2
+//
+// with Erlang timers cooperating with state-indexed queue components
+// (its Figures 3-5 and Appendices A-B); internal/core generates that
+// text and cross-validates the engine against direct CTMC builders.
+//
+// # Derivation
+//
+// Derive explores the reachable state space breadth-first. Two
+// exploration strategies share one semantics:
+//
+//   - the serial reference (derive.go): a FIFO BFS interning states
+//     in discovery order, and
+//   - a sharded worker pool (parallel.go, DeriveOptions.Workers > 1):
+//     level-synchronous frontier expansion with lock-striped
+//     deduplication and a deterministic post-pass renumbering.
+//
+// Both paths produce bit-identical chains — same state numbering,
+// same transition list — for any worker count, because shared-action
+// expansion follows sorted action order and the parallel path sorts
+// each level's discoveries by their serial discovery rank. Compiled
+// caches (canonical derivative keys, resolved sequential transitions,
+// per-cooperation action lists) are shared across workers through
+// sync.Map and make repeated per-state work O(1).
+//
+// DeriveOptions.Stats and DeriveOptions.Progress surface states/sec,
+// frontier depth and dedup hits (internal/obsv); cmd/pepa exposes
+// them as -workers and -stats.
+package pepa

@@ -1,0 +1,258 @@
+package pepa
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"pepatags/internal/ctmc"
+	"pepatags/internal/obsv"
+)
+
+// Parallel state-space derivation.
+//
+// The exploration is level-synchronous BFS: all states at frontier
+// depth d are expanded before any state at depth d+1. Within a level
+// the frontier is split into contiguous chunks, one per worker; each
+// worker generates successors (the expensive part: apparent-rate
+// combination, leaf updates, canonical key construction) and interns
+// them into a sharded, lock-striped hash of the whole visited set.
+//
+// Determinism: the serial reference (derive.go) numbers states in FIFO
+// discovery order, i.e. sorted by (level, position of the discovering
+// parent within its level, index of the discovering move). Workers
+// record exactly that discovery rank on every tentative state — taking
+// the minimum under the shard lock when several parents of one level
+// reach the same state — and a post-pass sort per level assigns final
+// indices in rank order. Edges are emitted per worker in (parent,
+// move) order and workers own contiguous parent ranges, so
+// concatenating the per-worker edge lists in worker order reproduces
+// the serial transition list exactly. The result is bit-identical to
+// deriveSerial for any worker count.
+
+// numShards stripes the visited-state hash. A power of two well above
+// typical worker counts keeps lock contention negligible.
+const numShards = 128
+
+// pstate is one interned global state during parallel exploration.
+type pstate struct {
+	state []Process
+	key   string
+	id    int    // final BFS index; -1 while tentative in the current level
+	rank  uint64 // discovery rank within the level that first saw it
+}
+
+// rankOf packs (parent position in level, move index) so that integer
+// order equals lexicographic discovery order. Move indices fit easily
+// in 24 bits: a single state never has millions of outgoing moves.
+func rankOf(parentPos, moveIdx int) uint64 {
+	return uint64(parentPos)<<24 | uint64(moveIdx)
+}
+
+type shard struct {
+	mu sync.Mutex
+	m  map[string]*pstate
+}
+
+func shardIndex(key string) int {
+	// FNV-1a; inlined to avoid the hash.Hash interface allocation.
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return int(h & (numShards - 1))
+}
+
+// pedge is a discovered transition; the target is resolved to its
+// final index only after the level's rank sort.
+type pedge struct {
+	from   int
+	to     *pstate
+	rate   float64
+	action string
+}
+
+// workerResult is what one worker hands back for one level.
+type workerResult struct {
+	edges     []pedge
+	fresh     []*pstate // tentative states this worker won the insert for
+	dedupHits int64
+	err       error
+	errPos    int // parent position of err within the level (for first-error order)
+}
+
+func deriveParallel(cc *compiled, nLeaf, maxStates, workers int, opts DeriveOptions) (*StateSpace, error) {
+	start := time.Now()
+	stats := opts.Stats
+	if stats != nil {
+		*stats = obsv.DeriveStats{Workers: workers}
+		defer func() { stats.Elapsed = time.Since(start) }()
+	}
+
+	shards := make([]*shard, numShards)
+	for i := range shards {
+		shards[i] = &shard{m: make(map[string]*pstate)}
+	}
+
+	init := make([]Process, nLeaf)
+	for i, l := range cc.leaves {
+		init[i] = l.Init
+	}
+	root := &pstate{state: init, key: cc.stateKey(init), id: 0}
+	shards[shardIndex(root.key)].m[root.key] = root
+
+	states := []*pstate{root} // in final-index order
+	var levelEdges [][]pedge  // per level, already in serial order
+	frontier := []*pstate{root}
+	level := 0
+
+	// explore expands the frontier chunk [lo, hi) and interns
+	// successors. It is the per-worker body; everything it touches in
+	// cc is either immutable or a sync.Map.
+	explore := func(lo, hi int, res *workerResult) {
+		for pos := lo; pos < hi; pos++ {
+			cur := frontier[pos]
+			var zero int
+			ms, err := cc.moves(cc.node, cur.state, &zero)
+			if err == nil && len(ms) == 0 {
+				err = fmt.Errorf("pepa: deadlock in state %s", cur.key)
+			}
+			if err != nil {
+				res.err, res.errPos = err, pos
+				return
+			}
+			for k, mv := range ms {
+				if mv.rate.Passive {
+					res.err = fmt.Errorf("pepa: passive action %q unsynchronised at top level (state %s)",
+						mv.action, cur.key)
+					res.errPos = pos
+					return
+				}
+				next := make([]Process, nLeaf)
+				copy(next, cur.state)
+				for _, ch := range mv.changes {
+					next[ch.leaf] = ch.next
+				}
+				key := cc.stateKey(next)
+				rank := rankOf(pos, k)
+				sh := shards[shardIndex(key)]
+				sh.mu.Lock()
+				rec, seen := sh.m[key]
+				if !seen {
+					rec = &pstate{state: next, key: key, id: -1, rank: rank}
+					sh.m[key] = rec
+					sh.mu.Unlock()
+					res.fresh = append(res.fresh, rec)
+				} else {
+					if rec.id < 0 && rank < rec.rank {
+						// Tentative in this level: keep the earliest
+						// discovery so the post-sort matches serial.
+						rec.rank = rank
+					}
+					sh.mu.Unlock()
+					res.dedupHits++
+				}
+				res.edges = append(res.edges, pedge{from: cur.id, to: rec, rate: mv.rate.Value, action: mv.action})
+			}
+		}
+	}
+
+	for len(frontier) > 0 {
+		w := workers
+		if w > len(frontier) {
+			w = len(frontier)
+		}
+		results := make([]workerResult, w)
+		var wg sync.WaitGroup
+		for i := 0; i < w; i++ {
+			lo := i * len(frontier) / w
+			hi := (i + 1) * len(frontier) / w
+			wg.Add(1)
+			go func(lo, hi int, res *workerResult) {
+				defer wg.Done()
+				explore(lo, hi, res)
+			}(lo, hi, &results[i])
+		}
+		wg.Wait()
+
+		// Surface the error the serial scan would have hit first.
+		var firstErr error
+		firstPos := -1
+		for i := range results {
+			if results[i].err != nil && (firstPos < 0 || results[i].errPos < firstPos) {
+				firstErr, firstPos = results[i].err, results[i].errPos
+			}
+		}
+		if firstErr != nil {
+			return nil, firstErr
+		}
+
+		// Deterministic renumbering: collect this level's tentative
+		// states and sort by discovery rank == serial FIFO order.
+		var fresh []*pstate
+		var edgeCount int
+		for i := range results {
+			fresh = append(fresh, results[i].fresh...)
+			edgeCount += len(results[i].edges)
+			if stats != nil {
+				stats.DedupHits += results[i].dedupHits
+			}
+		}
+		sort.Slice(fresh, func(a, b int) bool { return fresh[a].rank < fresh[b].rank })
+		for _, rec := range fresh {
+			rec.id = len(states)
+			states = append(states, rec)
+		}
+		if len(states) > maxStates {
+			return nil, fmt.Errorf("pepa: state space exceeds %d states", maxStates)
+		}
+
+		edges := make([]pedge, 0, edgeCount)
+		for i := range results {
+			edges = append(edges, results[i].edges...)
+		}
+		levelEdges = append(levelEdges, edges)
+
+		level++
+		if stats != nil {
+			stats.States = len(states)
+			stats.Levels = level
+		}
+		if opts.Progress != nil {
+			opts.Progress(obsv.Progress{Phase: "derive", Step: level, Count: len(states), Value: float64(len(fresh))})
+		}
+		frontier = fresh
+	}
+
+	// Materialise the chain in the same order the serial path would:
+	// states by index, then edges level by level.
+	b := ctmc.NewBuilder()
+	leafKeys := make([][]string, len(states))
+	for i, rec := range states {
+		if got := b.State(rec.key); got != i {
+			panic(fmt.Sprintf("pepa: parallel renumbering out of order (%d != %d)", got, i))
+		}
+		lk := make([]string, nLeaf)
+		for j, p := range rec.state {
+			lk[j] = cc.key(p)
+		}
+		leafKeys[i] = lk
+	}
+	var nTrans int
+	for _, edges := range levelEdges {
+		nTrans += len(edges)
+		for _, e := range edges {
+			b.Transition(e.from, e.to.id, e.rate, e.action)
+		}
+	}
+	if stats != nil {
+		stats.Transitions = nTrans
+	}
+	return &StateSpace{Chain: b.Build(), NumLeaf: nLeaf, leafKeys: leafKeys}, nil
+}

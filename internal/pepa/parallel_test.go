@@ -1,0 +1,176 @@
+package pepa
+
+import (
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pepatags/internal/obsv"
+)
+
+// requireIdentical asserts that two derived state spaces are
+// bit-identical: same state numbering, same labels, same transition
+// list (order included), same leaf derivatives.
+func requireIdentical(t *testing.T, want, got *StateSpace) {
+	t.Helper()
+	if want.Chain.NumStates() != got.Chain.NumStates() {
+		t.Fatalf("state counts differ: %d vs %d", want.Chain.NumStates(), got.Chain.NumStates())
+	}
+	if want.NumLeaf != got.NumLeaf {
+		t.Fatalf("leaf counts differ: %d vs %d", want.NumLeaf, got.NumLeaf)
+	}
+	for i := 0; i < want.Chain.NumStates(); i++ {
+		if want.Chain.Label(i) != got.Chain.Label(i) {
+			t.Fatalf("state %d label differs: %q vs %q", i, want.Chain.Label(i), got.Chain.Label(i))
+		}
+		for l := 0; l < want.NumLeaf; l++ {
+			if want.LeafDerivative(i, l) != got.LeafDerivative(i, l) {
+				t.Fatalf("state %d leaf %d differs: %q vs %q", i, l, want.LeafDerivative(i, l), got.LeafDerivative(i, l))
+			}
+		}
+	}
+	wt, gt := want.Chain.Transitions(), got.Chain.Transitions()
+	if len(wt) != len(gt) {
+		t.Fatalf("transition counts differ: %d vs %d", len(wt), len(gt))
+	}
+	for k := range wt {
+		if wt[k] != gt[k] {
+			t.Fatalf("transition %d differs: %+v vs %+v", k, wt[k], gt[k])
+		}
+	}
+}
+
+func TestParallelDeriveMatchesSerialOnRandomModels(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 2026))
+	for trial := 0; trial < 20; trial++ {
+		m := randomModel(rng)
+		serial, err := Derive(m, DeriveOptions{})
+		if err != nil {
+			t.Fatalf("trial %d: serial derive: %v", trial, err)
+		}
+		for _, workers := range []int{2, 3, 8} {
+			par, err := Derive(m, DeriveOptions{Workers: workers})
+			if err != nil {
+				t.Fatalf("trial %d: parallel derive (%d workers): %v", trial, workers, err)
+			}
+			requireIdentical(t, serial, par)
+		}
+	}
+}
+
+func TestParallelDeriveMatchesSerialOnAppendixModels(t *testing.T) {
+	for _, name := range []string{"appendixA_random.pepa", "appendixB_shortestqueue.pepa"} {
+		src, err := os.ReadFile(filepath.Join("..", "..", "models", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := Parse(string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		serial, err := Derive(m, DeriveOptions{})
+		if err != nil {
+			t.Fatalf("%s: serial: %v", name, err)
+		}
+		par, err := Derive(m, DeriveOptions{Workers: 4})
+		if err != nil {
+			t.Fatalf("%s: parallel: %v", name, err)
+		}
+		requireIdentical(t, serial, par)
+	}
+}
+
+// The parallel path must report the same errors as the serial path.
+func TestParallelDeriveErrors(t *testing.T) {
+	check := func(src string, wantSub string) {
+		t.Helper()
+		m, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, serr := Derive(m, DeriveOptions{})
+		_, perr := Derive(m, DeriveOptions{Workers: 4})
+		if serr == nil || perr == nil {
+			t.Fatalf("expected errors, got serial=%v parallel=%v", serr, perr)
+		}
+		if !strings.Contains(perr.Error(), wantSub) {
+			t.Fatalf("parallel error %q does not mention %q", perr, wantSub)
+		}
+		if serr.Error() != perr.Error() {
+			t.Fatalf("errors differ:\n  serial:   %v\n  parallel: %v", serr, perr)
+		}
+	}
+	// Deadlock: after the free a-step, P1 only offers sync (blocked:
+	// Q never enables it) and Q only offers sync2 (blocked likewise).
+	check("P = (a, 1.0).P1;\nP1 = (sync, 1.0).P1;\nQ = (sync2, 1.0).Q;\nP <sync, sync2> Q", "deadlock")
+	// Passive action unsynchronised at top level.
+	check("P = (a, T).P;\nQ = (b, 1.0).Q;\nP || Q", "passive")
+}
+
+func TestParallelDeriveMaxStatesOverflow(t *testing.T) {
+	m, err := Parse("P0 = (a, 1.0).P1;\nP1 = (a, 1.0).P2;\nP2 = (a, 1.0).P3;\nP3 = (a, 1.0).P0;\nQ = (b, 2.0).Q;\nP0 || Q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, serr := Derive(m, DeriveOptions{MaxStates: 2})
+	_, perr := Derive(m, DeriveOptions{MaxStates: 2, Workers: 4})
+	if serr == nil || perr == nil {
+		t.Fatalf("expected overflow, got serial=%v parallel=%v", serr, perr)
+	}
+	if serr.Error() != perr.Error() {
+		t.Fatalf("errors differ:\n  serial:   %v\n  parallel: %v", serr, perr)
+	}
+}
+
+func TestDeriveStatsFilled(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	m := randomModel(rng)
+	for _, workers := range []int{1, 4} {
+		var st obsv.DeriveStats
+		var ticks int
+		ss, err := Derive(m, DeriveOptions{
+			Workers:  workers,
+			Stats:    &st,
+			Progress: func(obsv.Progress) { ticks++ },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.States != ss.Chain.NumStates() {
+			t.Errorf("workers=%d: stats states %d != %d", workers, st.States, ss.Chain.NumStates())
+		}
+		if st.Transitions != ss.Chain.NumTransitions() {
+			t.Errorf("workers=%d: stats transitions %d != %d", workers, st.Transitions, ss.Chain.NumTransitions())
+		}
+		if st.Levels <= 0 || st.Workers != workers || st.Elapsed <= 0 {
+			t.Errorf("workers=%d: implausible stats %+v", workers, st)
+		}
+		if st.DedupHits <= 0 {
+			t.Errorf("workers=%d: expected dedup hits on a cyclic model, got %d", workers, st.DedupHits)
+		}
+		if ticks == 0 {
+			t.Errorf("workers=%d: progress callback never fired", workers)
+		}
+		if s := st.String(); !strings.Contains(s, "states") {
+			t.Errorf("stats string %q", s)
+		}
+	}
+}
+
+// Passing a negative worker count must mean "one per CPU" and still
+// produce the reference chain.
+func TestDeriveAutoWorkers(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 9))
+	m := randomModel(rng)
+	serial, err := Derive(m, DeriveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Derive(m, DeriveOptions{Workers: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, serial, par)
+}

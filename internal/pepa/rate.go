@@ -1,16 +1,3 @@
-// Package pepa implements the Markovian process algebra PEPA
-// (Hillston, 1996): sequential components built from prefix, choice
-// and constants; model-level cooperation and hiding; the apparent-rate
-// cooperation semantics with passive (unspecified, ⊤) rates; a textual
-// parser in PEPA Workbench style; and breadth-first state-space
-// derivation producing a labelled CTMC (internal/ctmc.Chain).
-//
-// This is the modelling substrate of the reproduced paper, which
-// specifies the TAG job-allocation system as the PEPA model
-//
-//	Node1 ⋈{timeout} Node2
-//
-// with Erlang timers cooperating with state-indexed queue components.
 package pepa
 
 import (

@@ -1,0 +1,21 @@
+// Package policies implements the job-allocation strategies the paper
+// compares, as sim.Policy implementations for the discrete-event
+// simulator:
+//
+//   - FirstNode: always offer to node 1 — combined with a node
+//     timeout this is the TAG strategy itself;
+//   - Random: Bernoulli splitting (the paper's baseline);
+//   - RoundRobin, ShortestQueue, LeastWorkLeft: the conventional
+//     strategies of the comparison, in increasing order of
+//     information demanded from the nodes;
+//   - SizeThreshold: an oracle that routes by actual size — the
+//     "if only durations were known" upper bound the paper's title
+//     alludes to;
+//   - DynamicTAG: re-offers timed-out jobs rather than discarding.
+//
+// Timeout generators (ConstantTimeout, ErlangTimeout,
+// AdaptiveTimeout) parameterise node 1's abandonment clock:
+// deterministic as the paper's idealised policy, Erlang as the
+// tractable approximation analysed in Sections 3-4, and adaptive
+// (backlog-scaled) as the Section 7 suggestion for bursty arrivals.
+package policies

@@ -1,8 +1,3 @@
-// Package policies implements the job-allocation policies compared in
-// the paper — TAG (route everything to node 0 and rely on kill timers),
-// weighted random, round robin, shortest queue — plus the
-// least-work-left oracle and a central-queue helper used for wider
-// comparisons.
 package policies
 
 import (

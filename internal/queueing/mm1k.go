@@ -1,8 +1,3 @@
-// Package queueing provides classical finite-buffer queueing results:
-// M/M/1/K closed forms, a general birth-death solver and the M/PH/1/K
-// queue solved via its CTMC. These are the building blocks for the
-// random-allocation baseline and the Section 4 approximations of the
-// paper.
 package queueing
 
 import (

@@ -1,0 +1,19 @@
+// Package sim is a discrete-event simulator for the allocation
+// systems, used where the Markov models stop: deterministic timeouts
+// (the paper's actual policy, which the Erlang timers of Sections 3-4
+// only approximate), per-job slowdown distributions, and the
+// Section 7 bursty-arrival conjectures.
+//
+// Config wires nodes (finite capacity, optional timeout generator),
+// an allocation Policy (internal/policies), and a workload Source
+// (internal/workload) into a System; Run processes jobs on a single
+// event queue and returns Metrics — response-time and slowdown
+// summaries (internal/stats), throughput and loss probability —
+// after a configurable warm-up.
+//
+// Runs are deterministic for a fixed Config.Seed: all randomness
+// flows from one PCG stream, so experiments are reproducible and
+// paired comparisons across policies share arrival sequences. The
+// simulator is validated against the closed forms in
+// internal/queueing and the exact CTMC measures in internal/core.
+package sim

@@ -1,17 +1,3 @@
-// Package sim is a discrete-event simulator for multi-node job
-// allocation systems. It complements the CTMC analysis with
-// general-distribution workloads (deterministic traces, bounded
-// Pareto), deterministic TAG timeouts (the real algorithm, vs. the
-// Erlang approximation the Markov models require), the mean-slowdown
-// metric of Harchol-Balter, and the bursty-arrival scenarios of the
-// paper's Section 7.
-//
-// The model: jobs arrive from a workload.Source, a Policy routes each
-// to a node (or drops it), nodes serve FIFO. A node may have a kill
-// timer: a job whose service at that node exceeds the (per-attempt,
-// possibly random) timeout is killed and moved to the next node —
-// restarting from scratch (TAG) or resuming (multi-level feedback),
-// per configuration.
 package sim
 
 import (

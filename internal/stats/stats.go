@@ -1,6 +1,3 @@
-// Package stats provides the sample statistics used by the simulator:
-// streaming mean/variance (Welford), normal-approximation confidence
-// intervals, batch means and simple histograms.
 package stats
 
 import (

@@ -1,0 +1,15 @@
+// Package workload generates the simulator's job streams: arrival
+// processes (Poisson; MMPP2, the two-phase Markov-modulated process
+// used for the Section 7 burstiness experiments) combined with job
+// size distributions (internal/dist) into a Source of timestamped
+// Jobs.
+//
+// StochasticSource pairs one arrival process with one size
+// distribution. ModulatedSource ties sizes to the arrival phase —
+// the paper's "bursts consisting solely of short jobs" scenario,
+// where high-rate-phase arrivals draw from a short-job distribution
+// and quiet-phase arrivals carry the long jobs. Trace replays a
+// fixed (or CSV-loaded) arrival/size sequence, so real logs and
+// hand-built adversarial sequences run through the same simulator
+// path as the stochastic models.
+package workload

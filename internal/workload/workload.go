@@ -1,6 +1,3 @@
-// Package workload generates the job streams fed to the simulator:
-// Poisson and bursty (MMPP-2) arrival processes, deterministic traces,
-// and job sources pairing arrivals with service-demand distributions.
 package workload
 
 import (
