@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench clean
+.PHONY: all build test race vet fmt-check bench manifest-smoke clean
 
 all: build test
 
@@ -11,7 +11,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/pepa ./internal/linalg ./internal/ctmc ./internal/core ./internal/sim
+	$(GO) test -race ./internal/pepa ./internal/linalg ./internal/ctmc ./internal/core ./internal/sim ./internal/obsv
 
 vet:
 	$(GO) vet ./...
@@ -25,5 +25,13 @@ bench:
 	$(GO) test -run=NONE -bench='BenchmarkDerive|BenchmarkSteady' -benchmem . | tee BENCH_derive.txt
 	$(GO) run ./tools/benchjson -o BENCH_derive.json < BENCH_derive.txt
 
+# Emit one manifest per CLI and validate all three against the
+# run-manifest schema.
+manifest-smoke:
+	$(GO) run ./cmd/pepa -tag -manifest pepa-run.json
+	$(GO) run ./cmd/tagseval -short -fig figure6 -manifest tagseval-run.json > /dev/null
+	$(GO) run ./cmd/tagssim -jobs 20000 -stats -manifest tagssim-run.json > /dev/null 2>&1
+	$(GO) run ./tools/manifestcheck pepa-run.json tagseval-run.json tagssim-run.json
+
 clean:
-	rm -f BENCH_derive.txt BENCH_derive.json
+	rm -f BENCH_derive.txt BENCH_derive.json pepa-run.json tagseval-run.json tagssim-run.json

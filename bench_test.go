@@ -19,6 +19,7 @@ import (
 	"pepatags/internal/dist"
 	"pepatags/internal/exp"
 	"pepatags/internal/linalg"
+	"pepatags/internal/obsv"
 	"pepatags/internal/pepa"
 	"pepatags/internal/policies"
 	"pepatags/internal/sim"
@@ -360,3 +361,66 @@ func BenchmarkTaggedTable(b *testing.B) {
 
 func BenchmarkVariantsTable(b *testing.B)    { benchFigure(b, exp.VariantsTable) }
 func BenchmarkSensitivityTable(b *testing.B) { benchFigure(b, exp.SensitivityTable) }
+
+// --- metrics-registry overhead ---
+//
+// The *Metrics variants rerun the derive / solve / simulate kernels
+// with an obsv.Registry attached; comparing them against the plain
+// benchmarks above measures the observability overhead (documented in
+// EXPERIMENTS.md; the acceptance bar is < 5%).
+
+func BenchmarkPEPADeriveMetrics(b *testing.B) {
+	src := core.NewTAGExp(5, 10, 42, 6, 10, 10).PEPASource()
+	reg := obsv.NewRegistry()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := pepa.Parse(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ss, err := pepa.Derive(m, pepa.DeriveOptions{Metrics: reg})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ss.Chain.NumStates() != 4331 {
+			b.Fatal("wrong state count")
+		}
+	}
+}
+
+func BenchmarkSteadyStateGaussSeidelMetrics(b *testing.B) {
+	q := core.NewTAGExp(5, 10, 42, 6, 10, 10).Build().Generator()
+	reg := obsv.NewRegistry()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := linalg.SteadyStateGaussSeidel(q, linalg.Options{Metrics: reg}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulatorTAGMetrics(b *testing.B) {
+	reg := obsv.NewRegistry()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := sim.Config{
+			Nodes: []sim.NodeConfig{
+				{Capacity: 10, Timeout: policies.ConstantTimeout(0.35)},
+				{Capacity: 10},
+			},
+			Policy: policies.FirstNode{},
+			Source: &workload.StochasticSource{
+				Arrivals: workload.NewPoisson(8),
+				Sizes:    dist.H2ForTAG(0.1, 0.99, 100),
+				Limit:    50000,
+			},
+			Seed:    uint64(i + 1),
+			Metrics: reg,
+		}
+		m := sim.NewSystem(cfg).Run(0)
+		if m.Completed == 0 {
+			b.Fatal("no completions")
+		}
+	}
+}

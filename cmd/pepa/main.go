@@ -12,6 +12,9 @@
 //	pepa -workers 8 model.pepa     # parallel derivation + parallel solver
 //	pepa -solver power model.pepa  # force a solver: auto|gth|power|gs|jacobi
 //	pepa -stats model.pepa         # derivation/solver statistics on stderr
+//	pepa -manifest run.json ...    # machine-readable run record
+//	pepa -trace trace.json ...     # Chrome trace of the pipeline spans
+//	pepa -debug-addr :6060 ...     # pprof/expvar/metrics HTTP endpoint
 //	echo '...' | pepa -            # read from stdin
 package main
 
@@ -47,8 +50,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		echo       = fs.Bool("echo", false, "pretty-print the parsed model before solving")
 		level      = fs.String("level", "", "report E[level] of a leaf: <leafIndex>:<derivativePrefix>, e.g. 1:QA")
 		workers    = fs.Int("workers", 1, "worker goroutines for derivation and the row-partitioned solvers (-1 = one per CPU)")
-		stats      = fs.Bool("stats", false, "print derivation and solver statistics to stderr")
+		stats      = fs.Bool("stats", false, "print derivation/solver statistics and the pipeline span tree to stderr")
 		solver     = fs.String("solver", "auto", "steady-state solver: auto, gth, power, gs (Gauss-Seidel), jacobi")
+		manifest   = fs.String("manifest", "", "write a JSON run manifest to this path")
+		tracePath  = fs.String("trace", "", "write a Chrome trace-event JSON of the pipeline spans to this path")
+		debugAddr  = fs.String("debug-addr", "", "serve pprof/expvar/metrics on this address (e.g. :6060) for the duration of the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -57,23 +63,44 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		*workers = runtime.GOMAXPROCS(0)
 	}
 
+	// Observability plumbing. The registry and span tree are cheap, so
+	// they are always on; the flags only control where they end up.
+	reg := obsv.NewRegistry()
+	instrumented := *manifest != "" || *tracePath != "" || *stats
+	root := obsv.NewSpan("pepa")
+	defer root.End()
+	if *debugAddr != "" {
+		srv, bound, err := obsv.StartDebug(*debugAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "debug endpoint on http://%s/debug/\n", bound)
+	}
+
 	var src []byte
 	var err error
+	modelName := ""
 	switch {
 	case *tag:
 		src = []byte(core.NewTAGExp(5, 10, 42, 6, 10, 10).PEPASource())
+		modelName = "builtin:tag"
 	case fs.NArg() == 1 && fs.Arg(0) == "-":
 		src, err = io.ReadAll(stdin)
+		modelName = "stdin"
 	case fs.NArg() == 1:
 		src, err = os.ReadFile(fs.Arg(0))
+		modelName = fs.Arg(0)
 	default:
-		return fmt.Errorf("usage: pepa [-states] [-lump] [-echo] [-tag] [-workers n] [-solver s] [-stats] <model.pepa | ->")
+		return fmt.Errorf("usage: pepa [-states] [-lump] [-echo] [-tag] [-workers n] [-solver s] [-stats] [-manifest f] [-trace f] [-debug-addr a] <model.pepa | ->")
 	}
 	if err != nil {
 		return err
 	}
 
+	parseSpan := root.Child("parse")
 	model, err := pepa.Parse(string(src))
+	parseSpan.End()
 	if err != nil {
 		return err
 	}
@@ -83,12 +110,15 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if err := model.CheckCyclic(); err != nil {
 		fmt.Fprintf(stderr, "warning: %v\n", err)
 	}
-	dopts := pepa.DeriveOptions{MaxStates: *maxStates, Workers: *workers}
+
+	deriveSpan := root.Child("derive")
+	dopts := pepa.DeriveOptions{MaxStates: *maxStates, Workers: *workers, Span: deriveSpan, Metrics: reg}
 	var dstats obsv.DeriveStats
-	if *stats {
+	if instrumented {
 		dopts.Stats = &dstats
 	}
 	ss, err := pepa.Derive(model, dopts)
+	deriveSpan.End()
 	if *stats && dstats.States > 0 {
 		fmt.Fprintln(stderr, dstats.String())
 	}
@@ -101,10 +131,24 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if err := c.CheckIrreducible(); err != nil {
 		fmt.Fprintf(stderr, "warning: %v\n", err)
 	}
-	pi, err := solveSteady(c, *solver, *workers, *stats, stderr)
+
+	sopts := linalg.Options{Workers: *workers, Metrics: reg}
+	var sstats obsv.SolveStats
+	if instrumented {
+		sopts.Stats = &sstats
+	}
+	solveSpan := root.Child("solve")
+	pi, err := solveSteady(c, *solver, sopts)
+	solveSpan.End()
+	if *stats && sstats.Solver != "" {
+		fmt.Fprintln(stderr, sstats.String())
+	}
 	if err != nil {
 		return err
 	}
+
+	measures := make(map[string]float64)
+	measureSpan := root.Child("measures")
 	if *lump {
 		if _, q, err := c.Lump(make(ctmc.Partition, c.NumStates())); err == nil {
 			fmt.Fprintf(stdout, "lumped quotient: %d states\n", q.NumStates())
@@ -123,10 +167,13 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(stdout, "mean level of leaf %d (%s*): %.8g\n", leaf, prefix, l)
+		measures[fmt.Sprintf("mean_level.%d.%s", leaf, prefix)] = l
 	}
 	fmt.Fprintln(stdout, "action throughputs:")
 	for _, a := range c.Actions() {
-		fmt.Fprintf(stdout, "  %-16s %.8g\n", a, c.ActionThroughput(pi, a))
+		x := c.ActionThroughput(pi, a)
+		fmt.Fprintf(stdout, "  %-16s %.8g\n", a, x)
+		measures["throughput."+a] = x
 	}
 	if *dumpStates {
 		fmt.Fprintln(stdout, "stationary distribution:")
@@ -134,47 +181,63 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			fmt.Fprintf(stdout, "  %.10g  %s\n", pi[i], c.Label(i))
 		}
 	}
+	measureSpan.End()
+	root.End()
+
+	if *stats {
+		root.WriteTree(stderr)
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		if err := root.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if *manifest != "" {
+		m := obsv.NewManifest("pepa")
+		m.Args = args
+		m.Model = modelName
+		m.Solver = *solver
+		m.Workers = *workers
+		m.Derive = &dstats
+		if sstats.Solver != "" {
+			m.Solve = &sstats
+		}
+		m.Measures = measures
+		m.Metrics = reg.Snapshot()
+		rec := root.Record()
+		m.Trace = &rec
+		if err := m.WriteFile(*manifest); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
 // solveSteady dispatches on the -solver flag. See the "Choosing a
 // solver" section of README.md for when each wins.
-func solveSteady(c *ctmc.Chain, solver string, workers int, stats bool, stderr io.Writer) ([]float64, error) {
-	if solver == "auto" && !stats && workers <= 1 {
-		return c.SteadyState()
-	}
-	opts := linalg.Options{Workers: workers}
-	var sstats obsv.SolveStats
-	if stats {
-		opts.Stats = &sstats
-		defer func() {
-			if sstats.Solver != "" {
-				fmt.Fprintln(stderr, sstats.String())
-			}
-		}()
-	}
-	q := c.Generator()
+func solveSteady(c *ctmc.Chain, solver string, opts linalg.Options) ([]float64, error) {
 	switch solver {
 	case "auto":
-		// The automatic choice, but honouring -workers and -stats:
-		// GTH on small chains, iterative beyond.
-		if q.Rows <= 400 {
-			if pi, err := linalg.SteadyStateGTH(q.ToDense()); err == nil {
-				return pi, nil
-			}
+		if opts.Stats == nil && opts.Metrics == nil && opts.Workers <= 1 {
+			return c.SteadyState()
 		}
-		if pi, err := linalg.SteadyStateGaussSeidel(q, opts); err == nil {
-			return pi, nil
-		}
-		return linalg.SteadyStatePower(q, opts)
+		return c.SteadyStateAuto(opts)
 	case "gth":
-		return linalg.SteadyStateGTH(q.ToDense())
+		return linalg.SteadyStateGTH(c.Generator().ToDense())
 	case "power":
-		return linalg.SteadyStatePower(q, opts)
+		return linalg.SteadyStatePower(c.Generator(), opts)
 	case "gs":
-		return linalg.SteadyStateGaussSeidel(q, opts)
+		return linalg.SteadyStateGaussSeidel(c.Generator(), opts)
 	case "jacobi":
-		return linalg.SteadyStateJacobi(q, opts)
+		return linalg.SteadyStateJacobi(c.Generator(), opts)
 	default:
 		return nil, fmt.Errorf("unknown -solver %q (want auto, gth, power, gs or jacobi)", solver)
 	}

@@ -2,8 +2,14 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"pepatags/internal/obsv"
 )
 
 func TestRunBuiltinTAG(t *testing.T) {
@@ -57,6 +63,84 @@ func TestRunMaxStatesCap(t *testing.T) {
 	err := run([]string{"-max-states", "2", "-tag"}, strings.NewReader(""), &out, &errs)
 	if err == nil || !strings.Contains(err.Error(), "exceeds") {
 		t.Fatalf("expected overflow error, got %v", err)
+	}
+}
+
+func TestRunManifestAndTrace(t *testing.T) {
+	dir := t.TempDir()
+	mpath := filepath.Join(dir, "run.json")
+	tpath := filepath.Join(dir, "trace.json")
+	var out, errs bytes.Buffer
+	args := []string{"-tag", "-stats", "-manifest", mpath, "-trace", tpath}
+	if err := run(args, strings.NewReader(""), &out, &errs); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errs.String())
+	}
+
+	m, err := obsv.ReadManifest(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Tool != "pepa" || m.Model != "builtin:tag" || m.Solver != "auto" {
+		t.Fatalf("bad manifest header: %+v", m)
+	}
+	if m.Derive == nil || m.Derive.States != 4331 || m.Derive.Transitions != 16695 {
+		t.Fatalf("bad derive stats: %+v", m.Derive)
+	}
+	if m.Solve == nil || !m.Solve.Converged {
+		t.Fatalf("bad solve stats: %+v", m.Solve)
+	}
+	if m.Trace == nil || m.Trace.Name != "pepa" {
+		t.Fatalf("missing trace record: %+v", m.Trace)
+	}
+	// Each measure must be the exact float64 behind the printed line.
+	for _, a := range []string{"service1", "timeout", "arrival"} {
+		x, ok := m.Measures["throughput."+a]
+		if !ok {
+			t.Fatalf("measure throughput.%s missing; have %v", a, m.Measures)
+		}
+		line := fmt.Sprintf("  %-16s %.8g\n", a, x)
+		if !strings.Contains(out.String(), line) {
+			t.Fatalf("manifest measure %q does not reproduce the stdout line %q:\n%s", a, line, out.String())
+		}
+	}
+	if len(m.Metrics) == 0 {
+		t.Fatal("manifest has no metrics snapshot")
+	}
+
+	// The Chrome trace must be a JSON array covering the pipeline spans.
+	b, err := os.ReadFile(tpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(b, &events); err != nil {
+		t.Fatalf("trace is not a JSON array: %v", err)
+	}
+	seen := map[string]bool{}
+	for _, e := range events {
+		seen[e["name"].(string)] = true
+	}
+	for _, want := range []string{"pepa", "parse", "derive", "compile", "explore", "solve", "measures"} {
+		if !seen[want] {
+			t.Fatalf("trace missing span %q; have %v", want, seen)
+		}
+	}
+
+	// -stats renders the same tree on stderr.
+	for _, want := range []string{"pepa", "derive", "explore", "solve"} {
+		if !strings.Contains(errs.String(), want) {
+			t.Fatalf("span tree missing %q on stderr:\n%s", want, errs.String())
+		}
+	}
+}
+
+func TestRunDebugAddr(t *testing.T) {
+	var out, errs bytes.Buffer
+	if err := run([]string{"-debug-addr", "127.0.0.1:0", "-tag"}, strings.NewReader(""), &out, &errs); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(errs.String(), "debug endpoint on http://127.0.0.1:") {
+		t.Fatalf("missing debug-endpoint banner:\n%s", errs.String())
 	}
 }
 

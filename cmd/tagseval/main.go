@@ -11,6 +11,8 @@
 //	tagseval -fig figure9 -csv       # CSV instead of a text table
 //	tagseval -fig statespace -workers 8  # parallel PEPA derivation
 //	tagseval -all -stats             # per-artefact wall time on stderr
+//	tagseval -fig figure6 -manifest run.json  # machine-readable record
+//	tagseval -all -debug-addr :6060  # pprof/expvar while the sweep runs
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"time"
 
 	"pepatags/internal/exp"
+	"pepatags/internal/obsv"
 )
 
 type runner func(exp.Params) (*exp.Figure, error)
@@ -39,21 +42,31 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("tagseval", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		figName = fs.String("fig", "", "artefact to run (see -list)")
-		all     = fs.Bool("all", false, "run every artefact")
-		list    = fs.Bool("list", false, "list available artefacts")
-		short   = fs.Bool("short", false, "use trimmed parameter grids")
-		csv     = fs.Bool("csv", false, "emit CSV instead of text tables")
-		jobs    = fs.Int("jobs", 200000, "simulated jobs for the simulation tables")
-		seed    = fs.Uint64("seed", 1, "simulation seed")
-		workers = fs.Int("workers", 1, "worker goroutines for the PEPA-engine runners (-1 = one per CPU)")
-		stats   = fs.Bool("stats", false, "print per-artefact wall time to stderr")
+		figName  = fs.String("fig", "", "artefact to run (see -list)")
+		all      = fs.Bool("all", false, "run every artefact")
+		list     = fs.Bool("list", false, "list available artefacts")
+		short    = fs.Bool("short", false, "use trimmed parameter grids")
+		csv      = fs.Bool("csv", false, "emit CSV instead of text tables")
+		jobs     = fs.Int("jobs", 200000, "simulated jobs for the simulation tables")
+		seed     = fs.Uint64("seed", 1, "simulation seed")
+		workers  = fs.Int("workers", 1, "worker goroutines for the PEPA-engine runners (-1 = one per CPU)")
+		stats    = fs.Bool("stats", false, "print per-artefact wall time to stderr")
+		manifest = fs.String("manifest", "", "write a JSON run manifest (one artefact record per figure/table) to this path")
+		debug    = fs.String("debug-addr", "", "serve pprof/expvar/metrics on this address (e.g. :6060) for the duration of the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *workers < 0 {
 		*workers = runtime.GOMAXPROCS(0)
+	}
+	if *debug != "" {
+		srv, bound, err := obsv.StartDebug(*debug, nil)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "debug endpoint on http://%s/debug/\n", bound)
 	}
 
 	runners := map[string]runner{
@@ -109,14 +122,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("nothing to do: pass -fig <name>, -all or -list")
 	}
 
+	var artefacts []obsv.ArtefactRecord
 	for _, n := range names {
 		start := time.Now()
 		f, err := runners[n](p)
 		if err != nil {
 			return fmt.Errorf("%s: %w", n, err)
 		}
+		elapsed := time.Since(start)
 		if *stats {
-			fmt.Fprintf(stderr, "%s: %v (workers=%d)\n", n, time.Since(start).Round(time.Millisecond), *workers)
+			fmt.Fprintf(stderr, "%s: %v (workers=%d)\n", n, elapsed.Round(time.Millisecond), *workers)
+		}
+		if *manifest != "" {
+			artefacts = append(artefacts, f.Artefact(elapsed))
 		}
 		var werr error
 		if *csv {
@@ -128,6 +146,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return fmt.Errorf("%s: %w", n, werr)
 		}
 		fmt.Fprintln(stdout)
+	}
+	if *manifest != "" {
+		m := obsv.NewManifest("tagseval")
+		m.Args = args
+		m.Params = map[string]any{"short": *short, "jobs": *jobs, "csv": *csv}
+		m.Seed = *seed
+		m.Workers = *workers
+		m.Artefacts = artefacts
+		if err := m.WriteFile(*manifest); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -2,8 +2,12 @@ package main
 
 import (
 	"bytes"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"pepatags/internal/exp"
+	"pepatags/internal/obsv"
 )
 
 func TestRunList(t *testing.T) {
@@ -39,6 +43,42 @@ func TestRunApproxTable(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "6.18") {
 		t.Fatalf("missing balance timeout:\n%s", out.String())
+	}
+}
+
+// TestManifestMatchesTableBitForBit is the acceptance check for the
+// -manifest flag: the figure6 sweep (8 timeout rates in the short
+// grid) is rendered once to stdout and once from the manifest's raw
+// float64 series, and the two byte streams must be identical.
+func TestManifestMatchesTableBitForBit(t *testing.T) {
+	mpath := filepath.Join(t.TempDir(), "run.json")
+	var out, errs bytes.Buffer
+	if err := run([]string{"-short", "-fig", "figure6", "-manifest", mpath}, &out, &errs); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := obsv.ReadManifest(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Tool != "tagseval" || len(m.Artefacts) != 1 {
+		t.Fatalf("bad manifest: tool=%q artefacts=%d", m.Tool, len(m.Artefacts))
+	}
+	rec := m.Artefacts[0]
+	if rec.ID != "figure6" || rec.ElapsedSec <= 0 {
+		t.Fatalf("bad artefact record: %+v", rec)
+	}
+	if len(rec.Series[0].X) < 3 {
+		t.Fatalf("expected a sweep over >= 3 timeouts, got %d", len(rec.Series[0].X))
+	}
+
+	var fromManifest bytes.Buffer
+	if err := exp.FigureFromArtefact(rec).Render(&fromManifest); err != nil {
+		t.Fatal(err)
+	}
+	fromManifest.WriteByte('\n') // run() prints a blank line after each table
+	if got, want := out.String(), fromManifest.String(); got != want {
+		t.Fatalf("stdout and manifest-rendered table differ:\nstdout:\n%s\nmanifest:\n%s", got, want)
 	}
 }
 

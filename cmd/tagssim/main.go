@@ -10,6 +10,9 @@
 //	tagssim -policy sq -dist pareto -lambda 8
 //	tagssim -policy tag -timeout 0.35 -bursty
 //	tagssim -policy tag -resume -timeout 0.35   # multi-level feedback
+//	tagssim -stats                              # metrics registry on stderr
+//	tagssim -manifest run.json                  # machine-readable record
+//	tagssim -progress                           # liveness lines on stderr
 package main
 
 import (
@@ -19,6 +22,7 @@ import (
 	"os"
 
 	"pepatags/internal/dist"
+	"pepatags/internal/obsv"
 	"pepatags/internal/policies"
 	"pepatags/internal/sim"
 	"pepatags/internal/workload"
@@ -35,20 +39,24 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("tagssim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		policy  = fs.String("policy", "tag", "tag | random | rr | sq | lwl | dynamic")
-		distStr = fs.String("dist", "exp", "exp | h2 | h2mild | pareto | det | weibull")
-		lambda  = fs.Float64("lambda", 8, "mean arrival rate")
-		mean    = fs.Float64("mean", 0.1, "mean service demand")
-		nodes   = fs.Int("nodes", 2, "number of nodes")
-		cap     = fs.Int("cap", 10, "per-node capacity (0 = unbounded)")
-		timeout = fs.Float64("timeout", 0.35, "TAG kill timeout (deterministic)")
-		erlangN = fs.Int("erlang", 0, "if > 0, use an Erlang-n timeout with the same mean")
-		resume  = fs.Bool("resume", false, "resume instead of restart after a kill")
-		jobs    = fs.Int("jobs", 500000, "number of jobs")
-		warmup  = fs.Float64("warmup", 50, "warmup period excluded from metrics")
-		seed    = fs.Uint64("seed", 1, "RNG seed")
-		bursty  = fs.Bool("bursty", false, "use a bursty MMPP-2 arrival stream with the same mean rate")
-		trace   = fs.String("trace", "", "CSV file of arrival,size pairs (overrides -dist/-lambda/-jobs)")
+		policy   = fs.String("policy", "tag", "tag | random | rr | sq | lwl | dynamic")
+		distStr  = fs.String("dist", "exp", "exp | h2 | h2mild | pareto | det | weibull")
+		lambda   = fs.Float64("lambda", 8, "mean arrival rate")
+		mean     = fs.Float64("mean", 0.1, "mean service demand")
+		nodes    = fs.Int("nodes", 2, "number of nodes")
+		cap      = fs.Int("cap", 10, "per-node capacity (0 = unbounded)")
+		timeout  = fs.Float64("timeout", 0.35, "TAG kill timeout (deterministic)")
+		erlangN  = fs.Int("erlang", 0, "if > 0, use an Erlang-n timeout with the same mean")
+		resume   = fs.Bool("resume", false, "resume instead of restart after a kill")
+		jobs     = fs.Int("jobs", 500000, "number of jobs")
+		warmup   = fs.Float64("warmup", 50, "warmup period excluded from metrics")
+		seed     = fs.Uint64("seed", 1, "RNG seed")
+		bursty   = fs.Bool("bursty", false, "use a bursty MMPP-2 arrival stream with the same mean rate")
+		trace    = fs.String("trace", "", "CSV file of arrival,size pairs (overrides -dist/-lambda/-jobs)")
+		stats    = fs.Bool("stats", false, "print the metrics-registry summary (counters, gauges, histograms) to stderr")
+		manifest = fs.String("manifest", "", "write a JSON run manifest to this path")
+		debug    = fs.String("debug-addr", "", "serve pprof/expvar/metrics on this address (e.g. :6060) for the duration of the run")
+		progress = fs.Bool("progress", false, "print a liveness line to stderr every 2^16 simulated events")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -88,6 +96,24 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Source: &workload.StochasticSource{Arrivals: arrivals, Sizes: sizes, Limit: *jobs},
 		Seed:   *seed,
 		Warmup: *warmup,
+	}
+	var reg *obsv.Registry
+	if *stats || *manifest != "" || *debug != "" {
+		reg = obsv.NewRegistry()
+		cfg.Metrics = reg
+	}
+	if *debug != "" {
+		srv, bound, err := obsv.StartDebug(*debug, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "debug endpoint on http://%s/debug/\n", bound)
+	}
+	if *progress {
+		cfg.Progress = func(p obsv.Progress) {
+			fmt.Fprintf(stderr, "sim: %d events, %d completed, t=%.6g\n", p.Step, p.Count, p.Value)
+		}
 	}
 	if *trace != "" {
 		f, err := os.Open(*trace)
@@ -147,6 +173,40 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stdout, "loss prob:     %.6g\n", m.LossProbability())
 	for i := 0; i < *nodes; i++ {
 		fmt.Fprintf(stdout, "node %d util:   %.4f\n", i, m.Utilization(i))
+	}
+	if *stats {
+		fmt.Fprintln(stderr, "metrics registry:")
+		if err := reg.WriteSummary(stderr); err != nil {
+			return err
+		}
+	}
+	if *manifest != "" {
+		mf := obsv.NewManifest("tagssim")
+		mf.Args = args
+		mf.Params = map[string]any{
+			"policy": *policy, "dist": *distStr, "lambda": *lambda,
+			"mean": *mean, "nodes": *nodes, "cap": *cap,
+			"timeout": *timeout, "erlang": *erlangN, "resume": *resume,
+			"jobs": *jobs, "warmup": *warmup, "bursty": *bursty,
+			"trace": *trace,
+		}
+		mf.Seed = *seed
+		mf.Measures = map[string]float64{
+			"completed":     float64(m.Completed),
+			"dropped":       float64(m.Dropped),
+			"killed":        float64(m.Killed),
+			"response_mean": m.Response.Mean(),
+			"slowdown_mean": m.Slowdown.Mean(),
+			"throughput":    m.Throughput(),
+			"loss_prob":     m.LossProbability(),
+		}
+		for i := 0; i < *nodes; i++ {
+			mf.Measures[fmt.Sprintf("util.%d", i)] = m.Utilization(i)
+		}
+		mf.Metrics = reg.Snapshot()
+		if err := mf.WriteFile(*manifest); err != nil {
+			return err
+		}
 	}
 	return nil
 }

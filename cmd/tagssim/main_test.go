@@ -3,8 +3,11 @@ package main
 import (
 	"bytes"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"pepatags/internal/obsv"
 )
 
 func runOK(t *testing.T, args ...string) string {
@@ -64,6 +67,58 @@ func TestRunWeibull(t *testing.T) {
 	out := runOK(t, "-dist", "weibull", "-jobs", "5000")
 	if !strings.Contains(out, "Weibull") {
 		t.Fatalf("expected Weibull service:\n%s", out)
+	}
+}
+
+func TestRunStatsAndManifest(t *testing.T) {
+	mpath := filepath.Join(t.TempDir(), "run.json")
+	var plain, out, errs bytes.Buffer
+	// 50000 jobs ≈ 100k events, enough to cross the 2^16-event
+	// progress tick at least once.
+	base := []string{"-jobs", "50000", "-seed", "7"}
+	if err := run(base, &plain, &errs); err != nil {
+		t.Fatal(err)
+	}
+	errs.Reset()
+	args := append(append([]string{}, base...), "-stats", "-progress", "-manifest", mpath)
+	if err := run(args, &out, &errs); err != nil {
+		t.Fatal(err)
+	}
+
+	// Attaching the registry must not perturb the simulation.
+	if plain.String() != out.String() {
+		t.Fatalf("instrumented run changed the results:\nplain:\n%s\ninstrumented:\n%s", plain.String(), out.String())
+	}
+	for _, want := range []string{"metrics registry:", "counter", "sim.completed", "histogram", "sim.response", "sim: "} {
+		if !strings.Contains(errs.String(), want) {
+			t.Fatalf("missing %q on stderr:\n%s", want, errs.String())
+		}
+	}
+
+	m, err := obsv.ReadManifest(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Tool != "tagssim" || m.Seed != 7 {
+		t.Fatalf("bad manifest header: tool=%q seed=%d", m.Tool, m.Seed)
+	}
+	for _, k := range []string{"completed", "response_mean", "throughput", "loss_prob", "util.0", "util.1"} {
+		if _, ok := m.Measures[k]; !ok {
+			t.Fatalf("measure %q missing; have %v", k, m.Measures)
+		}
+	}
+	if m.Params["policy"] != "tag" || m.Params["jobs"] != float64(50000) {
+		t.Fatalf("bad params: %v", m.Params)
+	}
+	// The registry snapshot in the manifest must agree with the measures.
+	var completedCounter float64 = -1
+	for _, mt := range m.Metrics {
+		if mt.Name == "sim.completed" {
+			completedCounter = float64(mt.Value)
+		}
+	}
+	if completedCounter != m.Measures["completed"] {
+		t.Fatalf("sim.completed counter %v != completed measure %v", completedCounter, m.Measures["completed"])
 	}
 }
 

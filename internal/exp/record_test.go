@@ -1,0 +1,40 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestArtefactRoundTripRendersIdentically is the property the
+// -manifest flag relies on: a figure reconstructed from its manifest
+// record renders the same bytes as the original.
+func TestArtefactRoundTripRendersIdentically(t *testing.T) {
+	f := &Figure{
+		ID:     "figure6",
+		Title:  "Average queue length vs timeout rate",
+		XLabel: "timeout-rate",
+		YLabel: "mean queue length",
+		Notes:  []string{"TAG CTMC has 4331 states (paper: 4331)"},
+		Series: []Series{
+			{Name: "TAG", X: []float64{1, 1.5, 2}, Y: []float64{5.123456789012345, 4.000000001, 3}},
+			{Name: "random", X: []float64{1, 1.5, 2}, Y: []float64{6.1, 6.1, 6.1}},
+		},
+	}
+	rec := f.Artefact(250 * time.Millisecond)
+	if rec.ID != "figure6" || rec.ElapsedSec != 0.25 || len(rec.Series) != 2 {
+		t.Fatalf("bad record: %+v", rec)
+	}
+	back := FigureFromArtefact(rec)
+
+	var want, got strings.Builder
+	if err := f.Render(&want); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Render(&got); err != nil {
+		t.Fatal(err)
+	}
+	if want.String() != got.String() {
+		t.Fatalf("render mismatch:\nwant:\n%s\ngot:\n%s", want.String(), got.String())
+	}
+}

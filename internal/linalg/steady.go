@@ -46,12 +46,21 @@ type Options struct {
 	// solver fails to converge).
 	Stats *obsv.SolveStats
 
+	// Metrics, when non-nil, receives per-solve aggregates at the end
+	// of each solve: the "solve.count" and "solve.iterations" counters
+	// and the "solve.seconds" histogram. Recording happens once per
+	// solve, outside the sweep loop, so attaching a registry costs
+	// nothing on the iteration hot path.
+	Metrics *obsv.Registry
+
 	// Progress, when non-nil, is called every TraceEvery sweeps (or
 	// every 64 when TraceEvery is 0) with the current difference.
 	Progress obsv.ProgressFunc
 
 	// TraceEvery samples the successive-iterate difference into
-	// Stats.ResidualTrace every TraceEvery sweeps (0 = no trace).
+	// Stats.ResidualTrace every TraceEvery sweeps (0 = no trace). The
+	// final difference is always included, so the trace ends at the
+	// value the solve converged (or gave up) at.
 	TraceEvery int
 }
 
@@ -83,17 +92,28 @@ func (o Options) tick(solver string, iter, n int, diff float64) {
 	}
 }
 
-// finish fills Stats at the end of a solve.
+// finish fills Stats and records the per-solve metrics at the end of a
+// solve.
 func (o Options) finish(solver string, start time.Time, iters int, diff float64, converged bool) {
-	if o.Stats == nil {
-		return
+	if o.Stats != nil {
+		o.Stats.Solver = solver
+		o.Stats.Iterations = iters
+		o.Stats.FinalDiff = diff
+		o.Stats.Converged = converged
+		o.Stats.Workers = max(1, o.Workers)
+		o.Stats.Elapsed = time.Since(start)
+		// tick samples the trace only on TraceEvery multiples, so a
+		// solve stopping between samples would leave the trace short of
+		// the converged value; append the final diff in that case.
+		if o.TraceEvery > 0 && iters%o.TraceEvery != 0 {
+			o.Stats.ResidualTrace = append(o.Stats.ResidualTrace, diff)
+		}
 	}
-	o.Stats.Solver = solver
-	o.Stats.Iterations = iters
-	o.Stats.FinalDiff = diff
-	o.Stats.Converged = converged
-	o.Stats.Workers = max(1, o.Workers)
-	o.Stats.Elapsed = time.Since(start)
+	if o.Metrics != nil {
+		o.Metrics.Counter("solve.count").Inc()
+		o.Metrics.Counter("solve.iterations").Add(int64(iters))
+		o.Metrics.Histogram("solve.seconds").Observe(time.Since(start).Seconds())
+	}
 }
 
 // SteadyStateGTH computes the stationary distribution of the generator

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"pepatags/internal/numeric"
+	"pepatags/internal/obsv"
 )
 
 // mm1kGenerator builds the birth-death generator of an M/M/1/K queue.
@@ -249,5 +250,59 @@ func TestSolveSparseGaussSeidelValidation(t *testing.T) {
 	coo2.Add(1, 1, 1)
 	if _, err := SolveSparseGaussSeidel(coo2.ToCSR(), []float64{1}, Options{}); err == nil {
 		t.Fatal("bad rhs length must fail")
+	}
+}
+
+// TestResidualTraceEndsAtFinalDiff pins the fix for traces that
+// stopped one sample short: whatever TraceEvery is, the last trace
+// entry must be the final (converged) difference.
+func TestResidualTraceEndsAtFinalDiff(t *testing.T) {
+	q := mm1kGenerator(5, 10, 20).ToCSR()
+	for _, every := range []int{1, 3, 7, 1000000} {
+		var st obsv.SolveStats
+		if _, err := SteadyStateGaussSeidel(q, Options{Stats: &st, TraceEvery: every}); err != nil {
+			t.Fatalf("TraceEvery=%d: %v", every, err)
+		}
+		if len(st.ResidualTrace) == 0 {
+			t.Fatalf("TraceEvery=%d: empty trace", every)
+		}
+		last := st.ResidualTrace[len(st.ResidualTrace)-1]
+		if last != st.FinalDiff {
+			t.Fatalf("TraceEvery=%d: trace ends at %g, final diff %g (iterations %d)",
+				every, last, st.FinalDiff, st.Iterations)
+		}
+		if last >= DefaultEps {
+			t.Fatalf("TraceEvery=%d: trace does not end converged: %g", every, last)
+		}
+		// No duplicate tail when the iteration count lands on a sample.
+		if st.Iterations%every == 0 && len(st.ResidualTrace) >= 2 &&
+			st.ResidualTrace[len(st.ResidualTrace)-2] == last {
+			t.Fatalf("TraceEvery=%d: final diff appended twice", every)
+		}
+	}
+}
+
+// TestSolveMetrics checks the per-solve registry aggregates.
+func TestSolveMetrics(t *testing.T) {
+	q := mm1kGenerator(5, 10, 20).ToCSR()
+	reg := obsv.NewRegistry()
+	var st obsv.SolveStats
+	for _, solve := range []func() error{
+		func() error { _, err := SteadyStateGaussSeidel(q, Options{Stats: &st, Metrics: reg}); return err },
+		func() error { _, err := SteadyStatePower(q, Options{Metrics: reg}); return err },
+		func() error { _, err := SteadyStateJacobi(q, Options{Metrics: reg, Workers: 2}); return err },
+	} {
+		if err := solve(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Counter("solve.count").Value(); got != 3 {
+		t.Fatalf("solve.count = %d, want 3", got)
+	}
+	if iters := reg.Counter("solve.iterations").Value(); iters < int64(st.Iterations) {
+		t.Fatalf("solve.iterations = %d, below the Gauss-Seidel count %d", iters, st.Iterations)
+	}
+	if n := reg.Histogram("solve.seconds").Count(); n != 3 {
+		t.Fatalf("solve.seconds count = %d, want 3", n)
 	}
 }

@@ -1,0 +1,55 @@
+package obsv
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// StartDebug starts the opt-in debugging endpoint behind the CLIs'
+// -debug-addr flag. It serves:
+//
+//	/debug/pprof/...   the standard Go profiler (CPU, heap, goroutine,
+//	                   block, execution trace) — the way to profile a
+//	                   long derivation or simulation in flight
+//	/debug/vars        expvar (memstats, cmdline)
+//	/debug/metrics     the registry, as text or ?format=json
+//
+// reg may be nil, in which case /debug/metrics reports an empty
+// snapshot. The listener binds immediately (so ":0" gets a concrete
+// port, returned as addr) and the server runs until Close. The server
+// is deliberately mounted on its own mux, not http.DefaultServeMux,
+// so importing obsv never opens endpoints by side effect.
+func StartDebug(addr string, reg *Registry) (srv *http.Server, boundAddr string, err error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
+		var snap []Metric
+		if reg != nil {
+			snap = reg.Snapshot()
+		}
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(snap)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if reg != nil {
+			reg.WriteSummary(w)
+		}
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv = &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}

@@ -1,0 +1,60 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestStartDebug(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test.hits").Add(5)
+	reg.Histogram("test.lat").Observe(0.5)
+	srv, addr, err := StartDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	if code, body := get("/debug/metrics"); code != 200 || !strings.Contains(body, "test.hits") {
+		t.Fatalf("/debug/metrics: code %d body %q", code, body)
+	}
+	if code, body := get("/debug/metrics?format=json"); code != 200 || !strings.Contains(body, `"test.lat"`) {
+		t.Fatalf("/debug/metrics json: code %d body %q", code, body)
+	}
+	if code, body := get("/debug/vars"); code != 200 || !strings.Contains(body, "memstats") {
+		t.Fatalf("/debug/vars: code %d body %.80q", code, body)
+	}
+	if code, _ := get("/debug/pprof/"); code != 200 {
+		t.Fatalf("/debug/pprof/: code %d", code)
+	}
+}
+
+func TestStartDebugNilRegistry(t *testing.T) {
+	srv, addr, err := StartDebug("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + addr + "/debug/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("code %d", resp.StatusCode)
+	}
+}

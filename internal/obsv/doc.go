@@ -1,20 +1,38 @@
 // Package obsv is the observability layer shared by the state-space
-// deriver (internal/pepa) and the iterative solvers (internal/linalg):
-// per-run statistics structs and a lightweight progress-callback
-// protocol. It exists so that the hot numerical packages can report
-// what they did (states/sec, frontier depth, dedup hits, solver
-// iterations, residual traces, wall time) without depending on any
-// output or CLI package, and so that cmd/pepa and cmd/tagseval can
-// surface the same numbers behind their -stats flags.
+// deriver (internal/pepa), the iterative solvers (internal/linalg),
+// the simulator (internal/sim) and the three CLIs. It has four parts,
+// each usable on its own:
 //
-// DeriveStats describes one state-space derivation (filled via
-// pepa.DeriveOptions.Stats, even on failure — partial counts matter
-// when a model blows past its state cap). SolveStats describes one
-// iterative solve, including an optional residual trace
-// (linalg.Options.TraceEvery). Progress/ProgressFunc is the
-// callback protocol both packages invoke at coarse grain (per BFS
-// level, every few solver iterations) so a long run can be watched
-// live without measurable overhead.
+//   - Run statistics and progress callbacks. DeriveStats describes one
+//     state-space derivation (filled via pepa.DeriveOptions.Stats, even
+//     on failure — partial counts matter when a model blows past its
+//     state cap). SolveStats describes one iterative solve, including
+//     an optional residual trace. Progress/ProgressFunc is the coarse
+//     callback protocol the deriver, solvers and simulator invoke so a
+//     long run can be watched live without measurable overhead.
+//
+//   - A metrics registry (registry.go). Registry hands out named
+//     Counters, Gauges and log-bucketed Histograms. Lookup takes a
+//     mutex; the instruments themselves are updated with a handful of
+//     atomics — allocation-free and safe under concurrent writers — so
+//     they can sit directly on the simulator's per-event path and the
+//     solvers' per-solve bookkeeping. Snapshot() freezes everything
+//     into a sorted, JSON-ready []Metric.
+//
+//   - Pipeline spans (span.go). Span is a minimal tree of named timed
+//     phases (parse → compile → derive → solve → measures) with a text
+//     tree renderer and a Chrome trace-event JSON export for
+//     chrome://tracing / Perfetto.
+//
+//   - Run manifests (manifest.go). Manifest is the machine-readable
+//     record of one CLI run — schema-tagged JSON carrying the full
+//     parameter set, seed, derive/solve stats, result measures,
+//     artefact series, a metrics snapshot and the span tree. The
+//     -manifest flag of cmd/pepa, cmd/tagseval and cmd/tagssim writes
+//     one; tools/manifestcheck validates them in CI.
+//
+// StartDebug (debug.go) serves the opt-in -debug-addr HTTP endpoint:
+// pprof, expvar and a live registry dump.
 //
 // obsv depends only on the standard library and is imported by the
 // layers below it; it must never import any other internal package.

@@ -1,0 +1,157 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+)
+
+// ManifestSchema identifies the manifest layout. Bump the trailing
+// version when a field changes meaning; tools/manifestcheck rejects
+// manifests from other versions.
+const ManifestSchema = "pepatags/run-manifest/v1"
+
+// Manifest is the machine-readable record of one CLI run, written
+// under the -manifest flag of cmd/pepa, cmd/tagseval and cmd/tagssim.
+// A sweep's manifests make the sweep replayable (the full parameter
+// set and seed are recorded) and diffable (the measures the tables
+// print are recorded as raw float64s, which encoding/json round-trips
+// exactly).
+//
+// Not every field applies to every tool: pepa fills Model/Solver/
+// Derive/Solve/Measures, tagseval fills Artefacts, tagssim fills
+// Measures/Metrics. Validate only checks the fields that are present.
+type Manifest struct {
+	Schema    string `json:"schema"`
+	Tool      string `json:"tool"`
+	CreatedAt string `json:"created_at"` // RFC 3339
+	GoVersion string `json:"go_version,omitempty"`
+
+	Args    []string       `json:"args,omitempty"`    // raw CLI arguments
+	Params  map[string]any `json:"params,omitempty"`  // resolved parameters
+	Model   string         `json:"model,omitempty"`   // model file / builtin name
+	Solver  string         `json:"solver,omitempty"`  // requested solver
+	Seed    uint64         `json:"seed,omitempty"`    // RNG seed (simulation tools)
+	Workers int            `json:"workers,omitempty"` // worker goroutines
+
+	Derive *DeriveStats `json:"derive,omitempty"`
+	Solve  *SolveStats  `json:"solve,omitempty"`
+
+	// Measures are scalar results keyed by name ("throughput.service1",
+	// "response_mean", ...), recorded untruncated.
+	Measures map[string]float64 `json:"measures,omitempty"`
+
+	// Artefacts are full figure/table records (tagseval).
+	Artefacts []ArtefactRecord `json:"artefacts,omitempty"`
+
+	// Metrics is a registry snapshot taken at the end of the run.
+	Metrics []Metric `json:"metrics,omitempty"`
+
+	// Trace is the pipeline span tree, when tracing was on.
+	Trace *SpanRecord `json:"trace,omitempty"`
+}
+
+// SeriesRecord is one curve of an artefact: the exact float64s behind
+// a rendered table column.
+type SeriesRecord struct {
+	Name string    `json:"name"`
+	X    []float64 `json:"x"`
+	Y    []float64 `json:"y"`
+}
+
+// ArtefactRecord captures one reproduced figure or table, carrying
+// enough of the rendering metadata that the text table can be
+// regenerated from the manifest alone and compared bit-for-bit.
+type ArtefactRecord struct {
+	ID         string         `json:"id"`
+	Title      string         `json:"title,omitempty"`
+	XLabel     string         `json:"xlabel,omitempty"`
+	YLabel     string         `json:"ylabel,omitempty"`
+	Notes      []string       `json:"notes,omitempty"`
+	ElapsedSec float64        `json:"elapsed_sec"`
+	Series     []SeriesRecord `json:"series"`
+}
+
+// NewManifest starts a manifest for the named tool, stamping schema,
+// creation time and toolchain version.
+func NewManifest(tool string) *Manifest {
+	return &Manifest{
+		Schema:    ManifestSchema,
+		Tool:      tool,
+		CreatedAt: time.Now().UTC().Format(time.RFC3339Nano),
+		GoVersion: runtime.Version(),
+	}
+}
+
+// Validate checks the manifest against the v1 schema. It is called on
+// both write and read, so a manifest that loads is known well-formed.
+func (m *Manifest) Validate() error {
+	if m.Schema != ManifestSchema {
+		return fmt.Errorf("obsv: manifest schema %q, want %q", m.Schema, ManifestSchema)
+	}
+	if m.Tool == "" {
+		return fmt.Errorf("obsv: manifest has no tool")
+	}
+	if _, err := time.Parse(time.RFC3339Nano, m.CreatedAt); err != nil {
+		return fmt.Errorf("obsv: bad created_at %q: %w", m.CreatedAt, err)
+	}
+	for name, v := range m.Measures {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("obsv: measure %q is %v", name, v)
+		}
+	}
+	for i, a := range m.Artefacts {
+		if a.ID == "" {
+			return fmt.Errorf("obsv: artefact %d has no id", i)
+		}
+		if len(a.Series) == 0 {
+			return fmt.Errorf("obsv: artefact %q has no series", a.ID)
+		}
+		for _, s := range a.Series {
+			if s.Name == "" {
+				return fmt.Errorf("obsv: artefact %q has an unnamed series", a.ID)
+			}
+			if len(s.X) != len(s.Y) {
+				return fmt.Errorf("obsv: artefact %q series %q: %d x values vs %d y values",
+					a.ID, s.Name, len(s.X), len(s.Y))
+			}
+		}
+	}
+	for _, mt := range m.Metrics {
+		if mt.Name == "" || mt.Kind == "" {
+			return fmt.Errorf("obsv: metric with empty name or kind")
+		}
+	}
+	return nil
+}
+
+// WriteFile validates the manifest and writes it as indented JSON.
+func (m *Manifest) WriteFile(path string) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadManifest loads and validates a manifest file.
+func ReadManifest(path string) (*Manifest, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("obsv: %s: %w", path, err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("obsv: %s: %w", path, err)
+	}
+	return &m, nil
+}

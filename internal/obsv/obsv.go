@@ -10,13 +10,15 @@ import (
 // a pointer via pepa.DeriveOptions.Stats; the deriver fills it in
 // whether or not derivation succeeds (partial counts are reported on
 // error, which is useful when a model blows past its state cap).
+// The JSON tags fix the field names used inside run manifests
+// (manifest.go); Elapsed serialises as integer nanoseconds.
 type DeriveStats struct {
-	States      int           // reachable states found
-	Transitions int           // labelled transitions recorded
-	Levels      int           // BFS frontier depth (number of levels explored)
-	DedupHits   int64         // successor states that were already interned
-	Workers     int           // worker goroutines used (1 = serial reference path)
-	Elapsed     time.Duration // wall time of the exploration
+	States      int           `json:"states"`      // reachable states found
+	Transitions int           `json:"transitions"` // labelled transitions recorded
+	Levels      int           `json:"levels"`      // BFS frontier depth (number of levels explored)
+	DedupHits   int64         `json:"dedup_hits"`  // successor states that were already interned
+	Workers     int           `json:"workers"`     // worker goroutines used (1 = serial reference path)
+	Elapsed     time.Duration `json:"elapsed_ns"`  // wall time of the exploration
 }
 
 // StatesPerSec returns the exploration throughput, or 0 for an
@@ -36,13 +38,13 @@ func (s *DeriveStats) String() string {
 // SolveStats records one iterative steady-state solve. A caller passes
 // a pointer via linalg.Options.Stats.
 type SolveStats struct {
-	Solver        string        // "power", "gauss-seidel", "jacobi", ...
-	Iterations    int           // sweeps performed
-	FinalDiff     float64       // last successive-iterate l-inf difference
-	ResidualTrace []float64     // successive-iterate diff sampled every TraceEvery sweeps
-	Converged     bool          // reached the requested tolerance
-	Workers       int           // worker goroutines used (1 = serial)
-	Elapsed       time.Duration // wall time of the solve
+	Solver        string        `json:"solver"`                   // "power", "gauss-seidel", "jacobi", ...
+	Iterations    int           `json:"iterations"`               // sweeps performed
+	FinalDiff     float64       `json:"final_diff"`               // last successive-iterate l-inf difference
+	ResidualTrace []float64     `json:"residual_trace,omitempty"` // successive-iterate diff sampled every TraceEvery sweeps
+	Converged     bool          `json:"converged"`                // reached the requested tolerance
+	Workers       int           `json:"workers"`                  // worker goroutines used (1 = serial)
+	Elapsed       time.Duration `json:"elapsed_ns"`               // wall time of the solve
 }
 
 func (s *SolveStats) String() string {

@@ -1,0 +1,160 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one timed phase of a pipeline run (parse, derive, solve,
+// ...), arranged in a tree: a run has one root span and each phase
+// hangs its sub-phases off its own node. Child creation is safe from
+// concurrent goroutines; a span's own Start/End is owned by the
+// goroutine that created it.
+//
+// Spans are deliberately minimal — a name, a start/end pair and
+// children. They exist to answer "where did the time go" for a single
+// process run, not to stitch distributed traces.
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	end      time.Time
+	ended    bool
+	children []*Span
+}
+
+// NewSpan starts a root span.
+func NewSpan(name string) *Span {
+	return &Span{name: name, start: time.Now()}
+}
+
+// Child starts a sub-span of s.
+func (s *Span) Child(name string) *Span {
+	c := NewSpan(name)
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End closes the span. Extra calls are no-ops, so `defer sp.End()` is
+// always safe.
+func (s *Span) End() {
+	s.mu.Lock()
+	if !s.ended {
+		s.end = time.Now()
+		s.ended = true
+	}
+	s.mu.Unlock()
+}
+
+// Name returns the span's label.
+func (s *Span) Name() string { return s.name }
+
+// Duration returns end-start, or the running duration for an open
+// span.
+func (s *Span) Duration() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return s.end.Sub(s.start)
+	}
+	return time.Since(s.start)
+}
+
+// SpanRecord is the JSON shape of a finished span tree, with times
+// rebased to microseconds since the root span started (the same
+// timebase the Chrome trace export uses).
+type SpanRecord struct {
+	Name     string       `json:"name"`
+	StartUS  int64        `json:"start_us"`
+	DurUS    int64        `json:"dur_us"`
+	Children []SpanRecord `json:"children,omitempty"`
+}
+
+// Record snapshots the tree rooted at s. Open spans are recorded with
+// their running duration.
+func (s *Span) Record() SpanRecord {
+	return s.record(s.start)
+}
+
+func (s *Span) record(base time.Time) SpanRecord {
+	s.mu.Lock()
+	children := make([]*Span, len(s.children))
+	copy(children, s.children)
+	s.mu.Unlock()
+	r := SpanRecord{
+		Name:    s.name,
+		StartUS: s.start.Sub(base).Microseconds(),
+		DurUS:   s.Duration().Microseconds(),
+	}
+	for _, c := range children {
+		r.Children = append(r.Children, c.record(base))
+	}
+	return r
+}
+
+// WriteTree renders the span tree as an indented text listing:
+//
+//	pepa                      12.3ms
+//	  parse                  914µs
+//	  derive                 8.01ms
+//	    compile              403µs
+//	    explore              7.6ms
+func (s *Span) WriteTree(w io.Writer) error {
+	var walk func(sp *Span, depth int) error
+	walk = func(sp *Span, depth int) error {
+		pad := strings.Repeat("  ", depth)
+		if _, err := fmt.Fprintf(w, "%s%-*s %v\n", pad, 24-2*depth, sp.name, sp.Duration().Round(time.Microsecond)); err != nil {
+			return err
+		}
+		sp.mu.Lock()
+		children := make([]*Span, len(sp.children))
+		copy(children, sp.children)
+		sp.mu.Unlock()
+		for _, c := range children {
+			if err := walk(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(s, 0)
+}
+
+// chromeEvent is one complete ("X"-phase) event of the Chrome trace
+// JSON-array format, loadable in chrome://tracing or Perfetto.
+type chromeEvent struct {
+	Name string `json:"name"`
+	Cat  string `json:"cat"`
+	Ph   string `json:"ph"`
+	TS   int64  `json:"ts"`  // microseconds since trace start
+	Dur  int64  `json:"dur"` // microseconds
+	PID  int    `json:"pid"`
+	TID  int    `json:"tid"`
+}
+
+// WriteChromeTrace exports the span tree in Chrome trace-event format
+// (a JSON array of complete events). Load the file in chrome://tracing
+// or https://ui.perfetto.dev to browse the timeline.
+func (s *Span) WriteChromeTrace(w io.Writer) error {
+	var events []chromeEvent
+	var walk func(r SpanRecord)
+	walk = func(r SpanRecord) {
+		events = append(events, chromeEvent{
+			Name: r.Name, Cat: "pepatags", Ph: "X",
+			TS: r.StartUS, Dur: r.DurUS, PID: 1, TID: 1,
+		})
+		for _, c := range r.Children {
+			walk(c)
+		}
+	}
+	walk(s.Record())
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}

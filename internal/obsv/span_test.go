@@ -1,0 +1,125 @@
+package obsv
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTree(t *testing.T) {
+	root := NewSpan("run")
+	a := root.Child("parse")
+	time.Sleep(time.Millisecond)
+	a.End()
+	b := root.Child("derive")
+	c := b.Child("compile")
+	c.End()
+	b.End()
+	root.End()
+
+	rec := root.Record()
+	if rec.Name != "run" || len(rec.Children) != 2 {
+		t.Fatalf("bad root record: %+v", rec)
+	}
+	if rec.Children[0].Name != "parse" || rec.Children[1].Name != "derive" {
+		t.Fatalf("children out of order: %+v", rec.Children)
+	}
+	if len(rec.Children[1].Children) != 1 || rec.Children[1].Children[0].Name != "compile" {
+		t.Fatalf("missing grandchild: %+v", rec.Children[1])
+	}
+	if rec.StartUS != 0 {
+		t.Fatalf("root must start at 0, got %d", rec.StartUS)
+	}
+	if rec.Children[0].DurUS < 900 {
+		t.Fatalf("parse span lost its duration: %dus", rec.Children[0].DurUS)
+	}
+	if rec.DurUS < rec.Children[0].DurUS {
+		t.Fatalf("root (%dus) shorter than child (%dus)", rec.DurUS, rec.Children[0].DurUS)
+	}
+	// Children start within the parent's window.
+	if rec.Children[1].StartUS < rec.Children[0].StartUS {
+		t.Fatal("derive started before parse")
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	s := NewSpan("x")
+	s.End()
+	d := s.Duration()
+	time.Sleep(2 * time.Millisecond)
+	s.End()
+	if s.Duration() != d {
+		t.Fatal("second End must not move the end time")
+	}
+}
+
+func TestSpanConcurrentChildren(t *testing.T) {
+	root := NewSpan("root")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			root.Child("w").End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if n := len(root.Record().Children); n != 16 {
+		t.Fatalf("got %d children, want 16", n)
+	}
+}
+
+func TestWriteTree(t *testing.T) {
+	root := NewSpan("pepa")
+	root.Child("parse").End()
+	d := root.Child("derive")
+	d.Child("explore").End()
+	d.End()
+	root.End()
+	var sb strings.Builder
+	if err := root.WriteTree(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"pepa", "\n  parse", "\n  derive", "\n    explore"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("tree missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	root := NewSpan("run")
+	root.Child("phase1").End()
+	root.Child("phase2").End()
+	root.End()
+	var sb strings.Builder
+	if err := root.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &events); err != nil {
+		t.Fatalf("chrome trace is not a JSON array: %v\n%s", err, sb.String())
+	}
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 3", len(events))
+	}
+	names := map[string]bool{}
+	for _, e := range events {
+		names[e["name"].(string)] = true
+		if e["ph"] != "X" {
+			t.Fatalf("event phase %v, want X", e["ph"])
+		}
+		if _, ok := e["ts"].(float64); !ok {
+			t.Fatalf("event missing ts: %v", e)
+		}
+	}
+	for _, n := range []string{"run", "phase1", "phase2"} {
+		if !names[n] {
+			t.Fatalf("missing event %q in %v", n, names)
+		}
+	}
+}

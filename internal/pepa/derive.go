@@ -232,6 +232,16 @@ type DeriveOptions struct {
 	// Progress, when non-nil, is called once per completed BFS level
 	// from the coordinating goroutine.
 	Progress obsv.ProgressFunc
+
+	// Span, when non-nil, receives "compile" and "explore" child spans
+	// so pipeline traces show where derivation time went.
+	Span *obsv.Span
+
+	// Metrics, when non-nil, receives per-derivation aggregates on
+	// success: the "derive.count", "derive.states" and
+	// "derive.transitions" counters and the "derive.seconds"
+	// histogram. Recorded once per call, off the exploration hot path.
+	Metrics *obsv.Registry
 }
 
 func (o DeriveOptions) workers() int {
@@ -263,15 +273,40 @@ func Derive(m *Model, opts DeriveOptions) (*StateSpace, error) {
 	if maxStates <= 0 {
 		maxStates = DefaultMaxStates
 	}
+	start := time.Now()
+	var compileSpan *obsv.Span
+	if opts.Span != nil {
+		compileSpan = opts.Span.Child("compile")
+	}
 	cc := compile(m, m.System)
+	if compileSpan != nil {
+		compileSpan.End()
+	}
 	nLeaf := len(cc.leaves)
 	if nLeaf == 0 {
 		return nil, fmt.Errorf("pepa: system has no sequential components")
 	}
-	if w := opts.workers(); w > 1 {
-		return deriveParallel(cc, nLeaf, maxStates, w, opts)
+	var exploreSpan *obsv.Span
+	if opts.Span != nil {
+		exploreSpan = opts.Span.Child("explore")
 	}
-	return deriveSerial(cc, nLeaf, maxStates, opts)
+	var ss *StateSpace
+	var err error
+	if w := opts.workers(); w > 1 {
+		ss, err = deriveParallel(cc, nLeaf, maxStates, w, opts)
+	} else {
+		ss, err = deriveSerial(cc, nLeaf, maxStates, opts)
+	}
+	if exploreSpan != nil {
+		exploreSpan.End()
+	}
+	if err == nil && opts.Metrics != nil {
+		opts.Metrics.Counter("derive.count").Inc()
+		opts.Metrics.Counter("derive.states").Add(int64(ss.Chain.NumStates()))
+		opts.Metrics.Counter("derive.transitions").Add(int64(ss.Chain.NumTransitions()))
+		opts.Metrics.Histogram("derive.seconds").Observe(time.Since(start).Seconds())
+	}
+	return ss, err
 }
 
 // deriveSerial is the single-threaded reference exploration: a plain

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"pepatags/internal/numeric"
+	"pepatags/internal/obsv"
 )
 
 func mustDerive(t *testing.T, m *Model) *StateSpace {
@@ -424,5 +425,38 @@ func TestLevelExpectation(t *testing.T) {
 	}
 	if _, err := ss.LevelExpectation(pi[:1], 0, "Q"); err == nil {
 		t.Fatal("bad pi length must fail")
+	}
+}
+
+// TestDeriveSpanAndMetrics checks derivation reports through the
+// observability hooks: compile/explore child spans and the derive.*
+// registry aggregates.
+func TestDeriveSpanAndMetrics(t *testing.T) {
+	m, err := Parse("P = (a, 2).P1;\nP1 = (b, 3).P;\nP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := obsv.NewSpan("derive-test")
+	reg := obsv.NewRegistry()
+	ss, err := Derive(m, DeriveOptions{Span: root, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	rec := root.Record()
+	if len(rec.Children) != 2 || rec.Children[0].Name != "compile" || rec.Children[1].Name != "explore" {
+		t.Fatalf("want compile+explore children, got %+v", rec.Children)
+	}
+	if got := reg.Counter("derive.states").Value(); got != int64(ss.Chain.NumStates()) {
+		t.Fatalf("derive.states = %d, want %d", got, ss.Chain.NumStates())
+	}
+	if got := reg.Counter("derive.transitions").Value(); got != int64(ss.Chain.NumTransitions()) {
+		t.Fatalf("derive.transitions = %d, want %d", got, ss.Chain.NumTransitions())
+	}
+	if got := reg.Counter("derive.count").Value(); got != 1 {
+		t.Fatalf("derive.count = %d, want 1", got)
+	}
+	if got := reg.Histogram("derive.seconds").Count(); got != 1 {
+		t.Fatalf("derive.seconds count = %d, want 1", got)
 	}
 }

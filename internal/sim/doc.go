@@ -16,4 +16,13 @@
 // paired comparisons across policies share arrival sequences. The
 // simulator is validated against the closed forms in
 // internal/queueing and the exact CTMC measures in internal/core.
+//
+// Attaching an obsv.Registry (Config.Metrics) adds live counters
+// (events, completions, drops, kills, migrations), response /
+// slowdown / queue-length histograms and per-node occupancy gauges.
+// The instruments buffer locally and flush at progress ticks, so an
+// attached registry costs the event loop ~1% and a nil registry
+// (the default) costs only a nil check; the simulation results are
+// bit-identical either way. Config.Progress gives long runs a
+// periodic liveness callback.
 package sim

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 
+	"pepatags/internal/obsv"
 	"pepatags/internal/stats"
 	"pepatags/internal/workload"
 )
@@ -58,6 +59,27 @@ type Config struct {
 	// PercentileSample, when > 0, keeps a reservoir sample of response
 	// times of that capacity so tail percentiles can be reported.
 	PercentileSample int
+
+	// Metrics, when non-nil, receives per-event instrumentation
+	// through the registry: the sim.events / sim.completed /
+	// sim.dropped / sim.killed / sim.migrated counters, the
+	// sim.response, sim.slowdown and sim.queue_len histograms, and a
+	// sim.node<i>.queue gauge per node. The instrument handles are
+	// resolved once at NewSystem, so the event loop stays
+	// allocation-free. Job-level instruments follow the same warmup
+	// rule as the Metrics result struct: pre-warmup jobs are not
+	// recorded.
+	Metrics *obsv.Registry
+
+	// Progress, when non-nil, is called every ProgressEvery processed
+	// events with Phase "sim", the event count, the completed-job
+	// count and the simulation clock — the hook long runs use to
+	// report liveness.
+	Progress obsv.ProgressFunc
+
+	// ProgressEvery is the event interval between Progress calls;
+	// <= 0 means every 65536 events.
+	ProgressEvery int
 }
 
 // Metrics aggregates the simulation output.
@@ -158,6 +180,71 @@ func (h *eventHeap) Pop() any {
 	return e
 }
 
+// instruments buffers the event loop's measurements locally — plain
+// integer bumps and HistogramBuffer observations, no atomics — and
+// flushes the deltas to the shared registry at every progress tick
+// and at the end of Run. The event loop is single-threaded, so the
+// only readers that see tick-granularity staleness are concurrent
+// registry consumers (the -debug-addr endpoint), which also see the
+// per-node occupancy gauges as of the last flush.
+type instruments struct {
+	events    int64 // deltas since the last flush
+	completed int64
+	dropped   int64
+	killed    int64
+	migrated  int64 // timed-out jobs successfully moved to the next node
+
+	response *obsv.HistogramBuffer
+	slowdown *obsv.HistogramBuffer
+	queueLen *obsv.HistogramBuffer // node occupancy observed at each admission
+
+	cEvents    *obsv.Counter
+	cCompleted *obsv.Counter
+	cDropped   *obsv.Counter
+	cKilled    *obsv.Counter
+	cMigrated  *obsv.Counter
+	queue      []*obsv.Gauge // per-node live occupancy
+}
+
+func newInstruments(reg *obsv.Registry, nodes int) *instruments {
+	in := &instruments{
+		cEvents:    reg.Counter("sim.events"),
+		cCompleted: reg.Counter("sim.completed"),
+		cDropped:   reg.Counter("sim.dropped"),
+		cKilled:    reg.Counter("sim.killed"),
+		cMigrated:  reg.Counter("sim.migrated"),
+		response:   reg.Histogram("sim.response").Buffer(),
+		slowdown:   reg.Histogram("sim.slowdown").Buffer(),
+		queueLen:   reg.Histogram("sim.queue_len").Buffer(),
+	}
+	for i := 0; i < nodes; i++ {
+		in.queue = append(in.queue, reg.Gauge(fmt.Sprintf("sim.node%d.queue", i)))
+	}
+	return in
+}
+
+// flush publishes the buffered deltas to the registry.
+func (in *instruments) flush() {
+	in.cEvents.Add(in.events)
+	in.cCompleted.Add(in.completed)
+	in.cDropped.Add(in.dropped)
+	in.cKilled.Add(in.killed)
+	in.cMigrated.Add(in.migrated)
+	in.events, in.completed, in.dropped, in.killed, in.migrated = 0, 0, 0, 0, 0
+	in.response.Flush()
+	in.slowdown.Flush()
+	in.queueLen.Flush()
+}
+
+// flushInstruments publishes counter/histogram deltas and the current
+// per-node occupancies.
+func (s *System) flushInstruments() {
+	s.inst.flush()
+	for i, n := range s.nodes {
+		s.inst.queue[i].Set(float64(n.count))
+	}
+}
+
 // System is a running simulation.
 type System struct {
 	cfg     Config
@@ -168,6 +255,7 @@ type System struct {
 	seq     int
 	metrics Metrics
 	pending bool // a source arrival event is scheduled
+	inst    *instruments
 }
 
 // NewSystem validates the configuration and prepares a simulation.
@@ -203,6 +291,9 @@ func NewSystem(cfg Config) *System {
 			}
 		}
 		s.metrics.BandSlowdown = make([]stats.Summary, len(cfg.SizeBands)+1)
+	}
+	if cfg.Metrics != nil {
+		s.inst = newInstruments(cfg.Metrics, len(cfg.Nodes))
 	}
 	return s
 }
@@ -255,6 +346,9 @@ func (s *System) admit(j *Job, i int) bool {
 		return false
 	}
 	n.count++
+	if s.inst != nil {
+		s.inst.queueLen.Observe(float64(n.count))
+	}
 	j.NodeIdx = i
 	if n.inUse < n.cfg.Servers {
 		s.startService(j, i)
@@ -300,6 +394,11 @@ func (s *System) serveNext(i int) {
 // events drain, or until maxTime (0 = no limit) passes. It returns the
 // metrics.
 func (s *System) Run(maxTime float64) *Metrics {
+	every := s.cfg.ProgressEvery
+	if every <= 0 {
+		every = 1 << 16
+	}
+	var processed int
 	s.scheduleNextArrival()
 	for s.events.Len() > 0 {
 		e := heap.Pop(&s.events).(*event)
@@ -316,6 +415,20 @@ func (s *System) Run(maxTime float64) *Metrics {
 		case evDeparture:
 			s.handleDeparture(e)
 		}
+		processed++
+		if processed%every == 0 {
+			if s.inst != nil {
+				s.inst.events += int64(every)
+				s.flushInstruments()
+			}
+			if s.cfg.Progress != nil {
+				s.cfg.Progress(obsv.Progress{Phase: "sim", Step: processed, Count: s.metrics.Completed, Value: s.now})
+			}
+		}
+	}
+	if s.inst != nil {
+		s.inst.events += int64(processed % every)
+		s.flushInstruments()
 	}
 	s.metrics.Elapsed = s.now
 	s.metrics.Warmup = s.cfg.Warmup
@@ -343,6 +456,9 @@ func (s *System) handleArrival(j *Job) {
 	if target < 0 || target >= len(s.nodes) || !s.admit(j, target) {
 		if j.Arrival >= s.cfg.Warmup {
 			s.metrics.Dropped++
+			if s.inst != nil {
+				s.inst.dropped++
+			}
 		}
 		return
 	}
@@ -376,6 +492,11 @@ func (s *System) handleDeparture(e *event) {
 				s.metrics.ResponseSamples.Add(s.now - j.Arrival)
 			}
 			s.metrics.Completed++
+			if s.inst != nil {
+				s.inst.completed++
+				s.inst.response.Observe(s.now - j.Arrival)
+				s.inst.slowdown.Observe((s.now - j.Arrival) / j.Size)
+			}
 		}
 	}
 	s.serveNext(i)
@@ -383,9 +504,14 @@ func (s *System) handleDeparture(e *event) {
 
 // advanceKilled moves a timed-out job to node i+1.
 func (s *System) advanceKilled(j *Job, i int, counted bool) {
-	if !s.admit(j, i+1) {
-		if counted {
-			s.metrics.Killed++
+	if s.admit(j, i+1) {
+		if counted && s.inst != nil {
+			s.inst.migrated++
+		}
+	} else if counted {
+		s.metrics.Killed++
+		if s.inst != nil {
+			s.inst.killed++
 		}
 	}
 }

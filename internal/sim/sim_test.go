@@ -1,12 +1,14 @@
 package sim_test
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
 	"pepatags/internal/core"
 	"pepatags/internal/dist"
 	"pepatags/internal/numeric"
+	"pepatags/internal/obsv"
 	"pepatags/internal/policies"
 	"pepatags/internal/queueing"
 	"pepatags/internal/sim"
@@ -414,5 +416,107 @@ func TestResponsePercentiles(t *testing.T) {
 		Arrivals: workload.NewPoisson(5), Sizes: dist.NewExponential(10), Limit: 10}
 	if sim.NewSystem(cfg).Run(0).ResponsePercentile(0.5) != 0 {
 		t.Fatal("percentiles should be zero when disabled")
+	}
+}
+
+// TestMetricsRegistry runs a TAG simulation with a registry attached
+// and checks the instrument values agree with the Metrics result —
+// the registry is a second, independently-maintained account of the
+// same run.
+func TestMetricsRegistry(t *testing.T) {
+	reg := obsv.NewRegistry()
+	var ticks []obsv.Progress
+	cfg := sim.Config{
+		Nodes: []sim.NodeConfig{
+			{Capacity: 5, Timeout: policies.ConstantTimeout(0.2)},
+			{Capacity: 5},
+		},
+		Policy: policies.FirstNode{},
+		Source: &workload.StochasticSource{
+			Arrivals: workload.NewPoisson(12),
+			Sizes:    dist.H2ForTAG(0.1, 0.99, 100),
+			Limit:    20000,
+		},
+		Seed:          3,
+		Warmup:        10,
+		Metrics:       reg,
+		Progress:      func(p obsv.Progress) { ticks = append(ticks, p) },
+		ProgressEvery: 1000,
+	}
+	m := sim.NewSystem(cfg).Run(0)
+
+	for _, tc := range []struct {
+		name string
+		want int
+	}{
+		{"sim.completed", m.Completed},
+		{"sim.dropped", m.Dropped},
+		{"sim.killed", m.Killed},
+	} {
+		if got := reg.Counter(tc.name).Value(); got != int64(tc.want) {
+			t.Errorf("%s = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+	if got := reg.Histogram("sim.response").Count(); got != int64(m.Completed) {
+		t.Errorf("sim.response count = %d, want %d", got, m.Completed)
+	}
+	if got, want := reg.Histogram("sim.response").Mean(), m.Response.Mean(); math.Abs(got-want) > 1e-9*want {
+		t.Errorf("sim.response mean = %g, want %g", got, want)
+	}
+	if got, want := reg.Histogram("sim.slowdown").Mean(), m.Slowdown.Mean(); math.Abs(got-want) > 1e-9*want {
+		t.Errorf("sim.slowdown mean = %g, want %g", got, want)
+	}
+	if reg.Counter("sim.events").Value() == 0 {
+		t.Error("sim.events never incremented")
+	}
+	if reg.Counter("sim.migrated").Value() == 0 {
+		t.Error("expected some timeout migrations under this load")
+	}
+	if reg.Histogram("sim.queue_len").Count() == 0 {
+		t.Error("sim.queue_len never observed")
+	}
+	// Queues drain by the end of the run.
+	for i := 0; i < 2; i++ {
+		if q := reg.Gauge(fmt.Sprintf("sim.node%d.queue", i)).Value(); q != 0 {
+			t.Errorf("node %d gauge = %g at end of run, want 0", i, q)
+		}
+	}
+	if len(ticks) == 0 {
+		t.Fatal("progress callback never fired")
+	}
+	for i, p := range ticks {
+		if p.Phase != "sim" || p.Step != (i+1)*1000 {
+			t.Fatalf("tick %d = %+v, want phase sim step %d", i, p, (i+1)*1000)
+		}
+	}
+}
+
+// TestMetricsNilRegistryUnchanged guards the default path: attaching
+// no registry must not change simulation results.
+func TestMetricsNilRegistryUnchanged(t *testing.T) {
+	mk := func(reg *obsv.Registry) *sim.Metrics {
+		cfg := sim.Config{
+			Nodes: []sim.NodeConfig{
+				{Capacity: 10, Timeout: policies.ConstantTimeout(0.35)},
+				{Capacity: 10},
+			},
+			Policy: policies.FirstNode{},
+			Source: &workload.StochasticSource{
+				Arrivals: workload.NewPoisson(8),
+				Sizes:    dist.NewExponential(10),
+				Limit:    5000,
+			},
+			Seed:    9,
+			Metrics: reg,
+		}
+		return sim.NewSystem(cfg).Run(0)
+	}
+	plain := mk(nil)
+	instrumented := mk(obsv.NewRegistry())
+	if plain.Completed != instrumented.Completed ||
+		plain.Dropped != instrumented.Dropped ||
+		plain.Killed != instrumented.Killed ||
+		plain.Response.Mean() != instrumented.Response.Mean() {
+		t.Fatalf("registry changed results: %+v vs %+v", plain, instrumented)
 	}
 }

@@ -1,0 +1,64 @@
+// manifestcheck validates run manifests written by the -manifest flag
+// of cmd/pepa, cmd/tagseval and cmd/tagssim. It is the CI gate for the
+// manifest schema: every file passed on the command line must load,
+// validate against pepatags/run-manifest/v1 and come from a known
+// tool, or the process exits non-zero.
+//
+// Usage:
+//
+//	manifestcheck run1.json run2.json ...
+//	manifestcheck -quiet runs/*.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pepatags/internal/obsv"
+)
+
+var knownTools = map[string]bool{
+	"pepa":     true,
+	"tagseval": true,
+	"tagssim":  true,
+}
+
+func main() {
+	quiet := flag.Bool("quiet", false, "suppress per-file OK lines")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: manifestcheck [-quiet] <manifest.json> ...")
+		os.Exit(2)
+	}
+	failed := 0
+	for _, path := range flag.Args() {
+		if err := check(path); err != nil {
+			fmt.Fprintf(os.Stderr, "manifestcheck: %s: %v\n", path, err)
+			failed++
+			continue
+		}
+		if !*quiet {
+			fmt.Printf("ok %s\n", path)
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "manifestcheck: %d of %d manifests failed\n", failed, flag.NArg())
+		os.Exit(1)
+	}
+}
+
+func check(path string) error {
+	m, err := obsv.ReadManifest(path)
+	if err != nil {
+		return err
+	}
+	if !knownTools[m.Tool] {
+		return fmt.Errorf("unknown tool %q", m.Tool)
+	}
+	// A manifest that records nothing is a wiring bug in the producer.
+	if len(m.Measures) == 0 && len(m.Artefacts) == 0 && m.Derive == nil {
+		return fmt.Errorf("manifest records no measures, artefacts or derive stats")
+	}
+	return nil
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"pepatags/internal/obsv"
+)
+
+func TestCheck(t *testing.T) {
+	dir := t.TempDir()
+
+	good := obsv.NewManifest("tagssim")
+	good.Measures = map[string]float64{"throughput": 7.9}
+	goodPath := filepath.Join(dir, "good.json")
+	if err := good.WriteFile(goodPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := check(goodPath); err != nil {
+		t.Fatalf("valid manifest rejected: %v", err)
+	}
+
+	alien := obsv.NewManifest("not-a-tool")
+	alien.Measures = map[string]float64{"x": 1}
+	alienPath := filepath.Join(dir, "alien.json")
+	if err := alien.WriteFile(alienPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := check(alienPath); err == nil {
+		t.Fatal("unknown tool must be rejected")
+	}
+
+	empty := obsv.NewManifest("pepa")
+	emptyPath := filepath.Join(dir, "empty.json")
+	if err := empty.WriteFile(emptyPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := check(emptyPath); err == nil {
+		t.Fatal("contentless manifest must be rejected")
+	}
+
+	if err := check(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file must be rejected")
+	}
+}
