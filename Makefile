@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench manifest-smoke clean
+.PHONY: all build test race vet fmt-check bench manifest-smoke sweep-smoke clean
 
 all: build test
 
@@ -33,5 +33,18 @@ manifest-smoke:
 	$(GO) run ./cmd/tagssim -jobs 20000 -stats -manifest tagssim-run.json > /dev/null 2>&1
 	$(GO) run ./tools/manifestcheck pepa-run.json tagseval-run.json tagssim-run.json
 
+# Run the 3-point smoke sweep twice — once clean, once interrupted and
+# resumed (journal truncated to the header, one row and a partial
+# line) — and require byte-identical journals plus a valid manifest
+# with a sweep record.
+sweep-smoke:
+	$(GO) run ./cmd/tagseval -sweep models/sweep_smoke.json -journal sweep-clean.jsonl -manifest sweep-run.json > /dev/null
+	head -n 2 sweep-clean.jsonl > sweep-resume.jsonl
+	printf '{"seq":1,"ser' >> sweep-resume.jsonl
+	$(GO) run ./cmd/tagseval -sweep models/sweep_smoke.json -journal sweep-resume.jsonl -resume > /dev/null
+	cmp sweep-clean.jsonl sweep-resume.jsonl
+	$(GO) run ./tools/manifestcheck sweep-run.json
+
 clean:
-	rm -f BENCH_derive.txt BENCH_derive.json pepa-run.json tagseval-run.json tagssim-run.json
+	rm -f BENCH_derive.txt BENCH_derive.json pepa-run.json tagseval-run.json tagssim-run.json \
+		sweep-clean.jsonl sweep-resume.jsonl sweep-run.json

@@ -13,9 +13,17 @@
 //	tagseval -all -stats             # per-artefact wall time on stderr
 //	tagseval -fig figure6 -manifest run.json  # machine-readable record
 //	tagseval -all -debug-addr :6060  # pprof/expvar while the sweep runs
+//
+// Batch sweeps (docs/SWEEPS.md):
+//
+//	tagseval -spec-dump figure8 > f8.json     # the spec behind a figure
+//	tagseval -sweep f8.json                   # run a spec file
+//	tagseval -sweep f8.json -journal f8.jsonl # journal one row per point
+//	tagseval -sweep f8.json -journal f8.jsonl -resume  # continue a killed run
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -27,6 +35,7 @@ import (
 
 	"pepatags/internal/exp"
 	"pepatags/internal/obsv"
+	"pepatags/internal/sweep"
 )
 
 type runner func(exp.Params) (*exp.Figure, error)
@@ -53,6 +62,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		stats    = fs.Bool("stats", false, "print per-artefact wall time to stderr")
 		manifest = fs.String("manifest", "", "write a JSON run manifest (one artefact record per figure/table) to this path")
 		debug    = fs.String("debug-addr", "", "serve pprof/expvar/metrics on this address (e.g. :6060) for the duration of the run")
+		sweepArg = fs.String("sweep", "", "run a sweep spec file through the batch engine (see docs/SWEEPS.md)")
+		specDump = fs.String("spec-dump", "", "print the sweep spec behind a built-in figure (figure6..figure12) as JSON and exit")
+		journal  = fs.String("journal", "", "with -sweep: append one JSON row per completed point to this file")
+		resume   = fs.Bool("resume", false, "with -sweep -journal: continue an interrupted journal instead of starting fresh")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -109,6 +122,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	p.Workers = *workers
 
+	if *specDump != "" {
+		spec, err := exp.SweepSpec(*specDump, p)
+		if err != nil {
+			return fmt.Errorf("%w; sweep figures: %s", err, strings.Join(exp.SweepFigureIDs(), ", "))
+		}
+		b, err := json.MarshalIndent(spec, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, string(b))
+		return nil
+	}
+	if *sweepArg != "" {
+		return runSweep(*sweepArg, p, *journal, *resume, *csv, *stats, *manifest, args, stdout, stderr)
+	}
+	if *resume || *journal != "" {
+		return fmt.Errorf("-journal and -resume only apply to -sweep runs")
+	}
+
 	var names []string
 	switch {
 	case *all:
@@ -155,6 +187,91 @@ func run(args []string, stdout, stderr io.Writer) error {
 		m.Workers = *workers
 		m.Artefacts = artefacts
 		if err := m.WriteFile(*manifest); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runSweep executes a spec file through the batch engine: journal and
+// resume handling, figure assembly when the spec has a figure section
+// (raw JSON rows otherwise), and the manifest's sweep record.
+func runSweep(path string, p exp.Params, journal string, resume bool, csv, stats bool, manifestPath string, args []string, stdout, stderr io.Writer) error {
+	if resume && journal == "" {
+		return fmt.Errorf("-resume needs -journal (the journal is what is resumed)")
+	}
+	spec, err := sweep.ReadSpec(path)
+	if err != nil {
+		return err
+	}
+	reg := obsv.NewRegistry()
+	span := obsv.NewSpan("sweep")
+	res, err := sweep.Run(spec, sweep.Options{
+		Workers:  p.Workers,
+		Journal:  journal,
+		Resume:   resume,
+		Registry: reg,
+		Span:     span,
+	})
+	span.End()
+	if err != nil {
+		return err
+	}
+	if stats {
+		fmt.Fprintf(stderr, "sweep %s: %d points (%d resumed), cache %d hits / %d misses, %v (workers=%d)\n",
+			spec.Name, len(res.Rows), res.Resumed, res.CacheHits, res.CacheMisses,
+			res.Elapsed.Round(time.Millisecond), p.Workers)
+	}
+
+	var artefacts []obsv.ArtefactRecord
+	if spec.Figure != nil {
+		tbl, err := sweep.Assemble(spec, res)
+		if err != nil {
+			return err
+		}
+		f := exp.FigureFromTable(tbl)
+		if manifestPath != "" {
+			artefacts = append(artefacts, f.Artefact(res.Elapsed))
+		}
+		if csv {
+			err = f.CSV(stdout)
+		} else {
+			err = f.Render(stdout)
+		}
+		if err != nil {
+			return err
+		}
+	} else {
+		// No figure section: emit the result rows as JSON lines.
+		enc := json.NewEncoder(stdout)
+		for _, r := range res.Rows {
+			if err := enc.Encode(r); err != nil {
+				return err
+			}
+		}
+	}
+
+	if manifestPath != "" {
+		m := obsv.NewManifest("tagseval")
+		m.Args = args
+		m.Params = map[string]any{"spec": path, "csv": csv}
+		m.Workers = p.Workers
+		m.Artefacts = artefacts
+		m.Metrics = reg.Snapshot()
+		rec := span.Record()
+		m.Trace = &rec
+		m.Sweep = &obsv.SweepRecord{
+			Name:        spec.Name,
+			SpecSHA256:  res.SpecHash,
+			Points:      len(res.Points),
+			Resumed:     res.Resumed,
+			Journal:     journal,
+			Workers:     p.Workers,
+			CacheHits:   res.CacheHits,
+			CacheMisses: res.CacheMisses,
+			ElapsedSec:  res.Elapsed.Seconds(),
+		}
+		if err := m.WriteFile(manifestPath); err != nil {
 			return err
 		}
 	}

@@ -15,6 +15,10 @@
 //	─────────────────────────────────────────
 //	exp                                         one runner per figure/table (Sec. 5, 7)
 //	─────────────────────────────────────────
+//	sweep                                       batch engine: declarative specs,
+//	                                              shape-keyed state-space cache,
+//	                                              resumable journals (docs/SWEEPS.md)
+//	─────────────────────────────────────────
 //	core   approx   fluid   sim                 the paper's models and analyses:
 //	                                              core   exact TAG CTMCs      (Sec. 3)
 //	                                              approx balance heuristics   (Sec. 4)
@@ -34,7 +38,12 @@
 // produce a ctmc.Chain whose generator is solved by internal/linalg
 // for stationary measures, or integrated in time for transient ones.
 // internal/exp turns those measures into the paper's figures and
-// tables, and cmd/tagseval regenerates the lot.
+// tables, and cmd/tagseval regenerates the lot. Grid evaluations —
+// every figure of the paper's evaluation section, and user-authored
+// parameter studies — run through internal/sweep, which expands a
+// declarative spec into points, reuses the derived state space across
+// points sharing a model shape, and journals results so interrupted
+// runs resume byte-identically (tagseval -sweep; docs/SWEEPS.md).
 //
 // # Concurrency
 //

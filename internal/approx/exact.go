@@ -24,12 +24,36 @@ func (m Metric) scoreMeasures(r core.Measures) float64 {
 	}
 }
 
-// OptimalIntegerTExp finds the integer Erlang phase rate t in [lo, hi]
-// optimising the metric for the exponential TAG model.
-func OptimalIntegerTExp(lambda, mu float64, n, k1, k2 int, metric Metric, lo, hi int) (int, core.Measures, error) {
+// Evaluator solves a model at integer timer phase rate t and returns
+// its measures. The search functions take the evaluator rather than
+// model parameters so callers can route the (expensive) solves through
+// the sweep engine's skeleton cache — see internal/sweep — without
+// changing the search logic; the direct constructors below are the
+// uncached defaults.
+type Evaluator func(t int) (core.Measures, error)
+
+// ExpEvaluator returns the direct (uncached) evaluator for the
+// exponential TAG model with the remaining parameters fixed.
+func ExpEvaluator(lambda, mu float64, n, k1, k2 int) Evaluator {
+	return func(t int) (core.Measures, error) {
+		return core.NewTAGExp(lambda, mu, float64(t), n, k1, k2).Analyze()
+	}
+}
+
+// H2Evaluator returns the direct (uncached) evaluator for the H2 TAG
+// model with the remaining parameters fixed.
+func H2Evaluator(lambda float64, service dist.HyperExp, n, k1, k2 int) Evaluator {
+	return func(t int) (core.Measures, error) {
+		return core.NewTAGH2(lambda, service, float64(t), n, k1, k2).Analyze()
+	}
+}
+
+// OptimalIntegerT finds the integer timer rate t in [lo, hi] minimising
+// the metric under the given evaluator.
+func OptimalIntegerT(eval Evaluator, metric Metric, lo, hi int) (int, core.Measures, error) {
 	var firstErr error
 	best := numeric.IntArgMin(func(t int) float64 {
-		r, err := core.NewTAGExp(lambda, mu, float64(t), n, k1, k2).Analyze()
+		r, err := eval(t)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
@@ -41,19 +65,19 @@ func OptimalIntegerTExp(lambda, mu float64, n, k1, k2 int, metric Metric, lo, hi
 	if firstErr != nil {
 		return 0, core.Measures{}, firstErr
 	}
-	r, err := core.NewTAGExp(lambda, mu, float64(best), n, k1, k2).Analyze()
+	r, err := eval(best)
 	return best, r, err
 }
 
-// OptimalIntegerTH2Coarse performs a coarse integer sweep with the
-// given step followed by a +-(step-1) refinement, cutting the number
-// of (expensive) H2 CTMC solves roughly by the step factor.
-func OptimalIntegerTH2Coarse(lambda float64, service dist.HyperExp, n, k1, k2 int, metric Metric, lo, hi, step int) (int, core.Measures, error) {
+// OptimalIntegerTCoarse performs a coarse integer sweep with the given
+// step followed by a +-(step-1) refinement, cutting the number of
+// (expensive) solves roughly by the step factor.
+func OptimalIntegerTCoarse(eval Evaluator, metric Metric, lo, hi, step int) (int, core.Measures, error) {
 	if step < 1 {
 		step = 1
 	}
 	score := func(t int) (float64, error) {
-		r, err := core.NewTAGH2(lambda, service, float64(t), n, k1, k2).Analyze()
+		r, err := eval(t)
 		if err != nil {
 			return 0, err
 		}
@@ -95,26 +119,23 @@ func OptimalIntegerTH2Coarse(lambda float64, service dist.HyperExp, n, k1, k2 in
 			best, bestScore = t, s
 		}
 	}
-	r, err := core.NewTAGH2(lambda, service, float64(best), n, k1, k2).Analyze()
+	r, err := eval(best)
 	return best, r, err
 }
 
-// OptimalIntegerTH2 is the H2 analogue.
+// OptimalIntegerTExp finds the integer Erlang phase rate t in [lo, hi]
+// optimising the metric for the exponential TAG model.
+func OptimalIntegerTExp(lambda, mu float64, n, k1, k2 int, metric Metric, lo, hi int) (int, core.Measures, error) {
+	return OptimalIntegerT(ExpEvaluator(lambda, mu, n, k1, k2), metric, lo, hi)
+}
+
+// OptimalIntegerTH2Coarse is the coarse H2 search with the direct
+// evaluator.
+func OptimalIntegerTH2Coarse(lambda float64, service dist.HyperExp, n, k1, k2 int, metric Metric, lo, hi, step int) (int, core.Measures, error) {
+	return OptimalIntegerTCoarse(H2Evaluator(lambda, service, n, k1, k2), metric, lo, hi, step)
+}
+
+// OptimalIntegerTH2 is the H2 analogue of OptimalIntegerTExp.
 func OptimalIntegerTH2(lambda float64, service dist.HyperExp, n, k1, k2 int, metric Metric, lo, hi int) (int, core.Measures, error) {
-	var firstErr error
-	best := numeric.IntArgMin(func(t int) float64 {
-		r, err := core.NewTAGH2(lambda, service, float64(t), n, k1, k2).Analyze()
-		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
-			return 1e300
-		}
-		return metric.scoreMeasures(r)
-	}, lo, hi)
-	if firstErr != nil {
-		return 0, core.Measures{}, firstErr
-	}
-	r, err := core.NewTAGH2(lambda, service, float64(best), n, k1, k2).Analyze()
-	return best, r, err
+	return OptimalIntegerT(H2Evaluator(lambda, service, n, k1, k2), metric, lo, hi)
 }

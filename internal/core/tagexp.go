@@ -89,54 +89,62 @@ func (s tagExpState) label() string {
 	return fmt.Sprintf("Q1_%d.T1_%d|Q2_%d%s.T2_%d", s.q1, s.tm1, s.q2, sv, s.tm2)
 }
 
-// Build derives the reachable CTMC by breadth-first exploration of the
-// transition rules.
-func (m TAGExp) Build() *ctmc.Chain {
+// Shape returns the canonical model structure: everything that
+// determines the reachable state space, with the rates abstracted away.
+func (m TAGExp) Shape() Shape {
+	m.validate()
+	return Shape{Kind: "tagexp", Phases: m.phases(), K1: m.K1, K2: m.K2, Literal: m.LiteralFigure3}
+}
+
+// RateValues returns this instance's binding for the shape's rate
+// slots: arrivals, service and the timer phase rate.
+func (m TAGExp) RateValues() RateValues {
+	return RateValues{Lambda: m.Lambda, Mu: m.Mu, T: m.T}
+}
+
+// Skeleton derives the state space and symbolic transition structure by
+// breadth-first exploration of the transition rules. Every model with
+// the same Shape yields the same skeleton; Build instantiates it with
+// this instance's rates, so the derivation cost can be paid once per
+// shape and shared across parameter points.
+func (m TAGExp) Skeleton() *Skeleton {
 	m.validate()
 	top := m.phases() - 1 // timer reset value
-	b := ctmc.NewBuilder()
+	b := newSkeletonBuilder()
 	init := tagExpState{q1: 0, tm1: top, q2: 0, sv2: false, tm2: top}
 	frontier := []tagExpState{init}
-	b.State(init.label())
-	type edge struct {
-		from, to tagExpState
-		rate     float64
-		action   string
-	}
-	var edges []edge
-	visit := func(s tagExpState) {
-		if !b.HasState(s.label()) {
-			b.State(s.label())
-			frontier = append(frontier, s)
-		}
-	}
+	b.state(init.label())
 	for len(frontier) > 0 {
 		s := frontier[0]
 		frontier = frontier[1:]
-		emit := func(to tagExpState, rate float64, action string) {
-			visit(to)
-			edges = append(edges, edge{from: s, to: to, rate: rate, action: action})
+		from, _ := b.state(s.label())
+		emit := func(to tagExpState, slot RateSlot, action string) {
+			i, fresh := b.state(to.label())
+			if fresh {
+				frontier = append(frontier, to)
+			}
+			b.edge(from, i, slot, CoeffOne, action)
 		}
 
 		// --- Node 1 ---
 		if s.q1 < m.K1 {
 			to := s
 			to.q1++
-			emit(to, m.Lambda, ActArrival)
+			emit(to, SlotLambda, ActArrival)
 		} else {
-			emit(s, m.Lambda, ActLossArrival)
+			emit(s, SlotLambda, ActLossArrival)
 		}
 		if s.q1 > 0 {
 			// service1 wins the race: depart, reset the timer.
 			to := s
 			to.q1--
 			to.tm1 = top
-			emit(to, m.Mu, ActService1)
+			emit(to, SlotMu, ActService1)
 			if s.tm1 > 0 {
 				// tick1
 				to := s
 				to.tm1--
-				emit(to, m.T, ActTick1)
+				emit(to, SlotT, ActTick1)
 			} else {
 				// timeout fires: job killed at node 1, restarted at node 2.
 				to := s
@@ -144,9 +152,9 @@ func (m TAGExp) Build() *ctmc.Chain {
 				to.tm1 = top
 				if s.q2 < m.K2 {
 					to.q2++
-					emit(to, m.T, ActTimeout)
+					emit(to, SlotT, ActTimeout)
 				} else {
-					emit(to, m.T, ActLossTransfer)
+					emit(to, SlotT, ActLossTransfer)
 				}
 			}
 		}
@@ -158,33 +166,40 @@ func (m TAGExp) Build() *ctmc.Chain {
 				if s.tm2 > 0 {
 					to := s
 					to.tm2--
-					emit(to, m.T, ActTick2)
+					emit(to, SlotT, ActTick2)
 				} else {
 					// repeatservice fires: residual service begins,
 					// timer returns to the top.
 					to := s
 					to.sv2 = true
 					to.tm2 = top
-					emit(to, m.T, ActRepeatService)
+					emit(to, SlotT, ActRepeatService)
 				}
 			} else {
 				// Residual service (Q2' derivative).
 				if m.tick2DuringService() && s.tm2 > 0 {
 					to := s
 					to.tm2--
-					emit(to, m.T, ActTick2)
+					emit(to, SlotT, ActTick2)
 				}
 				to := s
 				to.q2--
 				to.sv2 = false
-				emit(to, m.Mu, ActService2)
+				emit(to, SlotMu, ActService2)
 			}
 		}
 	}
-	for _, e := range edges {
-		b.Transition(b.State(e.from.label()), b.State(e.to.label()), e.rate, e.action)
+	return b.finish(m.Shape())
+}
+
+// Build derives the reachable CTMC: the skeleton instantiated with this
+// instance's rates.
+func (m TAGExp) Build() *ctmc.Chain {
+	c, err := m.Skeleton().Instantiate(m.RateValues())
+	if err != nil {
+		panic("core: " + err.Error()) // unreachable: validate vetted the rates
 	}
-	return b.Build()
+	return c
 }
 
 // stateInfo decodes the state structure from the chain labels for
@@ -218,7 +233,13 @@ func indexOf(s string, c byte) int {
 
 // Analyze solves the model and returns the paper's measures.
 func (m TAGExp) Analyze() (Measures, error) {
-	c := m.Build()
+	return m.AnalyzeChain(m.Build())
+}
+
+// AnalyzeChain solves a chain built for exactly this model instance —
+// by Build, or by a cached skeleton instantiated at this instance's
+// rates — and extracts the paper's measures from it.
+func (m TAGExp) AnalyzeChain(c *ctmc.Chain) (Measures, error) {
 	pi, err := c.SteadyState()
 	if err != nil {
 		return Measures{}, err

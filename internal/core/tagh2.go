@@ -43,6 +43,9 @@ func (m TAGH2) validate() {
 	if len(m.Service.Alpha) != 2 {
 		panic("core: TAGH2 requires a two-branch hyper-exponential service")
 	}
+	if m.Service.Mu[0] <= 0 || m.Service.Mu[1] <= 0 || m.Service.Alpha[0] < 0 || m.Service.Alpha[0] > 1 {
+		panic(fmt.Sprintf("core: invalid H2 service %+v", m.Service))
+	}
 }
 
 // AlphaPrime is the residual short-job probability after surviving the
@@ -68,53 +71,82 @@ func (s tagH2State) label() string {
 	return fmt.Sprintf("Q1_%d.%d.T1_%d|Q2_%d.%d.T2_%d", s.q1, s.ty1, s.tm1, s.q2, s.sv2, s.tm2)
 }
 
-// Build derives the reachable CTMC.
-func (m TAGH2) Build() *ctmc.Chain {
+// Shape returns the canonical model structure: everything that
+// determines the reachable state space, with the rates abstracted away.
+// For H2 service that includes the degeneracy mask of the branch
+// probabilities (an alpha of exactly 0 or 1 removes edges).
+func (m TAGH2) Shape() Shape {
 	m.validate()
-	alpha := m.Service.Alpha[0]
-	mu := [3]float64{0, m.Service.Mu[0], m.Service.Mu[1]}
-	ap := m.AlphaPrime()
+	return Shape{Kind: "tagh2", Phases: m.N, K1: m.K1, K2: m.K2, ZeroCoeffs: m.RateValues().zeroMask()}
+}
+
+// RateValues returns this instance's binding for the shape's rate slots
+// and branch coefficients. AlphaPrime is the residual short-job
+// probability, a derived value that depends on (Service, N, T) but not
+// on the structure beyond its degeneracy class.
+func (m TAGH2) RateValues() RateValues {
+	return RateValues{
+		Lambda:     m.Lambda,
+		T:          m.T,
+		Mu1:        m.Service.Mu[0],
+		Mu2:        m.Service.Mu[1],
+		Alpha:      m.Service.Alpha[0],
+		AlphaPrime: m.AlphaPrime(),
+	}
+}
+
+// muSlot maps a branch index (1 short, 2 long) to its rate slot.
+func muSlot(branch int) RateSlot {
+	if branch == 1 {
+		return SlotMu1
+	}
+	return SlotMu2
+}
+
+// Skeleton derives the state space and symbolic transition structure by
+// breadth-first exploration of the transition rules. Every model with
+// the same Shape — including the same branch-probability degeneracy
+// mask — yields the same skeleton; Build instantiates it with this
+// instance's rates.
+func (m TAGH2) Skeleton() *Skeleton {
+	m.validate()
+	zero := m.RateValues().zeroMask()
 
 	top := m.N - 1 // timer reset value (N phases at rate T)
-	b := ctmc.NewBuilder()
+	b := newSkeletonBuilder()
 	init := tagH2State{q1: 0, ty1: 0, tm1: top, q2: 0, sv2: 0, tm2: top}
-	b.State(init.label())
+	b.state(init.label())
 	frontier := []tagH2State{init}
-	type edge struct {
-		from, to tagH2State
-		rate     float64
-		action   string
-	}
-	var edges []edge
 	for len(frontier) > 0 {
 		s := frontier[0]
 		frontier = frontier[1:]
-		emit := func(to tagH2State, rate float64, action string) {
-			if rate <= 0 {
+		from, _ := b.state(s.label())
+		emit := func(to tagH2State, slot RateSlot, coeff Coeff, action string) {
+			if zero&(1<<coeff) != 0 {
 				return // degenerate branch probability (alpha 0 or 1)
 			}
-			if !b.HasState(to.label()) {
-				b.State(to.label())
+			i, fresh := b.state(to.label())
+			if fresh {
 				frontier = append(frontier, to)
 			}
-			edges = append(edges, edge{from: s, to: to, rate: rate, action: action})
+			b.edge(from, i, slot, coeff, action)
 		}
 		// departNode1 emits the two next-head branches of a node-1
-		// departure occurring at the given rate.
-		departNode1 := func(base tagH2State, rate float64, action string) {
+		// departure occurring at the given slot rate.
+		departNode1 := func(base tagH2State, slot RateSlot, action string) {
 			base.q1 = s.q1 - 1
 			base.tm1 = top
 			if base.q1 == 0 {
 				base.ty1 = 0
-				emit(base, rate, action)
+				emit(base, slot, CoeffOne, action)
 				return
 			}
 			short := base
 			short.ty1 = 1
-			emit(short, rate*alpha, action)
+			emit(short, slot, CoeffAlpha, action)
 			long := base
 			long.ty1 = 2
-			emit(long, rate*(1-alpha), action)
+			emit(long, slot, CoeffOneMinusAlpha, action)
 		}
 
 		// --- Node 1 ---
@@ -125,31 +157,31 @@ func (m TAGH2) Build() *ctmc.Chain {
 				// New head: sample its branch on arrival.
 				short := to
 				short.ty1 = 1
-				emit(short, m.Lambda*alpha, ActArrival)
+				emit(short, SlotLambda, CoeffAlpha, ActArrival)
 				long := to
 				long.ty1 = 2
-				emit(long, m.Lambda*(1-alpha), ActArrival)
+				emit(long, SlotLambda, CoeffOneMinusAlpha, ActArrival)
 			} else {
-				emit(to, m.Lambda, ActArrival)
+				emit(to, SlotLambda, CoeffOne, ActArrival)
 			}
 		} else {
-			emit(s, m.Lambda, ActLossArrival)
+			emit(s, SlotLambda, CoeffOne, ActLossArrival)
 		}
 		if s.q1 > 0 {
 			// Service at the head's branch rate.
-			departNode1(s, mu[s.ty1], ActService1)
+			departNode1(s, muSlot(s.ty1), ActService1)
 			if s.tm1 > 0 {
 				to := s
 				to.tm1--
-				emit(to, m.T, ActTick1)
+				emit(to, SlotT, CoeffOne, ActTick1)
 			} else {
 				// Timeout: job restarts at node 2 (or is dropped).
 				to := s
 				if s.q2 < m.K2 {
 					to.q2++
-					departNode1(to, m.T, ActTimeout)
+					departNode1(to, SlotT, ActTimeout)
 				} else {
-					departNode1(to, m.T, ActLossTransfer)
+					departNode1(to, SlotT, ActLossTransfer)
 				}
 			}
 		}
@@ -161,30 +193,37 @@ func (m TAGH2) Build() *ctmc.Chain {
 				if s.tm2 > 0 {
 					to := s
 					to.tm2--
-					emit(to, m.T, ActTick2)
+					emit(to, SlotT, CoeffOne, ActTick2)
 				} else {
 					// repeatservice branches on the residual type.
 					short := s
 					short.sv2 = 1
 					short.tm2 = top
-					emit(short, m.T*ap, ActRepeatService)
+					emit(short, SlotT, CoeffAlphaPrime, ActRepeatService)
 					long := s
 					long.sv2 = 2
 					long.tm2 = top
-					emit(long, m.T*(1-ap), ActRepeatService)
+					emit(long, SlotT, CoeffOneMinusAlphaPrime, ActRepeatService)
 				}
 			default: // residual service; timer frozen (Figure 5 semantics)
 				to := s
 				to.q2--
 				to.sv2 = 0
-				emit(to, mu[s.sv2], ActService2)
+				emit(to, muSlot(s.sv2), CoeffOne, ActService2)
 			}
 		}
 	}
-	for _, e := range edges {
-		b.Transition(b.State(e.from.label()), b.State(e.to.label()), e.rate, e.action)
+	return b.finish(m.Shape())
+}
+
+// Build derives the reachable CTMC: the skeleton instantiated with this
+// instance's rates.
+func (m TAGH2) Build() *ctmc.Chain {
+	c, err := m.Skeleton().Instantiate(m.RateValues())
+	if err != nil {
+		panic("core: " + err.Error()) // unreachable: validate vetted the rates
 	}
-	return b.Build()
+	return c
 }
 
 func (m TAGH2) stateInfo(c *ctmc.Chain) []tagH2State {
@@ -202,7 +241,13 @@ func (m TAGH2) stateInfo(c *ctmc.Chain) []tagH2State {
 
 // Analyze solves the model.
 func (m TAGH2) Analyze() (Measures, error) {
-	c := m.Build()
+	return m.AnalyzeChain(m.Build())
+}
+
+// AnalyzeChain solves a chain built for exactly this model instance —
+// by Build, or by a cached skeleton instantiated at this instance's
+// rates — and extracts the paper's measures from it.
+func (m TAGH2) AnalyzeChain(c *ctmc.Chain) (Measures, error) {
 	pi, err := c.SteadyState()
 	if err != nil {
 		return Measures{}, err

@@ -1,11 +1,6 @@
 package exp
 
 import (
-	"fmt"
-
-	"pepatags/internal/approx"
-	"pepatags/internal/core"
-	"pepatags/internal/dist"
 	"pepatags/internal/numeric"
 )
 
@@ -63,281 +58,38 @@ func ShortParams() Params {
 // Erlang phase rate t.
 func (p Params) effToT(eff float64) float64 { return eff * float64(p.N) }
 
-// tagExpCurves solves the exponential TAG model across the rate grid
-// and returns per-rate measures.
-func (p Params) tagExpCurves(lambda float64) ([]core.Measures, error) {
-	out := make([]core.Measures, len(p.Rates))
-	for i, eff := range p.Rates {
-		m, err := core.NewTAGExp(lambda, p.Mu, p.effToT(eff), p.N, p.K, p.K).Analyze()
-		if err != nil {
-			return nil, fmt.Errorf("tag exp at rate %g: %w", eff, err)
-		}
-		out[i] = m
-	}
-	return out, nil
-}
+// The figure runners below execute declarative sweep specs (specs.go)
+// through the sweep engine. The engine's skeleton cache, worker pool
+// and journal are all transparent here: every runner's output is
+// byte-identical to the direct per-point solve it replaced.
 
 // Figure6 reproduces "Average queue length varied against timeout
 // rate" (lambda = 5, mu = 10): TAG total and per-queue lengths vs the
 // flat random and shortest-queue baselines.
-func Figure6(p Params) (*Figure, error) {
-	const lambda = 5
-	ms, err := p.tagExpCurves(lambda)
-	if err != nil {
-		return nil, err
-	}
-	rnd, err := core.NewRandomTwoNode(lambda, dist.NewExponential(p.Mu), p.K).Analyze()
-	if err != nil {
-		return nil, err
-	}
-	sq, err := core.NewShortestQueue(lambda, dist.NewExponential(p.Mu), p.K).Analyze()
-	if err != nil {
-		return nil, err
-	}
-	f := &Figure{
-		ID:     "figure6",
-		Title:  "Average queue length vs timeout rate (lambda=5, mu=10)",
-		XLabel: "timeout-rate",
-		YLabel: "mean queue length",
-	}
-	tagL := Series{Name: "TAG-total", X: p.Rates}
-	tagQ1 := Series{Name: "TAG-queue1", X: p.Rates}
-	tagQ2 := Series{Name: "TAG-queue2", X: p.Rates}
-	rndS := Series{Name: "random", X: p.Rates}
-	sqS := Series{Name: "shortest-queue", X: p.Rates}
-	for _, m := range ms {
-		tagL.Y = append(tagL.Y, m.L)
-		tagQ1.Y = append(tagQ1.Y, m.L1)
-		tagQ2.Y = append(tagQ2.Y, m.L2)
-		rndS.Y = append(rndS.Y, rnd.L)
-		sqS.Y = append(sqS.Y, sq.L)
-	}
-	f.Series = []Series{tagL, tagQ1, tagQ2, rndS, sqS}
-	f.Notes = append(f.Notes, fmt.Sprintf("TAG CTMC has %d states (paper: 4331)", ms[0].States))
-	return f, nil
-}
+func Figure6(p Params) (*Figure, error) { return runFigureSweep("figure6", p) }
 
 // Figure7 reproduces "Average response time varied against timeout
 // rate" for the same system.
-func Figure7(p Params) (*Figure, error) {
-	const lambda = 5
-	ms, err := p.tagExpCurves(lambda)
-	if err != nil {
-		return nil, err
-	}
-	rnd, err := core.NewRandomTwoNode(lambda, dist.NewExponential(p.Mu), p.K).Analyze()
-	if err != nil {
-		return nil, err
-	}
-	sq, err := core.NewShortestQueue(lambda, dist.NewExponential(p.Mu), p.K).Analyze()
-	if err != nil {
-		return nil, err
-	}
-	f := &Figure{
-		ID:     "figure7",
-		Title:  "Average response time vs timeout rate (lambda=5, mu=10)",
-		XLabel: "timeout-rate",
-		YLabel: "mean response time",
-	}
-	tag := Series{Name: "TAG", X: p.Rates}
-	rndS := Series{Name: "random", X: p.Rates}
-	sqS := Series{Name: "shortest-queue", X: p.Rates}
-	for _, m := range ms {
-		tag.Y = append(tag.Y, m.W)
-		rndS.Y = append(rndS.Y, rnd.W)
-		sqS.Y = append(sqS.Y, sq.W)
-	}
-	f.Series = []Series{tag, rndS, sqS}
-	return f, nil
-}
+func Figure7(p Params) (*Figure, error) { return runFigureSweep("figure7", p) }
 
 // Figure8 reproduces "Average response time varied against arrival
 // rate": TAG tuned to its optimal integer t per load versus the
 // baselines, for lambda in {5, 7, 9, 11}.
-func Figure8(p Params) (*Figure, error) {
-	lambdas := []float64{5, 7, 9, 11}
-	f := &Figure{
-		ID:     "figure8",
-		Title:  "Average response time vs arrival rate (mu=10), TAG at optimal t",
-		XLabel: "lambda",
-		YLabel: "mean response time",
-	}
-	tag := Series{Name: "TAG-optimal-t", X: lambdas}
-	rndS := Series{Name: "random", X: lambdas}
-	rrS := Series{Name: "round-robin", X: lambdas}
-	sqS := Series{Name: "shortest-queue", X: lambdas}
-	var notes []string
-	lo := p.TMin
-	if lo < 12 {
-		lo = 12 // the exponential optima are known to lie well above t=12
-	}
-	for _, lambda := range lambdas {
-		tOpt, m, err := approx.OptimalIntegerTExp(lambda, p.Mu, p.N, p.K, p.K,
-			approx.MinQueueLength, lo, p.TMax)
-		if err != nil {
-			return nil, err
-		}
-		tag.Y = append(tag.Y, m.W)
-		notes = append(notes, fmt.Sprintf("lambda=%g: optimal t=%d (eff rate %.3g)",
-			lambda, tOpt, float64(tOpt)/float64(p.N)))
-		rnd, err := core.NewRandomTwoNode(lambda, dist.NewExponential(p.Mu), p.K).Analyze()
-		if err != nil {
-			return nil, err
-		}
-		rndS.Y = append(rndS.Y, rnd.W)
-		rr, err := core.NewRoundRobinTwoNode(lambda, dist.NewExponential(p.Mu), p.K).Analyze()
-		if err != nil {
-			return nil, err
-		}
-		rrS.Y = append(rrS.Y, rr.W)
-		sq, err := core.NewShortestQueue(lambda, dist.NewExponential(p.Mu), p.K).Analyze()
-		if err != nil {
-			return nil, err
-		}
-		sqS.Y = append(sqS.Y, sq.W)
-	}
-	f.Series = []Series{tag, rndS, rrS, sqS}
-	f.Notes = append(f.Notes, notes...)
-	f.Notes = append(f.Notes,
-		"paper's optimal t: 51, 49, 45, 42 for lambda = 5, 7, 9, 11",
-		"round-robin (the paper's third simple strategy) shown for completeness")
-	return f, nil
-}
-
-// h2Figure9Service is the Figures 9-10 service distribution: mean 0.1,
-// alpha = 0.99, mu1 = 100 mu2 (mu1 = 19.9, mu2 = 0.199).
-func h2Figure9Service() dist.HyperExp { return dist.H2ForTAG(0.1, 0.99, 100) }
+func Figure8(p Params) (*Figure, error) { return runFigureSweep("figure8", p) }
 
 // Figure9 reproduces "Average response time varied against timeout
 // rate" under H2 service at lambda = 11: TAG vs shortest queue.
 // Random allocation is off the scale (W > 1), as the paper notes.
-func Figure9(p Params) (*Figure, error) {
-	const lambda = 11
-	h := h2Figure9Service()
-	f := &Figure{
-		ID:     "figure9",
-		Title:  "Average response time vs timeout rate (lambda=11, H2: alpha=0.99, mu1=100mu2)",
-		XLabel: "timeout-rate",
-		YLabel: "mean response time",
-	}
-	tag := Series{Name: "TAG", X: p.RatesH2}
-	sqS := Series{Name: "shortest-queue", X: p.RatesH2}
-	sq, err := core.NewShortestQueue(lambda, h, p.K).Analyze()
-	if err != nil {
-		return nil, err
-	}
-	for _, eff := range p.RatesH2 {
-		m, err := core.NewTAGH2(lambda, h, p.effToT(eff), p.N, p.K, p.K).Analyze()
-		if err != nil {
-			return nil, fmt.Errorf("tag h2 at rate %g: %w", eff, err)
-		}
-		tag.Y = append(tag.Y, m.W)
-		sqS.Y = append(sqS.Y, sq.W)
-	}
-	rnd, err := core.NewRandomTwoNode(lambda, h, p.K).Analyze()
-	if err != nil {
-		return nil, err
-	}
-	f.Notes = append(f.Notes, fmt.Sprintf("random allocation W = %.3g (off scale, paper: W > 1)", rnd.W))
-	f.Series = []Series{tag, sqS}
-	return f, nil
-}
+func Figure9(p Params) (*Figure, error) { return runFigureSweep("figure9", p) }
 
 // Figure10 reproduces "Throughput varied against timeout rate" for the
 // same H2 system.
-func Figure10(p Params) (*Figure, error) {
-	const lambda = 11
-	h := h2Figure9Service()
-	f := &Figure{
-		ID:     "figure10",
-		Title:  "Throughput vs timeout rate (lambda=11, H2: alpha=0.99, mu1=100mu2)",
-		XLabel: "timeout-rate",
-		YLabel: "throughput",
-	}
-	tag := Series{Name: "TAG", X: p.RatesH2}
-	sqS := Series{Name: "shortest-queue", X: p.RatesH2}
-	sq, err := core.NewShortestQueue(lambda, h, p.K).Analyze()
-	if err != nil {
-		return nil, err
-	}
-	for _, eff := range p.RatesH2 {
-		m, err := core.NewTAGH2(lambda, h, p.effToT(eff), p.N, p.K, p.K).Analyze()
-		if err != nil {
-			return nil, err
-		}
-		tag.Y = append(tag.Y, m.Throughput)
-		sqS.Y = append(sqS.Y, sq.Throughput)
-	}
-	f.Series = []Series{tag, sqS}
-	return f, nil
-}
-
-// figure1112 computes both metrics in one sweep: for each alpha the H2
-// service has mean 0.1 and mu1 = 10 mu2, and TAG uses its optimal
-// integer t for the chosen metric.
-func figure1112(p Params, metric approx.Metric) (*Figure, error) {
-	const lambda = 11
-	alphas := p.Alphas
-	tag := Series{Name: "TAG-optimal-t", X: alphas}
-	rndS := Series{Name: "random", X: alphas}
-	sqS := Series{Name: "shortest-queue", X: alphas}
-	var notes []string
-	for _, a := range alphas {
-		h := dist.H2ForTAG(0.1, a, 10)
-		tOpt, m, err := approx.OptimalIntegerTH2Coarse(lambda, h, p.N, p.K, p.K, metric, p.TMin, p.TMax, p.TStep)
-		if err != nil {
-			return nil, err
-		}
-		notes = append(notes, fmt.Sprintf("alpha=%.2f: optimal t=%d", a, tOpt))
-		rnd, err := core.NewRandomTwoNode(lambda, h, p.K).Analyze()
-		if err != nil {
-			return nil, err
-		}
-		sq, err := core.NewShortestQueue(lambda, h, p.K).Analyze()
-		if err != nil {
-			return nil, err
-		}
-		switch metric {
-		case approx.MaxThroughput:
-			tag.Y = append(tag.Y, m.Throughput)
-			rndS.Y = append(rndS.Y, rnd.Throughput)
-			sqS.Y = append(sqS.Y, sq.Throughput)
-		default:
-			tag.Y = append(tag.Y, m.W)
-			rndS.Y = append(rndS.Y, rnd.W)
-			sqS.Y = append(sqS.Y, sq.W)
-		}
-	}
-	f := &Figure{
-		XLabel: "alpha",
-		Series: []Series{tag, rndS, sqS},
-		Notes:  notes,
-	}
-	return f, nil
-}
+func Figure10(p Params) (*Figure, error) { return runFigureSweep("figure10", p) }
 
 // Figure11 reproduces "Average response time varied against proportion
 // of longer jobs" (lambda=11, mu1 = 10 mu2, TAG at optimal t).
-func Figure11(p Params) (*Figure, error) {
-	f, err := figure1112(p, approx.MinResponseTime)
-	if err != nil {
-		return nil, err
-	}
-	f.ID = "figure11"
-	f.Title = "Average response time vs proportion of short jobs (lambda=11, mu1=10mu2)"
-	f.YLabel = "mean response time"
-	return f, nil
-}
+func Figure11(p Params) (*Figure, error) { return runFigureSweep("figure11", p) }
 
 // Figure12 reproduces "Throughput varied against proportion of longer
 // jobs" for the same sweep.
-func Figure12(p Params) (*Figure, error) {
-	f, err := figure1112(p, approx.MaxThroughput)
-	if err != nil {
-		return nil, err
-	}
-	f.ID = "figure12"
-	f.Title = "Throughput vs proportion of short jobs (lambda=11, mu1=10mu2)"
-	f.YLabel = "throughput"
-	return f, nil
-}
+func Figure12(p Params) (*Figure, error) { return runFigureSweep("figure12", p) }

@@ -50,8 +50,30 @@ type Manifest struct {
 	// Metrics is a registry snapshot taken at the end of the run.
 	Metrics []Metric `json:"metrics,omitempty"`
 
+	// Sweep records the batch-engine run behind the artefacts, when the
+	// run went through internal/sweep (tagseval -sweep / the figure
+	// runners). See docs/MANIFEST.md.
+	Sweep *SweepRecord `json:"sweep,omitempty"`
+
 	// Trace is the pipeline span tree, when tracing was on.
 	Trace *SpanRecord `json:"trace,omitempty"`
+}
+
+// SweepRecord is the accounting of one sweep-engine run: which spec
+// ran (by name and content hash), how much of it was resumed from the
+// journal rather than re-solved, and what the skeleton cache saved.
+type SweepRecord struct {
+	Name       string `json:"name"`
+	SpecSHA256 string `json:"spec_sha256"`
+	Points     int    `json:"points"`
+	Resumed    int    `json:"resumed,omitempty"`
+	Journal    string `json:"journal,omitempty"`
+	Workers    int    `json:"workers,omitempty"`
+	// CacheHits/CacheMisses count skeleton-cache lookups; one miss per
+	// distinct model shape in the sweep.
+	CacheHits   int64   `json:"cache_hits"`
+	CacheMisses int64   `json:"cache_misses"`
+	ElapsedSec  float64 `json:"elapsed_sec"`
 }
 
 // SeriesRecord is one curve of an artefact: the exact float64s behind
@@ -123,6 +145,23 @@ func (m *Manifest) Validate() error {
 	for _, mt := range m.Metrics {
 		if mt.Name == "" || mt.Kind == "" {
 			return fmt.Errorf("obsv: metric with empty name or kind")
+		}
+	}
+	if s := m.Sweep; s != nil {
+		if s.Name == "" {
+			return fmt.Errorf("obsv: sweep record has no name")
+		}
+		if len(s.SpecSHA256) != 64 {
+			return fmt.Errorf("obsv: sweep record spec_sha256 %q is not a SHA-256 hex digest", s.SpecSHA256)
+		}
+		if s.Points < 1 {
+			return fmt.Errorf("obsv: sweep record has %d points", s.Points)
+		}
+		if s.Resumed < 0 || s.Resumed > s.Points {
+			return fmt.Errorf("obsv: sweep record resumed %d of %d points", s.Resumed, s.Points)
+		}
+		if s.CacheHits < 0 || s.CacheMisses < 0 {
+			return fmt.Errorf("obsv: sweep record has negative cache counters")
 		}
 	}
 	return nil

@@ -28,6 +28,12 @@ func sampleManifest() *Manifest {
 		},
 	}}
 	m.Metrics = []Metric{{Name: "sim.completed", Kind: "counter", Value: 100}}
+	m.Sweep = &SweepRecord{
+		Name:       "figure6",
+		SpecSHA256: "4ec9599fc203d176a301536c2e091a19bc852759b255bd6818810a42c5fed14a",
+		Points:     31, Resumed: 12, Journal: "fig6.jsonl", Workers: 4,
+		CacheHits: 28, CacheMisses: 1, ElapsedSec: 1.5,
+	}
 	m.Trace = &SpanRecord{Name: "run", DurUS: 100, Children: []SpanRecord{{Name: "derive", StartUS: 1, DurUS: 50}}}
 	return m
 }
@@ -70,6 +76,11 @@ func TestManifestValidate(t *testing.T) {
 		{"ragged series", func(m *Manifest) { m.Artefacts[0].Series[0].X = []float64{1} }},
 		{"unnamed series", func(m *Manifest) { m.Artefacts[0].Series[0].Name = "" }},
 		{"anonymous metric", func(m *Manifest) { m.Metrics[0].Name = "" }},
+		{"sweep without name", func(m *Manifest) { m.Sweep.Name = "" }},
+		{"sweep with short hash", func(m *Manifest) { m.Sweep.SpecSHA256 = "abc123" }},
+		{"sweep without points", func(m *Manifest) { m.Sweep.Points = 0 }},
+		{"sweep resumed beyond points", func(m *Manifest) { m.Sweep.Resumed = m.Sweep.Points + 1 }},
+		{"sweep negative cache counter", func(m *Manifest) { m.Sweep.CacheMisses = -1 }},
 	}
 	for _, tc := range cases {
 		m := ok()

@@ -1,0 +1,113 @@
+package pepa
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Structure fingerprinting: a content address for a PEPA model modulo
+// its rate values, used by the sweep engine to decide when two
+// parameter points share derived structure.
+//
+// The canonical form replaces every distinct rate by a slot name
+// assigned in order of first appearance during a deterministic
+// traversal (definitions in sorted name order, processes left to
+// right, then the system composition). Two models therefore hash
+// equal iff they have the same definitions, the same process and
+// composition structure, and the same rate-sharing pattern — which
+// transitions draw on the same rate — regardless of the numeric
+// values bound to those slots. Passive rates keep their weights
+// slotted the same way; active/passive polarity is part of the
+// structure, since it changes the apparent-rate computation.
+
+// structCanon accumulates the canonical encoding.
+type structCanon struct {
+	sb    strings.Builder
+	slots map[Rate]int
+}
+
+func (c *structCanon) rate(r Rate) string {
+	i, ok := c.slots[r]
+	if !ok {
+		i = len(c.slots)
+		c.slots[r] = i
+	}
+	if r.Passive {
+		return fmt.Sprintf("p%d", i)
+	}
+	return fmt.Sprintf("r%d", i)
+}
+
+func (c *structCanon) process(p Process) {
+	switch t := p.(type) {
+	case *Prefix:
+		c.sb.WriteString("(" + t.Action + "," + c.rate(t.Rate) + ").")
+		c.process(t.Next)
+	case *Choice:
+		c.sb.WriteString("[")
+		c.process(t.Left)
+		c.sb.WriteString(" + ")
+		c.process(t.Right)
+		c.sb.WriteString("]")
+	case *Const:
+		c.sb.WriteString(t.Name)
+	default:
+		panic(fmt.Sprintf("pepa: unknown process node %T", p))
+	}
+}
+
+func (c *structCanon) composition(comp Composition) {
+	switch t := comp.(type) {
+	case *Leaf:
+		c.sb.WriteString("leaf{")
+		c.process(t.Init)
+		c.sb.WriteString("}")
+	case *Coop:
+		c.sb.WriteString("(")
+		c.composition(t.Left)
+		c.sb.WriteString(" <" + strings.Join(t.Set.Names(), ",") + "> ")
+		c.composition(t.Right)
+		c.sb.WriteString(")")
+	case *Hide:
+		c.composition(t.Inner)
+		c.sb.WriteString("/" + t.Set.String())
+	default:
+		panic(fmt.Sprintf("pepa: unknown composition node %T", comp))
+	}
+}
+
+// CanonicalStructure returns the canonical rate-abstracted encoding of
+// the model, the pre-image of StructureHash. Distinct rates become
+// slot names (r0, r1, ... for active, p<i> for passive) in order of
+// first appearance.
+func (m *Model) CanonicalStructure() string {
+	c := &structCanon{slots: make(map[Rate]int)}
+	c.sb.WriteString("pepatags/pepa-structure/v1\n")
+	names := make([]string, 0, len(m.Defs))
+	for n := range m.Defs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		c.sb.WriteString(n + " = ")
+		c.process(m.Defs[n])
+		c.sb.WriteString("\n")
+	}
+	c.sb.WriteString("system ")
+	c.composition(m.System)
+	c.sb.WriteString("\n")
+	return c.sb.String()
+}
+
+// StructureHash returns the SHA-256 content address (hex) of the
+// model's canonical structure. Two models collide iff they differ at
+// most in the numeric values of their rates — the condition under
+// which their derived state spaces are identical and skeleton reuse is
+// sound.
+func (m *Model) StructureHash() string {
+	h := sha256.Sum256([]byte(m.CanonicalStructure()))
+	return hex.EncodeToString(h[:])
+}

@@ -1,0 +1,45 @@
+package pepa_test
+
+import (
+	"testing"
+
+	"pepatags/internal/core"
+	"pepatags/internal/pepa"
+)
+
+// TestStructureHashTAGSource ties the fingerprint to the repo's real
+// workload: the textual TAG model hashes equal across rate changes
+// (lambda, mu, t) and unequal across shape changes (n, K) — the same
+// partition core.Shape.Key induces, computed from the PEPA source
+// alone.
+func TestStructureHashTAGSource(t *testing.T) {
+	parse := func(m core.TAGExp) *pepa.Model {
+		t.Helper()
+		mdl, err := pepa.Parse(m.PEPASource())
+		if err != nil {
+			t.Fatalf("parse PEPASource: %v", err)
+		}
+		return mdl
+	}
+	base := core.NewTAGExp(5, 10, 12, 3, 4, 4)
+	rates := core.NewTAGExp(11, 7, 40, 3, 4, 4)
+	bigger := core.NewTAGExp(5, 10, 12, 3, 5, 4)
+	phases := core.NewTAGExp(5, 10, 12, 4, 4, 4)
+
+	h := parse(base).StructureHash()
+	if parse(rates).StructureHash() != h {
+		t.Fatal("rate-only change altered the PEPA structure hash")
+	}
+	if parse(bigger).StructureHash() == h {
+		t.Fatal("capacity change must alter the PEPA structure hash")
+	}
+	if parse(phases).StructureHash() == h {
+		t.Fatal("phase-count change must alter the PEPA structure hash")
+	}
+
+	// The hash partitions points exactly as the model shapes do.
+	if (base.Shape() == rates.Shape()) != (parse(base).StructureHash() == parse(rates).StructureHash()) ||
+		(base.Shape() == bigger.Shape()) != (parse(base).StructureHash() == parse(bigger).StructureHash()) {
+		t.Fatal("PEPA structure hash disagrees with core.Shape partition")
+	}
+}

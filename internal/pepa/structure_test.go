@@ -1,0 +1,89 @@
+package pepa
+
+import (
+	"strings"
+	"testing"
+)
+
+func parseOrDie(t *testing.T, src string) *Model {
+	t.Helper()
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	return m
+}
+
+const structSrcTemplate = `
+P1 = (work, RATE1).P2;
+P2 = (rest, RATE2).P1;
+Q = (work, T).Q;
+P1 <work> Q
+`
+
+func structSrc(r1, r2 string) string {
+	return strings.NewReplacer("RATE1", r1, "RATE2", r2).Replace(structSrcTemplate)
+}
+
+// TestStructureHashModuloRates asserts the defining property: models
+// differing only in rate values collide; models differing in anything
+// else — structure, action names, cooperation sets, or the
+// rate-sharing pattern — do not.
+func TestStructureHashModuloRates(t *testing.T) {
+	base := parseOrDie(t, structSrc("1.5", "2.5"))
+
+	// Same structure, different rate values: same hash.
+	other := parseOrDie(t, structSrc("7.25", "0.125"))
+	if base.StructureHash() != other.StructureHash() {
+		t.Fatalf("rate change altered structure hash:\n%s\nvs\n%s",
+			base.CanonicalStructure(), other.CanonicalStructure())
+	}
+
+	// Sharing pattern change (the two rates become one): different hash.
+	tied := parseOrDie(t, structSrc("3", "3"))
+	if base.StructureHash() == tied.StructureHash() {
+		t.Fatal("tying two rate slots together must change the structure hash")
+	}
+
+	// Action rename: different hash.
+	renamed := parseOrDie(t, strings.ReplaceAll(structSrc("1.5", "2.5"), "rest", "sleep"))
+	if base.StructureHash() == renamed.StructureHash() {
+		t.Fatal("action rename must change the structure hash")
+	}
+
+	// Cooperation set change: different hash.
+	loose := parseOrDie(t, strings.ReplaceAll(structSrc("1.5", "2.5"), "<work>", "||"))
+	if base.StructureHash() == loose.StructureHash() {
+		t.Fatal("cooperation-set change must change the structure hash")
+	}
+
+	// Passive weights are rate values: abstracting them keeps the hash
+	// stable (only weight ratios feed the apparent-rate computation, so
+	// the derived structure is unchanged).
+	weighted := parseOrDie(t, strings.ReplaceAll(structSrc("1.5", "2.5"), "(work, T)", "(work, 2*T)"))
+	if base.StructureHash() != weighted.StructureHash() {
+		t.Fatal("passive-weight change must not change the structure hash")
+	}
+
+	// But active/passive polarity is structural.
+	activated := parseOrDie(t, strings.ReplaceAll(structSrc("1.5", "2.5"), "(work, T)", "(work, 4)"))
+	if base.StructureHash() == activated.StructureHash() {
+		t.Fatal("passive-to-active change must change the structure hash")
+	}
+}
+
+// TestStructureHashDeterministic asserts the hash is stable across
+// repeated computation and across map iteration order of definitions.
+func TestStructureHashDeterministic(t *testing.T) {
+	m := parseOrDie(t, structSrc("1.5", "2.5"))
+	h := m.StructureHash()
+	for i := 0; i < 20; i++ {
+		m2 := parseOrDie(t, structSrc("1.5", "2.5"))
+		if m2.StructureHash() != h {
+			t.Fatal("structure hash not deterministic")
+		}
+	}
+	if len(h) != 64 {
+		t.Fatalf("expected 64 hex chars, got %d", len(h))
+	}
+}

@@ -1,0 +1,52 @@
+// Package sweep is the batch evaluation engine: it expands a
+// declarative spec into a list of parameter points, fans the points
+// over a worker pool, and journals one result row per point so an
+// interrupted sweep resumes exactly where it stopped.
+//
+// # Specs
+//
+// A Spec (pepatags/sweep-spec/v1) is plain JSON: grid groups (a
+// template Point plus Axes whose cartesian product generates concrete
+// points), literal points, and an optional FigureSpec that maps result
+// rows onto table columns and notes. The specs behind the paper
+// figures live in internal/exp (specs.go) and double as templates:
+// `tagseval -spec-dump figure8` prints one, `tagseval -sweep f.json`
+// runs an edited copy. docs/SWEEPS.md is the cookbook.
+//
+// # Content-addressed caching
+//
+// The reachable state space and symbolic transition structure of a TAG
+// model are a pure function of its core.Shape — rates only scale edge
+// weights. Cache therefore keys derived skeletons and sparse-generator
+// assembly patterns (ctmc.GenPattern) by Shape.Key(), the SHA-256 of
+// the canonical shape encoding: points that differ only in rates share
+// one BFS derivation and one COO→CSR sort, paying O(transitions)
+// instantiation per solve instead. The skeleton property tests assert
+// the key collides exactly when the derived structures are identical,
+// and chains built through the cache are bit-identical to uncached
+// ones, so cached sweeps reproduce direct tables byte for byte.
+//
+// # Journal and resume
+//
+// The journal (pepatags/sweep-journal/v1) is JSONL: a header line
+// carrying the spec's content hash, then one row per completed point
+// in point order. Workers finish out of order; a reorder buffer holds
+// rows until their predecessors are written, and the header carries no
+// timestamps, so the journal bytes are a pure function of the spec —
+// independent of worker count, scheduling, and interruptions. A kill
+// at any instant leaves a header plus a clean row prefix (at worst a
+// partial trailing line, which resume truncates). Resume validates the
+// header's spec hash — editing the spec between runs fails loudly
+// instead of mixing incompatible rows — loads the completed rows, and
+// solves only the remainder; the resumed journal is byte-identical to
+// an uninterrupted run's. docs/MANIFEST.md and DESIGN.md describe the
+// formats in detail.
+//
+// # Observability
+//
+// Run threads an optional obsv.Registry (sweep.points_total,
+// sweep.points_resumed, sweep.points_done, sweep.cache_hits,
+// sweep.cache_misses counters and the sweep.point_seconds histogram)
+// and an obsv.Span (children "expand", "journal", "solve") through the
+// run; cmd/tagseval records both in the run manifest's sweep section.
+package sweep

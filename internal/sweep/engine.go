@@ -1,0 +1,326 @@
+package sweep
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"pepatags/internal/approx"
+	"pepatags/internal/core"
+	"pepatags/internal/obsv"
+)
+
+// Options configure one engine run.
+type Options struct {
+	// Workers is the size of the solve pool; <= 1 runs serially.
+	Workers int
+	// Journal is the path of the append-only result journal; empty
+	// disables journaling (results are only returned in memory).
+	Journal string
+	// Resume continues an interrupted journal instead of starting
+	// fresh: completed rows are loaded, the partial trailing line (if
+	// the process died mid-write) is truncated, and only the remaining
+	// points run.
+	Resume bool
+	// Registry receives sweep counters and histograms when set.
+	Registry *obsv.Registry
+	// Span, when set, gets child spans for the run's phases.
+	Span *obsv.Span
+}
+
+// RunResult is the outcome of a sweep: every row (resumed and freshly
+// solved) in point order, plus run accounting.
+type RunResult struct {
+	Spec     *Spec
+	SpecHash string
+	Points   []Point
+	Rows     []Row
+	// Resumed counts rows loaded from the journal rather than solved.
+	Resumed int
+	// CacheHits/CacheMisses count skeleton-cache lookups; one miss per
+	// distinct model shape, hits for every further same-shape solve.
+	CacheHits, CacheMisses int64
+	Elapsed                time.Duration
+}
+
+// Run evaluates the spec: expands the point grid, fans the points over
+// the worker pool, and streams one journal row per completed point in
+// point order. Solving is deterministic, journal rows are written in
+// seq order, and the header carries no timestamps, so the journal
+// bytes are a pure function of the spec — independent of worker count,
+// scheduling, and how many times the sweep was interrupted and
+// resumed.
+func Run(spec *Spec, opt Options) (*RunResult, error) {
+	start := time.Now()
+	span := opt.Span
+	child := func(name string) *obsv.Span {
+		if span == nil {
+			return nil
+		}
+		return span.Child(name)
+	}
+	end := func(s *obsv.Span) {
+		if s != nil {
+			s.End()
+		}
+	}
+
+	sp := child("expand")
+	if err := spec.Validate(); err != nil {
+		end(sp)
+		return nil, err
+	}
+	points, err := spec.Expand()
+	if err != nil {
+		end(sp)
+		return nil, err
+	}
+	hash, err := spec.Hash()
+	end(sp)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &RunResult{Spec: spec, SpecHash: hash, Points: points}
+	hdr := journalHeader{Schema: JournalSchema, Name: spec.Name, SpecSHA256: hash, Points: len(points)}
+
+	var jw *journalWriter
+	done := make(map[int]Row)
+	if opt.Journal != "" {
+		sp := child("journal")
+		if opt.Resume {
+			var prev []Row
+			jw, prev, err = resumeJournal(opt.Journal, hdr)
+			if err != nil {
+				end(sp)
+				return nil, err
+			}
+			for _, r := range prev {
+				done[r.Seq] = r
+			}
+			res.Resumed = len(prev)
+		} else {
+			jw, err = createJournal(opt.Journal, hdr)
+			if err != nil {
+				end(sp)
+				return nil, err
+			}
+		}
+		end(sp)
+	}
+
+	cache := NewCache()
+	var pointSeconds *obsv.Histogram
+	if opt.Registry != nil {
+		opt.Registry.Counter("sweep.points_total").Add(int64(len(points)))
+		opt.Registry.Counter("sweep.points_resumed").Add(int64(res.Resumed))
+		pointSeconds = opt.Registry.Histogram("sweep.point_seconds")
+	}
+
+	var todo []int
+	for i := range points {
+		if _, ok := done[i]; !ok {
+			todo = append(todo, i)
+		}
+	}
+
+	sp = child("solve")
+	workers := opt.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(todo) && len(todo) > 0 {
+		workers = len(todo)
+	}
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		rows     = make([]Row, 0, len(todo))
+	)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for seq := range jobs {
+				t0 := time.Now()
+				meas, err := evalPoint(cache, points[seq])
+				if pointSeconds != nil {
+					pointSeconds.Observe(time.Since(t0).Seconds())
+				}
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("sweep: point %d (series %q, x=%g): %w", seq, points[seq].Series, points[seq].X, err)
+					}
+				} else {
+					r := Row{Seq: seq, Series: points[seq].Series, X: points[seq].X, Measures: meas}
+					rows = append(rows, r)
+					// Persist immediately: the writer holds out-of-order
+					// rows and appends in seq order, so a kill at any
+					// instant leaves a clean resumable prefix.
+					if jw != nil {
+						if werr := jw.write(r); werr != nil && firstErr == nil {
+							firstErr = fmt.Errorf("sweep: journal write: %w", werr)
+						}
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, seq := range todo {
+		mu.Lock()
+		stop := firstErr != nil
+		mu.Unlock()
+		if stop {
+			break
+		}
+		jobs <- seq
+	}
+	close(jobs)
+	wg.Wait()
+	end(sp)
+
+	res.CacheHits, res.CacheMisses = cache.Hits(), cache.Misses()
+	if opt.Registry != nil {
+		opt.Registry.Counter("sweep.cache_hits").Add(res.CacheHits)
+		opt.Registry.Counter("sweep.cache_misses").Add(res.CacheMisses)
+		opt.Registry.Counter("sweep.points_done").Add(int64(len(rows)))
+	}
+
+	// Merge resumed and fresh rows in seq order and persist the fresh
+	// ones. The writer enforces in-order appends, so on failure the
+	// journal keeps the completed prefix and a later -resume picks up
+	// exactly there.
+	for _, r := range done {
+		res.Rows = append(res.Rows, r)
+	}
+	res.Rows = append(res.Rows, rows...)
+	sort.Slice(res.Rows, func(i, j int) bool { return res.Rows[i].Seq < res.Rows[j].Seq })
+	if jw != nil {
+		if err := jw.close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("sweep: journal close: %w", err)
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	for i, r := range res.Rows {
+		if r.Seq != i {
+			return nil, fmt.Errorf("sweep: internal error: row %d has seq %d", i, r.Seq)
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// parseMetric maps spec metric names onto approx metrics.
+func parseMetric(name string) (approx.Metric, error) {
+	switch name {
+	case "min-queue":
+		return approx.MinQueueLength, nil
+	case "min-response":
+		return approx.MinResponseTime, nil
+	case "max-throughput":
+		return approx.MaxThroughput, nil
+	default:
+		return 0, fmt.Errorf("unknown metric %q (want min-queue, min-response or max-throughput)", name)
+	}
+}
+
+// measureMap flattens core measures into journal form.
+func measureMap(m core.Measures) map[string]float64 {
+	return map[string]float64{
+		"states":        float64(m.States),
+		"L1":            m.L1,
+		"L2":            m.L2,
+		"L":             m.L,
+		"X1":            m.X1,
+		"X2":            m.X2,
+		"throughput":    m.Throughput,
+		"loss_arrival":  m.LossArrival,
+		"loss_transfer": m.LossTransfer,
+		"loss":          m.Loss,
+		"W":             m.W,
+		"util1":         m.Util1,
+		"util2":         m.Util2,
+		"timeout_rate":  m.TimeoutRate,
+	}
+}
+
+// evalPoint solves one point. TAG solves route through the cache; the
+// memoryless baselines are cheap and solve directly.
+func evalPoint(cache *Cache, p Point) (map[string]float64, error) {
+	switch p.Model {
+	case "tagexp":
+		m, err := cache.AnalyzeExp(core.TAGExp{Lambda: p.Lambda, Mu: p.Service.Mu, T: p.T, N: p.N, K1: p.K1, K2: p.K2})
+		if err != nil {
+			return nil, err
+		}
+		return measureMap(m), nil
+	case "tagh2":
+		m, err := cache.AnalyzeH2(core.TAGH2{Lambda: p.Lambda, Service: p.Service.h2(), T: p.T, N: p.N, K1: p.K1, K2: p.K2})
+		if err != nil {
+			return nil, err
+		}
+		return measureMap(m), nil
+	case "random", "round-robin", "shortest-queue":
+		d, err := p.Service.Dist()
+		if err != nil {
+			return nil, err
+		}
+		var sys core.System
+		switch p.Model {
+		case "random":
+			sys = core.NewRandomTwoNode(p.Lambda, d, p.K1)
+		case "round-robin":
+			sys = core.NewRoundRobinTwoNode(p.Lambda, d, p.K1)
+		default:
+			sys = core.NewShortestQueue(p.Lambda, d, p.K1)
+		}
+		m, err := sys.Analyze()
+		if err != nil {
+			return nil, err
+		}
+		return measureMap(m), nil
+	case "opt-t":
+		metric, err := parseMetric(p.Metric)
+		if err != nil {
+			return nil, err
+		}
+		var eval approx.Evaluator
+		switch p.Service.Kind {
+		case "exp":
+			eval = func(t int) (core.Measures, error) {
+				return cache.AnalyzeExp(core.TAGExp{Lambda: p.Lambda, Mu: p.Service.Mu, T: float64(t), N: p.N, K1: p.K1, K2: p.K2})
+			}
+		default:
+			h := p.Service.h2()
+			eval = func(t int) (core.Measures, error) {
+				return cache.AnalyzeH2(core.TAGH2{Lambda: p.Lambda, Service: h, T: float64(t), N: p.N, K1: p.K1, K2: p.K2})
+			}
+		}
+		var (
+			tOpt int
+			m    core.Measures
+		)
+		if p.TStep > 1 {
+			tOpt, m, err = approx.OptimalIntegerTCoarse(eval, metric, p.TLo, p.THi, p.TStep)
+		} else {
+			tOpt, m, err = approx.OptimalIntegerT(eval, metric, p.TLo, p.THi)
+		}
+		if err != nil {
+			return nil, err
+		}
+		out := measureMap(m)
+		out["t_opt"] = float64(tOpt)
+		out["t_opt_eff"] = float64(tOpt) / float64(p.N)
+		return out, nil
+	default:
+		return nil, fmt.Errorf("unknown model %q", p.Model)
+	}
+}

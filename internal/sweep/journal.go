@@ -1,0 +1,166 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// JournalSchema identifies the journal layout: one JSON header line
+// followed by one JSON row line per completed point, in point order.
+const JournalSchema = "pepatags/sweep-journal/v1"
+
+// journalHeader is the first line of a journal. It carries no
+// timestamps — the journal of a sweep is a pure function of its spec,
+// so an interrupted-and-resumed run is byte-identical to a clean one.
+type journalHeader struct {
+	Schema     string `json:"schema"`
+	Name       string `json:"name"`
+	SpecSHA256 string `json:"spec_sha256"`
+	Points     int    `json:"points"`
+}
+
+// Row is one completed point: its identity (seq into the expanded
+// point list, series, x) and the solved measures. encoding/json sorts
+// the measure keys and round-trips float64 exactly, so marshaling is
+// deterministic and lossless.
+type Row struct {
+	Seq      int                `json:"seq"`
+	Series   string             `json:"series"`
+	X        float64            `json:"x"`
+	Measures map[string]float64 `json:"measures"`
+}
+
+// journalWriter appends rows in seq order. Workers complete points out
+// of order; the writer buffers rows until their predecessors are
+// written, which keeps the journal bytes independent of worker count
+// and scheduling.
+type journalWriter struct {
+	f       *os.File
+	next    int
+	pending map[int][]byte
+}
+
+// createJournal starts a fresh journal at path, writing the header.
+func createJournal(path string, hdr journalHeader) (*journalWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	b, err := json.Marshal(hdr)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Write(append(b, '\n')); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &journalWriter{f: f, pending: make(map[int][]byte)}, nil
+}
+
+// resumeJournal opens an existing journal, validates its header
+// against the current sweep, truncates a partially written trailing
+// line (the footprint of a kill mid-write), and returns the completed
+// rows. Appending continues after the last complete row.
+func resumeJournal(path string, hdr journalHeader) (*journalWriter, []Row, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	// A complete line ends in '\n'; anything after the last newline is
+	// a partial write and is discarded.
+	complete := data
+	if i := bytes.LastIndexByte(data, '\n'); i < 0 {
+		complete = nil
+	} else {
+		complete = data[:i+1]
+	}
+	lines := bytes.Split(complete, []byte("\n"))
+	if len(lines) > 0 && len(lines[len(lines)-1]) == 0 {
+		lines = lines[:len(lines)-1]
+	}
+	if len(lines) == 0 {
+		return nil, nil, fmt.Errorf("sweep: %s: journal has no header (not a journal, or truncated to nothing); delete it to start over", path)
+	}
+	var got journalHeader
+	if err := json.Unmarshal(lines[0], &got); err != nil {
+		return nil, nil, fmt.Errorf("sweep: %s: bad journal header: %w", path, err)
+	}
+	if got.Schema != JournalSchema {
+		return nil, nil, fmt.Errorf("sweep: %s: journal schema %q, want %q", path, got.Schema, JournalSchema)
+	}
+	if got.SpecSHA256 != hdr.SpecSHA256 {
+		return nil, nil, fmt.Errorf("sweep: %s: journal was written for spec %.12s…, current spec is %.12s… (spec changed since the interrupted run; delete the journal to start over)",
+			path, got.SpecSHA256, hdr.SpecSHA256)
+	}
+	if got.Name != hdr.Name || got.Points != hdr.Points {
+		return nil, nil, fmt.Errorf("sweep: %s: journal header %+v does not match sweep %+v", path, got, hdr)
+	}
+	offset := int64(len(lines[0])) + 1
+	var rows []Row
+	for i, ln := range lines[1:] {
+		var r Row
+		if err := json.Unmarshal(ln, &r); err != nil {
+			if i == len(lines)-2 {
+				// Undecodable final line: treat like a partial write.
+				break
+			}
+			return nil, nil, fmt.Errorf("sweep: %s: corrupt journal row %d: %w", path, i, err)
+		}
+		if r.Seq != i {
+			return nil, nil, fmt.Errorf("sweep: %s: journal row %d has seq %d", path, i, r.Seq)
+		}
+		if r.Seq >= hdr.Points {
+			return nil, nil, fmt.Errorf("sweep: %s: journal row seq %d beyond %d points", path, r.Seq, hdr.Points)
+		}
+		rows = append(rows, r)
+		offset += int64(len(ln)) + 1
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := f.Truncate(offset); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if _, err := f.Seek(offset, 0); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &journalWriter{f: f, next: len(rows), pending: make(map[int][]byte)}, rows, nil
+}
+
+// write appends a row, buffering it if earlier rows are still pending.
+func (w *journalWriter) write(r Row) error {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	w.pending[r.Seq] = append(b, '\n')
+	for {
+		line, ok := w.pending[w.next]
+		if !ok {
+			return nil
+		}
+		if _, err := w.f.Write(line); err != nil {
+			return err
+		}
+		delete(w.pending, w.next)
+		w.next++
+	}
+}
+
+// close flushes the file. Rows still buffered behind a gap (a failed
+// predecessor) are dropped — the journal stays a clean prefix, which
+// is what resume requires.
+func (w *journalWriter) close() error {
+	w.pending = nil
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}

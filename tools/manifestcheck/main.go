@@ -8,11 +8,14 @@
 //
 //	manifestcheck run1.json run2.json ...
 //	manifestcheck -quiet runs/*.json
+//
+// The schema is documented in docs/MANIFEST.md.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"pepatags/internal/obsv"
@@ -24,28 +27,54 @@ var knownTools = map[string]bool{
 	"tagssim":  true,
 }
 
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage: manifestcheck [-quiet] <manifest.json> ...
+
+Validates run manifests (schema pepatags/run-manifest/v1, see
+docs/MANIFEST.md) written by the -manifest flag of cmd/pepa,
+cmd/tagseval and cmd/tagssim. Exits 0 when every file validates,
+1 when any fails (with a per-file failure summary), 2 on usage
+errors such as no files at all.`)
+}
+
 func main() {
-	quiet := flag.Bool("quiet", false, "suppress per-file OK lines")
-	flag.Parse()
-	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: manifestcheck [-quiet] <manifest.json> ...")
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("manifestcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.Usage = func() { usage(stderr) }
+	quiet := fs.Bool("quiet", false, "suppress per-file OK lines")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	failed := 0
-	for _, path := range flag.Args() {
+	if fs.NArg() == 0 {
+		usage(stderr)
+		return 2
+	}
+	type failure struct {
+		path string
+		err  error
+	}
+	var failures []failure
+	for _, path := range fs.Args() {
 		if err := check(path); err != nil {
-			fmt.Fprintf(os.Stderr, "manifestcheck: %s: %v\n", path, err)
-			failed++
+			failures = append(failures, failure{path, err})
 			continue
 		}
 		if !*quiet {
-			fmt.Printf("ok %s\n", path)
+			fmt.Fprintf(stdout, "ok %s\n", path)
 		}
 	}
-	if failed > 0 {
-		fmt.Fprintf(os.Stderr, "manifestcheck: %d of %d manifests failed\n", failed, flag.NArg())
-		os.Exit(1)
+	if len(failures) > 0 {
+		fmt.Fprintf(stderr, "manifestcheck: %d of %d manifests failed:\n", len(failures), fs.NArg())
+		for _, f := range failures {
+			fmt.Fprintf(stderr, "  %s: %v\n", f.path, f.err)
+		}
+		return 1
 	}
+	return 0
 }
 
 func check(path string) error {
@@ -57,8 +86,8 @@ func check(path string) error {
 		return fmt.Errorf("unknown tool %q", m.Tool)
 	}
 	// A manifest that records nothing is a wiring bug in the producer.
-	if len(m.Measures) == 0 && len(m.Artefacts) == 0 && m.Derive == nil {
-		return fmt.Errorf("manifest records no measures, artefacts or derive stats")
+	if len(m.Measures) == 0 && len(m.Artefacts) == 0 && m.Derive == nil && m.Sweep == nil {
+		return fmt.Errorf("manifest records no measures, artefacts, derive stats or sweep record")
 	}
 	return nil
 }

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"bytes"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"pepatags/internal/obsv"
@@ -41,5 +43,62 @@ func TestCheck(t *testing.T) {
 
 	if err := check(filepath.Join(dir, "missing.json")); err == nil {
 		t.Fatal("missing file must be rejected")
+	}
+}
+
+// TestRunCLI exercises the exit codes and the per-file failure
+// summary.
+func TestRunCLI(t *testing.T) {
+	dir := t.TempDir()
+	good := obsv.NewManifest("tagssim")
+	good.Measures = map[string]float64{"throughput": 7.9}
+	goodPath := filepath.Join(dir, "good.json")
+	if err := good.WriteFile(goodPath); err != nil {
+		t.Fatal(err)
+	}
+	badPath := filepath.Join(dir, "missing.json")
+
+	var out, errs bytes.Buffer
+	if code := run(nil, &out, &errs); code != 2 {
+		t.Fatalf("no args: exit %d, want 2", code)
+	}
+	if !strings.Contains(errs.String(), "usage:") || !strings.Contains(errs.String(), "docs/MANIFEST.md") {
+		t.Fatalf("zero-arg usage should mention usage and docs/MANIFEST.md:\n%s", errs.String())
+	}
+
+	out.Reset()
+	errs.Reset()
+	if code := run([]string{goodPath}, &out, &errs); code != 0 {
+		t.Fatalf("good manifest: exit %d, stderr %s", code, errs.String())
+	}
+	if !strings.Contains(out.String(), "ok "+goodPath) {
+		t.Fatalf("missing OK line:\n%s", out.String())
+	}
+
+	out.Reset()
+	errs.Reset()
+	if code := run([]string{goodPath, badPath}, &out, &errs); code != 1 {
+		t.Fatalf("mixed run: exit %d, want 1", code)
+	}
+	if !strings.Contains(errs.String(), "1 of 2 manifests failed") || !strings.Contains(errs.String(), badPath) {
+		t.Fatalf("failure summary should name the failing file:\n%s", errs.String())
+	}
+}
+
+// TestCheckAcceptsSweepOnlyManifest: a -sweep run without a figure
+// section records only the sweep section, which is valid content.
+func TestCheckAcceptsSweepOnlyManifest(t *testing.T) {
+	m := obsv.NewManifest("tagseval")
+	m.Sweep = &obsv.SweepRecord{
+		Name:       "custom",
+		SpecSHA256: "4ec9599fc203d176a301536c2e091a19bc852759b255bd6818810a42c5fed14a",
+		Points:     3,
+	}
+	path := filepath.Join(t.TempDir(), "sweep.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := check(path); err != nil {
+		t.Fatalf("sweep-only manifest rejected: %v", err)
 	}
 }
