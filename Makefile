@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench manifest-smoke sweep-smoke clean
+.PHONY: all build test race vet lint fmt-check bench manifest-smoke sweep-smoke clean
 
 all: build test
 
@@ -16,6 +16,13 @@ race:
 vet:
 	$(GO) vet ./...
 
+# Project static analysis (docs/LINT.md): pepalint over the shipped
+# PEPA models, then the custom Go analyzers (floatcmp, metricname,
+# spanpair) over every package.
+lint:
+	$(GO) run ./tools/pepalint models/*.pepa
+	$(GO) run ./tools/govet-suite ./...
+
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
@@ -29,9 +36,10 @@ bench:
 # run-manifest schema.
 manifest-smoke:
 	$(GO) run ./cmd/pepa -tag -manifest pepa-run.json
+	$(GO) run ./cmd/pepa -tag -lint -json -manifest pepa-lint.json > /dev/null
 	$(GO) run ./cmd/tagseval -short -fig figure6 -manifest tagseval-run.json > /dev/null
 	$(GO) run ./cmd/tagssim -jobs 20000 -stats -manifest tagssim-run.json > /dev/null 2>&1
-	$(GO) run ./tools/manifestcheck pepa-run.json tagseval-run.json tagssim-run.json
+	$(GO) run ./tools/manifestcheck pepa-run.json pepa-lint.json tagseval-run.json tagssim-run.json
 
 # Run the 3-point smoke sweep twice — once clean, once interrupted and
 # resumed (journal truncated to the header, one row and a partial
@@ -46,5 +54,5 @@ sweep-smoke:
 	$(GO) run ./tools/manifestcheck sweep-run.json
 
 clean:
-	rm -f BENCH_derive.txt BENCH_derive.json pepa-run.json tagseval-run.json tagssim-run.json \
+	rm -f BENCH_derive.txt BENCH_derive.json pepa-run.json pepa-lint.json tagseval-run.json tagssim-run.json \
 		sweep-clean.jsonl sweep-resume.jsonl sweep-run.json

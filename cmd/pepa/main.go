@@ -8,6 +8,8 @@
 //	pepa model.pepa
 //	pepa -states model.pepa        # also dump the stationary vector
 //	pepa -tag                      # solve the built-in Figure 3 model
+//	pepa -lint model.pepa          # static checks only, no derivation
+//	pepa -lint -json model.pepa    # ... as a pepatags/pepalint/v1 report
 //	pepa -lump model.pepa          # report the lumped quotient size
 //	pepa -workers 8 model.pepa     # parallel derivation + parallel solver
 //	pepa -solver power model.pepa  # force a solver: auto|gth|power|gs|jacobi
@@ -30,6 +32,7 @@ import (
 	"pepatags/internal/linalg"
 	"pepatags/internal/obsv"
 	"pepatags/internal/pepa"
+	"pepatags/internal/pepa/analysis"
 )
 
 func main() {
@@ -47,6 +50,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		maxStates  = fs.Int("max-states", pepa.DefaultMaxStates, "state-space cap")
 		tag        = fs.Bool("tag", false, "use the built-in Figure 3 TAG model (lambda=5, mu=10, t=42, n=6, K=10)")
 		lump       = fs.Bool("lump", false, "report the exactly-lumped quotient size")
+		lintOnly   = fs.Bool("lint", false, "run the static checks and stop without deriving")
+		jsonOut    = fs.Bool("json", false, "with -lint, emit a pepatags/pepalint/v1 JSON report")
 		echo       = fs.Bool("echo", false, "pretty-print the parsed model before solving")
 		level      = fs.String("level", "", "report E[level] of a leaf: <leafIndex>:<derivativePrefix>, e.g. 1:QA")
 		workers    = fs.Int("workers", 1, "worker goroutines for derivation and the row-partitioned solvers (-1 = one per CPU)")
@@ -92,14 +97,18 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		src, err = os.ReadFile(fs.Arg(0))
 		modelName = fs.Arg(0)
 	default:
-		return fmt.Errorf("usage: pepa [-states] [-lump] [-echo] [-tag] [-workers n] [-solver s] [-stats] [-manifest f] [-trace f] [-debug-addr a] <model.pepa | ->")
+		return fmt.Errorf("usage: pepa [-lint [-json]] [-states] [-lump] [-echo] [-tag] [-workers n] [-solver s] [-stats] [-manifest f] [-trace f] [-debug-addr a] <model.pepa | ->")
 	}
 	if err != nil {
 		return err
 	}
 
+	if *lintOnly {
+		return runLint(modelName, string(src), *jsonOut, *manifest, args, stdout)
+	}
+
 	parseSpan := root.Child("parse")
-	model, err := pepa.Parse(string(src))
+	model, err := pepa.ParseFile(modelName, string(src))
 	parseSpan.End()
 	if err != nil {
 		return err
@@ -160,10 +169,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		var leaf int
 		var prefix string
 		if _, err := fmt.Sscanf(*level, "%d:%s", &leaf, &prefix); err != nil {
+			measureSpan.End()
 			return fmt.Errorf("bad -level %q (want leaf:prefix): %w", *level, err)
 		}
 		l, err := ss.LevelExpectation(pi, leaf, prefix)
 		if err != nil {
+			measureSpan.End()
 			return err
 		}
 		fmt.Fprintf(stdout, "mean level of leaf %d (%s*): %.8g\n", leaf, prefix, l)
@@ -217,6 +228,45 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		if err := m.WriteFile(*manifest); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// runLint is the -lint mode: static checks only, no derivation. The
+// findings go to stdout (text or JSON) and, when -manifest is also
+// given, into a run manifest as an obsv.LintRecord. Error-severity
+// findings make the run fail; warnings alone do not.
+func runLint(modelName, src string, jsonOut bool, manifestPath string, args []string, stdout io.Writer) error {
+	results := []analysis.FileResult{{File: modelName, Diags: analysis.LintSource(modelName, src)}}
+	if jsonOut {
+		if err := analysis.WriteJSON(stdout, results); err != nil {
+			return err
+		}
+	} else {
+		analysis.WriteText(stdout, results)
+	}
+	errs, warns := analysis.Count(results)
+	if manifestPath != "" {
+		m := obsv.NewManifest("pepa")
+		m.Args = args
+		m.Model = modelName
+		rec := &obsv.LintRecord{Errors: errs, Warnings: warns}
+		for _, d := range results[0].Diags {
+			rec.Diags = append(rec.Diags, obsv.LintDiag{
+				Rule:     d.Rule,
+				Severity: d.Severity.String(),
+				File:     d.Pos.File,
+				Line:     d.Pos.Line,
+				Msg:      d.Msg,
+			})
+		}
+		m.Lint = rec
+		if err := m.WriteFile(manifestPath); err != nil {
+			return err
+		}
+	}
+	if errs > 0 {
+		return fmt.Errorf("pepa: lint found %d error(s)", errs)
 	}
 	return nil
 }

@@ -144,6 +144,61 @@ func TestRunDebugAddr(t *testing.T) {
 	}
 }
 
+func TestRunLintMode(t *testing.T) {
+	// A clean model lints quietly and never derives.
+	var out, errs bytes.Buffer
+	if err := run([]string{"-lint", "-tag"}, strings.NewReader(""), &out, &errs); err != nil {
+		t.Fatalf("lint of builtin model: %v\n%s", err, out.String())
+	}
+	if strings.Contains(out.String(), "states:") {
+		t.Fatalf("-lint must not derive:\n%s", out.String())
+	}
+
+	// A dead sync is an error-severity finding: non-nil error, text
+	// diagnostics on stdout.
+	bad := "P = (a, 1).P1;\nP1 = (sync, 1).P1;\nQ = (sync2, 1).Q;\nP <sync, sync2> Q"
+	out.Reset()
+	if err := run([]string{"-lint", "-"}, strings.NewReader(bad), &out, &errs); err == nil {
+		t.Fatalf("lint accepted a dead sync:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "error[dead-sync]") {
+		t.Fatalf("missing dead-sync diagnostic:\n%s", out.String())
+	}
+}
+
+func TestRunLintJSONManifest(t *testing.T) {
+	mpath := filepath.Join(t.TempDir(), "lint.json")
+	bad := "P = (a, 1).P1;\nP1 = (sync, 1).P1;\nQ = (sync2, 1).Q;\nP <sync, sync2> Q"
+	var out, errs bytes.Buffer
+	args := []string{"-lint", "-json", "-manifest", mpath, "-"}
+	if err := run(args, strings.NewReader(bad), &out, &errs); err == nil {
+		t.Fatal("expected lint failure")
+	}
+	var rep map[string]any
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("stdout is not JSON: %v\n%s", err, out.String())
+	}
+	if rep["schema"] != "pepatags/pepalint/v1" {
+		t.Fatalf("report schema %v", rep["schema"])
+	}
+	m, err := obsv.ReadManifest(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Lint == nil || m.Lint.Errors == 0 || len(m.Lint.Diags) == 0 {
+		t.Fatalf("manifest lint record %+v", m.Lint)
+	}
+	found := false
+	for _, d := range m.Lint.Diags {
+		if d.Rule == "dead-sync" && d.Severity == "error" && d.Line == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no positioned dead-sync diag in manifest: %+v", m.Lint.Diags)
+	}
+}
+
 func TestRunLevelMeasure(t *testing.T) {
 	var out, errs bytes.Buffer
 	if err := run([]string{"-level", "1:QA", "-tag"}, strings.NewReader(""), &out, &errs); err != nil {

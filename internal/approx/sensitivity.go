@@ -20,7 +20,7 @@ type Sensitivity struct {
 // sensitivityFrom computes elasticities from three measure evaluations.
 func sensitivityFrom(t, h float64, lo, mid, hi core.Measures) Sensitivity {
 	el := func(a, m, b float64) float64 {
-		if m == 0 {
+		if m == 0 { //vet:allow floatcmp: guard against dividing by an exactly-zero baseline
 			return 0
 		}
 		return (b - a) / (2 * h) * t / m

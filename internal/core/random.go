@@ -66,7 +66,7 @@ func (m RandomAlloc) Analyze() (Measures, error) {
 	out := Measures{}
 	var totalL, totalX float64
 	for i, w := range m.Weights {
-		if w == 0 {
+		if w == 0 { //vet:allow floatcmp: skip structurally absent weights
 			continue
 		}
 		q := queueing.MPH1K{Lambda: m.Lambda * w, Service: ph, K: m.K}

@@ -126,7 +126,7 @@ func (m RandomAlloc) ResponseDistribution() (*ResponseDistribution, error) {
 		return nil, fmt.Errorf("core: analytic response distribution needs exponential service")
 	}
 	m.validate()
-	if len(m.Weights) != 2 || m.Weights[0] != m.Weights[1] {
+	if len(m.Weights) != 2 || m.Weights[0] != m.Weights[1] { //vet:allow floatcmp: weights are set, not computed; homogeneity is exact
 		return nil, fmt.Errorf("core: response distribution implemented for the homogeneous two-node split")
 	}
 	lambda := m.Lambda * m.Weights[0]

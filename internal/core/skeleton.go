@@ -105,7 +105,7 @@ func (v RateValues) coeff(c Coeff) float64 {
 func (v RateValues) zeroMask() uint8 {
 	var m uint8
 	for c := Coeff(1); c < numCoeffs; c++ {
-		if v.coeff(c) == 0 {
+		if v.coeff(c) == 0 { //vet:allow floatcmp: structural sparsity mask
 			m |= 1 << c
 		}
 	}

@@ -198,7 +198,7 @@ func (c *Chain) Actions() []string {
 func (c *Chain) Expectation(pi []float64, f func(state int) float64) float64 {
 	var acc numeric.Accumulator
 	for i := range pi {
-		if v := f(i); v != 0 {
+		if v := f(i); v != 0 { //vet:allow floatcmp: skip structural zeros of the reward function
 			acc.Add(pi[i] * v)
 		}
 	}

@@ -37,7 +37,7 @@ func (c *Chain) TransientWith(pi0 []float64, t float64, eps float64, workers int
 		eps = 1e-12
 	}
 	out := make([]float64, n)
-	if t == 0 {
+	if t == 0 { //vet:allow floatcmp: t is an input; t=0 is the exact boundary case
 		copy(out, pi0)
 		return out, nil
 	}

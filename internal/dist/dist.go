@@ -291,7 +291,7 @@ func (b BoundedPareto) CDF(x float64) float64 {
 // LaplaceTransform is computed by adaptive Simpson quadrature (no
 // closed form exists).
 func (b BoundedPareto) LaplaceTransform(s float64) float64 {
-	if s == 0 {
+	if s == 0 { //vet:allow floatcmp: exact boundary of the transform argument
 		return 1
 	}
 	f := func(x float64) float64 {
@@ -373,7 +373,7 @@ func (w Weibull) CDF(x float64) float64 {
 // LaplaceTransform is computed by adaptive quadrature (no elementary
 // closed form for general shape).
 func (w Weibull) LaplaceTransform(s float64) float64 {
-	if s == 0 {
+	if s == 0 { //vet:allow floatcmp: exact boundary of the transform argument
 		return 1
 	}
 	// Integrate the density against exp(-s x); the effective support is

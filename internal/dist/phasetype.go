@@ -124,7 +124,7 @@ func (p *PhaseType) CDF(x float64) float64 {
 			q = d
 		}
 	}
-	if q == 0 {
+	if q == 0 { //vet:allow floatcmp: guard against dividing by an exactly-zero mass
 		return 0
 	}
 	q *= 1.0000001

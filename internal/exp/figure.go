@@ -56,7 +56,7 @@ func (f *Figure) Render(w io.Writer) error {
 	}
 	lookup := func(s Series, x float64) (float64, bool) {
 		for i, sx := range s.X {
-			if sx == x {
+			if sx == x { //vet:allow floatcmp: grid abscissae are copied, not computed
 				return s.Y[i], true
 			}
 		}

@@ -53,7 +53,7 @@ func (m *Model) derivativeInto(x, d []float64) {
 			continue
 		}
 		for i, dd := range tr.Delta {
-			if dd != 0 {
+			if dd != 0 { //vet:allow floatcmp: structural sparsity of the stoichiometry
 				d[i] += r * dd
 			}
 		}

@@ -80,7 +80,7 @@ func (m *Dense) VecMul(x []float64) []float64 {
 	y := make([]float64, m.Cols)
 	for i := 0; i < m.Rows; i++ {
 		xi := x[i]
-		if xi == 0 {
+		if xi == 0 { //vet:allow floatcmp: structural sparsity skip
 			continue
 		}
 		row := m.Row(i)
@@ -100,7 +100,7 @@ func (m *Dense) Mul(b *Dense) *Dense {
 	for i := 0; i < m.Rows; i++ {
 		for k := 0; k < m.Cols; k++ {
 			a := m.At(i, k)
-			if a == 0 {
+			if a == 0 { //vet:allow floatcmp: structural sparsity skip
 				continue
 			}
 			brow := b.Row(k)
@@ -182,7 +182,7 @@ func LUSolve(a *Dense, b []float64) ([]float64, error) {
 				p, maxv = i, v
 			}
 		}
-		if maxv == 0 {
+		if maxv == 0 { //vet:allow floatcmp: exact singularity test on the pivot column
 			return nil, ErrSingular
 		}
 		if p != k {
@@ -196,7 +196,7 @@ func LUSolve(a *Dense, b []float64) ([]float64, error) {
 		for i := k + 1; i < n; i++ {
 			f := lu.At(i, k) / pivot
 			lu.Set(i, k, f)
-			if f == 0 {
+			if f == 0 { //vet:allow floatcmp: structural sparsity skip
 				continue
 			}
 			ri, rk := lu.Row(i), lu.Row(k)

@@ -26,7 +26,7 @@ func SolveSparseGaussSeidel(a *CSR, b []float64, opts Options) ([]float64, error
 				diag[i] = a.Val[k]
 			}
 		}
-		if diag[i] == 0 {
+		if diag[i] == 0 { //vet:allow floatcmp: exact singularity test on the diagonal
 			return nil, fmt.Errorf("linalg: zero diagonal at row %d", i)
 		}
 	}

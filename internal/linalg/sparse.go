@@ -28,7 +28,7 @@ func NewCOO(rows, cols int) *COO {
 
 // Add appends the entry (i, j, v). Zero values are ignored.
 func (c *COO) Add(i, j int, v float64) {
-	if v == 0 {
+	if v == 0 { //vet:allow floatcmp: exact zeros are structurally absent in COO
 		return
 	}
 	if i < 0 || i >= c.Rows || j < 0 || j >= c.Cols {
@@ -59,7 +59,7 @@ func (c *COO) ToCSR() *CSR {
 			v += ents[k].Val
 			k++
 		}
-		if v != 0 {
+		if v != 0 { //vet:allow floatcmp: drop entries that cancelled exactly
 			m.ColIdx = append(m.ColIdx, e.Col)
 			m.Val = append(m.Val, v)
 			m.RowPtr[e.Row+1]++
@@ -123,7 +123,7 @@ func (m *CSR) VecMul(x []float64) []float64 {
 	y := make([]float64, m.Cols)
 	for i := 0; i < m.Rows; i++ {
 		xi := x[i]
-		if xi == 0 {
+		if xi == 0 { //vet:allow floatcmp: structural sparsity skip
 			continue
 		}
 		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
@@ -144,7 +144,7 @@ func (m *CSR) VecMulInto(x, y []float64) {
 	}
 	for i := 0; i < m.Rows; i++ {
 		xi := x[i]
-		if xi == 0 {
+		if xi == 0 { //vet:allow floatcmp: structural sparsity skip
 			continue
 		}
 		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {

@@ -11,6 +11,14 @@ import (
 	"pepatags/internal/obsv"
 )
 
+// Metric names registered by the iterative solvers (metricname
+// analyzer, tools/govet-suite).
+const (
+	metricSolveCount      = "solve.count"
+	metricSolveIterations = "solve.iterations"
+	metricSolveSeconds    = "solve.seconds"
+)
+
 // Solver options and defaults for the iterative stationary solvers.
 const (
 	DefaultMaxIter = 200000
@@ -110,9 +118,9 @@ func (o Options) finish(solver string, start time.Time, iters int, diff float64,
 		}
 	}
 	if o.Metrics != nil {
-		o.Metrics.Counter("solve.count").Inc()
-		o.Metrics.Counter("solve.iterations").Add(int64(iters))
-		o.Metrics.Histogram("solve.seconds").Observe(time.Since(start).Seconds())
+		o.Metrics.Counter(metricSolveCount).Inc()
+		o.Metrics.Counter(metricSolveIterations).Add(int64(iters))
+		o.Metrics.Histogram(metricSolveSeconds).Observe(time.Since(start).Seconds())
 	}
 }
 
@@ -152,7 +160,7 @@ func SteadyStateGTH(q *Dense) ([]float64, error) {
 		}
 		for i := 0; i < k; i++ {
 			aik := a.At(i, k)
-			if aik == 0 {
+			if aik == 0 { //vet:allow floatcmp: structural sparsity skip
 				continue
 			}
 			ri := a.Row(i)
@@ -214,7 +222,7 @@ func UniformizationConstant(q *CSR) float64 {
 			}
 		}
 	}
-	if maxDiag == 0 {
+	if maxDiag == 0 { //vet:allow floatcmp: degenerate-scaling guard on an exactly-zero diagonal
 		maxDiag = 1
 	}
 	return maxDiag * 1.02

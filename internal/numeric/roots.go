@@ -31,10 +31,10 @@ func Bisect(f func(float64) float64, a, b, tol float64) (float64, error) {
 		tol = DefaultTol
 	}
 	fa, fb := f(a), f(b)
-	if fa == 0 {
+	if fa == 0 { //vet:allow floatcmp: exact root hit short-circuits
 		return a, nil
 	}
-	if fb == 0 {
+	if fb == 0 { //vet:allow floatcmp: exact root hit short-circuits
 		return b, nil
 	}
 	if math.Signbit(fa) == math.Signbit(fb) {
@@ -43,7 +43,7 @@ func Bisect(f func(float64) float64, a, b, tol float64) (float64, error) {
 	for i := 0; i < maxRootIter; i++ {
 		m := a + (b-a)/2
 		fm := f(m)
-		if fm == 0 || (b-a)/2 < tol {
+		if fm == 0 || (b-a)/2 < tol { //vet:allow floatcmp: exact root hit short-circuits
 			return m, nil
 		}
 		if math.Signbit(fm) == math.Signbit(fa) {
@@ -63,10 +63,10 @@ func Brent(f func(float64) float64, a, b, tol float64) (float64, error) {
 		tol = DefaultTol
 	}
 	fa, fb := f(a), f(b)
-	if fa == 0 {
+	if fa == 0 { //vet:allow floatcmp: exact root hit short-circuits
 		return a, nil
 	}
-	if fb == 0 {
+	if fb == 0 { //vet:allow floatcmp: exact root hit short-circuits
 		return b, nil
 	}
 	if math.Signbit(fa) == math.Signbit(fb) {
@@ -81,11 +81,11 @@ func Brent(f func(float64) float64, a, b, tol float64) (float64, error) {
 	mflag := true
 	var d float64
 	for i := 0; i < maxRootIter; i++ {
-		if fb == 0 || math.Abs(b-a) < tol {
+		if fb == 0 || math.Abs(b-a) < tol { //vet:allow floatcmp: exact root hit short-circuits
 			return b, nil
 		}
 		var s float64
-		if fa != fc && fb != fc {
+		if fa != fc && fb != fc { //vet:allow floatcmp: guards the divided differences against identical ordinates
 			// Inverse quadratic interpolation.
 			s = a*fb*fc/((fa-fb)*(fa-fc)) +
 				b*fa*fc/((fb-fa)*(fb-fc)) +

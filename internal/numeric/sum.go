@@ -82,7 +82,7 @@ func MaxAbsDiff(a, b []float64) float64 {
 // and returns the sum.
 func Normalize(xs []float64) float64 {
 	s := KahanSum(xs)
-	if s == 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+	if s == 0 || math.IsNaN(s) || math.IsInf(s, 0) { //vet:allow floatcmp: an exactly-zero sum cannot be normalised
 		return s
 	}
 	for i := range xs {

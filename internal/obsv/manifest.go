@@ -55,6 +55,11 @@ type Manifest struct {
 	// runners). See docs/MANIFEST.md.
 	Sweep *SweepRecord `json:"sweep,omitempty"`
 
+	// Lint records the static-analysis findings for the run's model,
+	// written by cmd/pepa -lint. The rules are documented in
+	// docs/LINT.md.
+	Lint *LintRecord `json:"lint,omitempty"`
+
 	// Trace is the pipeline span tree, when tracing was on.
 	Trace *SpanRecord `json:"trace,omitempty"`
 }
@@ -74,6 +79,25 @@ type SweepRecord struct {
 	CacheHits   int64   `json:"cache_hits"`
 	CacheMisses int64   `json:"cache_misses"`
 	ElapsedSec  float64 `json:"elapsed_sec"`
+}
+
+// LintRecord is the accounting of one pepalint run over the model:
+// severity totals plus the individual findings. This package cannot
+// depend on internal/pepa (the dependency runs the other way), so the
+// diagnostics are carried as plain strings and line numbers.
+type LintRecord struct {
+	Errors   int        `json:"errors"`
+	Warnings int        `json:"warnings"`
+	Diags    []LintDiag `json:"diags,omitempty"`
+}
+
+// LintDiag is one lint finding inside a manifest.
+type LintDiag struct {
+	Rule     string `json:"rule"`
+	Severity string `json:"severity"`
+	File     string `json:"file,omitempty"`
+	Line     int    `json:"line,omitempty"`
+	Msg      string `json:"msg"`
 }
 
 // SeriesRecord is one curve of an artefact: the exact float64s behind
@@ -162,6 +186,19 @@ func (m *Manifest) Validate() error {
 		}
 		if s.CacheHits < 0 || s.CacheMisses < 0 {
 			return fmt.Errorf("obsv: sweep record has negative cache counters")
+		}
+	}
+	if l := m.Lint; l != nil {
+		if l.Errors < 0 || l.Warnings < 0 {
+			return fmt.Errorf("obsv: lint record has negative counts")
+		}
+		for i, d := range l.Diags {
+			if d.Rule == "" || d.Msg == "" {
+				return fmt.Errorf("obsv: lint diag %d has an empty rule or message", i)
+			}
+			if d.Severity != "error" && d.Severity != "warning" {
+				return fmt.Errorf("obsv: lint diag %d has severity %q", i, d.Severity)
+			}
 		}
 	}
 	return nil

@@ -1,0 +1,180 @@
+// Package analysis is the pepalint driver: it runs the static
+// semantic checks of internal/pepa (see pepa.LintModel) over source
+// files, folds parse failures into positioned diagnostics, and
+// renders the results as text or machine-readable JSON.
+//
+// The package is the engine behind the tools/pepalint CLI and the
+// -lint flag of cmd/pepa. The rules themselves live next to the AST
+// in internal/pepa so state-space derivation can run them as a
+// pre-flight without an import cycle; this package adds everything a
+// standalone linter needs on top: file handling, severity accounting,
+// output formats and the rule registry that docs and CLIs list.
+package analysis
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"pepatags/internal/pepa"
+)
+
+// FileResult is the outcome of linting one source file.
+type FileResult struct {
+	File  string
+	Diags []pepa.Diagnostic
+}
+
+// LintSource lints a specification given as a string. Parse errors
+// are converted to diagnostics (rule "syntax", or "undef-rate" for an
+// undefined rate constant) rather than returned, so ill-formed input
+// produces findings, not a failure.
+func LintSource(filename, src string) []pepa.Diagnostic {
+	m, err := pepa.ParseFile(filename, src)
+	if err != nil {
+		return []pepa.Diagnostic{parseDiag(filename, err)}
+	}
+	return pepa.LintModel(m)
+}
+
+// parseDiag turns a parse failure into a positioned diagnostic.
+func parseDiag(filename string, err error) pepa.Diagnostic {
+	d := pepa.Diagnostic{
+		Rule:     pepa.RuleSyntax,
+		Severity: pepa.SevError,
+		Pos:      pepa.Pos{File: filename},
+		Msg:      err.Error(),
+		Hint:     "fix the specification syntax",
+	}
+	var serr *pepa.SyntaxError
+	if errors.As(err, &serr) {
+		d.Pos = serr.Pos
+		d.Msg = serr.Msg
+		if strings.Contains(serr.Msg, "undefined rate constant") {
+			d.Rule = pepa.RuleUndefRate
+			d.Hint = "define the rate constant before its first use"
+		}
+	}
+	return d
+}
+
+// LintFile lints one file from disk. The error is non-nil only when
+// the file cannot be read.
+func LintFile(path string) (FileResult, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return FileResult{File: path}, err
+	}
+	return FileResult{File: path, Diags: LintSource(path, string(src))}, nil
+}
+
+// LintFiles lints each file in turn. Unreadable files abort with an
+// error; lint findings never do.
+func LintFiles(paths []string) ([]FileResult, error) {
+	out := make([]FileResult, 0, len(paths))
+	for _, p := range paths {
+		r, err := LintFile(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Count tallies diagnostics by severity across results.
+func Count(results []FileResult) (errs, warns int) {
+	for _, r := range results {
+		for _, d := range r.Diags {
+			if d.Severity == pepa.SevError {
+				errs++
+			} else {
+				warns++
+			}
+		}
+	}
+	return errs, warns
+}
+
+// WriteText renders results in the classic compiler style, one
+// diagnostic per line with an indented fix hint:
+//
+//	models/bad.pepa:4: error[dead-sync]: ...
+//	    fix: make both cooperands perform the action ...
+//
+// Clean files print nothing. The trailing summary line is written
+// only when something was found.
+func WriteText(w io.Writer, results []FileResult) {
+	for _, r := range results {
+		for _, d := range r.Diags {
+			fmt.Fprintln(w, d.String())
+			if d.Hint != "" {
+				fmt.Fprintf(w, "    fix: %s\n", d.Hint)
+			}
+		}
+	}
+	if errs, warns := Count(results); errs+warns > 0 {
+		fmt.Fprintf(w, "%d error(s), %d warning(s)\n", errs, warns)
+	}
+}
+
+// ReportSchema identifies the JSON report layout.
+const ReportSchema = "pepatags/pepalint/v1"
+
+// Report is the JSON shape of a lint run.
+type Report struct {
+	Schema   string       `json:"schema"`
+	Files    []FileReport `json:"files"`
+	Errors   int          `json:"errors"`
+	Warnings int          `json:"warnings"`
+}
+
+// FileReport is the JSON shape of one file's findings.
+type FileReport struct {
+	File        string `json:"file"`
+	Diagnostics []Diag `json:"diagnostics"`
+}
+
+// Diag is the JSON shape of one diagnostic.
+type Diag struct {
+	Rule     string `json:"rule"`
+	Severity string `json:"severity"`
+	File     string `json:"file,omitempty"`
+	Line     int    `json:"line,omitempty"`
+	Message  string `json:"message"`
+	Hint     string `json:"hint,omitempty"`
+}
+
+// NewReport folds results into the JSON report shape.
+func NewReport(results []FileResult) Report {
+	rep := Report{Schema: ReportSchema, Files: make([]FileReport, 0, len(results))}
+	for _, r := range results {
+		fr := FileReport{File: r.File, Diagnostics: make([]Diag, 0, len(r.Diags))}
+		for _, d := range r.Diags {
+			fr.Diagnostics = append(fr.Diagnostics, Diag{
+				Rule:     d.Rule,
+				Severity: d.Severity.String(),
+				File:     d.Pos.File,
+				Line:     d.Pos.Line,
+				Message:  d.Msg,
+				Hint:     d.Hint,
+			})
+		}
+		rep.Files = append(rep.Files, fr)
+	}
+	rep.Errors, rep.Warnings = Count(results)
+	return rep
+}
+
+// WriteJSON writes the indented JSON report.
+func WriteJSON(w io.Writer, results []FileResult) error {
+	b, err := json.MarshalIndent(NewReport(results), "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}

@@ -1,0 +1,28 @@
+package analysis
+
+import "pepatags/internal/pepa"
+
+// RuleInfo documents one lint rule for CLIs and docs.
+type RuleInfo struct {
+	ID       string
+	Severity pepa.Severity // the strongest severity the rule can emit
+	Summary  string
+}
+
+// Rules lists every rule pepalint can report, in a stable order. The
+// severities here are the worst case: several rules downgrade to a
+// warning when the finding is only a possible failure (see
+// docs/LINT.md for the exact policy).
+var Rules = []RuleInfo{
+	{pepa.RuleSyntax, pepa.SevError, "the specification does not parse"},
+	{pepa.RuleNoSystem, pepa.SevError, "the model has no system equation"},
+	{pepa.RuleUndefRate, pepa.SevError, "a rate constant is used before it is defined"},
+	{pepa.RuleUndefProcess, pepa.SevError, "a process constant is referenced but never defined"},
+	{pepa.RuleUnusedProc, pepa.SevWarning, "a process definition is unreachable from the system equation"},
+	{pepa.RuleUnguardedRec, pepa.SevError, "a process recurses through constants without an action prefix"},
+	{pepa.RuleBadRate, pepa.SevError, "a rate is zero, negative, or non-finite"},
+	{pepa.RuleDeadSync, pepa.SevError, "a cooperation-set action can never synchronise"},
+	{pepa.RuleMixedRates, pepa.SevError, "one cooperand offers a synchronised action both actively and passively"},
+	{pepa.RuleUnsyncPass, pepa.SevError, "a passive action escapes to the top level unsynchronised"},
+	{pepa.RuleSelfLoop, pepa.SevWarning, "an active self-loop adds a transition with no effect on the chain"},
+}

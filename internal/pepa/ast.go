@@ -6,6 +6,31 @@ import (
 	"strings"
 )
 
+// Pos is a source position: the file a node was parsed from (empty for
+// programmatic or stdin models) and the 1-based line. The zero Pos
+// means "position unknown"; programmatically built ASTs carry it
+// everywhere, and diagnostics degrade gracefully.
+type Pos struct {
+	File string
+	Line int
+}
+
+// IsValid reports whether the position carries a line number.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// String renders "file:line", "line N" when the file is unknown, or ""
+// for the zero Pos.
+func (p Pos) String() string {
+	switch {
+	case p.Line <= 0:
+		return ""
+	case p.File == "":
+		return fmt.Sprintf("line %d", p.Line)
+	default:
+		return fmt.Sprintf("%s:%d", p.File, p.Line)
+	}
+}
+
 // Process is a sequential PEPA component: prefix, choice or constant.
 // Cooperation and hiding live at the model (composition) level, per the
 // cyclic-model restriction the paper adopts.
@@ -20,6 +45,7 @@ type Prefix struct {
 	Action string
 	Rate   Rate
 	Next   Process
+	Pos    Pos // position of the opening '(' in source, if parsed
 }
 
 // Choice is Left + Right.
@@ -30,6 +56,7 @@ type Choice struct {
 // Const references a named component definition.
 type Const struct {
 	Name string
+	Pos  Pos // position of the reference in source, if parsed
 }
 
 func (p *Prefix) Key() string {
@@ -102,18 +129,21 @@ type Composition interface {
 // Leaf is a sequential component with its initial derivative.
 type Leaf struct {
 	Init Process
+	Pos  Pos // position of the component reference in source, if parsed
 }
 
 // Coop is Left ⋈(Set) Right. An empty set is the parallel combinator ||.
 type Coop struct {
 	Left, Right Composition
 	Set         ActionSet
+	Pos         Pos // position of the cooperation operator in source, if parsed
 }
 
 // Hide conceals the actions in Set, relabelling them tau.
 type Hide struct {
 	Inner Composition
 	Set   ActionSet
+	Pos   Pos // position of the '/' in source, if parsed
 }
 
 func (*Leaf) compNode() {}
@@ -138,11 +168,15 @@ const Tau = "tau"
 type Model struct {
 	Defs   map[string]Process
 	System Composition
+
+	// DefPos records where each constant was defined, for parsed
+	// models; programmatic definitions have no entry.
+	DefPos map[string]Pos
 }
 
 // NewModel returns an empty model.
 func NewModel() *Model {
-	return &Model{Defs: make(map[string]Process)}
+	return &Model{Defs: make(map[string]Process), DefPos: make(map[string]Pos)}
 }
 
 // Define binds a constant name to a sequential process body.
@@ -151,6 +185,30 @@ func (m *Model) Define(name string, body Process) {
 		panic(fmt.Sprintf("pepa: duplicate definition of %s", name))
 	}
 	m.Defs[name] = body
+}
+
+// DefineAt binds a constant like Define and records its source
+// position for diagnostics.
+func (m *Model) DefineAt(name string, body Process, pos Pos) {
+	m.Define(name, body)
+	if m.DefPos == nil {
+		m.DefPos = make(map[string]Pos)
+	}
+	m.DefPos[name] = pos
+}
+
+// defPos returns the recorded definition position of name, or the zero
+// Pos.
+func (m *Model) defPos(name string) Pos { return m.DefPos[name] }
+
+// at renders a position as an error-message prefix ("file:line: "), or
+// "" for the zero Pos, so unpositioned programmatic ASTs keep the old
+// message shape.
+func at(pos Pos) string {
+	if !pos.IsValid() {
+		return ""
+	}
+	return pos.String() + ": "
 }
 
 // resolve unfolds constants until the head is a prefix or choice, so
@@ -164,12 +222,12 @@ func (m *Model) resolve(p Process) (Process, error) {
 			return p, nil
 		}
 		if seen[c.Name] {
-			return nil, fmt.Errorf("pepa: unguarded recursion through constant %s", c.Name)
+			return nil, fmt.Errorf("pepa: %sunguarded recursion through constant %s", at(m.defPos(c.Name)), c.Name)
 		}
 		seen[c.Name] = true
 		body, ok := m.Defs[c.Name]
 		if !ok {
-			return nil, fmt.Errorf("pepa: undefined constant %s", c.Name)
+			return nil, fmt.Errorf("pepa: %sundefined constant %s", at(c.Pos), c.Name)
 		}
 		p = body
 	}

@@ -11,6 +11,16 @@ import (
 	"pepatags/internal/obsv"
 )
 
+// Metric names registered by Derive, as package-level consts so the
+// namespace is greppable and checked by the metricname analyzer
+// (tools/govet-suite).
+const (
+	metricDeriveCount       = "derive.count"
+	metricDeriveStates      = "derive.states"
+	metricDeriveTransitions = "derive.transitions"
+	metricDeriveSeconds     = "derive.seconds"
+)
+
 // DefaultMaxStates bounds state-space derivation.
 const DefaultMaxStates = 2_000_000
 
@@ -225,6 +235,14 @@ type DeriveOptions struct {
 	// means serial, and a negative value means "one per CPU".
 	Workers int
 
+	// SkipLint disables the static pre-flight (see LintModel). By
+	// default Derive rejects models with error-severity lint
+	// diagnostics — dead cooperation syncs, unsynchronised top-level
+	// passives, mixed apparent rates — with a positioned *LintError
+	// before any state is explored, so a sweep worker fails in
+	// microseconds instead of after a deep BFS.
+	SkipLint bool
+
 	// Stats, when non-nil, is filled with exploration statistics
 	// (also on error, with the partial counts reached).
 	Stats *obsv.DeriveStats
@@ -274,6 +292,19 @@ func Derive(m *Model, opts DeriveOptions) (*StateSpace, error) {
 		maxStates = DefaultMaxStates
 	}
 	start := time.Now()
+	if !opts.SkipLint {
+		var lintSpan *obsv.Span
+		if opts.Span != nil {
+			lintSpan = opts.Span.Child("lint")
+		}
+		err := firstLintError(LintModel(m))
+		if lintSpan != nil {
+			lintSpan.End()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
 	var compileSpan *obsv.Span
 	if opts.Span != nil {
 		compileSpan = opts.Span.Child("compile")
@@ -301,10 +332,10 @@ func Derive(m *Model, opts DeriveOptions) (*StateSpace, error) {
 		exploreSpan.End()
 	}
 	if err == nil && opts.Metrics != nil {
-		opts.Metrics.Counter("derive.count").Inc()
-		opts.Metrics.Counter("derive.states").Add(int64(ss.Chain.NumStates()))
-		opts.Metrics.Counter("derive.transitions").Add(int64(ss.Chain.NumTransitions()))
-		opts.Metrics.Histogram("derive.seconds").Observe(time.Since(start).Seconds())
+		opts.Metrics.Counter(metricDeriveCount).Inc()
+		opts.Metrics.Counter(metricDeriveStates).Add(int64(ss.Chain.NumStates()))
+		opts.Metrics.Counter(metricDeriveTransitions).Add(int64(ss.Chain.NumTransitions()))
+		opts.Metrics.Histogram(metricDeriveSeconds).Observe(time.Since(start).Seconds())
 	}
 	return ss, err
 }
@@ -378,12 +409,11 @@ func deriveSerial(cc *compiled, nLeaf, maxStates int, opts DeriveOptions) (*Stat
 			return nil, err
 		}
 		if len(ms) == 0 {
-			return nil, fmt.Errorf("pepa: deadlock in state %s", cc.stateKey(cur.state))
+			return nil, deadlockError(cc.stateKey(cur.state))
 		}
 		for _, mv := range ms {
 			if mv.rate.Passive {
-				return nil, fmt.Errorf("pepa: passive action %q unsynchronised at top level (state %s)",
-					mv.action, cc.stateKey(cur.state))
+				return nil, unsyncPassiveError(mv.action, cc.stateKey(cur.state))
 			}
 			next := make([]Process, nLeaf)
 			copy(next, cur.state)

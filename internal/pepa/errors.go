@@ -1,0 +1,52 @@
+package pepa
+
+import "errors"
+
+// Sentinel errors for the two model defects that derivation can hit
+// mid-BFS. Both the dynamic checks (derive.go, parallel.go) and the
+// static linter (lint.go) wrap these, so callers distinguish the
+// failure class with errors.Is regardless of which layer caught it:
+//
+//	_, err := pepa.Derive(m, opts)
+//	if errors.Is(err, pepa.ErrDeadlock) { ... }
+var (
+	// ErrDeadlock marks a state with no outgoing transitions — or a
+	// statically detected guarantee of one (a component derivative
+	// whose every action is blocked by a cooperation partner that can
+	// never participate).
+	ErrDeadlock = errors.New("deadlock")
+
+	// ErrUnsyncPassive marks a passive activity that escapes to the
+	// top level of the composition unsynchronised, so no apparent rate
+	// can be computed for it.
+	ErrUnsyncPassive = errors.New("unsynchronised passive action")
+)
+
+// modelError carries a formatted message while unwrapping to one of
+// the sentinel errors above. Serial and parallel derivation build
+// their errors through the helpers below so the two paths stay
+// byte-identical.
+type modelError struct {
+	sentinel error
+	msg      string
+}
+
+func (e *modelError) Error() string { return e.msg }
+
+func (e *modelError) Unwrap() error { return e.sentinel }
+
+// deadlockError reports a deadlocked state found during BFS.
+func deadlockError(stateKey string) error {
+	return &modelError{sentinel: ErrDeadlock, msg: "pepa: deadlock in state " + stateKey}
+}
+
+// unsyncPassiveError reports a passive action that reached the top
+// level of the composition in the given state.
+func unsyncPassiveError(action, stateKey string) error {
+	return &modelError{
+		sentinel: ErrUnsyncPassive,
+		msg:      "pepa: passive action " + quote(action) + " unsynchronised at top level (state " + stateKey + ")",
+	}
+}
+
+func quote(s string) string { return `"` + s + `"` }

@@ -1,0 +1,770 @@
+package pepa
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Static semantic analysis ("pepalint") over the parsed AST.
+//
+// Every rule here works on the definition graph and per-component
+// derivative closures — never the flat state space — so a model is
+// checked in milliseconds even when its CTMC has millions of states.
+// Derive runs the error-severity subset as a pre-flight (opt out with
+// DeriveOptions.SkipLint), turning deep-BFS failures like the
+// guaranteed-deadlock of a dead cooperation sync into positioned
+// diagnostics before exploration starts.
+
+// Severity classifies a diagnostic: errors mark models that cannot be
+// derived (or are guaranteed to fail mid-derivation), warnings mark
+// suspicious-but-derivable constructs.
+type Severity int
+
+const (
+	SevWarning Severity = iota
+	SevError
+)
+
+func (s Severity) String() string {
+	if s == SevError {
+		return "error"
+	}
+	return "warning"
+}
+
+// Rule identifiers, one per check. docs/LINT.md documents each with a
+// minimal triggering model.
+const (
+	RuleNoSystem     = "no-system"
+	RuleSyntax       = "syntax"
+	RuleUndefRate    = "undef-rate"
+	RuleUndefProcess = "undef-process"
+	RuleUnusedProc   = "unused-process"
+	RuleUnguardedRec = "unguarded-recursion"
+	RuleDeadSync     = "dead-sync"
+	RuleMixedRates   = "mixed-rates"
+	RuleUnsyncPass   = "unsync-passive"
+	RuleBadRate      = "bad-rate"
+	RuleSelfLoop     = "self-loop"
+)
+
+// Diagnostic is one positioned lint finding.
+type Diagnostic struct {
+	Rule     string
+	Severity Severity
+	Pos      Pos
+	Msg      string
+	Hint     string // how to fix, when a fix is obvious
+}
+
+// String renders "file:line: severity[rule]: message" (position
+// omitted when unknown).
+func (d Diagnostic) String() string {
+	var sb strings.Builder
+	if d.Pos.IsValid() {
+		sb.WriteString(d.Pos.String())
+		sb.WriteString(": ")
+	}
+	fmt.Fprintf(&sb, "%s[%s]: %s", d.Severity, d.Rule, d.Msg)
+	return sb.String()
+}
+
+// LintError is the error Derive returns when the pre-flight lint finds
+// an error-severity diagnostic. It unwraps to ErrDeadlock or
+// ErrUnsyncPassive when the rule statically guarantees that dynamic
+// failure, so errors.Is works identically for static and mid-BFS
+// detection.
+type LintError struct {
+	Diag Diagnostic
+}
+
+func (e *LintError) Error() string { return "pepa: lint: " + e.Diag.String() }
+
+func (e *LintError) Unwrap() error {
+	switch e.Diag.Rule {
+	case RuleDeadSync:
+		return ErrDeadlock
+	case RuleUnsyncPass:
+		return ErrUnsyncPassive
+	}
+	return nil
+}
+
+// firstLintError converts the highest-priority error diagnostic to a
+// LintError, or nil if all diagnostics are warnings.
+func firstLintError(diags []Diagnostic) error {
+	for _, d := range diags {
+		if d.Severity == SevError {
+			return &LintError{Diag: d}
+		}
+	}
+	return nil
+}
+
+// LintModel statically checks a model and returns its diagnostics,
+// sorted by position then rule. A nil slice means the model is clean.
+func LintModel(m *Model) []Diagnostic {
+	l := &linter{m: m}
+	l.run()
+	sort.SliceStable(l.diags, func(i, j int) bool {
+		a, b := l.diags[i], l.diags[j]
+		if a.Pos.File != b.Pos.File {
+			return a.Pos.File < b.Pos.File
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
+	})
+	return l.diags
+}
+
+type linter struct {
+	m     *Model
+	diags []Diagnostic
+
+	reachable  map[string]bool // definition names reachable from the system
+	closures   map[*Leaf]*closure
+	modesMemo  map[Composition]*nodeModes
+	derivMixed map[string]bool // actions some single derivative offers both actively and passively
+	defsOK     bool            // no undefined/unguarded constants among reachable defs
+}
+
+func (l *linter) report(rule string, sev Severity, pos Pos, msg, hint string) {
+	l.diags = append(l.diags, Diagnostic{Rule: rule, Severity: sev, Pos: pos, Msg: msg, Hint: hint})
+}
+
+func (l *linter) run() {
+	if l.m.System == nil {
+		l.report(RuleNoSystem, SevError, Pos{}, "model has no system composition", "end the specification with a composition expression (no '=')")
+		return
+	}
+	l.checkDefGraph()
+	if !l.defsOK {
+		// Closures cannot be built over broken definitions; the
+		// remaining rules would only cascade.
+		return
+	}
+	l.buildClosures()
+	l.checkRates()
+	l.checkComposition()
+}
+
+// ---- definition-graph rules -------------------------------------------------
+
+// constRefs lists every constant reference in a process body.
+func constRefs(p Process, out []*Const) []*Const {
+	switch t := p.(type) {
+	case *Const:
+		return append(out, t)
+	case *Prefix:
+		return constRefs(t.Next, out)
+	case *Choice:
+		return constRefs(t.Right, constRefs(t.Left, out))
+	}
+	return out
+}
+
+// systemLeaves collects the leaves of a composition left to right.
+func systemLeaves(c Composition) []*Leaf {
+	var out []*Leaf
+	var walk func(Composition)
+	walk = func(n Composition) {
+		switch t := n.(type) {
+		case *Leaf:
+			out = append(out, t)
+		case *Coop:
+			walk(t.Left)
+			walk(t.Right)
+		case *Hide:
+			walk(t.Inner)
+		}
+	}
+	walk(c)
+	return out
+}
+
+// checkDefGraph resolves the definition graph: which definitions the
+// system reaches, undefined references, unguarded recursion, unused
+// definitions.
+func (l *linter) checkDefGraph() {
+	m := l.m
+
+	// Reachability over constant references, seeded from the system.
+	l.reachable = map[string]bool{}
+	var frontier []*Const
+	for _, leaf := range systemLeaves(m.System) {
+		frontier = constRefs(leaf.Init, frontier)
+	}
+	// undefRefs holds the first reference to each undefined name, with
+	// the severity-relevant fact of whether it was reached from the
+	// system (true) or only from an unused definition body (false).
+	type undefRef struct {
+		pos       Pos
+		reachable bool
+	}
+	undef := map[string]undefRef{}
+	note := func(c *Const, reachable bool) {
+		if _, ok := m.Defs[c.Name]; ok {
+			return
+		}
+		if prev, seen := undef[c.Name]; !seen || (reachable && !prev.reachable) {
+			undef[c.Name] = undefRef{pos: c.Pos, reachable: reachable}
+		}
+	}
+	for len(frontier) > 0 {
+		c := frontier[0]
+		frontier = frontier[1:]
+		note(c, true)
+		if l.reachable[c.Name] {
+			continue
+		}
+		if body, ok := m.Defs[c.Name]; ok {
+			l.reachable[c.Name] = true
+			frontier = constRefs(body, frontier)
+		}
+	}
+
+	// Unused definitions, and undefined references inside them.
+	for _, name := range sortedDefNames(m) {
+		if l.reachable[name] {
+			continue
+		}
+		l.report(RuleUnusedProc, SevWarning, m.defPos(name),
+			fmt.Sprintf("process %s is defined but never used", name),
+			"remove the definition or reference it from the system")
+		for _, c := range constRefs(m.Defs[name], nil) {
+			note(c, false)
+		}
+	}
+	for _, name := range sortedKeys(undef) {
+		ref := undef[name]
+		sev := SevError
+		if !ref.reachable {
+			sev = SevWarning
+		}
+		l.report(RuleUndefProcess, sev, ref.pos,
+			fmt.Sprintf("reference to undefined process %s", name),
+			"define the process or fix the name")
+	}
+
+	// Unguarded recursion: a cycle through constants that never passes
+	// a prefix. headRefs follows exactly what resolve() unfolds.
+	headRefs := func(p Process) []string {
+		var names []string
+		var walk func(Process)
+		walk = func(q Process) {
+			switch t := q.(type) {
+			case *Const:
+				names = append(names, t.Name)
+			case *Choice:
+				walk(t.Left)
+				walk(t.Right)
+			}
+		}
+		walk(p)
+		return names
+	}
+	unguarded := map[string]bool{}
+	for _, name := range sortedDefNames(m) {
+		seen := map[string]bool{}
+		stack := []string{name}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			body, ok := m.Defs[n]
+			if !ok {
+				continue
+			}
+			for _, h := range headRefs(body) {
+				if h == name {
+					unguarded[name] = true
+				}
+				if !seen[h] {
+					seen[h] = true
+					stack = append(stack, h)
+				}
+			}
+		}
+	}
+	for _, name := range sortedKeys(unguarded) {
+		sev := SevError
+		if !l.reachable[name] {
+			sev = SevWarning
+		}
+		l.report(RuleUnguardedRec, sev, m.defPos(name),
+			fmt.Sprintf("unguarded recursion through process %s", name),
+			"guard the recursive reference with a prefix (action, rate).")
+	}
+
+	l.defsOK = true
+	for _, d := range l.diags {
+		if d.Severity == SevError {
+			l.defsOK = false
+		}
+	}
+}
+
+func sortedDefNames(m *Model) []string {
+	names := make([]string, 0, len(m.Defs))
+	for n := range m.Defs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// ---- derivative closures ----------------------------------------------------
+
+// lintResolve unfolds constants like Model.resolve but never errors:
+// checkDefGraph has already established that reachable definitions
+// resolve.
+func (l *linter) lintResolve(p Process) Process {
+	for {
+		c, ok := p.(*Const)
+		if !ok {
+			return p
+		}
+		body, ok := l.m.Defs[c.Name]
+		if !ok {
+			return nil
+		}
+		p = body
+	}
+}
+
+// lintMoves flattens the immediate transitions of a derivative to the
+// Prefix nodes that induce them, keeping source positions.
+func (l *linter) lintMoves(p Process, out []*Prefix) []*Prefix {
+	switch t := l.lintResolve(p).(type) {
+	case *Prefix:
+		return append(out, t)
+	case *Choice:
+		return l.lintMoves(t.Right, l.lintMoves(t.Left, out))
+	}
+	return out
+}
+
+// deriv is one syntactic derivative of a sequential component.
+type deriv struct {
+	key   string
+	proc  Process
+	moves []*Prefix
+}
+
+// closure is the set of derivatives a leaf can reach, with the
+// aggregate action alphabet: for each action, whether some reachable
+// derivative offers it actively and/or passively.
+type closure struct {
+	derivs  []*deriv
+	actives map[string]bool
+	passive map[string]bool
+}
+
+func (c *closure) has(a string) bool { return c.actives[a] || c.passive[a] }
+
+func (l *linter) buildClosures() {
+	l.closures = map[*Leaf]*closure{}
+	l.derivMixed = map[string]bool{}
+	for _, leaf := range systemLeaves(l.m.System) {
+		cl := &closure{actives: map[string]bool{}, passive: map[string]bool{}}
+		seen := map[string]bool{}
+		frontier := []Process{leaf.Init}
+		for len(frontier) > 0 {
+			p := frontier[0]
+			frontier = frontier[1:]
+			k := p.Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			d := &deriv{key: k, proc: p, moves: l.lintMoves(p, nil)}
+			cl.derivs = append(cl.derivs, d)
+			act, pass := map[string]bool{}, map[string]bool{}
+			for _, mv := range d.moves {
+				if mv.Rate.Passive {
+					cl.passive[mv.Action] = true
+					pass[mv.Action] = true
+				} else {
+					cl.actives[mv.Action] = true
+					act[mv.Action] = true
+				}
+				frontier = append(frontier, mv.Next)
+			}
+			for a := range act {
+				if pass[a] {
+					l.derivMixed[a] = true
+				}
+			}
+		}
+		l.closures[leaf] = cl
+	}
+}
+
+// ---- rate validity ----------------------------------------------------------
+
+// checkRates validates every reachable rate at the AST level. The
+// parser cannot produce an invalid Rate, but programmatically built
+// models can (a struct literal bypasses ActiveRate's checks).
+func (l *linter) checkRates() {
+	for _, leaf := range systemLeaves(l.m.System) {
+		for _, d := range l.closures[leaf].derivs {
+			for _, mv := range d.moves {
+				r := mv.Rate
+				switch {
+				case r.Passive && (r.Weight <= 0 || math.IsInf(r.Weight, 0) || math.IsNaN(r.Weight)):
+					l.report(RuleBadRate, SevError, mv.Pos,
+						fmt.Sprintf("action %q has invalid passive weight %g", mv.Action, r.Weight),
+						"passive weights must be positive and finite")
+				case !r.Passive && (r.Value <= 0 || math.IsInf(r.Value, 0) || math.IsNaN(r.Value)):
+					l.report(RuleBadRate, SevError, mv.Pos,
+						fmt.Sprintf("action %q has invalid rate %g", mv.Action, r.Value),
+						"active rates must be positive and finite")
+				}
+			}
+		}
+	}
+}
+
+// ---- composition rules ------------------------------------------------------
+
+// nodeModes is the escape alphabet of a composition node: for each
+// action that can reach this level, whether it can do so actively
+// and/or passively, plus a representative source position of a passive
+// offering (for unsync-passive diagnostics).
+type nodeModes struct {
+	active     map[string]bool
+	passive    map[string]bool
+	passivePos map[string]Pos
+}
+
+func newNodeModes() *nodeModes {
+	return &nodeModes{active: map[string]bool{}, passive: map[string]bool{}, passivePos: map[string]Pos{}}
+}
+
+func (n *nodeModes) has(a string) bool { return n.active[a] || n.passive[a] }
+
+func (n *nodeModes) markPassive(a string, pos Pos) {
+	n.passive[a] = true
+	if _, ok := n.passivePos[a]; !ok {
+		n.passivePos[a] = pos
+	}
+}
+
+// checkComposition runs the cooperation-structure rules: dead syncs,
+// guaranteed-blocked derivatives, mixed active/passive apparent rates,
+// passive actions escaping to the top level, and no-effect self-loops.
+func (l *linter) checkComposition() {
+	l.modesMemo = map[Composition]*nodeModes{}
+	root := l.modes(l.m.System)
+	l.checkCoops(l.m.System)
+
+	// Top-level passives. An action that some joint state can perform
+	// passively at the root has no apparent rate there; if it is never
+	// mentioned by any cooperation set at all the failure is certain as
+	// soon as the offering derivative is reached.
+	captured := map[string]bool{}
+	var collectSets func(Composition)
+	collectSets = func(n Composition) {
+		switch t := n.(type) {
+		case *Coop:
+			for a := range t.Set {
+				captured[a] = true
+			}
+			collectSets(t.Left)
+			collectSets(t.Right)
+		case *Hide:
+			collectSets(t.Inner)
+		}
+	}
+	collectSets(l.m.System)
+	for _, a := range sortedKeys(root.passive) {
+		if captured[a] {
+			l.report(RuleUnsyncPass, SevWarning, root.passivePos[a],
+				fmt.Sprintf("passive action %q can escape to the top level unsynchronised", a),
+				"ensure an active partner is always available in the cooperation")
+		} else {
+			l.report(RuleUnsyncPass, SevError, root.passivePos[a],
+				fmt.Sprintf("passive action %q is never synchronised by any cooperation set", a),
+				"add the action to a cooperation set with an active partner, or make its rate active")
+		}
+	}
+
+	// Top-down pass: dead actions per leaf and self-loop context.
+	l.walkDead(l.m.System, map[string]bool{}, map[string]bool{})
+}
+
+// modes computes the escape alphabet of a composition node bottom-up,
+// memoised per node so repeated walks stay linear.
+func (l *linter) modes(n Composition) *nodeModes {
+	if m, ok := l.modesMemo[n]; ok {
+		return m
+	}
+	m := l.computeModes(n)
+	l.modesMemo[n] = m
+	return m
+}
+
+func (l *linter) computeModes(n Composition) *nodeModes {
+	switch t := n.(type) {
+	case *Leaf:
+		out := newNodeModes()
+		cl := l.closures[t]
+		for a := range cl.actives {
+			out.active[a] = true
+		}
+		for _, d := range cl.derivs {
+			for _, mv := range d.moves {
+				if mv.Rate.Passive {
+					out.markPassive(mv.Action, mv.Pos)
+				}
+			}
+		}
+		return out
+
+	case *Hide:
+		inner := l.modes(t.Inner)
+		out := newNodeModes()
+		for a := range inner.active {
+			if t.Set.Has(a) {
+				out.active[Tau] = true
+			} else {
+				out.active[a] = true
+			}
+		}
+		for a := range inner.passive {
+			if t.Set.Has(a) {
+				out.markPassive(Tau, inner.passivePos[a])
+			} else {
+				out.markPassive(a, inner.passivePos[a])
+			}
+		}
+		return out
+
+	case *Coop:
+		left, right := l.modes(t.Left), l.modes(t.Right)
+		out := newNodeModes()
+		merge := func(side *nodeModes) {
+			for a := range side.active {
+				if !t.Set.Has(a) {
+					out.active[a] = true
+				}
+			}
+			for a := range side.passive {
+				if !t.Set.Has(a) {
+					out.markPassive(a, side.passivePos[a])
+				}
+			}
+		}
+		merge(left)
+		merge(right)
+		for _, a := range t.Set.Names() {
+			if !left.has(a) || !right.has(a) {
+				continue // dead sync: nothing escapes
+			}
+			// Hillston's apparent-rate combination: any active partner
+			// makes the shared activity active; only passive⋈passive
+			// stays passive.
+			if left.active[a] || right.active[a] {
+				out.active[a] = true
+			}
+			if left.passive[a] && right.passive[a] {
+				pos := left.passivePos[a]
+				if !pos.IsValid() {
+					pos = right.passivePos[a]
+				}
+				out.markPassive(a, pos)
+			}
+		}
+		return out
+	}
+	return newNodeModes()
+}
+
+// checkCoops visits every cooperation node and reports per-action
+// structure problems against the memoised escape alphabets.
+func (l *linter) checkCoops(n Composition) {
+	switch t := n.(type) {
+	case *Coop:
+		left, right := l.modes(t.Left), l.modes(t.Right)
+		for _, a := range t.Set.Names() {
+			l.checkCoopAction(t, a, left, right)
+		}
+		l.checkCoops(t.Left)
+		l.checkCoops(t.Right)
+	case *Hide:
+		l.checkCoops(t.Inner)
+	}
+}
+
+// checkCoopAction reports dead syncs and mixed apparent rates for one
+// action of one cooperation set.
+func (l *linter) checkCoopAction(t *Coop, a string, left, right *nodeModes) {
+	inL, inR := left.has(a), right.has(a)
+	switch {
+	case !inL && !inR:
+		l.report(RuleDeadSync, SevWarning, t.Pos,
+			fmt.Sprintf("action %q in cooperation set is performed by neither cooperand", a),
+			"remove the action from the set")
+	case inL != inR:
+		side, dead := "left", "right"
+		if inR {
+			side, dead = "right", "left"
+		}
+		l.report(RuleDeadSync, SevWarning, t.Pos,
+			fmt.Sprintf("action %q in cooperation set is never performed by the %s cooperand: the %s side blocks forever when it offers %q", a, dead, side, a),
+			"make both cooperands perform the action, or remove it from the set")
+	default:
+		if l.derivMixed[a] {
+			// A single derivative mixes modes for a; checkLeaf reports
+			// that as a definite error, so skip the fuzzier warning.
+			return
+		}
+		for _, side := range []*nodeModes{left, right} {
+			if side.active[a] && side.passive[a] {
+				l.report(RuleMixedRates, SevWarning, t.Pos,
+					fmt.Sprintf("action %q may mix active and passive rates within one cooperand", a),
+					"use a single rate discipline for the action on each side of the cooperation")
+			}
+		}
+	}
+}
+
+// walkDead pushes cooperation context down to the leaves: dead is the
+// set of actions blocked forever for this subtree (a cooperation
+// partner that never performs them), coopCtx the union of enclosing
+// cooperation sets.
+func (l *linter) walkDead(n Composition, dead, coopCtx map[string]bool) {
+	switch t := n.(type) {
+	case *Leaf:
+		l.checkLeaf(t, dead, coopCtx)
+
+	case *Hide:
+		l.walkDead(t.Inner, dead, coopCtx)
+
+	case *Coop:
+		left := l.modes(t.Left)
+		right := l.modes(t.Right)
+		nextCtx := unionSet(coopCtx, t.Set)
+		deadL := copySet(dead)
+		deadR := copySet(dead)
+		for a := range t.Set {
+			if !right.has(a) {
+				deadL[a] = true
+			}
+			if !left.has(a) {
+				deadR[a] = true
+			}
+		}
+		l.walkDead(t.Left, deadL, nextCtx)
+		l.walkDead(t.Right, deadR, nextCtx)
+	}
+}
+
+// checkLeaf runs the per-component rules that need the cooperation
+// context: guaranteed-blocked derivatives, definite mixed apparent
+// rates, and no-effect self-loops.
+func (l *linter) checkLeaf(leaf *Leaf, dead, coopCtx map[string]bool) {
+	cl := l.closures[leaf]
+	for _, d := range cl.derivs {
+		act, pass := map[string]bool{}, map[string]bool{}
+		for _, mv := range d.moves {
+			if mv.Rate.Passive {
+				pass[mv.Action] = true
+			} else {
+				act[mv.Action] = true
+			}
+		}
+		for _, a := range sortedKeys(act) {
+			if pass[a] && coopCtx[a] {
+				l.report(RuleMixedRates, SevError, l.derivPos(leaf, d),
+					fmt.Sprintf("derivative %s mixes active and passive rates for synchronised action %q — derivation rejects the first state that reaches it", d.key, a),
+					"offer the action with one rate discipline per derivative")
+			}
+		}
+		if len(d.moves) > 0 {
+			blocked := true
+			for _, mv := range d.moves {
+				if !dead[mv.Action] {
+					blocked = false
+					break
+				}
+			}
+			if blocked {
+				l.report(RuleDeadSync, SevError, l.derivPos(leaf, d),
+					fmt.Sprintf("derivative %s can never perform any action: %s blocked by a cooperation partner that never synchronises — guaranteed deadlock once reached", d.key, actionList(d.moves)),
+					"make the cooperation partner perform the blocked action, or remove it from the cooperation set")
+			}
+		}
+		for _, mv := range d.moves {
+			if mv.Rate.Passive || coopCtx[mv.Action] {
+				continue
+			}
+			if mv.Next.Key() == d.key {
+				l.report(RuleSelfLoop, SevWarning, mv.Pos,
+					fmt.Sprintf("active self-loop (%s, %s) on derivative %s has no effect on the chain", mv.Action, mv.Rate, d.key),
+					"remove the transition, or synchronise the action if it is meant to drive a partner")
+			}
+		}
+	}
+}
+
+// derivPos finds the best position for a derivative-level diagnostic:
+// the definition site for a named derivative, else its first prefix,
+// else the leaf itself.
+func (l *linter) derivPos(leaf *Leaf, d *deriv) Pos {
+	if c, ok := d.proc.(*Const); ok {
+		if pos := l.m.defPos(c.Name); pos.IsValid() {
+			return pos
+		}
+	}
+	if len(d.moves) > 0 && d.moves[0].Pos.IsValid() {
+		return d.moves[0].Pos
+	}
+	return leaf.Pos
+}
+
+func actionList(moves []*Prefix) string {
+	if len(moves) == 1 {
+		return fmt.Sprintf("action %q is", moves[0].Action)
+	}
+	seen := map[string]bool{}
+	var names []string
+	for _, mv := range moves {
+		if !seen[mv.Action] {
+			seen[mv.Action] = true
+			names = append(names, fmt.Sprintf("%q", mv.Action))
+		}
+	}
+	return "actions " + strings.Join(names, ", ") + " are"
+}
+
+func unionSet(base map[string]bool, set ActionSet) map[string]bool {
+	out := copySet(base)
+	for a := range set {
+		out[a] = true
+	}
+	return out
+}
+
+func copySet(s map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+package pepa
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// lintRules extracts the (rule, severity) pairs of a diagnostic list.
+func lintRules(diags []Diagnostic) []string {
+	var out []string
+	for _, d := range diags {
+		out = append(out, d.Severity.String()+"["+d.Rule+"]")
+	}
+	return out
+}
+
+func wantRule(t *testing.T, diags []Diagnostic, rule string, sev Severity) Diagnostic {
+	t.Helper()
+	for _, d := range diags {
+		if d.Rule == rule && d.Severity == sev {
+			return d
+		}
+	}
+	t.Fatalf("no %s[%s] diagnostic in %v", sev, rule, lintRules(diags))
+	return Diagnostic{}
+}
+
+func TestLintCleanModels(t *testing.T) {
+	for name, src := range map[string]string{
+		"two queues":   "l = 2;\nmu = 5;\nQ0 = (arr, l).Q1;\nQ1 = (srv, mu).Q0;\nR0 = (arr2, l).R1;\nR1 = (srv2, mu).R0;\nQ0 || R0",
+		"passive sync": "Q0 = (go, T).Q1;\nQ1 = (back, 3).Q0;\nS = (go, 2).S1;\nS1 = (back, T).S;\nQ0 <go, back> S",
+		"hidden":       "P = (a, 1).P1;\nP1 = (b, 2).P;\nQ = (c, 1).Q1;\nQ1 = (d, 1).Q;\n(P || Q) / {a}",
+	} {
+		m, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if diags := LintModel(m); len(diags) != 0 {
+			t.Fatalf("%s: expected clean, got %v", name, diags)
+		}
+	}
+}
+
+func TestLintPositionsFromParsedSource(t *testing.T) {
+	src := "P = (a, 1.0).P1;\nP1 = (sync, 1.0).P1;\nQ = (sync2, 1.0).Q;\nP <sync, sync2> Q"
+	m, err := ParseFile("bad.pepa", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := LintModel(m)
+	d := wantRule(t, diags, RuleDeadSync, SevError)
+	if d.Pos.File != "bad.pepa" || d.Pos.Line != 2 {
+		t.Fatalf("dead-sync position = %v, want bad.pepa:2", d.Pos)
+	}
+	// The one-sided sync actions are also flagged as warnings at the
+	// cooperation operator.
+	w := wantRule(t, diags, RuleDeadSync, SevWarning)
+	if w.Pos.Line != 4 {
+		t.Fatalf("dead-sync warning position = %v, want line 4", w.Pos)
+	}
+}
+
+func TestLintUndefinedAndUnused(t *testing.T) {
+	src := "P = (a, 1).Missing;\nOrphan = (b, 1).Orphan;\nP || P"
+	m, err := ParseFile("m.pepa", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := LintModel(m)
+	d := wantRule(t, diags, RuleUndefProcess, SevError)
+	if d.Pos.Line != 1 {
+		t.Fatalf("undef-process at %v, want line 1", d.Pos)
+	}
+	u := wantRule(t, diags, RuleUnusedProc, SevWarning)
+	if u.Pos.Line != 2 {
+		t.Fatalf("unused-process at %v, want line 2", u.Pos)
+	}
+}
+
+func TestLintUnguardedRecursion(t *testing.T) {
+	m, err := Parse("A = B;\nB = A + (a, 1).A;\nA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := LintModel(m)
+	wantRule(t, diags, RuleUnguardedRec, SevError)
+}
+
+func TestLintSelfLoop(t *testing.T) {
+	m, err := Parse("P = (spin, 2).P + (a, 1).P1;\nP1 = (b, 1).P;\nQ = (c, 1).Q;\nP <a> Q")
+	if err == nil {
+		// "a" is only performed by P, never Q: that alone is a dead-sync
+		// warning, but the self-loop on spin must be flagged too.
+		diags := LintModel(m)
+		wantRule(t, diags, RuleSelfLoop, SevWarning)
+		return
+	}
+	t.Fatal(err)
+}
+
+func TestLintBadRateProgrammatic(t *testing.T) {
+	// A struct literal can hold a rate ActiveRate() would reject.
+	m := NewModel()
+	m.Define("P", &Prefix{Action: "a", Rate: Rate{Value: 0}, Next: Ref("P")})
+	m.System = &Leaf{Init: Ref("P")}
+	diags := LintModel(m)
+	wantRule(t, diags, RuleBadRate, SevError)
+	if _, err := Derive(m, DeriveOptions{}); err == nil {
+		t.Fatal("Derive accepted a zero rate")
+	}
+}
+
+func TestLintNoSystem(t *testing.T) {
+	m := NewModel()
+	m.Define("P", Pre("a", ActiveRate(1), Ref("P")))
+	diags := LintModel(m)
+	wantRule(t, diags, RuleNoSystem, SevError)
+}
+
+func TestLintMixedRatesDefinite(t *testing.T) {
+	m, err := Parse("P = (a, 1).P + (a, T).P;\nQ = (a, 1).Q;\nP <a> Q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := wantRule(t, LintModel(m), RuleMixedRates, SevError)
+	if !strings.Contains(d.Msg, "mixes") {
+		t.Fatalf("mixed-rates message %q", d.Msg)
+	}
+}
+
+func TestLintErrorUnwrapsSentinels(t *testing.T) {
+	e := &LintError{Diag: Diagnostic{Rule: RuleDeadSync, Severity: SevError}}
+	if !errors.Is(e, ErrDeadlock) {
+		t.Fatal("dead-sync lint error must unwrap to ErrDeadlock")
+	}
+	p := &LintError{Diag: Diagnostic{Rule: RuleUnsyncPass, Severity: SevError}}
+	if !errors.Is(p, ErrUnsyncPassive) {
+		t.Fatal("unsync-passive lint error must unwrap to ErrUnsyncPassive")
+	}
+}
+
+func TestLintSkipLintDerives(t *testing.T) {
+	// P1 blocks forever on sync, but Q keeps the chain alive: the
+	// model derives dynamically, while lint rejects the dead sync.
+	src := "P = (a, 1).P1;\nP1 = (sync, 1).P1;\nQ = (b, 1).Q;\nP <sync> Q"
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Derive(m, DeriveOptions{}); !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("pre-flight should reject the dead sync, got %v", err)
+	}
+	ss, err := Derive(m, DeriveOptions{SkipLint: true})
+	if err != nil {
+		t.Fatalf("SkipLint derivation failed: %v", err)
+	}
+	if ss.Chain.NumStates() != 2 {
+		t.Fatalf("states = %d, want 2", ss.Chain.NumStates())
+	}
+}
+
+func TestLintDiagnosticString(t *testing.T) {
+	d := Diagnostic{Rule: RuleDeadSync, Severity: SevError, Pos: Pos{File: "x.pepa", Line: 7}, Msg: "boom"}
+	if got := d.String(); got != "x.pepa:7: error[dead-sync]: boom" {
+		t.Fatalf("String() = %q", got)
+	}
+	d.Pos = Pos{}
+	if got := d.String(); got != "error[dead-sync]: boom" {
+		t.Fatalf("String() = %q", got)
+	}
+}

@@ -121,7 +121,7 @@ func deriveParallel(cc *compiled, nLeaf, maxStates, workers int, opts DeriveOpti
 			var zero int
 			ms, err := cc.moves(cc.node, cur.state, &zero)
 			if err == nil && len(ms) == 0 {
-				err = fmt.Errorf("pepa: deadlock in state %s", cur.key)
+				err = deadlockError(cur.key)
 			}
 			if err != nil {
 				res.err, res.errPos = err, pos
@@ -129,8 +129,7 @@ func deriveParallel(cc *compiled, nLeaf, maxStates, workers int, opts DeriveOpti
 			}
 			for k, mv := range ms {
 				if mv.rate.Passive {
-					res.err = fmt.Errorf("pepa: passive action %q unsynchronised at top level (state %s)",
-						mv.action, cur.key)
+					res.err = unsyncPassiveError(mv.action, cur.key)
 					res.errPos = pos
 					return
 				}

@@ -1,6 +1,7 @@
 package pepa
 
 import (
+	"errors"
 	"math/rand/v2"
 	"os"
 	"path/filepath"
@@ -82,31 +83,46 @@ func TestParallelDeriveMatchesSerialOnAppendixModels(t *testing.T) {
 	}
 }
 
-// The parallel path must report the same errors as the serial path.
+// The parallel path must report the same errors as the serial path,
+// and both must match the shared sentinels with errors.Is.
 func TestParallelDeriveErrors(t *testing.T) {
-	check := func(src string, wantSub string) {
+	check := func(src string, want error, opts DeriveOptions) {
 		t.Helper()
 		m, err := Parse(src)
 		if err != nil {
 			t.Fatal(err)
 		}
-		_, serr := Derive(m, DeriveOptions{})
-		_, perr := Derive(m, DeriveOptions{Workers: 4})
+		sopts, popts := opts, opts
+		popts.Workers = 4
+		_, serr := Derive(m, sopts)
+		_, perr := Derive(m, popts)
 		if serr == nil || perr == nil {
 			t.Fatalf("expected errors, got serial=%v parallel=%v", serr, perr)
 		}
-		if !strings.Contains(perr.Error(), wantSub) {
-			t.Fatalf("parallel error %q does not mention %q", perr, wantSub)
+		if !errors.Is(perr, want) {
+			t.Fatalf("parallel error %q is not %v", perr, want)
 		}
 		if serr.Error() != perr.Error() {
 			t.Fatalf("errors differ:\n  serial:   %v\n  parallel: %v", serr, perr)
 		}
 	}
-	// Deadlock: after the free a-step, P1 only offers sync (blocked:
+	// Dead sync: after the free a-step, P1 only offers sync (blocked:
 	// Q never enables it) and Q only offers sync2 (blocked likewise).
-	check("P = (a, 1.0).P1;\nP1 = (sync, 1.0).P1;\nQ = (sync2, 1.0).Q;\nP <sync, sync2> Q", "deadlock")
-	// Passive action unsynchronised at top level.
-	check("P = (a, T).P;\nQ = (b, 1.0).Q;\nP || Q", "passive")
+	// The pre-flight lint rejects this statically, before any BFS.
+	deadSync := "P = (a, 1.0).P1;\nP1 = (sync, 1.0).P1;\nQ = (sync2, 1.0).Q;\nP <sync, sync2> Q"
+	check(deadSync, ErrDeadlock, DeriveOptions{})
+	// With the lint pre-flight disabled the same model deadlocks
+	// mid-BFS; the dynamic check wraps the same sentinel.
+	check(deadSync, ErrDeadlock, DeriveOptions{SkipLint: true})
+	// Passive action unsynchronised at top level: caught statically,
+	// and dynamically under SkipLint.
+	passive := "P = (a, T).P;\nQ = (b, 1.0).Q;\nP || Q"
+	check(passive, ErrUnsyncPassive, DeriveOptions{})
+	check(passive, ErrUnsyncPassive, DeriveOptions{SkipLint: true})
+	// A deadlock no static rule sees (both syncs are live, but each
+	// side wants the other's action first) still surfaces from BFS.
+	check("A = (s1, 1.0).A1;\nA1 = (s2, 1.0).A;\nB = (s2, 1.0).B1;\nB1 = (s1, 1.0).B;\nA <s1, s2> B",
+		ErrDeadlock, DeriveOptions{})
 }
 
 func TestParallelDeriveMaxStatesOverflow(t *testing.T) {

@@ -2,6 +2,7 @@ package pepa
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 	"unicode"
@@ -24,16 +25,37 @@ import (
 // passive rate "T" or "infty" (optionally weighted: "2*T"), rate
 // arithmetic (+ - * / and parentheses) over numbers and rate
 // constants. Comments: // and # to end of line.
-func Parse(src string) (*Model, error) {
-	toks, err := lex(src)
+func Parse(src string) (*Model, error) { return ParseFile("", src) }
+
+// ParseFile parses like Parse but records filename in every source
+// position, so diagnostics and derivation errors report "file:line"
+// instead of a bare line number.
+func ParseFile(filename, src string) (*Model, error) {
+	toks, err := lex(filename, src)
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{toks: toks, model: NewModel(), rates: map[string]float64{}}
+	p := &parser{toks: toks, file: filename, model: NewModel(), rates: map[string]float64{}}
 	if err := p.parseSpec(); err != nil {
 		return nil, err
 	}
 	return p.model, nil
+}
+
+// SyntaxError is a positioned parse (or lex) error. The linter relies
+// on the structure to turn parse failures into positioned diagnostics;
+// Error() keeps the historical "pepa: line N: ..." shape when no file
+// is known.
+type SyntaxError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	if e.Pos.File == "" {
+		return fmt.Sprintf("pepa: line %d: %s", e.Pos.Line, e.Msg)
+	}
+	return fmt.Sprintf("pepa: %s: %s", e.Pos, e.Msg)
 }
 
 type tokKind int
@@ -52,7 +74,7 @@ type token struct {
 	line int
 }
 
-func lex(src string) ([]token, error) {
+func lex(filename, src string) ([]token, error) {
 	var toks []token
 	line := 1
 	i := 0
@@ -96,7 +118,7 @@ func lex(src string) ([]token, error) {
 			toks = append(toks, token{tokIdent, src[i:j], i, line})
 			i = j
 		default:
-			return nil, fmt.Errorf("pepa: line %d: unexpected character %q", line, c)
+			return nil, &SyntaxError{Pos: Pos{File: filename, Line: line}, Msg: fmt.Sprintf("unexpected character %q", c)}
 		}
 	}
 	toks = append(toks, token{tokEOF, "", i, line})
@@ -106,6 +128,7 @@ func lex(src string) ([]token, error) {
 type parser struct {
 	toks  []token
 	pos   int
+	file  string
 	model *Model
 	rates map[string]float64
 }
@@ -116,9 +139,11 @@ func (p *parser) atEOF() bool   { return p.peek().kind == tokEOF }
 func (p *parser) save() int     { return p.pos }
 func (p *parser) restore(s int) { p.pos = s }
 
+// here is the source position of the token at the parse cursor.
+func (p *parser) here() Pos { return Pos{File: p.file, Line: p.peek().line} }
+
 func (p *parser) errf(format string, args ...any) error {
-	t := p.peek()
-	return fmt.Errorf("pepa: line %d: %s", t.line, fmt.Sprintf(format, args...))
+	return &SyntaxError{Pos: p.here(), Msg: fmt.Sprintf(format, args...)}
 }
 
 func (p *parser) expectSym(s string) error {
@@ -168,6 +193,7 @@ func isRateName(name string) bool {
 }
 
 func (p *parser) parseDef() error {
+	pos := p.here()
 	name := p.next().text
 	if err := p.expectSym("="); err != nil {
 		return err
@@ -190,7 +216,10 @@ func (p *parser) parseDef() error {
 	if err := p.expectSym(";"); err != nil {
 		return err
 	}
-	p.model.Define(name, body)
+	if _, dup := p.model.Defs[name]; dup {
+		return &SyntaxError{Pos: pos, Msg: fmt.Sprintf("duplicate definition of %s (first defined at %s)", name, p.model.defPos(name))}
+	}
+	p.model.DefineAt(name, body, pos)
 	return nil
 }
 
@@ -215,8 +244,9 @@ func (p *parser) parseChoice() (Process, error) {
 func (p *parser) parseSeq() (Process, error) {
 	t := p.peek()
 	if t.kind == tokIdent {
+		pos := p.here()
 		p.next()
-		return Ref(t.text), nil
+		return &Const{Name: t.text, Pos: pos}, nil
 	}
 	if t.kind == tokSym && t.text == "(" {
 		// Try prefix: '(' IDENT ',' ...
@@ -245,6 +275,7 @@ func (p *parser) tryParsePrefix() (Process, bool, error) {
 	if !p.isSym("(") {
 		return nil, false, nil
 	}
+	pos := p.here()
 	p.next()
 	if p.peek().kind != tokIdent {
 		p.restore(s)
@@ -270,7 +301,7 @@ func (p *parser) tryParsePrefix() (Process, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
-	return Pre(action, rate, cont), true, nil
+	return &Prefix{Action: action, Rate: rate, Next: cont, Pos: pos}, true, nil
 }
 
 // parseRate parses either a passive rate ("T", "infty", "w*T") or an
@@ -288,6 +319,9 @@ func (p *parser) parseRate() (Rate, error) {
 				if err != nil {
 					return Rate{}, p.errf("bad number %q", numTok.text)
 				}
+				if w <= 0 || math.IsInf(w, 0) || math.IsNaN(w) {
+					return Rate{}, p.errf("passive weight must be positive and finite, got %g", w)
+				}
 				return WeightedPassive(w), nil
 			}
 		}
@@ -301,8 +335,8 @@ func (p *parser) parseRate() (Rate, error) {
 	if err != nil {
 		return Rate{}, err
 	}
-	if v <= 0 {
-		return Rate{}, p.errf("rate must be positive, got %g", v)
+	if v <= 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+		return Rate{}, p.errf("rate must be positive and finite, got %g", v)
 	}
 	return ActiveRate(v), nil
 }
@@ -394,6 +428,7 @@ func (p *parser) parseComposition() (Composition, error) {
 	for {
 		switch {
 		case p.isSym("<"):
+			pos := p.here()
 			p.next()
 			set, err := p.parseActionList(">")
 			if err != nil {
@@ -403,14 +438,15 @@ func (p *parser) parseComposition() (Composition, error) {
 			if err != nil {
 				return nil, err
 			}
-			left = &Coop{Left: left, Right: right, Set: set}
+			left = &Coop{Left: left, Right: right, Set: set, Pos: pos}
 		case p.isSym("||"):
+			pos := p.here()
 			p.next()
 			right, err := p.parseCompTerm()
 			if err != nil {
 				return nil, err
 			}
-			left = &Coop{Left: left, Right: right, Set: NewActionSet()}
+			left = &Coop{Left: left, Right: right, Set: NewActionSet(), Pos: pos}
 		default:
 			return left, nil
 		}
@@ -423,11 +459,12 @@ func (p *parser) parseCompTerm() (Composition, error) {
 	t := p.peek()
 	switch {
 	case t.kind == tokIdent:
+		pos := p.here()
 		p.next()
 		if isRateName(t.text) {
 			return nil, p.errf("rate name %q cannot appear in a composition", t.text)
 		}
-		c = &Leaf{Init: Ref(t.text)}
+		c = &Leaf{Init: &Const{Name: t.text, Pos: pos}, Pos: pos}
 	case t.kind == tokSym && t.text == "(":
 		p.next()
 		inner, err := p.parseComposition()
@@ -442,6 +479,7 @@ func (p *parser) parseCompTerm() (Composition, error) {
 		return nil, p.errf("expected component, found %q", t.text)
 	}
 	for p.isSym("/") {
+		pos := p.here()
 		p.next()
 		if err := p.expectSym("{"); err != nil {
 			return nil, err
@@ -450,7 +488,7 @@ func (p *parser) parseCompTerm() (Composition, error) {
 		if err != nil {
 			return nil, err
 		}
-		c = &Hide{Inner: c, Set: set}
+		c = &Hide{Inner: c, Set: set, Pos: pos}
 	}
 	return c, nil
 }

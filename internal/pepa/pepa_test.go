@@ -1,6 +1,7 @@
 package pepa
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -227,8 +228,13 @@ func TestDeadlockDetected(t *testing.T) {
 	m.Define("P", Pre("a", ActiveRate(1), Ref("P")))
 	m.Define("Q", Pre("b", ActiveRate(1), Ref("Q")))
 	m.System = &Coop{Left: &Leaf{Init: Ref("P")}, Right: &Leaf{Init: Ref("Q")}, Set: NewActionSet("a", "b")}
-	if _, err := Derive(m, DeriveOptions{}); err == nil || !strings.Contains(err.Error(), "deadlock") {
-		t.Fatalf("expected deadlock error, got %v", err)
+	if _, err := Derive(m, DeriveOptions{}); !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("expected ErrDeadlock, got %v", err)
+	}
+	// The dynamic BFS check reports the same sentinel when the static
+	// pre-flight is skipped.
+	if _, err := Derive(m, DeriveOptions{SkipLint: true}); !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("expected ErrDeadlock with SkipLint, got %v", err)
 	}
 }
 
@@ -236,8 +242,11 @@ func TestTopLevelPassiveRejected(t *testing.T) {
 	m := NewModel()
 	m.Define("P", Pre("a", PassiveRate(), Ref("P")))
 	m.System = &Leaf{Init: Ref("P")}
-	if _, err := Derive(m, DeriveOptions{}); err == nil || !strings.Contains(err.Error(), "passive") {
-		t.Fatalf("expected passive error, got %v", err)
+	if _, err := Derive(m, DeriveOptions{}); !errors.Is(err, ErrUnsyncPassive) {
+		t.Fatalf("expected ErrUnsyncPassive, got %v", err)
+	}
+	if _, err := Derive(m, DeriveOptions{SkipLint: true}); !errors.Is(err, ErrUnsyncPassive) {
+		t.Fatalf("expected ErrUnsyncPassive with SkipLint, got %v", err)
 	}
 }
 
@@ -444,8 +453,9 @@ func TestDeriveSpanAndMetrics(t *testing.T) {
 	}
 	root.End()
 	rec := root.Record()
-	if len(rec.Children) != 2 || rec.Children[0].Name != "compile" || rec.Children[1].Name != "explore" {
-		t.Fatalf("want compile+explore children, got %+v", rec.Children)
+	if len(rec.Children) != 3 || rec.Children[0].Name != "lint" ||
+		rec.Children[1].Name != "compile" || rec.Children[2].Name != "explore" {
+		t.Fatalf("want lint+compile+explore children, got %+v", rec.Children)
 	}
 	if got := reg.Counter("derive.states").Value(); got != int64(ss.Chain.NumStates()) {
 		t.Fatalf("derive.states = %d, want %d", got, ss.Chain.NumStates())

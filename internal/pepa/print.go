@@ -50,7 +50,7 @@ func printProcess(p Process, nested bool) string {
 // rateSyntax renders a rate in parseable form.
 func rateSyntax(r Rate) string {
 	if r.Passive {
-		if r.Weight == 1 {
+		if r.Weight == 1 { //vet:allow floatcmp: weights are set, not computed; 1 is the unweighted default
 			return "T"
 		}
 		return fmt.Sprintf("%.17g*T", r.Weight)

@@ -36,7 +36,7 @@ func WeightedPassive(w float64) Rate {
 
 func (r Rate) String() string {
 	if r.Passive {
-		if r.Weight == 1 {
+		if r.Weight == 1 { //vet:allow floatcmp: weights are set, not computed; 1 is the unweighted default
 			return "T"
 		}
 		return fmt.Sprintf("%g*T", r.Weight)

@@ -11,6 +11,17 @@ import (
 	"pepatags/internal/obsv"
 )
 
+// Metric names registered by the sweep engine (metricname analyzer,
+// tools/govet-suite).
+const (
+	metricPointsTotal   = "sweep.points_total"
+	metricPointsResumed = "sweep.points_resumed"
+	metricPointsDone    = "sweep.points_done"
+	metricPointSeconds  = "sweep.point_seconds"
+	metricCacheHits     = "sweep.cache_hits"
+	metricCacheMisses   = "sweep.cache_misses"
+)
+
 // Options configure one engine run.
 type Options struct {
 	// Workers is the size of the solve pool; <= 1 runs serially.
@@ -113,9 +124,9 @@ func Run(spec *Spec, opt Options) (*RunResult, error) {
 	cache := NewCache()
 	var pointSeconds *obsv.Histogram
 	if opt.Registry != nil {
-		opt.Registry.Counter("sweep.points_total").Add(int64(len(points)))
-		opt.Registry.Counter("sweep.points_resumed").Add(int64(res.Resumed))
-		pointSeconds = opt.Registry.Histogram("sweep.point_seconds")
+		opt.Registry.Counter(metricPointsTotal).Add(int64(len(points)))
+		opt.Registry.Counter(metricPointsResumed).Add(int64(res.Resumed))
+		pointSeconds = opt.Registry.Histogram(metricPointSeconds)
 	}
 
 	var todo []int
@@ -187,9 +198,9 @@ func Run(spec *Spec, opt Options) (*RunResult, error) {
 
 	res.CacheHits, res.CacheMisses = cache.Hits(), cache.Misses()
 	if opt.Registry != nil {
-		opt.Registry.Counter("sweep.cache_hits").Add(res.CacheHits)
-		opt.Registry.Counter("sweep.cache_misses").Add(res.CacheMisses)
-		opt.Registry.Counter("sweep.points_done").Add(int64(len(rows)))
+		opt.Registry.Counter(metricCacheHits).Add(res.CacheHits)
+		opt.Registry.Counter(metricCacheMisses).Add(res.CacheMisses)
+		opt.Registry.Counter(metricPointsDone).Add(int64(len(rows)))
 	}
 
 	// Merge resumed and fresh rows in seq order and persist the fresh

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// floatcmpAnalyzer flags == and != between floating-point operands.
+// The numeric core converges iteratively, so exact equality on a
+// computed float is almost always a tolerance bug; the rare legitimate
+// site (comparing against a value that was *set*, never computed, such
+// as a default weight of exactly 1) documents itself with
+// //vet:allow floatcmp and a reason.
+var floatcmpAnalyzer = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "flag == and != on floating-point operands",
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				if isFloat(p, be.X) || isFloat(p, be.Y) {
+					p.Reportf(be.OpPos, "%s on float operands; compare with a tolerance or annotate //vet:allow floatcmp", be.Op)
+				}
+				return true
+			})
+		}
+	},
+}
+
+func isFloat(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

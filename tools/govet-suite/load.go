@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// listedPackage is the subset of `go list -json` output the loader
+// needs: where the sources live, where the compiler export data is,
+// and whether the package was named by the patterns or only pulled in
+// as a dependency.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	ImportMap  map[string]string
+}
+
+// loadedPackage is one target package after parsing and type-checking.
+type loadedPackage struct {
+	path  string
+	files []*ast.File
+	types *types.Package
+	info  *types.Info
+}
+
+// loadPackages resolves the patterns with `go list -deps -export`,
+// then type-checks each named (non-dependency) package from source.
+// Dependencies — the standard library included — are never re-parsed:
+// their compiler export data, already present in the build cache from
+// the surrounding `go build`, is fed to the gc importer. That keeps
+// the whole suite offline and dependency-free.
+func loadPackages(dir string, patterns []string) ([]*loadedPackage, *token.FileSet, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	exports := map[string]string{}
+	var targets []*listedPackage
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var out []*loadedPackage
+	for _, p := range targets {
+		lp, err := typecheck(fset, imp, p)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, lp)
+	}
+	return out, fset, nil
+}
+
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var out []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// typecheck parses a target package's non-test sources (with
+// comments, for //vet:allow) and runs the standard type checker over
+// them, resolving imports through export data. Any type error is
+// fatal: the suite's answers are only as good as the type information.
+func typecheck(fset *token.FileSet, imp types.Importer, p *listedPackage) (*loadedPackage, error) {
+	files := make([]*ast.File, 0, len(p.GoFiles))
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(p.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", p.ImportPath, err)
+	}
+	return &loadedPackage{path: p.ImportPath, files: files, types: pkg, info: info}, nil
+}

@@ -1,0 +1,211 @@
+// govet-suite is a project-specific static checker for the numeric
+// core, in the style of go vet. It loads packages with the go command,
+// type-checks them from source against compiler export data, and runs
+// three analyzers:
+//
+//   - floatcmp: no == or != on floating-point operands outside sites
+//     annotated with a //vet:allow floatcmp comment. Exact float
+//     equality is almost always a latent tolerance bug in a solver.
+//   - metricname: every obsv.Registry Counter/Gauge/Histogram name is
+//     a package-level const matching the lowercase dotted grammar
+//     ("derive.count", "sweep.point_seconds"), so the metric namespace
+//     is greppable and collision-free.
+//   - spanpair: every obsv span assigned to a local must reach End()
+//     on all return paths (or be deferred), so trace trees are never
+//     missing a close.
+//
+// Usage:
+//
+//	go run ./tools/govet-suite ./...
+//	go run ./tools/govet-suite -dir some/module ./...
+//
+// Exit codes: 0 clean, 1 findings, 2 load or type-check failure.
+//
+// A site is suppressed by a trailing "//vet:allow <analyzer>" comment
+// on the same line (or a comment alone on the line above), with a
+// reason after the analyzer name:
+//
+//	if r.Weight == 1 { // vet:allow floatcmp: weights are set, not computed
+//
+// The suite deliberately depends only on the standard library (go/ast,
+// go/types, go/importer) so it runs in offline CI without
+// golang.org/x/tools.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one package's syntax and type information to an
+// analyzer, plus the reporting hook.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	allowed  map[string]map[int]map[string]bool // file -> line -> analyzer set
+	findings *[]finding
+}
+
+type finding struct {
+	pos      token.Position
+	analyzer string
+	msg      string
+}
+
+// Reportf records a diagnostic unless the site carries a matching
+// //vet:allow annotation.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if lines := p.allowed[position.Filename]; lines != nil {
+		if set := lines[position.Line]; set[p.Analyzer.Name] || set["all"] {
+			return
+		}
+	}
+	*p.findings = append(*p.findings, finding{position, p.Analyzer.Name, fmt.Sprintf(format, args...)})
+}
+
+// allowDirective parses "vet:allow name1,name2[: reason]" from a
+// comment's text, returning nil when the comment is not a directive.
+func allowDirective(text string) []string {
+	text = strings.TrimSpace(strings.TrimLeft(text, "/ "))
+	rest, ok := strings.CutPrefix(text, "vet:allow")
+	if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t' && rest[0] != ':') {
+		return nil
+	}
+	rest, _, _ = strings.Cut(rest, ":")
+	var names []string
+	for _, n := range strings.Split(rest, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
+// collectAllowed indexes every //vet:allow comment by file and line.
+// A trailing comment suppresses its own line; a comment alone on a
+// line suppresses the next line too, so directives can sit above long
+// expressions.
+func collectAllowed(fset *token.FileSet, files []*ast.File) map[string]map[int]map[string]bool {
+	out := map[string]map[int]map[string]bool{}
+	add := func(file string, line int, names []string) {
+		if out[file] == nil {
+			out[file] = map[int]map[string]bool{}
+		}
+		if out[file][line] == nil {
+			out[file][line] = map[string]bool{}
+		}
+		for _, n := range names {
+			out[file][line][n] = true
+		}
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names := allowDirective(c.Text)
+				if names == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				add(pos.Filename, pos.Line, names)
+				add(pos.Filename, pos.Line+1, names)
+			}
+		}
+	}
+	return out
+}
+
+var analyzers = []*Analyzer{floatcmpAnalyzer, metricnameAnalyzer, spanpairAnalyzer}
+
+func main() {
+	os.Exit(run(".", os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(dir string, args []string, stdout, stderr io.Writer) int {
+	patterns, err := parseArgs(&dir, args)
+	if err != nil {
+		fmt.Fprintf(stderr, "govet-suite: %v\n", err)
+		return 2
+	}
+	pkgs, fset, err := loadPackages(dir, patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "govet-suite: %v\n", err)
+		return 2
+	}
+	var findings []finding
+	for _, pkg := range pkgs {
+		allowed := collectAllowed(fset, pkg.files)
+		for _, a := range analyzers {
+			a.Run(&Pass{
+				Analyzer: a,
+				Fset:     fset,
+				Files:    pkg.files,
+				Pkg:      pkg.types,
+				Info:     pkg.info,
+				allowed:  allowed,
+				findings: &findings,
+			})
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.pos.Filename != b.pos.Filename {
+			return a.pos.Filename < b.pos.Filename
+		}
+		if a.pos.Line != b.pos.Line {
+			return a.pos.Line < b.pos.Line
+		}
+		return a.msg < b.msg
+	})
+	for _, f := range findings {
+		fmt.Fprintf(stdout, "%s:%d: %s: %s\n", f.pos.Filename, f.pos.Line, f.analyzer, f.msg)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stdout, "%d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// parseArgs handles the -dir flag by hand so package patterns can
+// follow flags in any order (go-command style).
+func parseArgs(dir *string, args []string) ([]string, error) {
+	var patterns []string
+	for i := 0; i < len(args); i++ {
+		switch {
+		case args[i] == "-dir" || args[i] == "--dir":
+			if i+1 == len(args) {
+				return nil, fmt.Errorf("-dir needs an argument")
+			}
+			i++
+			*dir = args[i]
+		case strings.HasPrefix(args[i], "-dir="):
+			*dir = strings.TrimPrefix(args[i], "-dir=")
+		case strings.HasPrefix(args[i], "-"):
+			return nil, fmt.Errorf("unknown flag %s (usage: govet-suite [-dir d] <patterns>)", args[i])
+		default:
+			patterns = append(patterns, args[i])
+		}
+	}
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("no package patterns (usage: govet-suite [-dir d] <patterns>)")
+	}
+	return patterns, nil
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFixtureFindings runs the suite over the fixture module and
+// checks every expected finding (and only those) comes out.
+func TestFixtureFindings(t *testing.T) {
+	var out, errs bytes.Buffer
+	code := run(".", []string{"./testdata/src/bad"}, &out, &errs)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errs.String())
+	}
+	got := out.String()
+	want := []string{
+		"bad.go:17: floatcmp:",
+		"bad.go:31: metricname: metric name must be a package-level const",
+		`bad.go:32: metricname: metric name "Bad-Name" does not match the grammar`,
+		"bad.go:34: metricname: metric name must be a package-level const",
+		"bad.go:35: metricname: metric name must be a package-level const",
+		"bad.go:43: spanpair: return without s.End()",
+		"bad.go:50: spanpair: span s is never ended",
+	}
+	for _, w := range want {
+		if !strings.Contains(got, w) {
+			t.Errorf("missing finding %q in:\n%s", w, got)
+		}
+	}
+	if n := strings.Count(got, ": floatcmp:"); n != 1 {
+		t.Errorf("floatcmp findings = %d, want 1 (annotations must suppress)\n%s", n, got)
+	}
+	if n := strings.Count(got, ": metricname:"); n != 4 {
+		t.Errorf("metricname findings = %d, want 4\n%s", n, got)
+	}
+	if n := strings.Count(got, ": spanpair:"); n != 2 {
+		t.Errorf("spanpair findings = %d, want 2 (defer/conditional/escape must pass)\n%s", n, got)
+	}
+	if !strings.Contains(got, "7 finding(s)") {
+		t.Errorf("missing summary line in:\n%s", got)
+	}
+}
+
+// TestRepoIsClean is the self-gate: the suite must pass over the whole
+// module, annotations included. CI runs the same check via make lint.
+func TestRepoIsClean(t *testing.T) {
+	var out, errs bytes.Buffer
+	if code := run("../..", []string{"./..."}, &out, &errs); code != 0 {
+		t.Fatalf("repo not clean (exit %d):\n%s%s", code, out.String(), errs.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errs bytes.Buffer
+	if code := run(".", nil, &out, &errs); code != 2 {
+		t.Fatalf("no patterns: exit %d, want 2", code)
+	}
+	if code := run(".", []string{"-bogus"}, &out, &errs); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+	if code := run(".", []string{"./does-not-exist-xyz"}, &out, &errs); code != 2 {
+		t.Fatalf("bad pattern: exit %d, want 2", code)
+	}
+}
+
+func TestAllowDirectiveParsing(t *testing.T) {
+	for in, want := range map[string]string{
+		"//vet:allow floatcmp":                    "floatcmp",
+		"// vet:allow floatcmp: with a reason":    "floatcmp",
+		"//vet:allow floatcmp,metricname":         "floatcmp metricname",
+		"// an ordinary comment":                  "",
+		"// vet:allowance is not a directive ...": "",
+	} {
+		got := strings.Join(allowDirective(in), " ")
+		if got != want {
+			t.Errorf("allowDirective(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

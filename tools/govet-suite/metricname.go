@@ -1,0 +1,113 @@
+package main
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// obsvPath is the package whose Registry methods register metrics.
+const obsvPath = "pepatags/internal/obsv"
+
+// metricGrammar is the naming grammar: at least two lowercase dotted
+// segments, "subsystem.metric[_unit]". Indexed families substitute a
+// %d verb inside a segment ("sim.node%d.queue"), which is stripped
+// before matching.
+var metricGrammar = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$`)
+
+// metricnameAnalyzer enforces that every obsv counter/gauge/histogram
+// name is a package-level const matching the grammar. Consts keep the
+// metric namespace greppable from one declaration block per package;
+// the grammar keeps dashboards and the manifest diff-friendly.
+var metricnameAnalyzer = &Analyzer{
+	Name: "metricname",
+	Doc:  "metric names must be package-level consts matching subsystem.metric",
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) != 1 {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || !isRegistryMethod(p, sel) {
+					return true
+				}
+				checkMetricName(p, call.Args[0])
+				return true
+			})
+		}
+	},
+}
+
+// isRegistryMethod reports whether sel is Counter, Gauge or Histogram
+// on an obsv *Registry receiver.
+func isRegistryMethod(p *Pass, sel *ast.SelectorExpr) bool {
+	switch sel.Sel.Name {
+	case "Counter", "Gauge", "Histogram":
+	default:
+		return false
+	}
+	s, ok := p.Info.Selections[sel]
+	if !ok {
+		return false
+	}
+	recv := s.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	return ok && named.Obj().Name() == "Registry" &&
+		named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == obsvPath
+}
+
+func checkMetricName(p *Pass, arg ast.Expr) {
+	// Indexed families go through fmt.Sprintf; the format string is
+	// held to the same const-and-grammar standard.
+	if call, ok := arg.(*ast.CallExpr); ok && isSprintf(p, call) && len(call.Args) > 0 {
+		checkMetricName(p, call.Args[0])
+		return
+	}
+	obj := constObject(p, arg)
+	if obj == nil {
+		p.Reportf(arg.Pos(), "metric name must be a package-level const (see docs/LINT.md#metric-naming)")
+		return
+	}
+	if obj.Val().Kind() != constant.String {
+		return
+	}
+	name := constant.StringVal(obj.Val())
+	if !metricGrammar.MatchString(strings.ReplaceAll(name, "%d", "")) {
+		p.Reportf(arg.Pos(), "metric name %q does not match the grammar subsystem.metric (lowercase dotted segments)", name)
+	}
+}
+
+// constObject resolves an identifier or qualified identifier to a
+// package-level constant, or nil.
+func constObject(p *Pass, e ast.Expr) *types.Const {
+	var id *ast.Ident
+	switch x := e.(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	c, ok := p.Info.Uses[id].(*types.Const)
+	if !ok || c.Pkg() == nil || c.Parent() != c.Pkg().Scope() {
+		return nil
+	}
+	return c
+}
+
+func isSprintf(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Sprintf" {
+		return false
+	}
+	f, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	return ok && f.Pkg() != nil && f.Pkg().Path() == "fmt"
+}

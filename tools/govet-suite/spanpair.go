@@ -1,0 +1,215 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// spanpairAnalyzer checks that every obsv span bound to a local
+// variable is closed on all return paths. A span left open corrupts
+// the trace tree silently: the run completes, the manifest validates,
+// and the Chrome trace just misses a box.
+//
+// The check is lexical, not a full data-flow analysis, and errs
+// towards silence:
+//
+//   - a span that escapes the function (passed as an argument, stored,
+//     returned) is somebody else's responsibility and is skipped;
+//   - `defer s.End()` anywhere discharges the variable;
+//   - otherwise every `return` after the span's creation must have
+//     some `s.End()` between the creation and itself, and at least one
+//     End must exist at all.
+//
+// Conditional creation (`var s *obsv.Span; if traced { s = parent.Child(..) }`)
+// works naturally: the matching `if s != nil { s.End() }` satisfies
+// the lexical ordering.
+var spanpairAnalyzer = &Analyzer{
+	Name: "spanpair",
+	Doc:  "obsv spans must End() on every return path",
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+					checkSpans(p, fd)
+				}
+			}
+		}
+	},
+}
+
+// spanVar tracks one span-typed local inside a function.
+type spanVar struct {
+	obj      types.Object
+	created  ast.Node // the assignment creating it
+	ends     []ast.Node
+	deferred bool
+	escapes  bool
+}
+
+func checkSpans(p *Pass, fd *ast.FuncDecl) {
+	spans := map[types.Object]*spanVar{}
+
+	// Pass 1: find locals assigned a span-creating call.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		if _, ok := as.Rhs[0].(*ast.CallExpr); !ok {
+			return true
+		}
+		if !isSpanType(p, as.Rhs[0]) {
+			return true
+		}
+		obj := p.Info.Defs[id]
+		if obj == nil {
+			obj = p.Info.Uses[id]
+		}
+		if obj == nil {
+			return true
+		}
+		if sv, seen := spans[obj]; seen {
+			// Re-created in a loop or second branch: keep the first
+			// creation site, which dominates lexically.
+			_ = sv
+			return true
+		}
+		spans[obj] = &spanVar{obj: obj, created: as}
+		return true
+	})
+	if len(spans) == 0 {
+		return
+	}
+
+	// Pass 2: classify every use of each span variable, keeping a
+	// parent stack so a bare identifier can be told apart from a
+	// receiver, an argument or a deferred End.
+	var stack []ast.Node
+	var returns []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if _, ok := n.(*ast.ReturnStmt); ok {
+			returns = append(returns, n)
+			return true
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.Info.Uses[id]
+		if obj == nil {
+			obj = p.Info.Defs[id]
+		}
+		sv := spans[obj]
+		if sv == nil {
+			return true
+		}
+		classifyUse(sv, id, stack)
+		return true
+	})
+
+	for _, sv := range spans {
+		if sv.escapes || sv.deferred {
+			continue
+		}
+		name := sv.obj.Name()
+		if len(sv.ends) == 0 {
+			p.Reportf(sv.created.Pos(), "span %s is never ended", name)
+			continue
+		}
+		for _, ret := range returns {
+			if ret.Pos() < sv.created.End() {
+				continue
+			}
+			closed := false
+			for _, end := range sv.ends {
+				if end.Pos() > sv.created.End() && end.End() <= ret.Pos() {
+					closed = true
+					break
+				}
+			}
+			if !closed {
+				p.Reportf(ret.Pos(), "return without %s.End() (span created at %s)",
+					name, p.Fset.Position(sv.created.Pos()))
+			}
+		}
+	}
+}
+
+// classifyUse decides what one identifier occurrence means for the
+// span variable: a benign declaration/receiver use, an End call
+// (deferred or not), or an escape.
+func classifyUse(sv *spanVar, id *ast.Ident, stack []ast.Node) {
+	parent := parentOf(stack, 1)
+	switch pn := parent.(type) {
+	case *ast.AssignStmt:
+		for _, l := range pn.Lhs {
+			if l == ast.Expr(id) {
+				return // (re)creation or reassignment target
+			}
+		}
+		sv.escapes = true // span on the RHS of some other assignment
+	case *ast.ValueSpec:
+		for _, n := range pn.Names {
+			if n == id {
+				return // var declaration
+			}
+		}
+		sv.escapes = true
+	case *ast.SelectorExpr:
+		if pn.X != ast.Expr(id) {
+			return // id is the field/method name, not our variable
+		}
+		call, ok := parentOf(stack, 2).(*ast.CallExpr)
+		if !ok || call.Fun != ast.Expr(pn) {
+			sv.escapes = true // field access or method value: too clever
+			return
+		}
+		if pn.Sel.Name != "End" {
+			return // reading the span (Child, Name, ...) is fine
+		}
+		if _, ok := parentOf(stack, 3).(*ast.DeferStmt); ok {
+			sv.deferred = true
+			return
+		}
+		sv.ends = append(sv.ends, call)
+	case *ast.BinaryExpr:
+		return // nil check such as `if s != nil`
+	default:
+		// Argument, return value, composite literal, index, &s, ...:
+		// the span leaves our sight.
+		sv.escapes = true
+	}
+}
+
+// parentOf returns the n-th enclosing node of the top of the stack
+// (the top itself is depth 0).
+func parentOf(stack []ast.Node, n int) ast.Node {
+	if len(stack) <= n {
+		return nil
+	}
+	return stack[len(stack)-1-n]
+}
+
+// isSpanType reports whether the expression's type is *obsv.Span.
+func isSpanType(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	ptr, ok := tv.Type.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "Span" &&
+		named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == obsvPath
+}

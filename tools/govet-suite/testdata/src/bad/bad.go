@@ -1,0 +1,77 @@
+// Package bad is the govet-suite test fixture: every analyzer must
+// flag the lines marked "want" below and stay quiet on the rest. The
+// expectations live in tools/govet-suite/main_test.go.
+package bad
+
+import (
+	"fmt"
+
+	"pepatags/internal/obsv"
+)
+
+const goodName = "bad.count"
+const uglyName = "Bad-Name"
+const nodeFmt = "bad.node%d.queue"
+
+func Floats(a, b float64) bool {
+	if a == b { // want floatcmp
+		return true
+	}
+	if a != 0 { //vet:allow floatcmp: exact guard, allowed
+		return false
+	}
+	//vet:allow floatcmp: directive on the line above also suppresses
+	return a == 1
+}
+
+func Ints(a, b int) bool { return a == b }
+
+func Metrics(r *obsv.Registry, i int) {
+	r.Counter(goodName).Inc()
+	r.Counter("bad.literal").Inc()               // want metricname: literal
+	r.Gauge(uglyName).Set(1)                     // want metricname: grammar
+	r.Histogram(fmt.Sprintf(nodeFmt, i)).Count() // const %d family is fine
+	r.Counter(fmt.Sprintf("bad.n%d", i)).Inc()   // want metricname: literal format
+	r.Counter(localName()).Inc()                 // want metricname: dynamic
+}
+
+func localName() string { return "bad.local" }
+
+func SpanLeaks(cond bool) error {
+	s := obsv.NewSpan("leaky")
+	if cond {
+		return fmt.Errorf("boom") // want spanpair: return before End
+	}
+	s.End()
+	return nil
+}
+
+func SpanNeverEnded() {
+	s := obsv.NewSpan("never") // want spanpair: never ended
+	s.Child("x").End()
+}
+
+func SpanDeferred(cond bool) error {
+	s := obsv.NewSpan("ok")
+	defer s.End()
+	if cond {
+		return fmt.Errorf("fine")
+	}
+	return nil
+}
+
+func SpanConditional(traced bool) error {
+	var s *obsv.Span
+	if traced {
+		s = obsv.NewSpan("maybe")
+	}
+	if s != nil {
+		s.End()
+	}
+	return nil
+}
+
+func SpanEscapes(spans *[]*obsv.Span) {
+	s := obsv.NewSpan("handed-off")
+	*spans = append(*spans, s) // escapes: not ours to close
+}

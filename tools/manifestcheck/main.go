@@ -86,8 +86,8 @@ func check(path string) error {
 		return fmt.Errorf("unknown tool %q", m.Tool)
 	}
 	// A manifest that records nothing is a wiring bug in the producer.
-	if len(m.Measures) == 0 && len(m.Artefacts) == 0 && m.Derive == nil && m.Sweep == nil {
-		return fmt.Errorf("manifest records no measures, artefacts, derive stats or sweep record")
+	if len(m.Measures) == 0 && len(m.Artefacts) == 0 && m.Derive == nil && m.Sweep == nil && m.Lint == nil {
+		return fmt.Errorf("manifest records no measures, artefacts, derive stats, sweep or lint record")
 	}
 	return nil
 }

@@ -85,6 +85,32 @@ func TestRunCLI(t *testing.T) {
 	}
 }
 
+// TestCheckAcceptsLintOnlyManifest: a pepa -lint run derives nothing,
+// so its manifest carries only the lint record — valid content.
+func TestCheckAcceptsLintOnlyManifest(t *testing.T) {
+	m := obsv.NewManifest("pepa")
+	m.Lint = &obsv.LintRecord{
+		Errors:   1,
+		Warnings: 2,
+		Diags: []obsv.LintDiag{
+			{Rule: "dead-sync", Severity: "error", File: "bad.pepa", Line: 2, Msg: "boom"},
+		},
+	}
+	path := filepath.Join(t.TempDir(), "lint.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := check(path); err != nil {
+		t.Fatalf("lint-only manifest rejected: %v", err)
+	}
+
+	// A malformed lint record must fail validation on write.
+	m.Lint.Diags[0].Severity = "fatal"
+	if err := m.WriteFile(path); err == nil {
+		t.Fatal("bad lint severity accepted")
+	}
+}
+
 // TestCheckAcceptsSweepOnlyManifest: a -sweep run without a figure
 // section records only the sweep section, which is valid content.
 func TestCheckAcceptsSweepOnlyManifest(t *testing.T) {

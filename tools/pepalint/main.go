@@ -1,0 +1,85 @@
+// pepalint runs the static semantic checks of internal/pepa/analysis
+// over PEPA specification files without deriving their state spaces.
+// It catches the modelling mistakes that otherwise surface as opaque
+// mid-derivation failures — dead cooperation actions, unsynchronised
+// passive behaviour, unguarded recursion, undefined names, bad rates —
+// and reports them with file:line positions and fix hints.
+//
+// Usage:
+//
+//	pepalint models/*.pepa
+//	pepalint -json model.pepa
+//	pepalint -rules
+//
+// Exit codes: 0 when every file is free of error-severity findings
+// (warnings alone do not fail the run), 1 when any error-severity
+// diagnostic is reported, 2 on usage or I/O errors.
+//
+// The rules are documented in docs/LINT.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pepatags/internal/pepa/analysis"
+)
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage: pepalint [-json] <model.pepa> ...
+       pepalint -rules
+
+Statically checks PEPA specifications for semantic mistakes that
+derivation would only surface as runtime failures (or not at all).
+The rules are documented in docs/LINT.md.
+
+  -json   emit a pepatags/pepalint/v1 JSON report instead of text
+  -rules  list the rules and exit
+
+Exits 0 when no error-severity diagnostics are found, 1 when any
+are, 2 on usage or I/O errors.`)
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pepalint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.Usage = func() { usage(stderr) }
+	jsonOut := fs.Bool("json", false, "emit a JSON report")
+	listRules := fs.Bool("rules", false, "list the lint rules and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *listRules {
+		for _, r := range analysis.Rules {
+			fmt.Fprintf(stdout, "%-20s %-8s %s\n", r.ID, r.Severity, r.Summary)
+		}
+		return 0
+	}
+	if fs.NArg() == 0 {
+		usage(stderr)
+		return 2
+	}
+	results, err := analysis.LintFiles(fs.Args())
+	if err != nil {
+		fmt.Fprintf(stderr, "pepalint: %v\n", err)
+		return 2
+	}
+	if *jsonOut {
+		if err := analysis.WriteJSON(stdout, results); err != nil {
+			fmt.Fprintf(stderr, "pepalint: %v\n", err)
+			return 2
+		}
+	} else {
+		analysis.WriteText(stdout, results)
+	}
+	if errs, _ := analysis.Count(results); errs > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pepatags/internal/pepa/analysis"
+)
+
+func writeModel(t *testing.T, name, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const cleanSrc = "P = (a, 1).P1;\nP1 = (b, 2).P;\nP"
+
+const deadSyncSrc = "P = (a, 1.0).P1;\nP1 = (sync, 1.0).P1;\nQ = (sync2, 1.0).Q;\nP <sync, sync2> Q"
+
+func TestRunCleanModel(t *testing.T) {
+	path := writeModel(t, "clean.pepa", cleanSrc)
+	var out, errOut bytes.Buffer
+	if code := run([]string{path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("clean model produced output %q", out.String())
+	}
+}
+
+func TestRunBadModelTextOutput(t *testing.T) {
+	path := writeModel(t, "bad.pepa", deadSyncSrc)
+	var out, errOut bytes.Buffer
+	if code := run([]string{path}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr %q)", code, errOut.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, path+":2: error[dead-sync]") {
+		t.Fatalf("output missing positioned dead-sync error:\n%s", text)
+	}
+	if !strings.Contains(text, "fix:") {
+		t.Fatalf("output missing fix hint:\n%s", text)
+	}
+	if !strings.Contains(text, "error(s)") {
+		t.Fatalf("output missing summary line:\n%s", text)
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	bad := writeModel(t, "bad.pepa", deadSyncSrc)
+	clean := writeModel(t, "clean.pepa", cleanSrc)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-json", bad, clean}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr %q)", code, errOut.String())
+	}
+	var rep analysis.Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if rep.Schema != analysis.ReportSchema {
+		t.Fatalf("schema %q", rep.Schema)
+	}
+	if len(rep.Files) != 2 || rep.Errors == 0 {
+		t.Fatalf("report %+v", rep)
+	}
+	found := false
+	for _, d := range rep.Files[0].Diagnostics {
+		if d.Rule == "dead-sync" && d.Severity == "error" && d.Line == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no positioned dead-sync error in %+v", rep.Files[0])
+	}
+	if len(rep.Files[1].Diagnostics) != 0 {
+		t.Fatalf("clean file has diagnostics: %+v", rep.Files[1])
+	}
+}
+
+func TestRunSyntaxErrorIsPositionedDiagnostic(t *testing.T) {
+	path := writeModel(t, "syn.pepa", "P = (a, 1).P;\nP = (b, 2).P;\nP")
+	var out, errOut bytes.Buffer
+	if code := run([]string{path}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), path+":2: error[syntax]") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestRunWarningsOnlyExitZero(t *testing.T) {
+	// An unused definition is a warning; warnings alone must not fail.
+	path := writeModel(t, "warn.pepa", "P = (a, 1).P1;\nP1 = (b, 2).P;\nOrphan = (c, 1).Orphan;\nP")
+	var out, errOut bytes.Buffer
+	if code := run([]string{path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, want 0 (stderr %q)", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "warning[unused-process]") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestRunUsageAndIOErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Fatalf("no-args exit %d, want 2", code)
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{filepath.Join(t.TempDir(), "missing.pepa")}, &out, &errOut); code != 2 {
+		t.Fatalf("missing-file exit %d, want 2", code)
+	}
+}
+
+func TestRunRulesListing(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-rules"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"dead-sync", "unguarded-recursion", "undef-rate", "self-loop"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("rules listing missing %s:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRepoModelsAreLintClean(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "models", "*.pepa"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no models found: %v", err)
+	}
+	var out, errOut bytes.Buffer
+	if code := run(paths, &out, &errOut); code != 0 {
+		t.Fatalf("models/*.pepa not lint-clean (exit %d):\n%s%s", code, out.String(), errOut.String())
+	}
+}
