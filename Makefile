@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint fmt-check bench manifest-smoke sweep-smoke clean
+.PHONY: all build test race vet lint fmt-check bench manifest-smoke sweep-smoke conform-smoke fuzz-smoke cover clean
 
 all: build test
 
@@ -10,8 +10,10 @@ build:
 test:
 	$(GO) test ./...
 
+# -count=2 reruns each package to surface order-dependent flakes; the
+# sweep package is included for its kill/resume concurrency tests.
 race:
-	$(GO) test -race ./internal/pepa ./internal/linalg ./internal/ctmc ./internal/core ./internal/sim ./internal/obsv
+	$(GO) test -race -count=2 -timeout=10m ./internal/pepa ./internal/linalg ./internal/ctmc ./internal/core ./internal/sim ./internal/obsv ./internal/sweep ./internal/conform
 
 vet:
 	$(GO) vet ./...
@@ -41,6 +43,25 @@ manifest-smoke:
 	$(GO) run ./cmd/tagssim -jobs 20000 -stats -manifest tagssim-run.json > /dev/null 2>&1
 	$(GO) run ./tools/manifestcheck pepa-run.json pepa-lint.json tagseval-run.json tagssim-run.json
 
+# Differential-testing smoke: 200 seeded scenarios through the full
+# oracle battery, manifest validated. Zero violations expected; on
+# failure a shrunken repro lands in conform-repros/ (see docs/TESTING.md).
+conform-smoke:
+	$(GO) run ./tools/conform -seed 1 -n 200 -repro-dir conform-repros -manifest conform-run.json
+	$(GO) run ./tools/manifestcheck conform-run.json
+
+# Short fuzz pass over the PEPA front end. The committed corpus under
+# internal/pepa/testdata/fuzz is always replayed by plain `make test`;
+# this additionally explores new inputs for 30s per target.
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=30s ./internal/pepa
+	$(GO) test -run=NONE -fuzz=FuzzLint -fuzztime=30s ./internal/pepa
+
+# Per-package coverage summary plus the repo-wide total that CI gates on.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -n 1
+
 # Run the 3-point smoke sweep twice — once clean, once interrupted and
 # resumed (journal truncated to the header, one row and a partial
 # line) — and require byte-identical journals plus a valid manifest
@@ -55,4 +76,5 @@ sweep-smoke:
 
 clean:
 	rm -f BENCH_derive.txt BENCH_derive.json pepa-run.json pepa-lint.json tagseval-run.json tagssim-run.json \
-		sweep-clean.jsonl sweep-resume.jsonl sweep-run.json
+		sweep-clean.jsonl sweep-resume.jsonl sweep-run.json conform-run.json coverage.out
+	rm -rf conform-repros

@@ -1,0 +1,262 @@
+package conform
+
+import (
+	"encoding/json"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pepatags/internal/core"
+)
+
+// TestRunSmoke runs a short honest pass: every oracle must hold, every
+// scenario kind must appear, and the report accounting must add up.
+func TestRunSmoke(t *testing.T) {
+	rep, err := Run(Options{Seed: 1, N: 60})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !rep.Passed() {
+		for _, v := range rep.Violations {
+			t.Errorf("scenario %d violated %s: %s (%s)", v.Index, v.Oracle, v.Detail, v.Scenario)
+		}
+	}
+	if rep.Scenarios != 60 {
+		t.Fatalf("ran %d scenarios, want 60", rep.Scenarios)
+	}
+	for _, kind := range []string{KindTAGExp, KindRandom, KindJSQ, KindPEPA} {
+		if rep.ByKind[kind] == 0 {
+			t.Errorf("kind %q never generated in 60 scenarios", kind)
+		}
+	}
+	var total int
+	for _, n := range rep.ByOracle {
+		total += n
+	}
+	if total != rep.Checks {
+		t.Errorf("by-oracle counts sum to %d, report says %d", total, rep.Checks)
+	}
+}
+
+// TestRunDeterministic: the same seed must produce the identical
+// report, byte for byte (modulo wall-clock timing).
+func TestRunDeterministic(t *testing.T) {
+	opts := Options{Seed: 42, N: 20}
+	a, err := Run(opts)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	b, err := Run(opts)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	a.ElapsedSec, b.ElapsedSec = 0, 0
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Errorf("same seed, different reports:\n%s\nvs\n%s", ja, jb)
+	}
+}
+
+// TestGenerateScenariosValid: every generated scenario is
+// self-consistent — instantiable service, parseable PEPA source, and
+// JSON round-trips to an identical value (the repro-file contract).
+func TestGenerateScenariosValid(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	for i := 0; i < 300; i++ {
+		sc := Generate(rng)
+		if sc.Service != nil {
+			if _, err := sc.Service.Dist(); err != nil {
+				t.Fatalf("scenario %d (%s): bad service: %v", i, sc, err)
+			}
+		}
+		data, err := json.Marshal(sc)
+		if err != nil {
+			t.Fatalf("scenario %d: marshal: %v", i, err)
+		}
+		var back Scenario
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("scenario %d: unmarshal: %v", i, err)
+		}
+		data2, _ := json.Marshal(back)
+		if string(data) != string(data2) {
+			t.Fatalf("scenario %d does not round-trip:\n%s\nvs\n%s", i, data, data2)
+		}
+	}
+}
+
+// TestIsomorphicIdentity: a chain is isomorphic to itself under the
+// identity mapping.
+func TestIsomorphicIdentity(t *testing.T) {
+	c := core.NewTAGExp(5, 10, 12, 2, 3, 3).Build()
+	mapping, err := Isomorphic(c, c, nil)
+	if err != nil {
+		t.Fatalf("chain not isomorphic to itself: %v", err)
+	}
+	for i, m := range mapping {
+		if m != i {
+			t.Fatalf("self-isomorphism mapped %d -> %d", i, m)
+		}
+	}
+}
+
+// TestIsomorphicDetectsRateChange: a tiny rate perturbation must break
+// isomorphism (this is what the direct-rate injection relies on).
+func TestIsomorphicDetectsRateChange(t *testing.T) {
+	a := core.NewTAGExp(5, 10, 12, 2, 2, 2).Build()
+	b := core.NewTAGExp(5, 10*(1+1e-6), 12, 2, 2, 2).Build()
+	if _, err := Isomorphic(a, b, nil); err == nil {
+		t.Fatal("isomorphism accepted chains with different service rates")
+	}
+}
+
+// TestIsomorphicDetectsStructuralChange: different capacities are
+// different graphs.
+func TestIsomorphicDetectsStructuralChange(t *testing.T) {
+	a := core.NewTAGExp(5, 10, 12, 2, 2, 2).Build()
+	b := core.NewTAGExp(5, 10, 12, 2, 2, 3).Build()
+	if _, err := Isomorphic(a, b, nil); err == nil {
+		t.Fatal("isomorphism accepted chains with different capacities")
+	}
+}
+
+// TestInjectionCaughtAndShrunk: the end-to-end acceptance property —
+// perturbing one backend must produce a violation, a shrunken
+// reproducer no larger than the original, and a readable repro file.
+func TestInjectionCaughtAndShrunk(t *testing.T) {
+	dir := t.TempDir()
+	rep, err := Run(Options{Seed: 1, N: 200, Inject: InjectDirectRate, ReproDir: dir})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Passed() {
+		t.Fatal("direct-rate injection went undetected over 200 scenarios")
+	}
+	v := rep.Violations[0]
+	if v.Shrunk == nil {
+		t.Fatal("violation has no shrunken scenario")
+	}
+	s := *v.Shrunk
+	if s.Kind != KindTAGExp {
+		t.Fatalf("direct-rate injection flagged a %s scenario", s.Kind)
+	}
+	if s.N > v.Scenario.N || s.K1 > v.Scenario.K1 || s.K2 > v.Scenario.K2 ||
+		s.Lambda > v.Scenario.Lambda || s.Mu > v.Scenario.Mu || s.T > v.Scenario.T {
+		t.Fatalf("shrunken scenario %s is larger than the original %s", s, v.Scenario)
+	}
+	// The minimal TAG configuration: greedy descent must reach the floor.
+	if s.N != 2 || s.K1 != 1 || s.K2 != 1 {
+		t.Errorf("shrink stopped at %s, want n=2 k1=1 k2=1", s)
+	}
+	if v.ReproFile == "" {
+		t.Fatal("violation has no repro file")
+	}
+	r, err := ReadRepro(v.ReproFile)
+	if err != nil {
+		t.Fatalf("ReadRepro: %v", err)
+	}
+	if r.Oracle != v.Oracle || r.Scenario.Kind != s.Kind {
+		t.Errorf("repro file records %s/%s, want %s/%s", r.Oracle, r.Scenario.Kind, v.Oracle, s.Kind)
+	}
+	// The repro must reproduce under the same injection...
+	injected := Checker{Inject: InjectDirectRate}.Check(r.Scenario)
+	if len(injected.Violations()) == 0 {
+		t.Error("repro scenario does not reproduce the violation under injection")
+	}
+	// ...and pass honestly (the fault is in the injection, not the code).
+	honest := Checker{}.Check(r.Scenario)
+	for _, hv := range honest.Violations() {
+		t.Errorf("repro scenario fails honestly: %s: %s", hv.Oracle, hv.Detail)
+	}
+}
+
+// TestSimLossInjectionCaught: the simulator-side fault is caught by
+// the confidence-interval oracle.
+func TestSimLossInjectionCaught(t *testing.T) {
+	rep, err := Run(Options{Seed: 3, N: 50, Inject: InjectSimLoss})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Passed() {
+		t.Fatal("sim-loss injection went undetected over 50 scenarios")
+	}
+	if o := rep.Violations[0].Oracle; o != OracleSimCI {
+		t.Fatalf("sim-loss injection tripped %s, want %s", o, OracleSimCI)
+	}
+}
+
+// TestShrinkKeepsOracle: shrinking never wanders to a candidate that
+// stops failing the target oracle.
+func TestShrinkKeepsOracle(t *testing.T) {
+	sc := Scenario{Kind: KindTAGExp, Lambda: 20, Mu: 15, T: 30, N: 4, K1: 4, K2: 3}
+	// A synthetic oracle that fails whenever K1 >= 2, regardless of rates.
+	check := func(cand Scenario) []Violation {
+		if cand.K1 >= 2 {
+			return []Violation{{Oracle: "synthetic", Detail: "k1 too big"}}
+		}
+		return nil
+	}
+	got := Shrink(sc, "synthetic", check)
+	if got.K1 != 2 {
+		t.Errorf("shrink stopped at k1=%d, want the boundary 2", got.K1)
+	}
+	if got.N != 2 || got.K2 != 1 || got.Lambda != 1 || got.Mu != 1 || got.T != 1 {
+		t.Errorf("unconstrained parameters not minimised: %s", got)
+	}
+}
+
+// TestWriteReadRepro: the repro file format round-trips and rejects
+// foreign schemas.
+func TestWriteReadRepro(t *testing.T) {
+	dir := t.TempDir()
+	in := Repro{
+		Seed:   9,
+		Index:  3,
+		Oracle: OracleSteadyState,
+		Detail: "test detail",
+		Scenario: Scenario{
+			Kind: KindRandom, Lambda: 2, K: 2,
+			Service: &ServiceSpec{Kind: "erlang", K: 3, Rate: 6},
+		},
+	}
+	path, err := WriteRepro(dir, in)
+	if err != nil {
+		t.Fatalf("WriteRepro: %v", err)
+	}
+	out, err := ReadRepro(path)
+	if err != nil {
+		t.Fatalf("ReadRepro: %v", err)
+	}
+	if out.Schema != ReproSchema {
+		t.Errorf("schema %q not stamped", out.Schema)
+	}
+	if out.Oracle != in.Oracle || out.Scenario.Service.Rate != 6 {
+		t.Errorf("repro did not round-trip: %+v", out)
+	}
+	// Writing the same repro twice is idempotent (content-hashed name).
+	path2, err := WriteRepro(dir, in)
+	if err != nil {
+		t.Fatalf("WriteRepro twice: %v", err)
+	}
+	if path2 != path {
+		t.Errorf("same repro produced two files: %s vs %s", path, path2)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"schema":"other/v9","scenario":{"kind":"tagexp"}}`), 0o644)
+	if _, err := ReadRepro(bad); err == nil {
+		t.Error("ReadRepro accepted a foreign schema")
+	}
+	if _, err := LoadRepros(dir); err == nil {
+		t.Error("LoadRepros ignored the malformed file")
+	}
+}
+
+// TestRunNeedsBudget: a run with neither a scenario cap nor a time
+// budget is a usage error, not an infinite loop.
+func TestRunNeedsBudget(t *testing.T) {
+	if _, err := Run(Options{Seed: 1}); err == nil {
+		t.Fatal("Run accepted an unbounded configuration")
+	}
+}

@@ -1,0 +1,136 @@
+package conform
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+)
+
+// Options configures one conformance run.
+type Options struct {
+	// Seed drives scenario generation; the same seed always generates
+	// the same scenario sequence and verdicts.
+	Seed uint64
+	// N caps the number of scenarios (0 means no cap; one of N or
+	// Duration must then stop the run).
+	N int
+	// Duration caps the wall-clock budget; 0 means no time cap.
+	Duration time.Duration
+	// Inject perturbs one backend (see the Inject constants).
+	Inject string
+	// ReproDir, when non-empty, receives a repro file per violation.
+	ReproDir string
+	// MaxViolations stops the run after this many failing scenarios
+	// (default 1: stop, shrink and report the first disagreement).
+	MaxViolations int
+	// Progress, when set, is called after each scenario.
+	Progress func(index int, sc Scenario)
+}
+
+// ViolationRecord is one failing scenario in a report, with the
+// original and the shrunken configuration.
+type ViolationRecord struct {
+	Index     int       `json:"index"`
+	Oracle    string    `json:"oracle"`
+	Detail    string    `json:"detail"`
+	Scenario  Scenario  `json:"scenario"`
+	Shrunk    *Scenario `json:"shrunk,omitempty"`
+	ReproFile string    `json:"repro_file,omitempty"`
+}
+
+// Report is the JSON-serialisable outcome of a run.
+type Report struct {
+	Schema     string            `json:"schema"` // pepatags/conform-report/v1
+	Seed       uint64            `json:"seed"`
+	Inject     string            `json:"inject,omitempty"`
+	Scenarios  int               `json:"scenarios"`
+	Checks     int               `json:"checks"`
+	ByKind     map[string]int    `json:"by_kind"`
+	ByOracle   map[string]int    `json:"by_oracle"`
+	Violations []ViolationRecord `json:"violations,omitempty"`
+	ElapsedSec float64           `json:"elapsed_sec"`
+}
+
+// ReportSchema identifies the report format.
+const ReportSchema = "pepatags/conform-report/v1"
+
+// Passed reports whether the run saw no violations.
+func (r *Report) Passed() bool { return len(r.Violations) == 0 }
+
+// Run executes the conformance loop: generate, check, and on failure
+// shrink to a minimal reproducer and (optionally) write a repro file.
+func Run(opts Options) (*Report, error) {
+	if opts.N == 0 && opts.Duration == 0 {
+		return nil, fmt.Errorf("conform: need a scenario cap (N) or a time budget (Duration)")
+	}
+	maxViol := opts.MaxViolations
+	if maxViol <= 0 {
+		maxViol = 1
+	}
+	ck := Checker{Inject: opts.Inject}
+	rng := rand.New(rand.NewPCG(opts.Seed, opts.Seed^0x9e3779b97f4a7c15))
+	rep := &Report{
+		Schema:   ReportSchema,
+		Seed:     opts.Seed,
+		Inject:   opts.Inject,
+		ByKind:   make(map[string]int),
+		ByOracle: make(map[string]int),
+	}
+	start := time.Now()
+	for i := 0; opts.N == 0 || i < opts.N; i++ {
+		if opts.Duration > 0 && time.Since(start) >= opts.Duration {
+			break
+		}
+		sc := Generate(rng)
+		rep.Scenarios++
+		rep.ByKind[sc.Kind]++
+		res := ck.Check(sc)
+		for oracle, n := range res.checks {
+			rep.Checks += n
+			rep.ByOracle[oracle] += n
+		}
+		if opts.Progress != nil {
+			opts.Progress(i, sc)
+		}
+		if len(res.violations) == 0 {
+			continue
+		}
+		v := res.violations[0]
+		rec := ViolationRecord{
+			Index:    i,
+			Oracle:   v.Oracle,
+			Detail:   v.Detail,
+			Scenario: sc,
+		}
+		shrunk := Shrink(sc, v.Oracle, func(cand Scenario) []Violation {
+			return ck.Check(cand).Violations()
+		})
+		rec.Shrunk = &shrunk
+		// Re-check the shrunken scenario for the up-to-date detail.
+		for _, sv := range ck.Check(shrunk).Violations() {
+			if sv.Oracle == v.Oracle {
+				rec.Detail = sv.Detail
+				break
+			}
+		}
+		if opts.ReproDir != "" {
+			path, err := WriteRepro(opts.ReproDir, Repro{
+				Seed:     opts.Seed,
+				Index:    i,
+				Oracle:   rec.Oracle,
+				Detail:   rec.Detail,
+				Scenario: shrunk,
+			})
+			if err != nil {
+				return rep, err
+			}
+			rec.ReproFile = path
+		}
+		rep.Violations = append(rep.Violations, rec)
+		if len(rep.Violations) >= maxViol {
+			break
+		}
+	}
+	rep.ElapsedSec = time.Since(start).Seconds()
+	return rep, nil
+}

@@ -1,0 +1,155 @@
+package conform
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pepatags/internal/ctmc"
+)
+
+// Chain isomorphism up to state relabelling.
+//
+// Both derivation routes explore the same underlying transition system
+// from matching initial states (index 0 on both sides), so when the
+// chains really are the same graph there is exactly one label-free
+// bijection and it can be constructed by a forced BFS: match the
+// initial states, then match successors pairwise by action label and
+// rate. For the models this package generates, a state never enables
+// the same action twice, which makes the matching unambiguous; an
+// ambiguous state is reported as such rather than guessed at.
+//
+// Self-loops are excluded on both sides. They never affect a CTMC's
+// stationary or transient behaviour, and the two builders legitimately
+// differ on them: the direct builders record loss events as self-loop
+// transitions so loss rates are measurable, while the PEPA models omit
+// the choice branch entirely.
+
+// isoEdge is one aggregated non-self-loop transition: parallel edges
+// with the same action and target are summed.
+type isoEdge struct {
+	action string
+	to     int
+	rate   float64
+}
+
+// outEdges aggregates the non-self-loop transitions of every state,
+// sorted by (action, target) for deterministic iteration. alias, when
+// non-nil, renames actions before aggregation so two chains that label
+// the same event differently can still be matched.
+func outEdges(c *ctmc.Chain, alias map[string]string) [][]isoEdge {
+	type key struct {
+		from int
+		act  string
+		to   int
+	}
+	agg := make(map[key]float64)
+	for _, t := range c.Transitions() {
+		if t.From == t.To {
+			continue
+		}
+		act := t.Action
+		if a, ok := alias[act]; ok {
+			act = a
+		}
+		agg[key{t.From, act, t.To}] += t.Rate
+	}
+	out := make([][]isoEdge, c.NumStates())
+	for k, r := range agg {
+		out[k.from] = append(out[k.from], isoEdge{action: k.act, to: k.to, rate: r})
+	}
+	for _, es := range out {
+		sort.Slice(es, func(i, j int) bool {
+			if es[i].action != es[j].action {
+				return es[i].action < es[j].action
+			}
+			return es[i].to < es[j].to
+		})
+	}
+	return out
+}
+
+// relClose compares rates with relative tolerance: the PEPA apparent
+// rate computation multiplies and divides where the direct builder
+// uses the literal value, so the last few ulps may differ.
+func relClose(a, b, tol float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= tol*math.Max(scale, 1)
+}
+
+// Isomorphic checks that chains a and b are the same labelled
+// transition graph up to state renumbering (self-loops excluded) and
+// returns the state mapping a-index -> b-index. The initial states
+// (index 0) are required to correspond. aliasA renames a's actions
+// before matching (e.g. the direct TAG builder's distinct
+// loss_transfer label for the timeout-into-a-full-queue event, which
+// the PEPA model simply calls timeout).
+func Isomorphic(a, b *ctmc.Chain, aliasA map[string]string) ([]int, error) {
+	if a.NumStates() != b.NumStates() {
+		return nil, fmt.Errorf("state counts differ: %d vs %d", a.NumStates(), b.NumStates())
+	}
+	n := a.NumStates()
+	ea, eb := outEdges(a, aliasA), outEdges(b, nil)
+
+	const rateTol = 1e-9
+	mapping := make([]int, n) // a -> b
+	inverse := make([]int, n) // b -> a
+	for i := range mapping {
+		mapping[i] = -1
+		inverse[i] = -1
+	}
+	mapping[0], inverse[0] = 0, 0
+	queue := []int{0}
+	for len(queue) > 0 {
+		sa := queue[0]
+		queue = queue[1:]
+		sb := mapping[sa]
+		la, lb := ea[sa], eb[sb]
+		if len(la) != len(lb) {
+			return nil, fmt.Errorf("state %q vs %q: %d vs %d outgoing transitions",
+				a.Label(sa), b.Label(sb), len(la), len(lb))
+		}
+		// Group b's edges by action; the generated models enable each
+		// action at most once per state, so the match is forced.
+		byAct := make(map[string]isoEdge, len(lb))
+		for _, e := range lb {
+			if _, dup := byAct[e.action]; dup {
+				return nil, fmt.Errorf("state %q enables action %q twice; matching would be ambiguous", b.Label(sb), e.action)
+			}
+			byAct[e.action] = e
+		}
+		seen := make(map[string]bool, len(la))
+		for _, x := range la {
+			if seen[x.action] {
+				return nil, fmt.Errorf("state %q enables action %q twice; matching would be ambiguous", a.Label(sa), x.action)
+			}
+			seen[x.action] = true
+			y, ok := byAct[x.action]
+			if !ok {
+				return nil, fmt.Errorf("state %q enables %q but its counterpart %q does not",
+					a.Label(sa), x.action, b.Label(sb))
+			}
+			if !relClose(x.rate, y.rate, rateTol) {
+				return nil, fmt.Errorf("action %q from state %q: rate %g vs %g",
+					x.action, a.Label(sa), x.rate, y.rate)
+			}
+			switch {
+			case mapping[x.to] == -1 && inverse[y.to] == -1:
+				mapping[x.to], inverse[y.to] = y.to, x.to
+				queue = append(queue, x.to)
+			case mapping[x.to] == y.to:
+				// Consistent with the existing matching.
+			default:
+				return nil, fmt.Errorf("action %q from state %q: targets %q and %q conflict with the forced matching",
+					x.action, a.Label(sa), a.Label(x.to), b.Label(y.to))
+			}
+		}
+	}
+	for i, m := range mapping {
+		if m == -1 {
+			return nil, fmt.Errorf("state %q unreached by the matching (graphs disconnected differently)", a.Label(i))
+		}
+	}
+	return mapping, nil
+}

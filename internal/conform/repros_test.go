@@ -1,0 +1,34 @@
+package conform
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestRepros replays every committed repro file as a regression case:
+// each records a scenario that once violated an oracle, so after the
+// fix the honest checker must hold every oracle on it. New repro files
+// written by the engine (tools/conform -repro-dir) join the table by
+// being committed under testdata/repros.
+func TestRepros(t *testing.T) {
+	repros, err := LoadRepros(filepath.Join("testdata", "repros"))
+	if err != nil {
+		t.Fatalf("LoadRepros: %v", err)
+	}
+	if len(repros) == 0 {
+		t.Fatal("no committed repro files; the regression table must not be empty")
+	}
+	for _, r := range repros {
+		r := r
+		t.Run(r.Oracle+"/"+r.Scenario.Kind, func(t *testing.T) {
+			t.Parallel()
+			res := Checker{}.Check(r.Scenario)
+			for _, v := range res.Violations() {
+				t.Errorf("%s still violated on %s: %s", v.Oracle, r.Scenario, v.Detail)
+			}
+			if len(res.checks) == 0 {
+				t.Errorf("no oracles ran on %s", r.Scenario)
+			}
+		})
+	}
+}

@@ -1,0 +1,209 @@
+package conform
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"pepatags/internal/dist"
+	"pepatags/internal/pepa"
+)
+
+// Scenario kinds. Each kind selects the backends the oracle battery
+// cross-checks; see Check.
+const (
+	KindTAGExp = "tagexp" // two-node TAG, exponential service: PEPA vs direct vs solvers vs transient vs approx
+	KindRandom = "random" // weighted random allocation: M/PH/1/K decomposition vs closed form vs simulator
+	KindJSQ    = "jsq"    // join-the-shortest-queue: direct CTMC vs solvers vs simulator
+	KindPEPA   = "pepa"   // random well-formed PEPA model: serial vs parallel derive, print/parse round trip
+)
+
+// ServiceSpec is a JSON-serialisable service distribution, so a repro
+// file regenerates the exact scenario.
+type ServiceSpec struct {
+	Kind  string  `json:"kind"`            // "exp", "erlang" or "h2"
+	Mu    float64 `json:"mu,omitempty"`    // exp rate
+	K     int     `json:"k,omitempty"`     // erlang phases
+	Rate  float64 `json:"rate,omitempty"`  // erlang phase rate
+	Alpha float64 `json:"alpha,omitempty"` // h2 short-branch probability
+	Mu1   float64 `json:"mu1,omitempty"`   // h2 short-branch rate
+	Mu2   float64 `json:"mu2,omitempty"`   // h2 long-branch rate
+}
+
+// Dist instantiates the distribution.
+func (s *ServiceSpec) Dist() (dist.Distribution, error) {
+	switch s.Kind {
+	case "exp":
+		if s.Mu <= 0 {
+			return nil, fmt.Errorf("conform: exp service needs mu > 0, got %g", s.Mu)
+		}
+		return dist.NewExponential(s.Mu), nil
+	case "erlang":
+		if s.K < 1 || s.Rate <= 0 {
+			return nil, fmt.Errorf("conform: erlang service needs k >= 1 and rate > 0")
+		}
+		return dist.NewErlang(s.K, s.Rate), nil
+	case "h2":
+		if s.Alpha < 0 || s.Alpha > 1 || s.Mu1 <= 0 || s.Mu2 <= 0 {
+			return nil, fmt.Errorf("conform: h2 service needs alpha in [0,1] and positive rates")
+		}
+		return dist.NewH2(s.Alpha, s.Mu1, s.Mu2), nil
+	default:
+		return nil, fmt.Errorf("conform: unknown service kind %q", s.Kind)
+	}
+}
+
+func (s *ServiceSpec) String() string {
+	d, err := s.Dist()
+	if err != nil {
+		return "invalid(" + s.Kind + ")"
+	}
+	return d.String()
+}
+
+// Scenario is one generated configuration. It is self-contained: a
+// scenario round-trips through JSON (the repro format) and Check
+// reproduces the identical verdict, including the simulator seeds.
+type Scenario struct {
+	Kind string `json:"kind"`
+
+	// TAG parameters (KindTAGExp).
+	Lambda float64 `json:"lambda,omitempty"`
+	Mu     float64 `json:"mu,omitempty"`
+	T      float64 `json:"t,omitempty"`
+	N      int     `json:"n,omitempty"`
+	K1     int     `json:"k1,omitempty"`
+	K2     int     `json:"k2,omitempty"`
+
+	// Static allocation parameters (KindRandom, KindJSQ): per-node
+	// capacity and the service distribution.
+	K       int          `json:"k,omitempty"`
+	Service *ServiceSpec `json:"service,omitempty"`
+
+	// PEPA source text (KindPEPA). Stored verbatim so the repro is
+	// independent of the generator.
+	PEPA string `json:"pepa,omitempty"`
+
+	// SimSeed seeds the simulator replications, recorded so a repro
+	// re-runs the exact sample paths.
+	SimSeed uint64 `json:"sim_seed,omitempty"`
+}
+
+func (sc Scenario) String() string {
+	switch sc.Kind {
+	case KindTAGExp:
+		return fmt.Sprintf("tagexp(lambda=%g mu=%g t=%g n=%d k1=%d k2=%d)",
+			sc.Lambda, sc.Mu, sc.T, sc.N, sc.K1, sc.K2)
+	case KindRandom:
+		return fmt.Sprintf("random(lambda=%g k=%d service=%s)", sc.Lambda, sc.K, sc.Service)
+	case KindJSQ:
+		return fmt.Sprintf("jsq(lambda=%g k=%d service=%s)", sc.Lambda, sc.K, sc.Service)
+	case KindPEPA:
+		return fmt.Sprintf("pepa(%d bytes)", len(sc.PEPA))
+	default:
+		return "unknown(" + sc.Kind + ")"
+	}
+}
+
+// roundRate draws a rate in [lo, hi] rounded to two decimals, so repro
+// files and shrunken scenarios stay human-readable.
+func roundRate(rng *rand.Rand, lo, hi float64) float64 {
+	v := lo + rng.Float64()*(hi-lo)
+	return math.Round(v*100) / 100
+}
+
+// Generate draws one random scenario. The parameter ranges keep every
+// chain under the dense-solver cutoff (400 states), so the exact GTH
+// reference applies everywhere, while still spanning the regimes the
+// paper explores: light to overloaded traffic, sluggish to hair-trigger
+// timeouts, and service variability from Erlang through extreme H2.
+func Generate(rng *rand.Rand) Scenario {
+	sc := Scenario{SimSeed: rng.Uint64()}
+	switch p := rng.Float64(); {
+	case p < 0.40:
+		sc.Kind = KindTAGExp
+		sc.Lambda = roundRate(rng, 0.5, 25)
+		sc.Mu = roundRate(rng, 1, 25)
+		sc.T = roundRate(rng, 0.5, 60)
+		sc.N = 2 + rng.IntN(3)  // 2..4 phases
+		sc.K1 = 1 + rng.IntN(4) // 1..4
+		sc.K2 = 1 + rng.IntN(4) // 1..4
+	case p < 0.65:
+		sc.Kind = KindPEPA
+		sc.PEPA = randomPEPAModel(rng)
+	case p < 0.85:
+		sc.Kind = KindRandom
+		sc.Lambda = roundRate(rng, 0.5, 15)
+		sc.K = 1 + rng.IntN(5)
+		sc.Service = randomService(rng)
+	default:
+		sc.Kind = KindJSQ
+		sc.Lambda = roundRate(rng, 0.5, 18)
+		sc.K = 1 + rng.IntN(4)
+		sc.Service = randomServiceH2OrExp(rng)
+	}
+	return sc
+}
+
+// randomService draws an exponential, Erlang or H2 service
+// distribution with mean in a moderate band.
+func randomService(rng *rand.Rand) *ServiceSpec {
+	switch rng.IntN(3) {
+	case 0:
+		return &ServiceSpec{Kind: "exp", Mu: roundRate(rng, 1, 20)}
+	case 1:
+		k := 2 + rng.IntN(3)
+		return &ServiceSpec{Kind: "erlang", K: k, Rate: roundRate(rng, float64(k), 10*float64(k))}
+	default:
+		return randomH2(rng)
+	}
+}
+
+// randomServiceH2OrExp draws the service distributions the
+// shortest-queue model supports.
+func randomServiceH2OrExp(rng *rand.Rand) *ServiceSpec {
+	if rng.IntN(2) == 0 {
+		return &ServiceSpec{Kind: "exp", Mu: roundRate(rng, 1, 20)}
+	}
+	return randomH2(rng)
+}
+
+func randomH2(rng *rand.Rand) *ServiceSpec {
+	alpha := math.Round((0.5+rng.Float64()*0.49)*100) / 100 // 0.5..0.99
+	mu2 := roundRate(rng, 0.5, 5)
+	ratio := float64(2 + rng.IntN(20)) // short jobs 2x..21x faster
+	return &ServiceSpec{Kind: "h2", Alpha: alpha, Mu1: math.Round(ratio*mu2*100) / 100, Mu2: mu2}
+}
+
+// randomPEPAModel builds a random well-formed two-component model:
+// each component is a cycle of derivatives with random chords, all
+// rates active, plus a shared action both components always enable so
+// the cooperation can never deadlock. The model is rendered to source
+// so the scenario is self-contained.
+func randomPEPAModel(rng *rand.Rand) string {
+	m := pepa.NewModel()
+	const shared = "sync"
+	freeActs := []string{"a", "b", "c", "d"}
+	rate := func() pepa.Rate { return pepa.ActiveRate(roundRate(rng, 0.5, 6)) }
+	build := func(compName string, nDeriv int) {
+		for i := 0; i < nDeriv; i++ {
+			name := fmt.Sprintf("%s%d", compName, i)
+			next := fmt.Sprintf("%s%d", compName, (i+1)%nDeriv)
+			ps := []pepa.Process{pepa.Pre(freeActs[rng.IntN(len(freeActs))], rate(), pepa.Ref(next))}
+			ps = append(ps, pepa.Pre(shared, rate(), pepa.Ref(name)))
+			if rng.IntN(2) == 0 {
+				to := fmt.Sprintf("%s%d", compName, rng.IntN(nDeriv))
+				ps = append(ps, pepa.Pre(freeActs[rng.IntN(len(freeActs))], rate(), pepa.Ref(to)))
+			}
+			m.Define(name, pepa.Sum(ps...))
+		}
+	}
+	build("P", 2+rng.IntN(4))
+	build("Q", 2+rng.IntN(4))
+	m.System = &pepa.Coop{
+		Left:  &pepa.Leaf{Init: pepa.Ref("P0")},
+		Right: &pepa.Leaf{Init: pepa.Ref("Q0")},
+		Set:   pepa.NewActionSet(shared),
+	}
+	return m.Source()
+}

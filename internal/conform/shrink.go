@@ -1,0 +1,112 @@
+package conform
+
+import "math"
+
+// Shrinking: greedy descent over a failing scenario's parameters,
+// accepting any candidate that keeps the same oracle failing. The
+// candidates only ever move parameters toward smaller, rounder values,
+// so descent terminates and the result is locally minimal: no single
+// simplification preserves the failure.
+
+// Shrink minimises sc while check still reports a violation of the
+// given oracle. check is the full oracle battery for a candidate.
+func Shrink(sc Scenario, oracle string, check func(Scenario) []Violation) Scenario {
+	fails := func(cand Scenario) bool {
+		for _, v := range check(cand) {
+			if v.Oracle == oracle {
+				return true
+			}
+		}
+		return false
+	}
+	cur := sc
+	for rounds := 0; rounds < 64; rounds++ {
+		improved := false
+		for _, cand := range shrinkCandidates(cur) {
+			if fails(cand) {
+				cur = cand
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return cur
+}
+
+// shrinkCandidates proposes strictly simpler variants of sc, most
+// aggressive first so descent takes large steps when it can.
+func shrinkCandidates(sc Scenario) []Scenario {
+	var out []Scenario
+	add := func(mut func(*Scenario)) {
+		c := sc
+		if c.Service != nil {
+			s := *sc.Service
+			c.Service = &s
+		}
+		mut(&c)
+		out = append(out, c)
+	}
+	shrinkFloat := func(v float64, set func(*Scenario, float64)) {
+		// Move toward 1, never below it: 1 is the simplest rate that
+		// is still a valid parameter everywhere.
+		var cands []float64
+		if v != 1 { //vet:allow floatcmp: 1 is an exact sentinel, not a computed value
+			cands = append(cands, 1)
+		}
+		if v > 1 {
+			if f := math.Floor(v); f < v {
+				cands = append(cands, f)
+			}
+			if h := math.Round(v/2*100) / 100; h > 1 && h < v {
+				cands = append(cands, h)
+			}
+		}
+		for _, cand := range cands {
+			c := cand
+			add(func(s *Scenario) { set(s, c) })
+		}
+	}
+	shrinkInt := func(v, min int, set func(*Scenario, int)) {
+		for _, cand := range []int{min, v - 1} {
+			if cand >= min && cand < v {
+				c := cand
+				add(func(s *Scenario) { set(s, c) })
+			}
+		}
+	}
+
+	switch sc.Kind {
+	case KindTAGExp:
+		shrinkInt(sc.N, 2, func(s *Scenario, v int) { s.N = v })
+		shrinkInt(sc.K1, 1, func(s *Scenario, v int) { s.K1 = v })
+		shrinkInt(sc.K2, 1, func(s *Scenario, v int) { s.K2 = v })
+		shrinkFloat(sc.Lambda, func(s *Scenario, v float64) { s.Lambda = v })
+		shrinkFloat(sc.Mu, func(s *Scenario, v float64) { s.Mu = v })
+		shrinkFloat(sc.T, func(s *Scenario, v float64) { s.T = v })
+	case KindRandom, KindJSQ:
+		shrinkInt(sc.K, 1, func(s *Scenario, v int) { s.K = v })
+		shrinkFloat(sc.Lambda, func(s *Scenario, v float64) { s.Lambda = v })
+		if sc.Service != nil {
+			switch sc.Service.Kind {
+			case "exp":
+				shrinkFloat(sc.Service.Mu, func(s *Scenario, v float64) { s.Service.Mu = v })
+			case "erlang":
+				shrinkInt(sc.Service.K, 1, func(s *Scenario, v int) { s.Service.K = v })
+				shrinkFloat(sc.Service.Rate, func(s *Scenario, v float64) { s.Service.Rate = v })
+			case "h2":
+				// Collapsing H2 to exponential is the biggest
+				// simplification, so try it first.
+				add(func(s *Scenario) { s.Service = &ServiceSpec{Kind: "exp", Mu: 1} })
+				shrinkFloat(sc.Service.Mu1, func(s *Scenario, v float64) { s.Service.Mu1 = v })
+				shrinkFloat(sc.Service.Mu2, func(s *Scenario, v float64) { s.Service.Mu2 = v })
+			}
+		}
+	case KindPEPA:
+		// PEPA sources are kept verbatim; there is no structural
+		// shrink that is guaranteed to stay well-formed.
+	}
+	return out
+}

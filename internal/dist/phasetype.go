@@ -109,12 +109,20 @@ func (p *PhaseType) Var() float64 {
 // which is numerically robust for the stiff sub-generators that arise
 // from extreme H2 mixes.
 func (p *PhaseType) CDF(x float64) float64 {
-	if x <= 0 {
+	if x < 0 {
+		return 0
+	}
+	if x == 0 { //vet:allow floatcmp: exact boundary of the support
+		// Point mass at zero: clamp the round-off of 1 - sum(alpha) so
+		// a fully normalised alpha gives exactly zero.
 		var asum float64
 		for _, a := range p.Alpha {
 			asum += a
 		}
-		return 1 - asum
+		if pm := 1 - asum; pm > 0 {
+			return pm
+		}
+		return 0
 	}
 	n := p.Order()
 	// Uniformise: P = I + T/q with q >= max |T_ii|.

@@ -1,0 +1,227 @@
+package dist
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"pepatags/internal/linalg"
+)
+
+// Property tests over randomized parameters: the distribution
+// interface invariants that every implementation must satisfy, checked
+// against adaptive-quadrature ground truth rather than closed forms,
+// so an algebra slip in any one implementation cannot hide.
+
+// randomDistributions draws one of each family with random parameters.
+func randomDistributions(rng *rand.Rand) []Distribution {
+	k := 1 + rng.IntN(6)
+	alpha := 0.05 + 0.9*rng.Float64()
+	mu2 := 0.2 + 2*rng.Float64()
+	mu1 := mu2 * (1 + 20*rng.Float64())
+	return []Distribution{
+		NewExponential(0.1 + 10*rng.Float64()),
+		NewErlang(k, (0.5+5*rng.Float64())*float64(k)),
+		NewH2(alpha, mu1, mu2),
+		NewHyperExp(
+			[]float64{0.2, 0.3, 0.5},
+			[]float64{0.5 + rng.Float64(), 2 + rng.Float64(), 5 + 5*rng.Float64()}),
+		randomPhaseType(rng),
+	}
+}
+
+// randomPhaseType draws a valid PH(alpha, T) of order 2..4: random
+// sub-generator with strictly positive exit rates and a random
+// (sub-stochastic) initial vector.
+func randomPhaseType(rng *rand.Rand) *PhaseType {
+	n := 2 + rng.IntN(3)
+	alpha := make([]float64, n)
+	var asum float64
+	for i := range alpha {
+		alpha[i] = rng.Float64()
+		asum += alpha[i]
+	}
+	for i := range alpha {
+		alpha[i] /= asum // normalise: no point mass at zero
+	}
+	t := linalg.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		total := 0.5 + 4*rng.Float64() // total outflow rate of phase i
+		remaining := total
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			r := remaining * rng.Float64() * 0.5
+			t.Set(i, j, r)
+			remaining -= r
+		}
+		// what is left of the outflow exits to absorption
+		t.Set(i, i, -total)
+	}
+	return NewPhaseType(alpha, t)
+}
+
+// tailCutoff finds an x with 1 - CDF(x) below eps, by doubling.
+func tailCutoff(t *testing.T, d Distribution, eps float64) float64 {
+	t.Helper()
+	x := math.Max(d.Mean(), 1)
+	for i := 0; i < 60; i++ {
+		if 1-d.CDF(x) < eps {
+			return x
+		}
+		x *= 2
+	}
+	t.Fatalf("%s: tail never drops below %g", d, eps)
+	return 0
+}
+
+func TestCDFMonotoneAndBounded(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 11))
+	for trial := 0; trial < 40; trial++ {
+		for _, d := range randomDistributions(rng) {
+			hi := tailCutoff(t, d, 1e-9)
+			prev := 0.0
+			// CDF(0) is the point mass at zero: none of the generated
+			// families has one beyond normalisation round-off.
+			if c := d.CDF(0); c < 0 || c > 1e-12 {
+				t.Errorf("%s: CDF(0) = %g, want ~0", d, c)
+			}
+			if c := d.CDF(-1); c != 0 {
+				t.Errorf("%s: CDF(-1) = %g, want exactly 0", d, c)
+			}
+			for i := 0; i <= 400; i++ {
+				x := hi * float64(i) / 400
+				c := d.CDF(x)
+				if c < 0 || c > 1 {
+					t.Fatalf("%s: CDF(%g) = %g outside [0,1]", d, x, c)
+				}
+				if c < prev-1e-12 {
+					t.Fatalf("%s: CDF decreases at %g: %g after %g", d, x, c, prev)
+				}
+				prev = c
+			}
+			if c := d.CDF(hi); c < 1-1e-8 {
+				t.Errorf("%s: CDF(%g) = %g, does not approach 1", d, hi, c)
+			}
+		}
+	}
+}
+
+func TestLaplaceTransformAtZeroIsOne(t *testing.T) {
+	rng := rand.New(rand.NewPCG(12, 12))
+	for trial := 0; trial < 40; trial++ {
+		for _, d := range randomDistributions(rng) {
+			if l := d.LaplaceTransform(0); math.Abs(l-1) > 1e-9 {
+				t.Errorf("%s: LaplaceTransform(0) = %g, want 1", d, l)
+			}
+			// And it is completely monotone in s: decreasing, in (0,1].
+			prev := 1.0
+			for _, s := range []float64{0.1, 0.5, 1, 2, 5, 10} {
+				l := d.LaplaceTransform(s)
+				if l <= 0 || l > prev+1e-12 {
+					t.Errorf("%s: LaplaceTransform(%g) = %g not decreasing in (0,1]", d, s, l)
+				}
+				prev = l
+			}
+		}
+	}
+}
+
+// TestMomentsMatchQuadrature checks E[X] = int 1-F and
+// E[X^2] = int 2x(1-F) by the package's own adaptive Simpson rule.
+func TestMomentsMatchQuadrature(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 13))
+	for trial := 0; trial < 12; trial++ {
+		for _, d := range randomDistributions(rng) {
+			hi := tailCutoff(t, d, 1e-12)
+			mean := simpson(func(x float64) float64 { return 1 - d.CDF(x) }, 0, hi, 1e-10, 40)
+			if rel := math.Abs(mean-d.Mean()) / d.Mean(); rel > 1e-6 {
+				t.Errorf("%s: Mean() = %g but integral of the survival function = %g (rel %g)",
+					d, d.Mean(), mean, rel)
+			}
+			m2 := simpson(func(x float64) float64 { return 2 * x * (1 - d.CDF(x)) }, 0, hi, 1e-10, 40)
+			want := d.Var() + d.Mean()*d.Mean()
+			if rel := math.Abs(m2-want) / want; rel > 1e-5 {
+				t.Errorf("%s: Var+Mean^2 = %g but integral 2x(1-F) = %g (rel %g)",
+					d, want, m2, rel)
+			}
+		}
+	}
+}
+
+// TestPhaseTypeMomentsMatchDerivatives cross-checks the PH moment
+// formula k! alpha (-T)^-k 1 against numerical differentiation of the
+// Laplace transform at 0.
+func TestPhaseTypeMomentsMatchDerivatives(t *testing.T) {
+	rng := rand.New(rand.NewPCG(14, 14))
+	for trial := 0; trial < 25; trial++ {
+		p := randomPhaseType(rng)
+		// E[X] = -L'(0), central difference.
+		h := 1e-5
+		num := -(p.LaplaceTransform(h) - p.LaplaceTransform(-h)) / (2 * h)
+		if rel := math.Abs(num-p.Moment(1)) / p.Moment(1); rel > 1e-5 {
+			t.Errorf("%s: Moment(1) = %g, -L'(0) = %g (rel %g)", p, p.Moment(1), num, rel)
+		}
+		// E[X^2] = L''(0).
+		num2 := (p.LaplaceTransform(h) - 2*p.LaplaceTransform(0) + p.LaplaceTransform(-h)) / (h * h)
+		if rel := math.Abs(num2-p.Moment(2)) / p.Moment(2); rel > 1e-4 {
+			t.Errorf("%s: Moment(2) = %g, L''(0) = %g (rel %g)", p, p.Moment(2), num2, rel)
+		}
+	}
+}
+
+// TestResidualH2Properties: the Section 3.2 residual-life distribution
+// is a proper H2 — branch probabilities sum to 1 — with the original
+// rates, and surviving an Erlang timeout shifts mass toward the slow
+// branch.
+func TestResidualH2Properties(t *testing.T) {
+	rng := rand.New(rand.NewPCG(15, 15))
+	for trial := 0; trial < 200; trial++ {
+		alpha := 0.05 + 0.9*rng.Float64()
+		mu2 := 0.2 + 2*rng.Float64()
+		mu1 := mu2 * (1.5 + 20*rng.Float64()) // branch 1 strictly faster
+		h := NewH2(alpha, mu1, mu2)
+		n := 1 + rng.IntN(8)
+		timeout := 0.1 + 10*rng.Float64()
+		res := ResidualH2AfterErlang(h, n, timeout)
+
+		var sum float64
+		for _, a := range res.Alpha {
+			if a < 0 || a > 1 {
+				t.Fatalf("residual alpha %g outside [0,1]", a)
+			}
+			sum += a
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("residual alphas sum to %.17g, want 1 (h=%s n=%d t=%g)", sum, h, n, timeout)
+		}
+		if res.Mu[0] != mu1 || res.Mu[1] != mu2 {
+			t.Fatalf("residual changed branch rates: %v vs (%g, %g)", res.Mu, mu1, mu2)
+		}
+		if res.Alpha[0] >= alpha {
+			t.Errorf("fast-branch weight grew after surviving a timeout: %g -> %g", alpha, res.Alpha[0])
+		}
+		if l := res.LaplaceTransform(0); math.Abs(l-1) > 1e-12 {
+			t.Errorf("residual LaplaceTransform(0) = %g", l)
+		}
+	}
+}
+
+// TestResidualGeneralMatchesH2: the general hyper-exponential residual
+// agrees with the specialised two-branch version.
+func TestResidualGeneralMatchesH2(t *testing.T) {
+	rng := rand.New(rand.NewPCG(16, 16))
+	for trial := 0; trial < 100; trial++ {
+		h := NewH2(0.05+0.9*rng.Float64(), 1+10*rng.Float64(), 0.2+rng.Float64())
+		n := 1 + rng.IntN(5)
+		timeout := 0.5 + 5*rng.Float64()
+		a := ResidualH2AfterErlang(h, n, timeout)
+		b := ResidualHyperExpAfter(h, NewErlang(n, timeout))
+		for i := range a.Alpha {
+			if math.Abs(a.Alpha[i]-b.Alpha[i]) > 1e-12 {
+				t.Fatalf("residual mismatch at branch %d: %g vs %g", i, a.Alpha[i], b.Alpha[i])
+			}
+		}
+	}
+}

@@ -62,6 +62,23 @@ type Manifest struct {
 
 	// Trace is the pipeline span tree, when tracing was on.
 	Trace *SpanRecord `json:"trace,omitempty"`
+
+	// Conform records a differential-conformance run (tools/conform):
+	// how many scenarios and oracle checks ran and how many violations
+	// survived. The full report, including shrunken reproducers, lives
+	// in the tool's -json output; the manifest keeps the accounting.
+	Conform *ConformRecord `json:"conform,omitempty"`
+}
+
+// ConformRecord is the accounting of one tools/conform run.
+type ConformRecord struct {
+	Seed       uint64         `json:"seed"`
+	Inject     string         `json:"inject,omitempty"`
+	Scenarios  int            `json:"scenarios"`
+	Checks     int            `json:"checks"`
+	ByKind     map[string]int `json:"by_kind,omitempty"`
+	Violations int            `json:"violations"`
+	ElapsedSec float64        `json:"elapsed_sec"`
 }
 
 // SweepRecord is the accounting of one sweep-engine run: which spec
@@ -186,6 +203,14 @@ func (m *Manifest) Validate() error {
 		}
 		if s.CacheHits < 0 || s.CacheMisses < 0 {
 			return fmt.Errorf("obsv: sweep record has negative cache counters")
+		}
+	}
+	if c := m.Conform; c != nil {
+		if c.Scenarios < 0 || c.Checks < 0 || c.Violations < 0 {
+			return fmt.Errorf("obsv: conform record has negative counts")
+		}
+		if c.Checks > 0 && c.Scenarios == 0 {
+			return fmt.Errorf("obsv: conform record has %d checks over zero scenarios", c.Checks)
 		}
 	}
 	if l := m.Lint; l != nil {

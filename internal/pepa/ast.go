@@ -212,10 +212,12 @@ func at(pos Pos) string {
 }
 
 // resolve unfolds constants until the head is a prefix or choice, so
-// transitions can be read off. Unguarded recursion (e.g. A = A) is
-// reported as an error.
-func (m *Model) resolve(p Process) (Process, error) {
-	seen := map[string]bool{}
+// transitions can be read off. seen carries the constants already
+// unfolded on the current path (across choice heads — see
+// seqTransitions); revisiting one without passing a prefix is
+// unguarded recursion (e.g. A = A, or A = B; B = A + (a, r).A) and is
+// reported as an error rather than recursing forever.
+func (m *Model) resolve(p Process, seen map[string]bool) (Process, error) {
 	for {
 		c, ok := p.(*Const)
 		if !ok {
@@ -240,9 +242,30 @@ type transition struct {
 	next   Process
 }
 
+// maxSeqTransitions bounds the transition multiset of one sequential
+// derivative. PEPA choice is a multiset union, so constant chains like
+// P0 = P1 + P1; P1 = P2 + P2; ... enumerate exponentially many
+// (duplicate) transitions: a few hundred bytes of source can otherwise
+// stall derivation for hours. Real models have per-state fan-outs in
+// the tens; anything past this cap is reported as an error.
+const maxSeqTransitions = 1 << 16
+
 // seqTransitions enumerates the transitions of a sequential process.
 func (m *Model) seqTransitions(p Process) ([]transition, error) {
-	p, err := m.resolve(p)
+	return m.seqTransitionsPath(p, nil)
+}
+
+// seqTransitionsPath is seqTransitions with the set of constants
+// unfolded on the way to p. The set follows each branch of a choice
+// separately (a fresh copy per branch): a constant reappearing behind
+// a prefix is ordinary recursion, but one reappearing at the head of a
+// branch would unfold forever, so it must be detected across the
+// resolve/choice alternation, not just within a single resolve run.
+func (m *Model) seqTransitionsPath(p Process, path map[string]bool) ([]transition, error) {
+	if path == nil {
+		path = map[string]bool{}
+	}
+	p, err := m.resolve(p, path)
 	if err != nil {
 		return nil, err
 	}
@@ -250,16 +273,27 @@ func (m *Model) seqTransitions(p Process) ([]transition, error) {
 	case *Prefix:
 		return []transition{{action: t.Action, rate: t.Rate, next: t.Next}}, nil
 	case *Choice:
-		l, err := m.seqTransitions(t.Left)
+		l, err := m.seqTransitionsPath(t.Left, copyPath(path))
 		if err != nil {
 			return nil, err
 		}
-		r, err := m.seqTransitions(t.Right)
+		r, err := m.seqTransitionsPath(t.Right, copyPath(path))
 		if err != nil {
 			return nil, err
+		}
+		if len(l)+len(r) > maxSeqTransitions {
+			return nil, fmt.Errorf("pepa: a sequential derivative enumerates more than %d transitions; the choice structure is exponentially self-referential", maxSeqTransitions)
 		}
 		return append(l, r...), nil
 	default:
 		return nil, fmt.Errorf("pepa: cannot derive transitions of %T", p)
 	}
+}
+
+func copyPath(path map[string]bool) map[string]bool {
+	cp := make(map[string]bool, len(path))
+	for k, v := range path {
+		cp[k] = v
+	}
+	return cp
 }

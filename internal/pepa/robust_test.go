@@ -1,0 +1,108 @@
+package pepa
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Regression tests for robustness bugs found by the fuzz targets
+// (fuzz_test.go). Each case is also committed to testdata/fuzz so the
+// fuzzers keep mutating around it.
+
+// TestUnguardedRecursionThroughChoice: A = B; B = A + (a,1).A recurses
+// through a choice head, so the constant cycle is only visible across
+// the resolve/choice alternation. This used to overflow the stack in
+// CheckCyclic and Derive (with the lint pre-flight skipped); it must
+// be an ordinary error.
+func TestUnguardedRecursionThroughChoice(t *testing.T) {
+	const src = "A = B;\nB = A + (a, 1).A;\nA"
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := m.CheckCyclic(); err == nil {
+		t.Error("CheckCyclic accepted unguarded recursion through a choice")
+	} else if !strings.Contains(err.Error(), "unguarded recursion") {
+		t.Errorf("CheckCyclic error %q does not name unguarded recursion", err)
+	}
+	if _, err := Derive(m, DeriveOptions{SkipLint: true}); err == nil {
+		t.Error("Derive accepted unguarded recursion through a choice")
+	}
+	// The linter flags it too (it has its own graph walk).
+	var found bool
+	for _, d := range LintModel(m) {
+		if d.Rule == RuleUnguardedRec {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("LintModel missed the unguarded recursion")
+	}
+}
+
+// TestGuardedChoiceSharingNotFlagged: two branches referencing the
+// same (guarded) constant is fine — the path set must follow each
+// branch separately, not be shared across siblings.
+func TestGuardedChoiceSharingNotFlagged(t *testing.T) {
+	const src = "C = D + E;\nD = (a, 1).C;\nE = D;\nC"
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := m.CheckCyclic(); err != nil {
+		t.Errorf("CheckCyclic rejected a well-guarded model: %v", err)
+	}
+	if _, err := Derive(m, DeriveOptions{}); err != nil {
+		t.Errorf("Derive rejected a well-guarded model: %v", err)
+	}
+}
+
+// TestExponentialChoiceChainBounded: P_i = P_{i+1} + P_{i+1} doubles
+// the transition multiset per level, so ~400 bytes of source once
+// stalled derivation for longer than any test timeout. The enumeration
+// must give up with an error, fast.
+func TestExponentialChoiceChainBounded(t *testing.T) {
+	var sb strings.Builder
+	n := 30
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "P%d = P%d + P%d;\n", i, i+1, i+1)
+	}
+	fmt.Fprintf(&sb, "P%d = (a, 1.0).P0;\nP0", n)
+	m, err := Parse(sb.String())
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	start := time.Now()
+	err = m.CheckCyclic()
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Error("CheckCyclic accepted an exponentially self-referential choice chain")
+	} else if !strings.Contains(err.Error(), "transitions") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	if elapsed > 10*time.Second {
+		t.Errorf("CheckCyclic took %s; the fan-out cap is not bounding the work", elapsed)
+	}
+	if _, err := Derive(m, DeriveOptions{SkipLint: true}); err == nil {
+		t.Error("Derive accepted an exponentially self-referential choice chain")
+	}
+}
+
+// TestModerateChoiceFanOutStillAllowed: the cap must not bite
+// realistic models — a 64-way choice is far below it.
+func TestModerateChoiceFanOutStillAllowed(t *testing.T) {
+	var parts []string
+	for i := 0; i < 64; i++ {
+		parts = append(parts, fmt.Sprintf("(a%d, 1.0).P", i))
+	}
+	src := "P = " + strings.Join(parts, " + ") + ";\nP"
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, err := Derive(m, DeriveOptions{}); err != nil {
+		t.Errorf("Derive rejected a 64-way choice: %v", err)
+	}
+}

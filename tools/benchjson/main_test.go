@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const benchInput = `goos: linux
+goarch: amd64
+pkg: pepatags/internal/pepa
+cpu: Intel(R) Xeon(R)
+BenchmarkDeriveTAG/K=20/workers=4-8  12  93210458 ns/op  1024 B/op  17 allocs/op
+BenchmarkDeriveTAG/K=20/workers=1-8  4  310093121 ns/op
+BenchmarkSolveGTH-8  100  1234567.5 ns/op
+PASS
+ok  	pepatags/internal/pepa	4.2s
+`
+
+const goldenOutput = `{
+  "goos": "linux",
+  "goarch": "amd64",
+  "pkg": "pepatags/internal/pepa",
+  "cpu": "Intel(R) Xeon(R)",
+  "benchmarks": [
+    {
+      "name": "BenchmarkDeriveTAG/K=20/workers=4",
+      "procs": 8,
+      "iterations": 12,
+      "ns_per_op": 93210458,
+      "bytes_per_op": 1024,
+      "allocs_per_op": 17
+    },
+    {
+      "name": "BenchmarkDeriveTAG/K=20/workers=1",
+      "procs": 8,
+      "iterations": 4,
+      "ns_per_op": 310093121
+    },
+    {
+      "name": "BenchmarkSolveGTH",
+      "procs": 8,
+      "iterations": 100,
+      "ns_per_op": 1234567.5
+    }
+  ]
+}
+`
+
+func runCLI(t *testing.T, stdin string, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, strings.NewReader(stdin), &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestGoldenStdout(t *testing.T) {
+	code, stdout, stderr := runCLI(t, benchInput)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	if stdout != goldenOutput {
+		t.Errorf("output differs from golden:\n--- got ---\n%s\n--- want ---\n%s", stdout, goldenOutput)
+	}
+}
+
+func TestOutputFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	code, stdout, stderr := runCLI(t, benchInput, "-o", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("wrote to stdout despite -o: %q", stdout)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != goldenOutput {
+		t.Errorf("file differs from golden:\n%s", data)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runCLI(t, "", "-bogus"); code != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", code)
+	}
+	if code, _, _ := runCLI(t, "", "positional"); code != 2 {
+		t.Errorf("positional arg: exit %d, want 2", code)
+	}
+}
+
+func TestUnwritableOutput(t *testing.T) {
+	code, _, stderr := runCLI(t, benchInput, "-o", filepath.Join(t.TempDir(), "no", "such", "dir.json"))
+	if code != 1 {
+		t.Errorf("unwritable -o: exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "benchjson:") {
+		t.Errorf("no diagnostic on stderr: %q", stderr)
+	}
+}
+
+// TestMalformedLinesSkipped: garbage that merely looks like a result
+// is dropped, not crashed on, and does not poison the summary.
+func TestMalformedLinesSkipped(t *testing.T) {
+	in := strings.Join([]string{
+		"BenchmarkTooFewFields-8  12",
+		"BenchmarkBadIters-8  twelve  93210458 ns/op",
+		"BenchmarkBadUnit-8  12  93210458 s/op",
+		"BenchmarkOK-4  10  5 ns/op  junk trailing fields",
+		"Benchmark  ",
+		"random noise",
+	}, "\n") + "\n"
+	code, stdout, stderr := runCLI(t, in)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	var s summary
+	if err := json.Unmarshal([]byte(stdout), &s); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, stdout)
+	}
+	if len(s.Benchmarks) != 1 || s.Benchmarks[0].Name != "BenchmarkOK" || s.Benchmarks[0].Procs != 4 {
+		t.Errorf("malformed lines not skipped cleanly: %+v", s.Benchmarks)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	code, stdout, _ := runCLI(t, "")
+	if code != 0 {
+		t.Fatalf("exit %d on empty input", code)
+	}
+	var s summary
+	if err := json.Unmarshal([]byte(stdout), &s); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if len(s.Benchmarks) != 0 {
+		t.Errorf("benchmarks from empty input: %+v", s.Benchmarks)
+	}
+}

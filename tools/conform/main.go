@@ -1,0 +1,182 @@
+// conform runs the differential conformance harness from the command
+// line: it generates seeded random scenarios and cross-checks every
+// route the repo has to the same numbers (PEPA derivation, direct CTMC
+// construction, the stationary-solver battery, uniformised transients,
+// the simulator, and the decomposition approximations). See
+// internal/conform and docs/TESTING.md.
+//
+// Usage:
+//
+//	conform -seed 1 -n 200
+//	conform -seed 1 -duration 30s -json report.json
+//	conform -seed 1 -n 50 -inject direct-rate -repro-dir /tmp/repros
+//
+// Exit status: 0 when every oracle held on every scenario, 1 when a
+// violation was found (a shrunken reproducer is printed and, with
+// -repro-dir, written as a repro file), 2 on usage errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"pepatags/internal/conform"
+	"pepatags/internal/obsv"
+)
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage: conform [flags]
+
+Runs the differential conformance harness: seeded random scenarios,
+each checked by the full oracle battery (see docs/TESTING.md).
+
+  -seed N          generation seed (default 1)
+  -n N             number of scenarios (default 100; 0 = until -duration)
+  -duration D      wall-clock budget, e.g. 30s, 10m (0 = until -n)
+  -inject NAME     deliberately perturb one backend: direct-rate, sim-loss
+  -repro-dir DIR   write a shrunken repro file per violation
+  -json FILE       write the full JSON report ("-" for stdout)
+  -manifest FILE   write a run manifest (schema pepatags/run-manifest/v1)
+  -max-violations  stop after this many failing scenarios (default 1)
+  -q               no per-scenario progress output`)
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("conform", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.Usage = func() { usage(stderr) }
+	seed := fs.Uint64("seed", 1, "generation seed")
+	n := fs.Int("n", 100, "number of scenarios (0 = until -duration)")
+	duration := fs.Duration("duration", 0, "wall-clock budget (0 = until -n)")
+	inject := fs.String("inject", "", "perturb one backend (direct-rate, sim-loss)")
+	reproDir := fs.String("repro-dir", "", "directory for shrunken repro files")
+	jsonOut := fs.String("json", "", "write the JSON report here (- for stdout)")
+	manifestOut := fs.String("manifest", "", "write a run manifest here")
+	maxViol := fs.Int("max-violations", 1, "stop after this many failing scenarios")
+	quiet := fs.Bool("q", false, "suppress progress output")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "conform: unexpected arguments: %v\n", fs.Args())
+		usage(stderr)
+		return 2
+	}
+	switch *inject {
+	case "", conform.InjectDirectRate, conform.InjectSimLoss:
+	default:
+		fmt.Fprintf(stderr, "conform: unknown -inject %q (want %s or %s)\n",
+			*inject, conform.InjectDirectRate, conform.InjectSimLoss)
+		return 2
+	}
+	if *n == 0 && *duration == 0 {
+		fmt.Fprintln(stderr, "conform: need -n or -duration")
+		return 2
+	}
+
+	opts := conform.Options{
+		Seed:          *seed,
+		N:             *n,
+		Duration:      *duration,
+		Inject:        *inject,
+		ReproDir:      *reproDir,
+		MaxViolations: *maxViol,
+	}
+	if !*quiet {
+		start := time.Now()
+		opts.Progress = func(i int, sc conform.Scenario) {
+			if (i+1)%25 == 0 {
+				fmt.Fprintf(stderr, "conform: %d scenarios in %.1fs\n", i+1, time.Since(start).Seconds())
+			}
+		}
+	}
+	rep, err := conform.Run(opts)
+	if err != nil {
+		fmt.Fprintf(stderr, "conform: %v\n", err)
+		return 2
+	}
+
+	if *jsonOut != "" {
+		data, merr := json.MarshalIndent(rep, "", "  ")
+		if merr != nil {
+			fmt.Fprintf(stderr, "conform: marshal report: %v\n", merr)
+			return 2
+		}
+		data = append(data, '\n')
+		if *jsonOut == "-" {
+			stdout.Write(data)
+		} else if werr := os.WriteFile(*jsonOut, data, 0o644); werr != nil {
+			fmt.Fprintf(stderr, "conform: %v\n", werr)
+			return 2
+		}
+	}
+	if *manifestOut != "" {
+		m := obsv.NewManifest("conform")
+		m.Args = args
+		m.Seed = rep.Seed
+		m.Conform = &obsv.ConformRecord{
+			Seed:       rep.Seed,
+			Inject:     rep.Inject,
+			Scenarios:  rep.Scenarios,
+			Checks:     rep.Checks,
+			ByKind:     rep.ByKind,
+			Violations: len(rep.Violations),
+			ElapsedSec: rep.ElapsedSec,
+		}
+		if werr := m.WriteFile(*manifestOut); werr != nil {
+			fmt.Fprintf(stderr, "conform: %v\n", werr)
+			return 2
+		}
+	}
+
+	printSummary(stdout, rep)
+	if rep.Passed() {
+		return 0
+	}
+	return 1
+}
+
+func printSummary(w io.Writer, rep *conform.Report) {
+	fmt.Fprintf(w, "conform: seed %d: %d scenarios, %d oracle checks in %.1fs\n",
+		rep.Seed, rep.Scenarios, rep.Checks, rep.ElapsedSec)
+	kinds := make([]string, 0, len(rep.ByKind))
+	for k := range rep.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(w, "  %-8s %d scenarios\n", k, rep.ByKind[k])
+	}
+	oracles := make([]string, 0, len(rep.ByOracle))
+	for o := range rep.ByOracle {
+		oracles = append(oracles, o)
+	}
+	sort.Strings(oracles)
+	for _, o := range oracles {
+		fmt.Fprintf(w, "  %-32s %d checks\n", o, rep.ByOracle[o])
+	}
+	if rep.Passed() {
+		fmt.Fprintln(w, "PASS: all oracles held")
+		return
+	}
+	for _, v := range rep.Violations {
+		fmt.Fprintf(w, "FAIL: scenario %d violated %s\n", v.Index, v.Oracle)
+		fmt.Fprintf(w, "  detail:   %s\n", v.Detail)
+		fmt.Fprintf(w, "  original: %s\n", v.Scenario)
+		if v.Shrunk != nil {
+			fmt.Fprintf(w, "  shrunken: %s\n", *v.Shrunk)
+		}
+		if v.ReproFile != "" {
+			fmt.Fprintf(w, "  repro:    %s\n", v.ReproFile)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pepatags/internal/conform"
+	"pepatags/internal/obsv"
+)
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-definitely-not-a-flag"},
+		{"positional"},
+		{"-inject", "bogus"},
+		{"-n", "0"}, // no cap and no duration
+	}
+	for _, args := range cases {
+		if code, _, _ := runCLI(t, args...); code != 2 {
+			t.Errorf("conform %v: exit %d, want 2", args, code)
+		}
+	}
+}
+
+func TestCleanRunReportsAndManifest(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "report.json")
+	manifestPath := filepath.Join(dir, "run.json")
+	code, stdout, stderr := runCLI(t,
+		"-seed", "1", "-n", "15", "-q", "-json", jsonPath, "-manifest", manifestPath)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "PASS: all oracles held") {
+		t.Errorf("summary missing PASS line:\n%s", stdout)
+	}
+
+	var rep conform.Report
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("read report: %v", err)
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Schema != conform.ReportSchema || rep.Scenarios != 15 || !rep.Passed() {
+		t.Errorf("unexpected report: schema %q, %d scenarios, passed=%v",
+			rep.Schema, rep.Scenarios, rep.Passed())
+	}
+
+	m, err := obsv.ReadManifest(manifestPath)
+	if err != nil {
+		t.Fatalf("manifest does not validate: %v", err)
+	}
+	if m.Tool != "conform" || m.Conform == nil {
+		t.Fatalf("manifest missing conform section: %+v", m)
+	}
+	if m.Conform.Scenarios != 15 || m.Conform.Violations != 0 {
+		t.Errorf("conform record %+v, want 15 scenarios and 0 violations", m.Conform)
+	}
+}
+
+func TestInjectionExitsNonZeroWithRepro(t *testing.T) {
+	dir := t.TempDir()
+	code, stdout, stderr := runCLI(t,
+		"-seed", "1", "-n", "200", "-q", "-inject", "direct-rate", "-repro-dir", dir)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "FAIL: scenario") || !strings.Contains(stdout, "shrunken:") {
+		t.Errorf("failure summary incomplete:\n%s", stdout)
+	}
+	repros, err := conform.LoadRepros(dir)
+	if err != nil {
+		t.Fatalf("LoadRepros: %v", err)
+	}
+	if len(repros) != 1 {
+		t.Fatalf("%d repro files written, want 1", len(repros))
+	}
+}
+
+func TestJSONToStdout(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-seed", "5", "-n", "5", "-q", "-json", "-")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0; stderr:\n%s", code, stderr)
+	}
+	// stdout carries the JSON report first, then the text summary.
+	dec := json.NewDecoder(strings.NewReader(stdout))
+	var rep conform.Report
+	if err := dec.Decode(&rep); err != nil {
+		t.Fatalf("stdout does not start with the JSON report: %v", err)
+	}
+	if rep.Seed != 5 || rep.Scenarios != 5 {
+		t.Errorf("report seed %d scenarios %d, want 5 and 5", rep.Seed, rep.Scenarios)
+	}
+}

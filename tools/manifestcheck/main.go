@@ -25,6 +25,7 @@ var knownTools = map[string]bool{
 	"pepa":     true,
 	"tagseval": true,
 	"tagssim":  true,
+	"conform":  true,
 }
 
 func usage(w io.Writer) {
@@ -86,8 +87,8 @@ func check(path string) error {
 		return fmt.Errorf("unknown tool %q", m.Tool)
 	}
 	// A manifest that records nothing is a wiring bug in the producer.
-	if len(m.Measures) == 0 && len(m.Artefacts) == 0 && m.Derive == nil && m.Sweep == nil && m.Lint == nil {
-		return fmt.Errorf("manifest records no measures, artefacts, derive stats, sweep or lint record")
+	if len(m.Measures) == 0 && len(m.Artefacts) == 0 && m.Derive == nil && m.Sweep == nil && m.Lint == nil && m.Conform == nil {
+		return fmt.Errorf("manifest records no measures, artefacts, derive stats, sweep, lint or conform record")
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -108,6 +109,109 @@ func TestCheckAcceptsLintOnlyManifest(t *testing.T) {
 	m.Lint.Diags[0].Severity = "fatal"
 	if err := m.WriteFile(path); err == nil {
 		t.Fatal("bad lint severity accepted")
+	}
+}
+
+// TestCheckAcceptsConformOnlyManifest: a tools/conform run records
+// only the conform accounting section, which is valid content.
+func TestCheckAcceptsConformOnlyManifest(t *testing.T) {
+	m := obsv.NewManifest("conform")
+	m.Conform = &obsv.ConformRecord{
+		Seed:      1,
+		Scenarios: 200,
+		Checks:    3000,
+		ByKind:    map[string]int{"tagexp": 80, "pepa": 50},
+	}
+	path := filepath.Join(t.TempDir(), "conform.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := check(path); err != nil {
+		t.Fatalf("conform manifest rejected: %v", err)
+	}
+
+	// Inconsistent accounting must fail validation on write.
+	m.Conform.Scenarios = 0
+	if err := m.WriteFile(path); err == nil {
+		t.Fatal("checks without scenarios accepted")
+	}
+}
+
+// TestMalformedInputs: non-JSON, truncated JSON and wrong-schema files
+// are all rejected with a diagnostic naming the file.
+func TestMalformedInputs(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"notjson.json":   "not json at all",
+		"truncated.json": `{"schema": "pepatags/run-manifest/v1", "tool": "pepa"`,
+		"badschema.json": `{"schema": "pepatags/run-manifest/v9", "tool": "pepa"}`,
+		"badtime.json":   `{"schema": "pepatags/run-manifest/v1", "tool": "pepa", "created_at": "yesterday"}`,
+	}
+	for name, content := range cases {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := check(path); err == nil {
+			t.Errorf("%s: accepted malformed manifest", name)
+		}
+		var out, errs bytes.Buffer
+		if code := run([]string{path}, &out, &errs); code != 1 {
+			t.Errorf("%s: exit %d, want 1", name, code)
+		}
+		if !strings.Contains(errs.String(), path) {
+			t.Errorf("%s: failure summary does not name the file:\n%s", name, errs.String())
+		}
+	}
+}
+
+// TestGoldenOutput pins the exact success and failure output shapes.
+func TestGoldenOutput(t *testing.T) {
+	dir := t.TempDir()
+	good := obsv.NewManifest("tagssim")
+	good.Measures = map[string]float64{"throughput": 7.9}
+	goodPath := filepath.Join(dir, "good.json")
+	if err := good.WriteFile(goodPath); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errs bytes.Buffer
+	if code := run([]string{goodPath}, &out, &errs); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errs.String())
+	}
+	if got, want := out.String(), "ok "+goodPath+"\n"; got != want {
+		t.Errorf("stdout %q, want %q", got, want)
+	}
+	if errs.String() != "" {
+		t.Errorf("stderr not empty on success: %q", errs.String())
+	}
+
+	// -quiet suppresses the OK lines entirely.
+	out.Reset()
+	errs.Reset()
+	if code := run([]string{"-quiet", goodPath}, &out, &errs); code != 0 {
+		t.Fatalf("quiet run: exit %d", code)
+	}
+	if out.String() != "" {
+		t.Errorf("-quiet still wrote %q", out.String())
+	}
+
+	missing := filepath.Join(dir, "missing.json")
+	out.Reset()
+	errs.Reset()
+	if code := run([]string{missing}, &out, &errs); code != 1 {
+		t.Fatalf("missing file: exit %d, want 1", code)
+	}
+	if !strings.HasPrefix(errs.String(), "manifestcheck: 1 of 1 manifests failed:\n") {
+		t.Errorf("failure header:\n%s", errs.String())
+	}
+}
+
+// TestUnknownFlag: flag errors are usage errors, exit 2.
+func TestUnknownFlag(t *testing.T) {
+	var out, errs bytes.Buffer
+	if code := run([]string{"-definitely-not-a-flag"}, &out, &errs); code != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", code)
 	}
 }
 
