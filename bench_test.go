@@ -258,9 +258,30 @@ func randomAllocSource(n int) string {
 }
 
 func BenchmarkDeriveTAG(b *testing.B) {
-	for _, k := range []int{10, 20, 28} {
+	for _, k := range []int{10, 20, 28, 40} {
 		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
-			benchDerive(b, core.NewTAGExp(5, 10, 42, 6, k, k).PEPASource(), 1, 4)
+			benchDerive(b, core.NewTAGExp(5, 10, 42, 6, k, k).PEPASource(), 1, 2, 4, 8)
+		})
+	}
+}
+
+// BenchmarkDeriveTAGReference times the legacy string-keyed serial
+// engine (DeriveOptions.Reference) on the same models as
+// BenchmarkDeriveTAG, so one bench run captures the integer-coded
+// engine's speedup without checking out an old commit.
+func BenchmarkDeriveTAGReference(b *testing.B) {
+	for _, k := range []int{10, 20, 28, 40} {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			m, err := pepa.Parse(core.NewTAGExp(5, 10, 42, 6, k, k).PEPASource())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := pepa.Derive(m, pepa.DeriveOptions{Reference: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

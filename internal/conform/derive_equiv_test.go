@@ -1,0 +1,114 @@
+package conform
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pepatags/internal/core"
+	"pepatags/internal/pepa"
+)
+
+// TestDeriveEnginesByteIdentical pins the integer-coded derivation
+// engines (serial and every parallel worker count) to the legacy
+// string-keyed serial reference (DeriveOptions.Reference) across the
+// model families the scenario generator draws from: TAG two-node
+// models at generator-drawn parameters, the Appendix A random
+// allocation and Appendix B shortest-queue models, and random
+// well-formed PEPA models. "Byte-identical" is literal: same state
+// numbering, same label strings, same transition list in the same
+// order. The conform isomorphism oracle and every repro file depend on
+// this ordering staying fixed, so a reordering — even to an isomorphic
+// chain — is a conformance break, not an optimisation.
+func TestDeriveEnginesByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewPCG(0xC0DE, 2026))
+
+	type tc struct {
+		name string
+		src  string
+	}
+	var cases []tc
+
+	// Generator-drawn TAG configurations, rendered to PEPA text.
+	for i := 0; i < 4; i++ {
+		var sc Scenario
+		for sc.Kind != KindTAGExp {
+			sc = Generate(rng)
+		}
+		m := core.NewTAGExp(sc.Lambda, sc.Mu, sc.T, sc.N, sc.K1, sc.K2)
+		cases = append(cases, tc{fmt.Sprintf("tagexp/%d", i), m.PEPASource()})
+	}
+
+	// The appendix models: random allocation and join-the-shortest-queue.
+	for _, name := range []string{"appendixA_random.pepa", "appendixB_shortestqueue.pepa"} {
+		src, err := os.ReadFile(filepath.Join("..", "..", "models", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases = append(cases, tc{name, string(src)})
+	}
+
+	// Generator-drawn random PEPA models.
+	for i := 0; i < 4; i++ {
+		var sc Scenario
+		for sc.Kind != KindPEPA {
+			sc = Generate(rng)
+		}
+		cases = append(cases, tc{fmt.Sprintf("pepa/%d", i), sc.PEPA})
+	}
+
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m, err := pepa.Parse(c.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := pepa.Derive(m, pepa.DeriveOptions{Reference: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 2, 4, 8} {
+				got, err := pepa.Derive(m, pepa.DeriveOptions{Workers: workers})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				requireStateSpaceEqual(t, workers, ref, got)
+			}
+		})
+	}
+}
+
+// requireStateSpaceEqual fails unless got is byte-identical to want:
+// state count, every label, every leaf derivative and the full ordered
+// transition list.
+func requireStateSpaceEqual(t *testing.T, workers int, want, got *pepa.StateSpace) {
+	t.Helper()
+	if want.Chain.NumStates() != got.Chain.NumStates() {
+		t.Fatalf("workers=%d: state counts differ: %d vs %d", workers, want.Chain.NumStates(), got.Chain.NumStates())
+	}
+	if want.NumLeaf != got.NumLeaf {
+		t.Fatalf("workers=%d: leaf counts differ: %d vs %d", workers, want.NumLeaf, got.NumLeaf)
+	}
+	for i := 0; i < want.Chain.NumStates(); i++ {
+		if want.Chain.Label(i) != got.Chain.Label(i) {
+			t.Fatalf("workers=%d: state %d label differs: %q vs %q", workers, i, want.Chain.Label(i), got.Chain.Label(i))
+		}
+		for l := 0; l < want.NumLeaf; l++ {
+			if want.LeafDerivative(i, l) != got.LeafDerivative(i, l) {
+				t.Fatalf("workers=%d: state %d leaf %d differs: %q vs %q",
+					workers, i, l, want.LeafDerivative(i, l), got.LeafDerivative(i, l))
+			}
+		}
+	}
+	wt, gt := want.Chain.Transitions(), got.Chain.Transitions()
+	if len(wt) != len(gt) {
+		t.Fatalf("workers=%d: transition counts differ: %d vs %d", workers, len(wt), len(gt))
+	}
+	for k := range wt {
+		if wt[k] != gt[k] {
+			t.Fatalf("workers=%d: transition %d differs: %+v vs %+v", workers, k, wt[k], gt[k])
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"pepatags/internal/linalg"
 	"pepatags/internal/numeric"
@@ -17,12 +18,35 @@ type Transition struct {
 	Action   string
 }
 
-// Chain is an immutable labelled CTMC.
+// Chain is an immutable labelled CTMC. The label→index map is built
+// lazily on first StateIndex call: producers that already know their
+// indices (pepa's coded deriver streams exact-size label and
+// transition slices through NewChain) never pay for interning.
 type Chain struct {
 	labels      []string
 	index       map[string]int
+	indexOnce   sync.Once
 	transitions []Transition
 	gen         *linalg.CSR // cached generator
+}
+
+// NewChain builds a chain directly from a dense label slice (state i
+// is labelled labels[i]) and a prebuilt transition list. Both slices
+// are retained, not copied — this is the streaming-assembly
+// counterpart to Builder for producers that number states themselves.
+// Transitions are validated like Builder.Transition: positive finite
+// rates, endpoints in range. Labels are assumed unique; the index map
+// is only materialised if StateIndex is ever called.
+func NewChain(labels []string, transitions []Transition) *Chain {
+	for _, t := range transitions {
+		if t.Rate <= 0 || math.IsNaN(t.Rate) || math.IsInf(t.Rate, 0) {
+			panic(fmt.Sprintf("ctmc: invalid rate %g for action %q", t.Rate, t.Action))
+		}
+		if t.From < 0 || t.From >= len(labels) || t.To < 0 || t.To >= len(labels) {
+			panic(fmt.Sprintf("ctmc: transition (%d -> %d) out of range", t.From, t.To))
+		}
+	}
+	return &Chain{labels: labels, transitions: transitions}
 }
 
 // Builder incrementally constructs a Chain.
@@ -97,8 +121,23 @@ func (c *Chain) Label(i int) string { return c.labels[i] }
 
 // StateIndex returns the index of the labelled state.
 func (c *Chain) StateIndex(label string) (int, bool) {
+	c.indexOnce.Do(c.buildIndex)
 	i, ok := c.index[label]
 	return i, ok
+}
+
+// buildIndex materialises the label→index map for chains built through
+// NewChain. Builder- and Structure-built chains arrive with the map
+// already populated and keep it.
+func (c *Chain) buildIndex() {
+	if c.index != nil {
+		return
+	}
+	idx := make(map[string]int, len(c.labels))
+	for i, l := range c.labels {
+		idx[l] = i
+	}
+	c.index = idx
 }
 
 // Transitions returns the transition list (shared slice; do not modify).

@@ -5,8 +5,15 @@
 // stationary distribution; both the hand-built state spaces of
 // internal/core and the PEPA-derived ones of internal/pepa land here.
 //
-// Builder interns state labels (string → dense index) and collects
-// rate-labelled transitions; Build freezes the chain. Chain offers:
+// Chains are constructed two ways. Builder interns state labels
+// (string → dense index) and collects rate-labelled transitions
+// incrementally; Build freezes the chain. NewChain is the streaming
+// counterpart for producers that number states themselves — it adopts
+// a dense label slice and a prebuilt transition list without copying
+// or interning; the label→index map is only materialised if
+// StateIndex is ever called. internal/pepa's integer-coded deriver
+// uses NewChain to assemble chains without a per-state interning pass.
+// Either way, Chain offers:
 //
 //   - Generator: the infinitesimal generator Q as a sparse CSR matrix
 //     (internal/linalg), rows summing to zero;

@@ -19,6 +19,17 @@ type DeriveStats struct {
 	DedupHits   int64         `json:"dedup_hits"`  // successor states that were already interned
 	Workers     int           `json:"workers"`     // worker goroutines used (1 = serial reference path)
 	Elapsed     time.Duration `json:"elapsed_ns"`  // wall time of the exploration
+
+	// Integer-coded engine counters (zero on the legacy string-keyed
+	// reference path). LeafCodes is the number of distinct sequential
+	// derivatives assigned integer codes at compile time — the
+	// alphabet the fixed-width state tuples draw from. HashCollisions
+	// counts fresh state insertions whose 64-bit tuple hash was
+	// already occupied (resolved by tuple comparison); a value that is
+	// not a vanishing fraction of States means the tuple hash is
+	// misbehaving.
+	LeafCodes      int   `json:"leaf_codes,omitempty"`
+	HashCollisions int64 `json:"hash_collisions,omitempty"`
 }
 
 // StatesPerSec returns the exploration throughput, or 0 for an
@@ -31,8 +42,12 @@ func (s *DeriveStats) StatesPerSec() float64 {
 }
 
 func (s *DeriveStats) String() string {
-	return fmt.Sprintf("derive: %d states, %d transitions, %d levels, %d dedup hits, %d workers, %v (%.0f states/s)",
+	base := fmt.Sprintf("derive: %d states, %d transitions, %d levels, %d dedup hits, %d workers, %v (%.0f states/s)",
 		s.States, s.Transitions, s.Levels, s.DedupHits, s.Workers, s.Elapsed.Round(time.Microsecond), s.StatesPerSec())
+	if s.LeafCodes > 0 {
+		base += fmt.Sprintf(", %d leaf codes, %d hash collisions", s.LeafCodes, s.HashCollisions)
+	}
+	return base
 }
 
 // SolveStats records one iterative steady-state solve. A caller passes

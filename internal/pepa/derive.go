@@ -28,14 +28,28 @@ const DefaultMaxStates = 2_000_000
 // CTMC plus, for every global state, the local derivative of each
 // sequential component (leaf), which measure code uses to extract
 // populations such as queue lengths.
+//
+// The coded engines store the per-state derivatives as one flat
+// []uint32 of derivative codes plus a code→key table, so a million
+// states cost one allocation rather than a []string each; the legacy
+// reference engine (DeriveOptions.Reference) fills leafKeys instead.
 type StateSpace struct {
-	Chain    *ctmc.Chain
-	NumLeaf  int
-	leafKeys [][]string // [state][leaf] canonical derivative key
+	Chain   *ctmc.Chain
+	NumLeaf int
+
+	codes    []uint32 // [state*NumLeaf+leaf] -> derivative code (coded engines)
+	codeKeys []string // code -> canonical derivative key
+
+	leafKeys [][]string // [state][leaf] canonical key (reference engine only)
 }
 
 // LeafDerivative returns the canonical key of leaf l in global state s.
-func (ss *StateSpace) LeafDerivative(s, l int) string { return ss.leafKeys[s][l] }
+func (ss *StateSpace) LeafDerivative(s, l int) string {
+	if ss.leafKeys != nil {
+		return ss.leafKeys[s][l]
+	}
+	return ss.codeKeys[ss.codes[s*ss.NumLeaf+l]]
+}
 
 // move is a transition of a composition node: the action, the rate and
 // the leaf updates it performs.
@@ -119,8 +133,8 @@ func (cc *compiled) seqMoves(p Process) ([]transition, error) {
 // Shared actions of a cooperation are expanded in sorted action order
 // (precomputed in compile), not Go map order, so the move list — and
 // therefore state numbering and the transition list — is fully
-// deterministic. Parallel derivation relies on this to reproduce the
-// serial chain bit for bit.
+// deterministic. The coded engines (code.go) replicate exactly this
+// order over integer tables; the differential tests hold them together.
 func (cc *compiled) moves(n Composition, state []Process, nextLeaf *int) ([]move, error) {
 	switch t := n.(type) {
 	case *Leaf:
@@ -230,10 +244,18 @@ type DeriveOptions struct {
 	MaxStates int // cap on explored states (default DefaultMaxStates)
 
 	// Workers selects the exploration strategy: <= 1 runs the serial
-	// reference BFS, > 1 runs the sharded level-synchronous worker
-	// pool (see parallel.go). Both produce bit-identical chains; 0
+	// coded BFS, > 1 runs the sharded level-synchronous worker pool
+	// (see parallel.go). All paths produce bit-identical chains; 0
 	// means serial, and a negative value means "one per CPU".
 	Workers int
+
+	// Reference forces the legacy string-keyed serial exploration that
+	// predates integer coding: states interned by their joined label
+	// strings through ctmc.Builder. It is the differential-testing
+	// oracle the coded engines are held against — structurally
+	// independent, allocation-heavy, and an order of magnitude slower.
+	// When set, Workers is ignored.
+	Reference bool
 
 	// SkipLint disables the static pre-flight (see LintModel). By
 	// default Derive rejects models with error-severity lint
@@ -252,7 +274,8 @@ type DeriveOptions struct {
 	Progress obsv.ProgressFunc
 
 	// Span, when non-nil, receives "compile" and "explore" child spans
-	// so pipeline traces show where derivation time went.
+	// so pipeline traces show where derivation time went. The compile
+	// span covers both the AST walk and the integer-coding pass.
 	Span *obsv.Span
 
 	// Metrics, when non-nil, receives per-derivation aggregates on
@@ -277,8 +300,8 @@ func (o DeriveOptions) workers() int {
 //
 // States are numbered in BFS discovery order (the initial state is 0)
 // and the numbering is deterministic: shared-action expansion follows
-// sorted action order, so repeated runs — serial or parallel, any
-// worker count — yield identical chains.
+// sorted action order, so repeated runs — serial or parallel, coded or
+// reference, any worker count — yield identical chains.
 //
 // Errors are returned for undefined constants, unguarded recursion,
 // passive activities that remain unsynchronised at the top level,
@@ -310,10 +333,14 @@ func Derive(m *Model, opts DeriveOptions) (*StateSpace, error) {
 		compileSpan = opts.Span.Child("compile")
 	}
 	cc := compile(m, m.System)
+	nLeaf := len(cc.leaves)
+	var cd *coded
+	if nLeaf > 0 && !opts.Reference {
+		cd = encode(cc)
+	}
 	if compileSpan != nil {
 		compileSpan.End()
 	}
-	nLeaf := len(cc.leaves)
 	if nLeaf == 0 {
 		return nil, fmt.Errorf("pepa: system has no sequential components")
 	}
@@ -323,10 +350,13 @@ func Derive(m *Model, opts DeriveOptions) (*StateSpace, error) {
 	}
 	var ss *StateSpace
 	var err error
-	if w := opts.workers(); w > 1 {
-		ss, err = deriveParallel(cc, nLeaf, maxStates, w, opts)
-	} else {
-		ss, err = deriveSerial(cc, nLeaf, maxStates, opts)
+	switch {
+	case opts.Reference:
+		ss, err = deriveReference(cc, nLeaf, maxStates, opts)
+	case opts.workers() > 1:
+		ss, err = deriveParallel(cd, maxStates, opts.workers(), opts)
+	default:
+		ss, err = deriveSerial(cd, maxStates, opts)
 	}
 	if exploreSpan != nil {
 		exploreSpan.End()
@@ -340,11 +370,172 @@ func Derive(m *Model, opts DeriveOptions) (*StateSpace, error) {
 	return ss, err
 }
 
-// deriveSerial is the single-threaded reference exploration: a plain
-// FIFO BFS interning states in discovery order. parallel.go reproduces
-// exactly this numbering; TestParallelDeriveMatchesSerial holds the
-// two paths together.
-func deriveSerial(cc *compiled, nLeaf, maxStates int, opts DeriveOptions) (*StateSpace, error) {
+// deriveSerial is the single-threaded coded exploration: a FIFO BFS
+// over integer state tuples. Because FIFO discovery order equals index
+// order, the queue is implicit — the loop walks state indices as the
+// table grows. parallel.go reproduces exactly this numbering level by
+// level; the differential tests additionally hold both against the
+// string-keyed deriveReference.
+func deriveSerial(cd *coded, maxStates int, opts DeriveOptions) (*StateSpace, error) {
+	start := time.Now()
+	stats := opts.Stats
+	if stats != nil {
+		*stats = obsv.DeriveStats{Workers: 1, LeafCodes: len(cd.keys)}
+		defer func() { stats.Elapsed = time.Since(start) }()
+	}
+	nLeaf := cd.nLeaf
+
+	// State i's codes live at arena[i*nLeaf:(i+1)*nLeaf]. The visited
+	// set maps tuple hash -> head of an intrusive chain (hchain) over
+	// states sharing that 64-bit hash; collisions are broken by tuple
+	// comparison against the arena.
+	arena := make([]uint32, 0, 256*nLeaf)
+	heads := make(map[uint64]int32, 256)
+	var hchain []int32
+	var levelOf []int32
+
+	intern := func(t []uint32) (int32, bool) {
+		h := hashTuple(t)
+		head, seen := heads[h]
+		if seen {
+			for i := head; i >= 0; i = hchain[i] {
+				if equalTuple(arena[int(i)*nLeaf:(int(i)+1)*nLeaf], t) {
+					if stats != nil {
+						stats.DedupHits++
+					}
+					return i, false
+				}
+			}
+			if stats != nil {
+				stats.HashCollisions++
+			}
+		}
+		id := int32(len(hchain))
+		arena = append(arena, t...)
+		next := int32(-1)
+		if seen {
+			next = head
+		}
+		hchain = append(hchain, next)
+		heads[h] = id
+		return id, true
+	}
+
+	intern(cd.initState)
+	levelOf = append(levelOf, 0)
+	var edges []cedge
+	levels := 1
+	sc := &evalScratch{}
+
+	for cur := 0; cur < len(levelOf); cur++ {
+		curLevel := int(levelOf[cur])
+		if curLevel+1 > levels {
+			levels = curLevel + 1
+			if opts.Progress != nil {
+				n := len(levelOf)
+				opts.Progress(obsv.Progress{Phase: "derive", Step: curLevel, Count: n, Value: float64(n - cur)})
+			}
+		}
+		// The view stays readable across the interning appends below:
+		// a grown arena copies the prefix, and state contents never
+		// mutate, so a stale backing array holds the same values.
+		state := arena[cur*nLeaf : (cur+1)*nLeaf]
+		lo, hi, err := cd.genMoves(state, sc)
+		if err != nil {
+			return nil, err
+		}
+		if hi == lo {
+			return nil, deadlockError(cd.label(state))
+		}
+		for k := lo; k < hi; k++ {
+			mv := &sc.moves[k]
+			if mv.rate.Passive {
+				return nil, unsyncPassiveError(cd.actNames[mv.act], cd.label(state))
+			}
+			succ := cd.successor(state, mv, sc)
+			ni, fresh := intern(succ)
+			if fresh {
+				levelOf = append(levelOf, int32(curLevel+1))
+				if len(levelOf) > maxStates {
+					return nil, fmt.Errorf("pepa: state space exceeds %d states", maxStates)
+				}
+			}
+			edges = append(edges, cedge{rate: mv.rate.Value, from: int32(cur), to: ni, act: mv.act})
+		}
+		if stats != nil {
+			stats.States = len(levelOf)
+			stats.Transitions = len(edges)
+			stats.Levels = levels
+		}
+	}
+
+	n := len(levelOf)
+	trans := make([]ctmc.Transition, len(edges))
+	for k, e := range edges {
+		trans[k] = ctmc.Transition{From: int(e.from), To: int(e.to), Rate: e.rate, Action: cd.actNames[e.act]}
+	}
+	return &StateSpace{
+		Chain:    ctmc.NewChain(cd.buildLabels(arena, n, 1), trans),
+		NumLeaf:  nLeaf,
+		codes:    arena[:n*nLeaf],
+		codeKeys: cd.keys,
+	}, nil
+}
+
+// buildLabels materialises the chain's state labels from the coded
+// arena, in parallel chunks when workers > 1 (label building is the
+// only remaining per-state string work and is embarrassingly parallel).
+func (cd *coded) buildLabels(codes []uint32, n, workers int) []string {
+	labels := make([]string, n)
+	parallelFor(workers, n, func(lo, hi int) {
+		var buf []byte
+		for i := lo; i < hi; i++ {
+			buf = buf[:0]
+			for j, c := range codes[i*cd.nLeaf : (i+1)*cd.nLeaf] {
+				if j > 0 {
+					buf = append(buf, " | "...)
+				}
+				buf = append(buf, cd.keys[c]...)
+			}
+			labels[i] = string(buf)
+		}
+	})
+	return labels
+}
+
+// parallelFor splits [0, n) into contiguous chunks across workers.
+// With one worker (or trivial n) it runs inline.
+func parallelFor(workers, n int, f func(lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n > 0 {
+			f(0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		lo, hi := i*n/workers, (i+1)*n/workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// deriveReference is the legacy string-keyed exploration: a plain FIFO
+// BFS interning joined label strings through ctmc.Builder. It shares
+// no state representation with the coded engines, which makes it the
+// independent oracle for their equivalence tests; production callers
+// never take this path unless they set DeriveOptions.Reference.
+func deriveReference(cc *compiled, nLeaf, maxStates int, opts DeriveOptions) (*StateSpace, error) {
 	start := time.Now()
 	stats := opts.Stats
 	if stats != nil {
@@ -456,14 +647,34 @@ func (ss *StateSpace) LevelExpectation(pi []float64, leaf int, prefix string) (f
 	}
 	var acc float64
 	matched := false
-	for s := 0; s < ss.Chain.NumStates(); s++ {
-		lbl := ss.leafKeys[s][leaf]
-		lvl, ok := trailingInt(lbl, prefix)
-		if !ok {
-			continue
+	if ss.codes != nil {
+		// Coded state space: match each derivative code once, then
+		// stream the per-state codes — no string work per state.
+		codeLvl := make([]int32, len(ss.codeKeys))
+		for c, key := range ss.codeKeys {
+			if lvl, ok := trailingInt(key, prefix); ok {
+				codeLvl[c] = int32(lvl)
+			} else {
+				codeLvl[c] = -1
+			}
 		}
-		matched = true
-		acc += pi[s] * float64(lvl)
+		for s := 0; s < ss.Chain.NumStates(); s++ {
+			lvl := codeLvl[ss.codes[s*ss.NumLeaf+leaf]]
+			if lvl < 0 {
+				continue
+			}
+			matched = true
+			acc += pi[s] * float64(lvl)
+		}
+	} else {
+		for s := 0; s < ss.Chain.NumStates(); s++ {
+			lvl, ok := trailingInt(ss.leafKeys[s][leaf], prefix)
+			if !ok {
+				continue
+			}
+			matched = true
+			acc += pi[s] * float64(lvl)
+		}
 	}
 	if !matched {
 		return 0, fmt.Errorf("pepa: no derivative of leaf %d matches %q<n>", leaf, prefix)

@@ -16,24 +16,40 @@
 //
 // # Derivation
 //
-// Derive explores the reachable state space breadth-first. Two
-// exploration strategies share one semantics:
+// Derive explores the reachable state space breadth-first over
+// integer-coded states. A compile step (code.go) enumerates the
+// derivative closure of every sequential leaf and assigns each
+// derivative a dense uint32 code; a global state is then a fixed-width
+// tuple of leaf codes — one packed []uint32, hashed and compared as
+// integers — and every per-code fact (outgoing moves, rates, action
+// ids, deferred semantic errors) is precomputed into flat tables. The
+// exploration loop never builds a string and allocates nothing per
+// state: state tuples live in slab arenas, visited-set entries are
+// intrusive hash chains, and move generation runs through reusable
+// scratch buffers. State label strings are materialised once, at the
+// end, straight into the exact-size slices ctmc.NewChain retains.
 //
-//   - the serial reference (derive.go): a FIFO BFS interning states
-//     in discovery order, and
+// Three engines share that semantics:
+//
+//   - the coded serial engine (derive.go): a FIFO BFS interning
+//     tuples in discovery order;
 //   - a sharded worker pool (parallel.go, DeriveOptions.Workers > 1):
-//     level-synchronous frontier expansion with lock-striped
-//     deduplication and a deterministic post-pass renumbering.
+//     level-synchronous frontier expansion with a lock-striped
+//     visited set, per-worker slabs and edge buffers, and a
+//     deterministic rank-sort renumbering per level;
+//   - the legacy string-keyed serial engine
+//     (DeriveOptions.Reference): the original direct-semantics
+//     implementation, kept as the differential-testing oracle.
 //
-// Both paths produce bit-identical chains — same state numbering,
-// same transition list — for any worker count, because shared-action
-// expansion follows sorted action order and the parallel path sorts
-// each level's discoveries by their serial discovery rank. Compiled
-// caches (canonical derivative keys, resolved sequential transitions,
-// per-cooperation action lists) are shared across workers through
-// sync.Map and make repeated per-state work O(1).
+// All three produce bit-identical chains — same state numbering, same
+// label strings, same transition order — for any worker count,
+// because shared-action expansion follows sorted action order and the
+// parallel path sorts each level's discoveries by their serial
+// discovery rank. docs/PERFORMANCE.md covers the design and the
+// measured numbers.
 //
 // DeriveOptions.Stats and DeriveOptions.Progress surface states/sec,
-// frontier depth and dedup hits (internal/obsv); cmd/pepa exposes
-// them as -workers and -stats.
+// frontier depth, dedup hits and the coded-engine counters (leaf
+// codes, tuple-hash collisions; internal/obsv); cmd/pepa exposes them
+// as -workers and -stats.
 package pepa

@@ -10,16 +10,19 @@ import (
 	"pepatags/internal/obsv"
 )
 
-// Parallel state-space derivation.
+// Parallel state-space derivation over integer-coded states.
 //
 // The exploration is level-synchronous BFS: all states at frontier
 // depth d are expanded before any state at depth d+1. Within a level
 // the frontier is split into contiguous chunks, one per worker; each
-// worker generates successors (the expensive part: apparent-rate
-// combination, leaf updates, canonical key construction) and interns
-// them into a sharded, lock-striped hash of the whole visited set.
+// worker generates successors through its own reusable evaluation
+// scratch (code.go), materialises fresh states into its own slab
+// arenas, and interns them into a visited set sharded by the integer
+// tuple hash. No strings are built and no per-state heap objects are
+// allocated on the exploration path; labels and the transition list
+// are assembled once at the end, in parallel chunks.
 //
-// Determinism: the serial reference (derive.go) numbers states in FIFO
+// Determinism: the serial engine (derive.go) numbers states in FIFO
 // discovery order, i.e. sorted by (level, position of the discovering
 // parent within its level, index of the discovering move). Workers
 // record exactly that discovery rank on every tentative state — taking
@@ -27,20 +30,38 @@ import (
 // reach the same state — and a post-pass sort per level assigns final
 // indices in rank order. Edges are emitted per worker in (parent,
 // move) order and workers own contiguous parent ranges, so
-// concatenating the per-worker edge lists in worker order reproduces
-// the serial transition list exactly. The result is bit-identical to
-// deriveSerial for any worker count.
+// concatenating the per-worker edge chunks in worker order, level by
+// level, reproduces the serial transition list exactly. The result is
+// bit-identical to deriveSerial (and to the string-keyed
+// deriveReference) for any worker count.
+//
+// Scaling: each worker's per-level work is pure CPU over its own
+// memory; the only shared mutable structure is the striped visited
+// set, whose critical section is a hash-chain walk of a few integer
+// comparisons. On a machine that exposes a single CPU the pool
+// degenerates gracefully — small frontiers are expanded inline on the
+// coordinator, so the remaining cost over serial is one goroutine
+// spawn per worker per large level.
 
 // numShards stripes the visited-state hash. A power of two well above
-// typical worker counts keeps lock contention negligible.
+// typical worker counts keeps lock contention negligible; selection
+// uses the top bits of the tuple hash, whose low bits the shard map
+// uses for its own buckets.
 const numShards = 128
 
-// pstate is one interned global state during parallel exploration.
-type pstate struct {
-	state []Process
-	key   string
-	id    int    // final BFS index; -1 while tentative in the current level
+// minStatesPerWorker bounds how thin a level may be sliced: spawning a
+// goroutine for a handful of states costs more than expanding them
+// inline, so levels below 2*minStatesPerWorker run on the coordinator.
+const minStatesPerWorker = 8
+
+// prec is one interned global state during parallel exploration. The
+// records live in per-worker slabs; codes points into a per-worker
+// u32slab block.
+type prec struct {
+	codes []uint32
+	next  *prec  // hash-chain link among states sharing a 64-bit hash
 	rank  uint64 // discovery rank within the level that first saw it
+	id    int32  // final BFS index; -1 while tentative in the current level
 }
 
 // rankOf packs (parent position in level, move index) so that integer
@@ -52,102 +73,132 @@ func rankOf(parentPos, moveIdx int) uint64 {
 
 type shard struct {
 	mu sync.Mutex
-	m  map[string]*pstate
-}
-
-func shardIndex(key string) int {
-	// FNV-1a; inlined to avoid the hash.Hash interface allocation.
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	var h uint64 = offset64
-	for i := 0; i < len(key); i++ {
-		h ^= uint64(key[i])
-		h *= prime64
-	}
-	return int(h & (numShards - 1))
+	m  map[uint64]*prec
 }
 
 // pedge is a discovered transition; the target is resolved to its
 // final index only after the level's rank sort.
 type pedge struct {
-	from   int
-	to     *pstate
-	rate   float64
-	action string
+	to   *prec
+	rate float64
+	from int32
+	act  int32
 }
 
-// workerResult is what one worker hands back for one level.
-type workerResult struct {
-	edges     []pedge
-	fresh     []*pstate // tentative states this worker won the insert for
-	dedupHits int64
-	err       error
-	errPos    int // parent position of err within the level (for first-error order)
+// precSlab block-allocates prec records so a million interned states
+// cost a few hundred allocations. Pointers into a block stay valid:
+// blocks are abandoned when full, never grown.
+type precSlab struct {
+	block []prec
 }
 
-func deriveParallel(cc *compiled, nLeaf, maxStates, workers int, opts DeriveOptions) (*StateSpace, error) {
+const precSlabBlock = 2048
+
+func (s *precSlab) alloc() *prec {
+	if len(s.block) == cap(s.block) {
+		s.block = make([]prec, 0, precSlabBlock)
+	}
+	s.block = s.block[:len(s.block)+1]
+	return &s.block[len(s.block)-1]
+}
+
+// pworker is the per-worker mutable state, reused across levels.
+type pworker struct {
+	sc     evalScratch
+	codes  u32slab
+	precs  precSlab
+	fresh  []*prec
+	edges  []pedge
+	dedup  int64
+	coll   int64
+	err    error
+	errPos int // parent position of err within the level (for first-error order)
+}
+
+func deriveParallel(cd *coded, maxStates, workers int, opts DeriveOptions) (*StateSpace, error) {
 	start := time.Now()
 	stats := opts.Stats
 	if stats != nil {
-		*stats = obsv.DeriveStats{Workers: workers}
+		*stats = obsv.DeriveStats{Workers: workers, LeafCodes: len(cd.keys)}
 		defer func() { stats.Elapsed = time.Since(start) }()
 	}
+	nLeaf := cd.nLeaf
 
-	shards := make([]*shard, numShards)
+	shards := make([]shard, numShards)
 	for i := range shards {
-		shards[i] = &shard{m: make(map[string]*pstate)}
+		shards[i].m = make(map[uint64]*prec, 64)
+	}
+	shardOf := func(h uint64) *shard { return &shards[h>>(64-7)] } // top log2(numShards) bits
+
+	rootCodes := make([]uint32, nLeaf)
+	copy(rootCodes, cd.initState)
+	root := &prec{codes: rootCodes, id: 0}
+	{
+		h := hashTuple(rootCodes)
+		shardOf(h).m[h] = root
 	}
 
-	init := make([]Process, nLeaf)
-	for i, l := range cc.leaves {
-		init[i] = l.Init
-	}
-	root := &pstate{state: init, key: cc.stateKey(init), id: 0}
-	shards[shardIndex(root.key)].m[root.key] = root
-
-	states := []*pstate{root} // in final-index order
-	var levelEdges [][]pedge  // per level, already in serial order
-	frontier := []*pstate{root}
+	states := []*prec{root} // in final-index order
+	var edgeChunks [][]pedge
+	frontier := []*prec{root}
 	level := 0
 
-	// explore expands the frontier chunk [lo, hi) and interns
-	// successors. It is the per-worker body; everything it touches in
-	// cc is either immutable or a sync.Map.
-	explore := func(lo, hi int, res *workerResult) {
+	ws := make([]*pworker, workers)
+	for i := range ws {
+		ws[i] = &pworker{}
+	}
+
+	// explore expands the frontier chunk [lo, hi) into w's buffers and
+	// interns successors. Fresh-state materialisation reserves slab
+	// space before taking the shard lock and rolls the reservation back
+	// on a lost race, so the critical section is a chain walk plus a
+	// map write.
+	explore := func(w *pworker, lo, hi int) {
+		w.fresh = w.fresh[:0]
+		w.edges = w.edges[:0]
 		for pos := lo; pos < hi; pos++ {
 			cur := frontier[pos]
-			var zero int
-			ms, err := cc.moves(cc.node, cur.state, &zero)
-			if err == nil && len(ms) == 0 {
-				err = deadlockError(cur.key)
+			mlo, mhi, err := cd.genMoves(cur.codes, &w.sc)
+			if err == nil && mhi == mlo {
+				err = deadlockError(cd.label(cur.codes))
 			}
 			if err != nil {
-				res.err, res.errPos = err, pos
+				w.err, w.errPos = err, pos
 				return
 			}
-			for k, mv := range ms {
+			for k := mlo; k < mhi; k++ {
+				mv := &w.sc.moves[k]
 				if mv.rate.Passive {
-					res.err = unsyncPassiveError(mv.action, cur.key)
-					res.errPos = pos
+					w.err = unsyncPassiveError(cd.actNames[mv.act], cd.label(cur.codes))
+					w.errPos = pos
 					return
 				}
-				next := make([]Process, nLeaf)
-				copy(next, cur.state)
-				for _, ch := range mv.changes {
-					next[ch.leaf] = ch.next
-				}
-				key := cc.stateKey(next)
-				rank := rankOf(pos, k)
-				sh := shards[shardIndex(key)]
+				succ := cd.successor(cur.codes, mv, &w.sc)
+				h := hashTuple(succ)
+				rank := rankOf(pos, k-mlo)
+				sh := shardOf(h)
 				sh.mu.Lock()
-				rec, seen := sh.m[key]
-				if !seen {
-					rec = &pstate{state: next, key: key, id: -1, rank: rank}
-					sh.m[key] = rec
+				head := sh.m[h]
+				var rec *prec
+				for r := head; r != nil; r = r.next {
+					if equalTuple(r.codes, succ) {
+						rec = r
+						break
+					}
+				}
+				if rec == nil {
+					rec = w.precs.alloc()
+					rec.codes = w.codes.alloc(nLeaf)
+					copy(rec.codes, succ)
+					rec.next = head
+					rec.rank = rank
+					rec.id = -1
+					sh.m[h] = rec
 					sh.mu.Unlock()
-					res.fresh = append(res.fresh, rec)
+					if head != nil {
+						w.coll++
+					}
+					w.fresh = append(w.fresh, rec)
 				} else {
 					if rec.id < 0 && rank < rec.rank {
 						// Tentative in this level: keep the earliest
@@ -155,68 +206,79 @@ func deriveParallel(cc *compiled, nLeaf, maxStates, workers int, opts DeriveOpti
 						rec.rank = rank
 					}
 					sh.mu.Unlock()
-					res.dedupHits++
+					w.dedup++
 				}
-				res.edges = append(res.edges, pedge{from: cur.id, to: rec, rate: mv.rate.Value, action: mv.action})
+				w.edges = append(w.edges, pedge{to: rec, rate: mv.rate.Value, from: cur.id, act: mv.act})
 			}
 		}
 	}
 
 	for len(frontier) > 0 {
-		w := workers
-		if w > len(frontier) {
-			w = len(frontier)
+		// Thin levels are not worth fanning out; expand them inline.
+		w := len(frontier) / minStatesPerWorker
+		if w > workers {
+			w = workers
 		}
-		results := make([]workerResult, w)
-		var wg sync.WaitGroup
-		for i := 0; i < w; i++ {
-			lo := i * len(frontier) / w
-			hi := (i + 1) * len(frontier) / w
-			wg.Add(1)
-			go func(lo, hi int, res *workerResult) {
-				defer wg.Done()
-				explore(lo, hi, res)
-			}(lo, hi, &results[i])
-		}
-		wg.Wait()
-
-		// Surface the error the serial scan would have hit first.
-		var firstErr error
-		firstPos := -1
-		for i := range results {
-			if results[i].err != nil && (firstPos < 0 || results[i].errPos < firstPos) {
-				firstErr, firstPos = results[i].err, results[i].errPos
+		if w <= 1 {
+			explore(ws[0], 0, len(frontier))
+			if ws[0].err != nil {
+				return nil, ws[0].err
+			}
+		} else {
+			var wg sync.WaitGroup
+			for i := 0; i < w; i++ {
+				lo := i * len(frontier) / w
+				hi := (i + 1) * len(frontier) / w
+				wg.Add(1)
+				go func(w *pworker, lo, hi int) {
+					defer wg.Done()
+					explore(w, lo, hi)
+				}(ws[i], lo, hi)
+			}
+			wg.Wait()
+			// Surface the error the serial scan would have hit first.
+			var firstErr error
+			firstPos := -1
+			for i := 0; i < w; i++ {
+				if ws[i].err != nil && (firstPos < 0 || ws[i].errPos < firstPos) {
+					firstErr, firstPos = ws[i].err, ws[i].errPos
+				}
+			}
+			if firstErr != nil {
+				return nil, firstErr
 			}
 		}
-		if firstErr != nil {
-			return nil, firstErr
+		used := 1
+		if w > 1 {
+			used = w
 		}
 
 		// Deterministic renumbering: collect this level's tentative
 		// states and sort by discovery rank == serial FIFO order.
-		var fresh []*pstate
-		var edgeCount int
-		for i := range results {
-			fresh = append(fresh, results[i].fresh...)
-			edgeCount += len(results[i].edges)
+		var fresh []*prec
+		for i := 0; i < used; i++ {
+			fresh = append(fresh, ws[i].fresh...)
 			if stats != nil {
-				stats.DedupHits += results[i].dedupHits
+				stats.DedupHits += ws[i].dedup
+				stats.HashCollisions += ws[i].coll
 			}
+			ws[i].dedup, ws[i].coll = 0, 0
 		}
 		sort.Slice(fresh, func(a, b int) bool { return fresh[a].rank < fresh[b].rank })
 		for _, rec := range fresh {
-			rec.id = len(states)
+			rec.id = int32(len(states))
 			states = append(states, rec)
 		}
 		if len(states) > maxStates {
 			return nil, fmt.Errorf("pepa: state space exceeds %d states", maxStates)
 		}
-
-		edges := make([]pedge, 0, edgeCount)
-		for i := range results {
-			edges = append(edges, results[i].edges...)
+		for i := 0; i < used; i++ {
+			if len(ws[i].edges) > 0 {
+				chunk := make([]pedge, len(ws[i].edges))
+				copy(chunk, ws[i].edges)
+				edgeChunks = append(edgeChunks, chunk)
+			}
 		}
-		levelEdges = append(levelEdges, edges)
 
 		level++
 		if stats != nil {
@@ -229,29 +291,37 @@ func deriveParallel(cc *compiled, nLeaf, maxStates, workers int, opts DeriveOpti
 		frontier = fresh
 	}
 
-	// Materialise the chain in the same order the serial path would:
-	// states by index, then edges level by level.
-	b := ctmc.NewBuilder()
-	leafKeys := make([][]string, len(states))
-	for i, rec := range states {
-		if got := b.State(rec.key); got != i {
-			panic(fmt.Sprintf("pepa: parallel renumbering out of order (%d != %d)", got, i))
+	// Assembly, streamed from the per-worker chunks: the final state
+	// order is fixed, so the codes table, the labels and the transition
+	// list are each filled by independent parallel chunks into
+	// exactly-sized slices — no builder, no global append.
+	n := len(states)
+	codes := make([]uint32, n*nLeaf)
+	parallelFor(workers, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			copy(codes[i*nLeaf:(i+1)*nLeaf], states[i].codes)
 		}
-		lk := make([]string, nLeaf)
-		for j, p := range rec.state {
-			lk[j] = cc.key(p)
-		}
-		leafKeys[i] = lk
+	})
+	offs := make([]int, len(edgeChunks)+1)
+	for i, ch := range edgeChunks {
+		offs[i+1] = offs[i] + len(ch)
 	}
-	var nTrans int
-	for _, edges := range levelEdges {
-		nTrans += len(edges)
-		for _, e := range edges {
-			b.Transition(e.from, e.to.id, e.rate, e.action)
+	trans := make([]ctmc.Transition, offs[len(edgeChunks)])
+	parallelFor(workers, len(edgeChunks), func(lo, hi int) {
+		for ci := lo; ci < hi; ci++ {
+			out := trans[offs[ci]:]
+			for k, e := range edgeChunks[ci] {
+				out[k] = ctmc.Transition{From: int(e.from), To: int(e.to.id), Rate: e.rate, Action: cd.actNames[e.act]}
+			}
 		}
-	}
+	})
 	if stats != nil {
-		stats.Transitions = nTrans
+		stats.Transitions = len(trans)
 	}
-	return &StateSpace{Chain: b.Build(), NumLeaf: nLeaf, leafKeys: leafKeys}, nil
+	return &StateSpace{
+		Chain:    ctmc.NewChain(cd.buildLabels(codes, n, workers), trans),
+		NumLeaf:  nLeaf,
+		codes:    codes,
+		codeKeys: cd.keys,
+	}, nil
 }

@@ -51,6 +51,11 @@ func TestParallelDeriveMatchesSerialOnRandomModels(t *testing.T) {
 		if err != nil {
 			t.Fatalf("trial %d: serial derive: %v", trial, err)
 		}
+		ref, err := Derive(m, DeriveOptions{Reference: true})
+		if err != nil {
+			t.Fatalf("trial %d: reference derive: %v", trial, err)
+		}
+		requireIdentical(t, ref, serial)
 		for _, workers := range []int{2, 3, 8} {
 			par, err := Derive(m, DeriveOptions{Workers: workers})
 			if err != nil {

@@ -1,0 +1,314 @@
+package pepa
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"regexp"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDeriveProfileFreeOfStringKeying pins the headline property of
+// the integer-coded engine: state identity is established on packed
+// integer tuples, so string-key construction and string hashing must
+// not show up among the hottest functions of a derivation CPU profile.
+// Before the rewrite, (*compiled).stateKey and the runtime's string
+// hashing dominated the profile; if either creeps back into the top 5
+// flat entries, the coded fast path has regressed to building keys per
+// state. The profile is decoded with a minimal protobuf reader below,
+// so the assertion needs nothing outside the standard library.
+// PERFORMANCE.md documents the interactive version of this recipe
+// (-debug-addr + go tool pprof).
+func TestDeriveProfileFreeOfStringKeying(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2s profiling run; skipped with -short")
+	}
+	m, err := Parse(twoQueueSource(250))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		t.Skipf("cannot start CPU profile: %v", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := Derive(m, DeriveOptions{}); err != nil {
+			pprof.StopCPUProfile()
+			t.Fatal(err)
+		}
+	}
+	pprof.StopCPUProfile()
+
+	flat, err := flatWeights(buf.Bytes())
+	if err != nil {
+		t.Fatalf("decoding profile: %v", err)
+	}
+	var total int64
+	for _, w := range flat {
+		total += w
+	}
+	if total == 0 {
+		t.Skip("profiler collected no samples (single-CPU container under load)")
+	}
+
+	type entry struct {
+		name   string
+		weight int64
+	}
+	top := make([]entry, 0, len(flat))
+	for name, w := range flat {
+		top = append(top, entry{name, w})
+	}
+	sort.Slice(top, func(a, b int) bool {
+		if top[a].weight != top[b].weight {
+			return top[a].weight > top[b].weight
+		}
+		return top[a].name < top[b].name
+	})
+	if len(top) > 5 {
+		top = top[:5]
+	}
+	for _, e := range top {
+		t.Logf("flat %5.1f%%  %s", 100*float64(e.weight)/float64(total), e.name)
+	}
+
+	// Signatures of the retired string-keyed design: the key builder
+	// itself, the runtime's string hashing and concatenation, and
+	// string-keyed map lookups.
+	banned := regexp.MustCompile(`stateKey|strhash|aeshash|concatstring|faststr|WriteString`)
+	for _, e := range top {
+		if banned.MatchString(e.name) {
+			t.Errorf("string-keying function %q in profile top 5 (%.1f%% flat)",
+				e.name, 100*float64(e.weight)/float64(total))
+		}
+	}
+}
+
+// twoQueueSource renders two independent M/M/1/N queues — (N+1)^2
+// reachable states, enough work to profile meaningfully.
+func twoQueueSource(n int) string {
+	var sb strings.Builder
+	sb.WriteString("l = 2.5;\nmu = 10;\n")
+	for _, q := range []struct{ name, arr, srv string }{
+		{"QA", "arrival1", "service1"}, {"QB", "arrival2", "service2"},
+	} {
+		for i := 0; i <= n; i++ {
+			fmt.Fprintf(&sb, "%s%d = ", q.name, i)
+			switch {
+			case i == 0:
+				fmt.Fprintf(&sb, "(%s, l).%s1;\n", q.arr, q.name)
+			case i == n:
+				fmt.Fprintf(&sb, "(%s, mu).%s%d;\n", q.srv, q.name, i-1)
+			default:
+				fmt.Fprintf(&sb, "(%s, l).%s%d + (%s, mu).%s%d;\n", q.arr, q.name, i+1, q.srv, q.name, i-1)
+			}
+		}
+	}
+	sb.WriteString("QA0 || QB0\n")
+	return sb.String()
+}
+
+// --- minimal pprof profile decoder ---
+//
+// runtime/pprof emits a gzipped profile.proto message. The test only
+// needs flat-weight-by-function, which takes four of its fields:
+// sample (2), location (4), function (5) and string_table (6). The
+// decoder below reads exactly those through a generic field walker;
+// everything else is skipped by wire type.
+
+// uvarint decodes the base-128 varint at b[i:].
+func uvarint(b []byte, i int) (uint64, int, error) {
+	var v uint64
+	var s uint
+	for ; i < len(b); i++ {
+		c := b[i]
+		v |= uint64(c&0x7f) << s
+		if c < 0x80 {
+			return v, i + 1, nil
+		}
+		s += 7
+		if s >= 64 {
+			break
+		}
+	}
+	return 0, 0, fmt.Errorf("pprof: truncated varint")
+}
+
+// protoFields walks one protobuf message, invoking fn per field with
+// the varint value (wire type 0) or the payload bytes (wire type 2).
+func protoFields(b []byte, fn func(field int, v uint64, data []byte) error) error {
+	for i := 0; i < len(b); {
+		key, ni, err := uvarint(b, i)
+		if err != nil {
+			return err
+		}
+		i = ni
+		field, wire := int(key>>3), int(key&7)
+		switch wire {
+		case 0:
+			v, ni, err := uvarint(b, i)
+			if err != nil {
+				return err
+			}
+			i = ni
+			if err := fn(field, v, nil); err != nil {
+				return err
+			}
+		case 1:
+			if i+8 > len(b) {
+				return fmt.Errorf("pprof: truncated fixed64")
+			}
+			i += 8
+		case 2:
+			l, ni, err := uvarint(b, i)
+			if err != nil {
+				return err
+			}
+			i = ni
+			if uint64(len(b)-i) < l {
+				return fmt.Errorf("pprof: truncated field %d", field)
+			}
+			if err := fn(field, 0, b[i:i+int(l)]); err != nil {
+				return err
+			}
+			i += int(l)
+		case 5:
+			if i+4 > len(b) {
+				return fmt.Errorf("pprof: truncated fixed32")
+			}
+			i += 4
+		default:
+			return fmt.Errorf("pprof: unsupported wire type %d", wire)
+		}
+	}
+	return nil
+}
+
+// packedUint64s appends the values of a repeated uint64 field, which
+// arrives either packed (one length-delimited blob) or as single
+// varints.
+func packedUint64s(dst []uint64, v uint64, data []byte) ([]uint64, error) {
+	if data == nil {
+		return append(dst, v), nil
+	}
+	for i := 0; i < len(data); {
+		x, ni, err := uvarint(data, i)
+		if err != nil {
+			return nil, err
+		}
+		dst = append(dst, x)
+		i = ni
+	}
+	return dst, nil
+}
+
+// flatWeights decodes a gzipped CPU profile into flat sample weight by
+// function name: each sample's full weight is attributed to the leaf
+// frame (first location, first line).
+func flatWeights(raw []byte) (map[string]int64, error) {
+	zr, err := gzip.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	data, err := io.ReadAll(zr)
+	if err != nil {
+		return nil, err
+	}
+
+	type sample struct {
+		locs []uint64
+		vals []uint64
+	}
+	var (
+		samples  []sample
+		strTab   []string
+		funcName = make(map[uint64]uint64) // function id -> string index
+		leafFunc = make(map[uint64]uint64) // location id -> leaf function id
+	)
+	err = protoFields(data, func(field int, v uint64, body []byte) error {
+		switch field {
+		case 2: // Sample
+			var s sample
+			err := protoFields(body, func(f int, v uint64, d []byte) error {
+				var err error
+				switch f {
+				case 1:
+					s.locs, err = packedUint64s(s.locs, v, d)
+				case 2:
+					s.vals, err = packedUint64s(s.vals, v, d)
+				}
+				return err
+			})
+			if err != nil {
+				return err
+			}
+			samples = append(samples, s)
+		case 4: // Location
+			var id, fid uint64
+			err := protoFields(body, func(f int, v uint64, d []byte) error {
+				switch f {
+				case 1:
+					id = v
+				case 4: // Line; the first is the innermost frame
+					if fid == 0 {
+						return protoFields(d, func(f2 int, v2 uint64, _ []byte) error {
+							if f2 == 1 && fid == 0 {
+								fid = v2
+							}
+							return nil
+						})
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			leafFunc[id] = fid
+		case 5: // Function
+			var id, name uint64
+			err := protoFields(body, func(f int, v uint64, _ []byte) error {
+				switch f {
+				case 1:
+					id = v
+				case 2:
+					name = v
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			funcName[id] = name
+		case 6: // string_table
+			strTab = append(strTab, string(body))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	flat := make(map[string]int64)
+	for _, s := range samples {
+		if len(s.locs) == 0 || len(s.vals) == 0 {
+			continue
+		}
+		// CPU profiles carry [samples, cpu-nanoseconds]; weight by the
+		// last value either way.
+		w := int64(s.vals[len(s.vals)-1])
+		name := "?"
+		if ni, ok := funcName[leafFunc[s.locs[0]]]; ok && ni < uint64(len(strTab)) {
+			name = strTab[ni]
+		}
+		flat[name] += w
+	}
+	return flat, nil
+}

@@ -72,6 +72,15 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "benchjson:", err)
 		return 1
 	}
+	// An empty summary means the bench run produced no results — a
+	// filter that matched nothing, a build failure swallowed by a
+	// pipeline, or benchmarks that all errored out. Writing "[]" would
+	// let CI and `make bench` pass silently on a broken run, so fail
+	// instead.
+	if len(s.Benchmarks) == 0 {
+		fmt.Fprintln(stderr, "benchjson: no benchmark results found on stdin (empty or non-bench input)")
+		return 1
+	}
 
 	buf, err := json.MarshalIndent(s, "", "  ")
 	if err != nil {

@@ -128,16 +128,23 @@ func TestMalformedLinesSkipped(t *testing.T) {
 	}
 }
 
-func TestEmptyInput(t *testing.T) {
-	code, stdout, _ := runCLI(t, "")
-	if code != 0 {
-		t.Fatalf("exit %d on empty input", code)
-	}
-	var s summary
-	if err := json.Unmarshal([]byte(stdout), &s); err != nil {
-		t.Fatalf("output is not JSON: %v", err)
-	}
-	if len(s.Benchmarks) != 0 {
-		t.Errorf("benchmarks from empty input: %+v", s.Benchmarks)
+// Empty or result-free input must fail loudly: CI pipes bench smoke
+// output through benchjson precisely so a filter that matches nothing
+// (or a swallowed build failure) cannot pass silently.
+func TestEmptyInputFails(t *testing.T) {
+	for _, tc := range []struct{ name, in string }{
+		{"empty", ""},
+		{"no results", "goos: linux\nPASS\nok  \tpepatags\t0.1s\n"},
+	} {
+		code, stdout, stderr := runCLI(t, tc.in)
+		if code != 1 {
+			t.Errorf("%s: exit %d, want 1", tc.name, code)
+		}
+		if stdout != "" {
+			t.Errorf("%s: wrote output despite failure: %q", tc.name, stdout)
+		}
+		if !strings.Contains(stderr, "no benchmark results") {
+			t.Errorf("%s: no diagnostic on stderr: %q", tc.name, stderr)
+		}
 	}
 }
