@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint fmt-check bench manifest-smoke sweep-smoke conform-smoke fuzz-smoke cover clean
+.PHONY: all build test race vet lint fmt-check bench manifest-smoke sweep-smoke conform-smoke fuzz-smoke overhead-smoke cover clean
 
 all: build test
 
@@ -34,14 +34,22 @@ bench:
 	$(GO) test -run=NONE -bench='BenchmarkDerive|BenchmarkSteady' -benchmem . | tee BENCH_derive.txt
 	$(GO) run ./tools/benchjson -o BENCH_derive.json < BENCH_derive.txt
 
-# Emit one manifest per CLI and validate all three against the
-# run-manifest schema.
+# Emit one manifest per CLI and validate all of them against the
+# run-manifest schema — including an intentionally failed run, whose
+# manifest must carry the error and the flight-recorder tail.
 manifest-smoke:
-	$(GO) run ./cmd/pepa -tag -manifest pepa-run.json
+	$(GO) run ./cmd/pepa -tag -manifest pepa-run.json -events pepa-run.jsonl
 	$(GO) run ./cmd/pepa -tag -lint -json -manifest pepa-lint.json > /dev/null
 	$(GO) run ./cmd/tagseval -short -fig figure6 -manifest tagseval-run.json > /dev/null
 	$(GO) run ./cmd/tagssim -jobs 20000 -stats -manifest tagssim-run.json > /dev/null 2>&1
-	$(GO) run ./tools/manifestcheck pepa-run.json pepa-lint.json tagseval-run.json tagssim-run.json
+	! $(GO) run ./cmd/pepa -tag -max-states 3 -manifest pepa-fail.json 2> /dev/null
+	$(GO) run ./tools/manifestcheck pepa-run.json pepa-lint.json tagseval-run.json tagssim-run.json pepa-fail.json
+
+# Timing-sensitive gate: full telemetry (registry + events + progress)
+# must stay within 2% of the bare derivation kernel (best-of-7 + 2ms
+# slack; see overhead_test.go).
+overhead-smoke:
+	PEPATAGS_OVERHEAD_SMOKE=1 $(GO) test -run TestTelemetryOverhead -v .
 
 # Differential-testing smoke: 200 seeded scenarios through the full
 # oracle battery, manifest validated. Zero violations expected; on
@@ -75,6 +83,7 @@ sweep-smoke:
 	$(GO) run ./tools/manifestcheck sweep-run.json
 
 clean:
-	rm -f BENCH_derive.txt BENCH_derive.json pepa-run.json pepa-lint.json tagseval-run.json tagssim-run.json \
+	rm -f BENCH_derive.txt BENCH_derive.json pepa-run.json pepa-run.jsonl pepa-lint.json pepa-fail.json \
+		tagseval-run.json tagssim-run.json \
 		sweep-clean.jsonl sweep-resume.jsonl sweep-run.json conform-run.json coverage.out
 	rm -rf conform-repros

@@ -10,6 +10,7 @@ package pepatags_test
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -442,6 +443,38 @@ func BenchmarkSimulatorTAGMetrics(b *testing.B) {
 		m := sim.NewSystem(cfg).Run(0)
 		if m.Completed == 0 {
 			b.Fatal("no completions")
+		}
+	}
+}
+
+// BenchmarkPEPADeriveTelemetry reruns the derivation kernel with the
+// full CLI telemetry plane attached — registry, rate-limited event log
+// draining to a discard sink, and progress callback — so the bench
+// family brackets the cost of everything `-events -progress` turns on.
+func BenchmarkPEPADeriveTelemetry(b *testing.B) {
+	src := core.NewTAGExp(5, 10, 42, 6, 10, 10).PEPASource()
+	reg := obsv.NewRegistry()
+	log := obsv.NewEventLog(obsv.EventLogConfig{
+		Sink:        io.Discard,
+		MinInterval: obsv.DefaultCLIMinInterval,
+	})
+	defer log.Close()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := pepa.Parse(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ss, err := pepa.Derive(m, pepa.DeriveOptions{
+			Metrics:  reg,
+			Events:   log,
+			Progress: func(obsv.Progress) {},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ss.Chain.NumStates() != 4331 {
+			b.Fatal("wrong state count")
 		}
 	}
 }

@@ -16,7 +16,9 @@
 //	pepa -stats model.pepa         # derivation/solver statistics on stderr
 //	pepa -manifest run.json ...    # machine-readable run record
 //	pepa -trace trace.json ...     # Chrome trace of the pipeline spans
-//	pepa -debug-addr :6060 ...     # pprof/expvar/metrics HTTP endpoint
+//	pepa -debug-addr :6060 ...     # pprof/expvar/metrics/events HTTP endpoint
+//	pepa -progress ...             # periodic progress lines on stderr
+//	pepa -events run.jsonl ...     # JSON-lines structured event log
 //	echo '...' | pepa -            # read from stdin
 package main
 
@@ -42,7 +44,7 @@ func main() {
 	}
 }
 
-func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (err error) {
 	fs := flag.NewFlagSet("pepa", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -59,7 +61,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		solver     = fs.String("solver", "auto", "steady-state solver: auto, gth, power, gs (Gauss-Seidel), jacobi")
 		manifest   = fs.String("manifest", "", "write a JSON run manifest to this path")
 		tracePath  = fs.String("trace", "", "write a Chrome trace-event JSON of the pipeline spans to this path")
-		debugAddr  = fs.String("debug-addr", "", "serve pprof/expvar/metrics on this address (e.g. :6060) for the duration of the run")
+		debugAddr  = fs.String("debug-addr", "", "serve pprof/expvar/metrics/events on this address (e.g. :6060) for the duration of the run")
+		events     = fs.String("events", "", "write JSON-lines structured events to this file")
+		progress   = fs.Bool("progress", false, "print periodic progress lines (states/sec, frontier, residual) to stderr")
+		progressIv = fs.Duration("progress-interval", obsv.DefaultHeartbeatInterval, "interval between -progress lines")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -74,17 +79,29 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	instrumented := *manifest != "" || *tracePath != "" || *stats
 	root := obsv.NewSpan("pepa")
 	defer root.End()
-	if *debugAddr != "" {
-		srv, bound, err := obsv.StartDebug(*debugAddr, reg)
-		if err != nil {
-			return err
-		}
-		defer srv.Close()
-		fmt.Fprintf(stderr, "debug endpoint on http://%s/debug/\n", bound)
+	tele, err := obsv.StartTelemetry(obsv.TelemetryOptions{
+		Registry:         reg,
+		EventsPath:       *events,
+		Progress:         *progress,
+		ProgressInterval: *progressIv,
+		DebugAddr:        *debugAddr,
+		Stderr:           stderr,
+		ForceLog:         *manifest != "",
+	})
+	if err != nil {
+		return err
 	}
+	// On failure, dump the flight recorder and persist it (with the
+	// error) into the manifest, so a dead run still leaves a record.
+	failManifest := *manifest
+	defer func() {
+		if err != nil {
+			tele.Fail("pepa", err, failManifest, args)
+		}
+		tele.Close()
+	}()
 
 	var src []byte
-	var err error
 	modelName := ""
 	switch {
 	case *tag:
@@ -97,13 +114,16 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		src, err = os.ReadFile(fs.Arg(0))
 		modelName = fs.Arg(0)
 	default:
-		return fmt.Errorf("usage: pepa [-lint [-json]] [-states] [-lump] [-echo] [-tag] [-workers n] [-solver s] [-stats] [-manifest f] [-trace f] [-debug-addr a] <model.pepa | ->")
+		return fmt.Errorf("usage: pepa [-lint [-json]] [-states] [-lump] [-echo] [-tag] [-workers n] [-solver s] [-stats] [-manifest f] [-trace f] [-debug-addr a] [-events f] [-progress] <model.pepa | ->")
 	}
 	if err != nil {
 		return err
 	}
 
 	if *lintOnly {
+		// runLint writes its own manifest carrying the findings; a lint
+		// failure must not clobber it with a bare failure manifest.
+		failManifest = ""
 		return runLint(modelName, string(src), *jsonOut, *manifest, args, stdout)
 	}
 
@@ -121,7 +141,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	}
 
 	deriveSpan := root.Child("derive")
-	dopts := pepa.DeriveOptions{MaxStates: *maxStates, Workers: *workers, Span: deriveSpan, Metrics: reg}
+	dopts := pepa.DeriveOptions{
+		MaxStates: *maxStates, Workers: *workers, Span: deriveSpan, Metrics: reg,
+		Events: tele.Log, Progress: tele.Heartbeat.ObserveProgress,
+	}
 	var dstats obsv.DeriveStats
 	if instrumented {
 		dopts.Stats = &dstats
@@ -141,7 +164,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stderr, "warning: %v\n", err)
 	}
 
-	sopts := linalg.Options{Workers: *workers, Metrics: reg}
+	sopts := linalg.Options{
+		Workers: *workers, Metrics: reg,
+		Events: tele.Log, Progress: tele.Heartbeat.ObserveProgress,
+	}
 	var sstats obsv.SolveStats
 	if instrumented {
 		sopts.Stats = &sstats
@@ -223,6 +249,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		}
 		m.Measures = measures
 		m.Metrics = reg.Snapshot()
+		m.Events = tele.Record()
 		rec := root.Record()
 		m.Trace = &rec
 		if err := m.WriteFile(*manifest); err != nil {

@@ -211,3 +211,72 @@ func TestRunLevelMeasure(t *testing.T) {
 		t.Fatal("bad level spec must fail")
 	}
 }
+
+// TestRunFailureManifest is the issue's "intentionally failed run"
+// acceptance case: a derivation that blows the -max-states cap must
+// still leave a manifest carrying the error and the flight-recorder
+// tail, and the recorder dump must land on stderr.
+func TestRunFailureManifest(t *testing.T) {
+	mpath := filepath.Join(t.TempDir(), "fail.json")
+	var out, errs bytes.Buffer
+	args := []string{"-tag", "-max-states", "3", "-manifest", mpath}
+	if err := run(args, strings.NewReader(""), &out, &errs); err == nil {
+		t.Fatal("expected max-states failure")
+	}
+	m, err := obsv.ReadManifest(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Error == "" || !strings.Contains(m.Error, "state space exceeds") {
+		t.Fatalf("failure manifest error %q", m.Error)
+	}
+	if m.Events == nil || len(m.Events.Recorder) == 0 {
+		t.Fatalf("failure manifest has no flight recorder: %+v", m.Events)
+	}
+	kinds := make(map[string]int)
+	for _, ev := range m.Events.Recorder {
+		kinds[ev.Kind]++
+	}
+	if kinds["derive.error"] == 0 || kinds["pepa.fail"] == 0 {
+		t.Fatalf("recorder kinds %v", kinds)
+	}
+	if !strings.Contains(errs.String(), "flight recorder") {
+		t.Fatalf("no recorder dump on stderr:\n%s", errs.String())
+	}
+}
+
+// TestRunEventsAndProgress checks the -events JSON-lines sink and the
+// -progress heartbeat on a successful run.
+func TestRunEventsAndProgress(t *testing.T) {
+	epath := filepath.Join(t.TempDir(), "run.jsonl")
+	var out, errs bytes.Buffer
+	args := []string{"-tag", "-events", epath, "-progress"}
+	if err := run(args, strings.NewReader(""), &out, &errs); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errs.String())
+	}
+	b, err := os.ReadFile(epath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := make(map[string]int)
+	var lastSeq uint64
+	for _, line := range strings.Split(strings.TrimSpace(string(b)), "\n") {
+		var ev obsv.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad event line %q: %v", line, err)
+		}
+		if ev.Seq <= lastSeq {
+			t.Fatalf("event seq not increasing: %d after %d", ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+		kinds[ev.Kind]++
+	}
+	for _, want := range []string{"derive.start", "derive.done", "solve.done", "heartbeat.final"} {
+		if kinds[want] == 0 {
+			t.Fatalf("missing %q in event sink: %v", want, kinds)
+		}
+	}
+	if !strings.Contains(errs.String(), "progress: phase=") {
+		t.Fatalf("no heartbeat line on stderr:\n%s", errs.String())
+	}
+}

@@ -47,7 +47,7 @@ func main() {
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) (err error) {
 	fs := flag.NewFlagSet("tagseval", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -61,7 +61,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		workers  = fs.Int("workers", 1, "worker goroutines for the PEPA-engine runners (-1 = one per CPU)")
 		stats    = fs.Bool("stats", false, "print per-artefact wall time to stderr")
 		manifest = fs.String("manifest", "", "write a JSON run manifest (one artefact record per figure/table) to this path")
-		debug    = fs.String("debug-addr", "", "serve pprof/expvar/metrics on this address (e.g. :6060) for the duration of the run")
+		debug    = fs.String("debug-addr", "", "serve pprof/expvar/metrics/events on this address (e.g. :6060) for the duration of the run")
+		progress = fs.Bool("progress", false, "print periodic progress lines (artefacts done, sweep points/sec, cache hit-rate) to stderr")
+		progIv   = fs.Duration("progress-interval", obsv.DefaultHeartbeatInterval, "interval between -progress lines")
+		events   = fs.String("events", "", "write JSON-lines structured events to this file")
 		sweepArg = fs.String("sweep", "", "run a sweep spec file through the batch engine (see docs/SWEEPS.md)")
 		specDump = fs.String("spec-dump", "", "print the sweep spec behind a built-in figure (figure6..figure12) as JSON and exit")
 		journal  = fs.String("journal", "", "with -sweep: append one JSON row per completed point to this file")
@@ -73,14 +76,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *workers < 0 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
-	if *debug != "" {
-		srv, bound, err := obsv.StartDebug(*debug, nil)
-		if err != nil {
-			return err
-		}
-		defer srv.Close()
-		fmt.Fprintf(stderr, "debug endpoint on http://%s/debug/\n", bound)
+	reg := obsv.NewRegistry()
+	tele, err := obsv.StartTelemetry(obsv.TelemetryOptions{
+		Registry:         reg,
+		EventsPath:       *events,
+		Progress:         *progress,
+		ProgressInterval: *progIv,
+		DebugAddr:        *debug,
+		Stderr:           stderr,
+		ForceLog:         *manifest != "",
+	})
+	if err != nil {
+		return err
 	}
+	defer func() {
+		if err != nil {
+			tele.Fail("tagseval", err, *manifest, args)
+		}
+		tele.Close()
+	}()
 
 	runners := map[string]runner{
 		"figure6":     exp.Figure6,
@@ -135,7 +149,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return nil
 	}
 	if *sweepArg != "" {
-		return runSweep(*sweepArg, p, *journal, *resume, *csv, *stats, *manifest, args, stdout, stderr)
+		return runSweep(*sweepArg, p, reg, tele, *journal, *resume, *csv, *stats, *manifest, args, stdout, stderr)
 	}
 	if *resume || *journal != "" {
 		return fmt.Errorf("-journal and -resume only apply to -sweep runs")
@@ -154,14 +168,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("nothing to do: pass -fig <name>, -all or -list")
 	}
 
+	tele.Heartbeat.SetTotal(float64(len(names)))
 	var artefacts []obsv.ArtefactRecord
-	for _, n := range names {
+	for i, n := range names {
 		start := time.Now()
 		f, err := runners[n](p)
 		if err != nil {
 			return fmt.Errorf("%s: %w", n, err)
 		}
 		elapsed := time.Since(start)
+		tele.Log.Emit(obsv.LevelInfo, "eval.artefact", n, map[string]float64{
+			"elapsed_s": elapsed.Seconds(), "done": float64(i + 1), "total": float64(len(names)),
+		})
+		tele.Heartbeat.ObserveProgress(obsv.Progress{Phase: "eval", Step: i + 1, Count: i + 1})
 		if *stats {
 			fmt.Fprintf(stderr, "%s: %v (workers=%d)\n", n, elapsed.Round(time.Millisecond), *workers)
 		}
@@ -186,6 +205,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		m.Seed = *seed
 		m.Workers = *workers
 		m.Artefacts = artefacts
+		m.Events = tele.Record()
 		if err := m.WriteFile(*manifest); err != nil {
 			return err
 		}
@@ -196,7 +216,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 // runSweep executes a spec file through the batch engine: journal and
 // resume handling, figure assembly when the spec has a figure section
 // (raw JSON rows otherwise), and the manifest's sweep record.
-func runSweep(path string, p exp.Params, journal string, resume bool, csv, stats bool, manifestPath string, args []string, stdout, stderr io.Writer) error {
+func runSweep(path string, p exp.Params, reg *obsv.Registry, tele *obsv.RunTelemetry, journal string, resume bool, csv, stats bool, manifestPath string, args []string, stdout, stderr io.Writer) error {
 	if resume && journal == "" {
 		return fmt.Errorf("-resume needs -journal (the journal is what is resumed)")
 	}
@@ -204,7 +224,6 @@ func runSweep(path string, p exp.Params, journal string, resume bool, csv, stats
 	if err != nil {
 		return err
 	}
-	reg := obsv.NewRegistry()
 	span := obsv.NewSpan("sweep")
 	res, err := sweep.Run(spec, sweep.Options{
 		Workers:  p.Workers,
@@ -212,6 +231,8 @@ func runSweep(path string, p exp.Params, journal string, resume bool, csv, stats
 		Resume:   resume,
 		Registry: reg,
 		Span:     span,
+		Events:   tele.Log,
+		Progress: tele.Heartbeat.ObserveProgress,
 	})
 	span.End()
 	if err != nil {
@@ -271,6 +292,7 @@ func runSweep(path string, p exp.Params, journal string, resume bool, csv, stats
 			CacheMisses: res.CacheMisses,
 			ElapsedSec:  res.Elapsed.Seconds(),
 		}
+		m.Events = tele.Record()
 		if err := m.WriteFile(manifestPath); err != nil {
 			return err
 		}

@@ -35,7 +35,7 @@ func main() {
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) (err error) {
 	fs := flag.NewFlagSet("tagssim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -55,8 +55,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		trace    = fs.String("trace", "", "CSV file of arrival,size pairs (overrides -dist/-lambda/-jobs)")
 		stats    = fs.Bool("stats", false, "print the metrics-registry summary (counters, gauges, histograms) to stderr")
 		manifest = fs.String("manifest", "", "write a JSON run manifest to this path")
-		debug    = fs.String("debug-addr", "", "serve pprof/expvar/metrics on this address (e.g. :6060) for the duration of the run")
-		progress = fs.Bool("progress", false, "print a liveness line to stderr every 2^16 simulated events")
+		debug    = fs.String("debug-addr", "", "serve pprof/expvar/metrics/events on this address (e.g. :6060) for the duration of the run")
+		progress = fs.Bool("progress", false, "print periodic progress lines (events/sec, completed jobs, ETA) to stderr")
+		progIv   = fs.Duration("progress-interval", obsv.DefaultHeartbeatInterval, "interval between -progress lines")
+		events   = fs.String("events", "", "write JSON-lines structured events to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -102,18 +104,28 @@ func run(args []string, stdout, stderr io.Writer) error {
 		reg = obsv.NewRegistry()
 		cfg.Metrics = reg
 	}
-	if *debug != "" {
-		srv, bound, err := obsv.StartDebug(*debug, reg)
-		if err != nil {
-			return err
-		}
-		defer srv.Close()
-		fmt.Fprintf(stderr, "debug endpoint on http://%s/debug/\n", bound)
+	tele, err := obsv.StartTelemetry(obsv.TelemetryOptions{
+		Registry:         reg,
+		EventsPath:       *events,
+		Progress:         *progress,
+		ProgressInterval: *progIv,
+		DebugAddr:        *debug,
+		Stderr:           stderr,
+		ForceLog:         *manifest != "",
+	})
+	if err != nil {
+		return err
 	}
-	if *progress {
-		cfg.Progress = func(p obsv.Progress) {
-			fmt.Fprintf(stderr, "sim: %d events, %d completed, t=%.6g\n", p.Step, p.Count, p.Value)
+	defer func() {
+		if err != nil {
+			tele.Fail("tagssim", err, *manifest, args)
 		}
+		tele.Close()
+	}()
+	cfg.Events = tele.Log
+	if *progress {
+		cfg.Progress = tele.Heartbeat.ObserveProgress
+		tele.Heartbeat.SetTotal(float64(*jobs))
 	}
 	if *trace != "" {
 		f, err := os.Open(*trace)
@@ -204,6 +216,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			mf.Measures[fmt.Sprintf("util.%d", i)] = m.Utilization(i)
 		}
 		mf.Metrics = reg.Snapshot()
+		mf.Events = tele.Record()
 		if err := mf.WriteFile(*manifest); err != nil {
 			return err
 		}

@@ -89,7 +89,7 @@ func TestRunStatsAndManifest(t *testing.T) {
 	if plain.String() != out.String() {
 		t.Fatalf("instrumented run changed the results:\nplain:\n%s\ninstrumented:\n%s", plain.String(), out.String())
 	}
-	for _, want := range []string{"metrics registry:", "counter", "sim.completed", "histogram", "sim.response", "sim: "} {
+	for _, want := range []string{"metrics registry:", "counter", "sim.completed", "histogram", "sim.response", "progress: phase=sim"} {
 		if !strings.Contains(errs.String(), want) {
 			t.Fatalf("missing %q on stderr:\n%s", want, errs.String())
 		}

@@ -1,0 +1,51 @@
+package linalg
+
+import (
+	"testing"
+
+	"pepatags/internal/numeric"
+	"pepatags/internal/obsv"
+)
+
+// TestSolverEvents: with an event log attached, a solve streams its
+// residual trace as "solve.residual" debug events and finishes with a
+// "solve.done" summary carrying the outcome.
+func TestSolverEvents(t *testing.T) {
+	log := obsv.NewEventLog(obsv.EventLogConfig{RecorderSize: 1024})
+	csr := mm1kGenerator(5, 10, 10).ToCSR()
+	pi, err := SteadyStateGaussSeidel(csr, Options{TraceEvery: 1, Events: log})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mm1kExact(5, 10, 10)
+	if d := numeric.MaxAbsDiff(pi, want); d > 1e-9 {
+		t.Fatalf("solution drifted with events attached: diff %g", d)
+	}
+
+	var residuals int
+	var done *obsv.Event
+	for _, ev := range log.Recorder() {
+		switch ev.Kind {
+		case "solve.residual":
+			residuals++
+			if ev.Level != "debug" || ev.Msg != "gauss-seidel" {
+				t.Fatalf("residual event: %+v", ev)
+			}
+		case "solve.done":
+			e := ev
+			done = &e
+		}
+	}
+	if residuals == 0 {
+		t.Fatal("no solve.residual events streamed")
+	}
+	if done == nil {
+		t.Fatal("no solve.done event")
+	}
+	if done.Fields["converged"] != 1 || done.Fields["iterations"] <= 0 {
+		t.Fatalf("solve.done fields: %+v", done.Fields)
+	}
+	if done.Fields["final_diff"] >= DefaultEps {
+		t.Fatalf("solve.done final_diff %g not below eps", done.Fields["final_diff"])
+	}
+}

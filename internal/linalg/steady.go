@@ -70,6 +70,11 @@ type Options struct {
 	// final difference is always included, so the trace ends at the
 	// value the solve converged (or gave up) at.
 	TraceEvery int
+
+	// Events, when non-nil, receives a "solve.residual" debug event on
+	// the same cadence as Progress (so the residual trace streams over
+	// /events) and a "solve.done" info event with the outcome.
+	Events *obsv.EventLog
 }
 
 func (o Options) withDefaults() Options {
@@ -95,8 +100,16 @@ func (o Options) tick(solver string, iter, n int, diff float64) {
 	if every <= 0 {
 		every = 64
 	}
-	if o.Progress != nil && iter%every == 0 {
-		o.Progress(obsv.Progress{Phase: solver, Step: iter, Count: n, Value: diff})
+	if iter%every == 0 {
+		if o.Progress != nil {
+			o.Progress(obsv.Progress{Phase: solver, Step: iter, Count: n, Value: diff})
+		}
+		if o.Events != nil {
+			o.Events.Emit(obsv.LevelDebug, "solve.residual", solver, map[string]float64{
+				"iter": float64(iter),
+				"diff": diff,
+			})
+		}
 	}
 }
 
@@ -121,6 +134,18 @@ func (o Options) finish(solver string, start time.Time, iters int, diff float64,
 		o.Metrics.Counter(metricSolveCount).Inc()
 		o.Metrics.Counter(metricSolveIterations).Add(int64(iters))
 		o.Metrics.Histogram(metricSolveSeconds).Observe(time.Since(start).Seconds())
+	}
+	if o.Events != nil {
+		conv := 0.0
+		if converged {
+			conv = 1
+		}
+		o.Events.Emit(obsv.LevelInfo, "solve.done", solver, map[string]float64{
+			"iterations": float64(iters),
+			"final_diff": diff,
+			"converged":  conv,
+			"elapsed_s":  time.Since(start).Seconds(),
+		})
 	}
 }
 

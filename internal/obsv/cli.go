@@ -1,0 +1,153 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+)
+
+// DefaultCLIMinInterval is the per-kind rate limit CLI event logs
+// apply to debug/info events, bounding sink volume on runs that emit
+// thousands of progress events per second. Warnings and errors are
+// never limited.
+const DefaultCLIMinInterval = 100 * time.Millisecond
+
+// TelemetryOptions gathers the telemetry flags every CLI shares:
+// -events, -progress, -progress-interval and -debug-addr.
+type TelemetryOptions struct {
+	// Registry is scraped by /metrics and /debug/metrics; may be nil.
+	Registry *Registry
+	// EventsPath is the -events JSON-lines sink path; "" disables the
+	// file sink (the in-memory flight recorder still runs).
+	EventsPath string
+	// Progress turns on the heartbeat: periodic progress lines on
+	// Stderr plus "heartbeat" events.
+	Progress bool
+	// ProgressInterval is the beat interval; <= 0 means
+	// DefaultHeartbeatInterval.
+	ProgressInterval time.Duration
+	// DebugAddr, when non-empty, serves the debug endpoint there.
+	DebugAddr string
+	// Stderr receives heartbeat lines, the endpoint banner and
+	// flight-recorder dumps; nil means discard.
+	Stderr io.Writer
+	// ForceLog keeps the event log (and so the flight recorder) alive
+	// even when no event flag is set — the CLIs pass -manifest here so
+	// failure manifests always carry the recorder.
+	ForceLog bool
+}
+
+// RunTelemetry is one CLI run's live telemetry plane: the event log
+// (with its flight recorder and optional -events sink), the -progress
+// heartbeat and the -debug-addr HTTP endpoint. Fields are nil when the
+// corresponding flag is off; every downstream consumer (engine option
+// structs, Heartbeat methods) is nil-safe, so callers thread Log and
+// Heartbeat without checks.
+type RunTelemetry struct {
+	Log       *EventLog
+	Heartbeat *Heartbeat
+	// BoundAddr is the debug endpoint's concrete address ("" when off).
+	BoundAddr string
+
+	eventsPath string
+	sink       *os.File
+	srv        *http.Server
+	stopSignal func()
+	stderr     io.Writer
+	closed     bool
+}
+
+// StartTelemetry wires up the telemetry plane for one CLI run. The
+// event log exists when any of -events, -progress, -debug-addr or
+// ForceLog asks for it; a signal handler dumps the flight recorder to
+// stderr on SIGINT/SIGTERM for the lifetime of the run.
+func StartTelemetry(o TelemetryOptions) (*RunTelemetry, error) {
+	rt := &RunTelemetry{eventsPath: o.EventsPath, stderr: o.Stderr}
+	if rt.stderr == nil {
+		rt.stderr = io.Discard
+	}
+	if o.EventsPath != "" || o.Progress || o.DebugAddr != "" || o.ForceLog {
+		cfg := EventLogConfig{MinInterval: DefaultCLIMinInterval}
+		if o.EventsPath != "" {
+			f, err := os.Create(o.EventsPath)
+			if err != nil {
+				return nil, fmt.Errorf("obsv: -events: %w", err)
+			}
+			rt.sink = f
+			cfg.Sink = f
+		}
+		rt.Log = NewEventLog(cfg)
+		rt.stopSignal = rt.Log.DumpOnSignal(rt.stderr)
+	}
+	if o.Progress {
+		rt.Heartbeat = NewHeartbeat(o.ProgressInterval, rt.stderr, rt.Log)
+		rt.Heartbeat.Start()
+	}
+	if o.DebugAddr != "" {
+		srv, bound, err := StartDebug(o.DebugAddr, o.Registry, rt.Log)
+		if err != nil {
+			rt.Close()
+			return nil, err
+		}
+		rt.srv = srv
+		rt.BoundAddr = bound
+		fmt.Fprintf(rt.stderr, "debug endpoint on http://%s/debug/ (scrape /metrics, stream /events)\n", bound)
+	}
+	return rt, nil
+}
+
+// Record returns the run's event accounting for the manifest, or nil
+// when no event log ran. Nil-safe.
+func (rt *RunTelemetry) Record() *EventLogRecord {
+	if rt == nil {
+		return nil
+	}
+	return rt.Log.Record(rt.eventsPath)
+}
+
+// Fail records a failed run: the error lands in the event log, the
+// flight recorder is dumped to stderr, and — when the run asked for a
+// manifest — a failure manifest is written carrying the error and the
+// recorder tail, so the diagnosis survives the process. Nil-safe; a
+// nil error or absent log is a no-op.
+func (rt *RunTelemetry) Fail(tool string, runErr error, manifestPath string, cliArgs []string) {
+	if rt == nil || rt.Log == nil || runErr == nil {
+		return
+	}
+	rt.Log.Errorf(tool+".fail", "%v", runErr)
+	rt.Heartbeat.Stop()
+	rt.Log.DumpRecorder(rt.stderr)
+	if manifestPath == "" {
+		return
+	}
+	m := NewManifest(tool)
+	m.Args = cliArgs
+	m.Error = runErr.Error()
+	m.Events = rt.Record()
+	if err := m.WriteFile(manifestPath); err != nil {
+		fmt.Fprintf(rt.stderr, "failure manifest: %v\n", err)
+	}
+}
+
+// Close stops the heartbeat (emitting its final beat), shuts the debug
+// server, detaches the signal handler and closes the event sink.
+// Nil-safe and idempotent; intended for defer.
+func (rt *RunTelemetry) Close() {
+	if rt == nil || rt.closed {
+		return
+	}
+	rt.closed = true
+	rt.Heartbeat.Stop()
+	if rt.srv != nil {
+		rt.srv.Close()
+	}
+	if rt.stopSignal != nil {
+		rt.stopSignal()
+	}
+	rt.Log.Close()
+	if rt.sink != nil {
+		rt.sink.Close()
+	}
+}

@@ -3,26 +3,41 @@ package obsv
 import (
 	"encoding/json"
 	"expvar"
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+	"strings"
+	"time"
 )
 
-// StartDebug starts the opt-in debugging endpoint behind the CLIs'
+// eventsLongPollTimeout bounds a /events long-poll request with no
+// explicit ?timeout.
+const eventsLongPollTimeout = 30 * time.Second
+
+// StartDebug starts the opt-in telemetry endpoint behind the CLIs'
 // -debug-addr flag. It serves:
 //
+//	/metrics           OpenMetrics/Prometheus text exposition of the
+//	                   registry — point a Prometheus scrape here
+//	/events            the structured event stream: long-poll JSON
+//	                   (?since=<seq>&timeout=<dur>) or SSE when the
+//	                   request accepts text/event-stream
 //	/debug/pprof/...   the standard Go profiler (CPU, heap, goroutine,
 //	                   block, execution trace) — the way to profile a
 //	                   long derivation or simulation in flight
 //	/debug/vars        expvar (memstats, cmdline)
-//	/debug/metrics     the registry, as text or ?format=json
+//	/debug/metrics     the registry snapshot, as aligned text or
+//	                   ?format=json (full histogram buckets included)
 //
-// reg may be nil, in which case /debug/metrics reports an empty
-// snapshot. The listener binds immediately (so ":0" gets a concrete
-// port, returned as addr) and the server runs until Close. The server
-// is deliberately mounted on its own mux, not http.DefaultServeMux,
-// so importing obsv never opens endpoints by side effect.
-func StartDebug(addr string, reg *Registry) (srv *http.Server, boundAddr string, err error) {
+// reg and log may each be nil, in which case the corresponding
+// endpoints report an empty snapshot / 404. The listener binds
+// immediately (so ":0" gets a concrete port, returned as addr) and the
+// server runs until Close. The server is deliberately mounted on its
+// own mux, not http.DefaultServeMux, so importing obsv never opens
+// endpoints by side effect.
+func StartDebug(addr string, reg *Registry, log *EventLog) (srv *http.Server, boundAddr string, err error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -37,13 +52,30 @@ func StartDebug(addr string, reg *Registry) (srv *http.Server, boundAddr string,
 		}
 		if r.URL.Query().Get("format") == "json" {
 			w.Header().Set("Content-Type", "application/json")
-			json.NewEncoder(w).Encode(snap)
+			if err := json.NewEncoder(w).Encode(snap); err != nil {
+				return
+			}
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		if reg != nil {
 			reg.WriteSummary(w)
 		}
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", openMetricsContentType)
+		if reg == nil {
+			fmt.Fprintln(w, "# EOF")
+			return
+		}
+		reg.WriteOpenMetrics(w)
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		if log == nil {
+			http.Error(w, "no event log attached (run with -events or a registry-bearing flag)", http.StatusNotFound)
+			return
+		}
+		serveEvents(w, r, log)
 	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -52,4 +84,95 @@ func StartDebug(addr string, reg *Registry) (srv *http.Server, boundAddr string,
 	srv = &http.Server{Handler: mux}
 	go srv.Serve(ln)
 	return srv, ln.Addr().String(), nil
+}
+
+// serveEvents streams the event log over HTTP. Two modes:
+//
+//   - SSE, when the client sends Accept: text/event-stream (or
+//     ?stream=sse): one `data: <json>` frame per event, starting after
+//     ?since (default: now), until the client disconnects or the log
+//     closes. `id:` carries the event Seq so EventSource reconnection
+//     resumes correctly via Last-Event-ID.
+//
+//   - Long-poll JSON otherwise: block until events past ?since exist
+//     (bounded by ?timeout, default 30s, max 5m), then return them as
+//     a JSON array. An empty array means the timeout passed; the
+//     X-Events-Closed: 1 response header means the log is closed and
+//     polling can stop.
+func serveEvents(w http.ResponseWriter, r *http.Request, log *EventLog) {
+	q := r.URL.Query()
+	since := log.Seq()
+	if s := q.Get("since"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			http.Error(w, "bad since: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		since = v
+	}
+	sse := q.Get("stream") == "sse" || strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if !sse {
+		// Long-poll: one bounded wait, one JSON array.
+		timeout := eventsLongPollTimeout
+		if s := q.Get("timeout"); s != "" {
+			d, err := time.ParseDuration(s)
+			if err != nil {
+				http.Error(w, "bad timeout: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			timeout = d
+		}
+		if timeout > 5*time.Minute {
+			timeout = 5 * time.Minute
+		}
+		evs, open := log.Wait(since, timeout)
+		w.Header().Set("Content-Type", "application/json")
+		if !open {
+			w.Header().Set("X-Events-Closed", "1")
+		}
+		if evs == nil {
+			evs = []Event{}
+		}
+		json.NewEncoder(w).Encode(evs)
+		return
+	}
+
+	// SSE: resume from Last-Event-ID on reconnect, else ?since.
+	if id := r.Header.Get("Last-Event-ID"); id != "" {
+		if v, err := strconv.ParseUint(id, 10, 64); err == nil {
+			since = v
+		}
+	}
+	fl, canFlush := w.(http.Flusher)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	if canFlush {
+		fl.Flush()
+	}
+	ctx := r.Context()
+	for {
+		evs, open := log.Wait(since, time.Second)
+		for _, ev := range evs {
+			b, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "id: %d\ndata: %s\n\n", ev.Seq, b); err != nil {
+				return
+			}
+			since = ev.Seq
+		}
+		if canFlush {
+			fl.Flush()
+		}
+		if !open {
+			return
+		}
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+	}
 }

@@ -1,24 +1,27 @@
 package obsv
 
 import (
+	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestStartDebug(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("test.hits").Add(5)
 	reg.Histogram("test.lat").Observe(0.5)
-	srv, addr, err := StartDebug("127.0.0.1:0", reg)
+	srv, addr, err := StartDebug("127.0.0.1:0", reg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Close()
 
-	get := func(path string) (int, string) {
+	get := func(path string) (int, string, http.Header) {
 		t.Helper()
 		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
 		if err != nil {
@@ -26,35 +29,209 @@ func TestStartDebug(t *testing.T) {
 		}
 		defer resp.Body.Close()
 		b, _ := io.ReadAll(resp.Body)
-		return resp.StatusCode, string(b)
+		return resp.StatusCode, string(b), resp.Header
 	}
 
-	if code, body := get("/debug/metrics"); code != 200 || !strings.Contains(body, "test.hits") {
+	code, body, hdr := get("/debug/metrics")
+	if code != 200 || !strings.Contains(body, "test.hits") {
 		t.Fatalf("/debug/metrics: code %d body %q", code, body)
 	}
-	if code, body := get("/debug/metrics?format=json"); code != 200 || !strings.Contains(body, `"test.lat"`) {
-		t.Fatalf("/debug/metrics json: code %d body %q", code, body)
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/debug/metrics Content-Type %q", ct)
 	}
-	if code, body := get("/debug/vars"); code != 200 || !strings.Contains(body, "memstats") {
+
+	// The JSON dump must carry the histogram bucket boundaries, not
+	// just the quantile point estimates.
+	code, body, hdr = get("/debug/metrics?format=json")
+	if code != 200 || hdr.Get("Content-Type") != "application/json" {
+		t.Fatalf("/debug/metrics json: code %d Content-Type %q", code, hdr.Get("Content-Type"))
+	}
+	var snap []Metric
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("json dump: %v\n%s", err, body)
+	}
+	var hist *Metric
+	for i := range snap {
+		if snap[i].Name == "test.lat" {
+			hist = &snap[i]
+		}
+	}
+	if hist == nil || len(hist.Buckets) == 0 {
+		t.Fatalf("histogram buckets missing from JSON dump: %+v", hist)
+	}
+	if hist.Buckets[0].Upper <= 0.5 || hist.Buckets[0].Count != 1 {
+		t.Fatalf("bucket boundary wrong: %+v", hist.Buckets)
+	}
+
+	if code, body, _ := get("/debug/vars"); code != 200 || !strings.Contains(body, "memstats") {
 		t.Fatalf("/debug/vars: code %d body %.80q", code, body)
 	}
-	if code, _ := get("/debug/pprof/"); code != 200 {
+	if code, _, _ := get("/debug/pprof/"); code != 200 {
 		t.Fatalf("/debug/pprof/: code %d", code)
+	}
+
+	// /metrics serves OpenMetrics text that round-trips through the
+	// in-repo parser.
+	code, body, hdr = get("/metrics")
+	if code != 200 || hdr.Get("Content-Type") != openMetricsContentType {
+		t.Fatalf("/metrics: code %d Content-Type %q", code, hdr.Get("Content-Type"))
+	}
+	fams, err := ParseOpenMetrics(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("/metrics does not parse: %v\n%s", err, body)
+	}
+	if f := fams["test_hits"]; f == nil || f.Type != "counter" || f.Samples[0].Value != 5 {
+		t.Fatalf("test_hits family: %+v", f)
+	}
+	if f := fams["test_lat"]; f == nil || f.Type != "histogram" {
+		t.Fatalf("test_lat family: %+v", f)
+	}
+
+	// No event log attached: /events is a 404, not a hang.
+	if code, _, _ := get("/events"); code != 404 {
+		t.Fatalf("/events without log: code %d", code)
 	}
 }
 
 func TestStartDebugNilRegistry(t *testing.T) {
-	srv, addr, err := StartDebug("127.0.0.1:0", nil)
+	srv, addr, err := StartDebug("127.0.0.1:0", nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	resp, err := http.Get("http://" + addr + "/debug/metrics")
+	for _, path := range []string{"/debug/metrics", "/metrics"} {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s: code %d", path, resp.StatusCode)
+		}
+		if path == "/metrics" && !strings.Contains(string(b), "# EOF") {
+			t.Fatalf("/metrics without registry must still be a valid exposition: %q", string(b))
+		}
+	}
+}
+
+func TestEventsLongPoll(t *testing.T) {
+	log := NewEventLog(EventLogConfig{})
+	srv, addr, err := StartDebug("127.0.0.1:0", nil, log)
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer srv.Close()
+
+	log.Emit(LevelInfo, "a.b", "first", nil)
+
+	// since=0 returns the buffered event immediately.
+	resp, err := http.Get("http://" + addr + "/events?since=0&timeout=5s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evs []Event
+	if err := json.NewDecoder(resp.Body).Decode(&evs); err != nil {
+		t.Fatal(err)
+	}
 	resp.Body.Close()
-	if resp.StatusCode != 200 {
-		t.Fatalf("code %d", resp.StatusCode)
+	if len(evs) != 1 || evs[0].Msg != "first" {
+		t.Fatalf("long-poll events: %+v", evs)
+	}
+
+	// A poll past the head blocks until the next emit.
+	ch := make(chan []Event, 1)
+	go func() {
+		resp, err := http.Get(fmt.Sprintf("http://%s/events?since=%d&timeout=10s", addr, evs[0].Seq))
+		if err != nil {
+			ch <- nil
+			return
+		}
+		defer resp.Body.Close()
+		var got []Event
+		json.NewDecoder(resp.Body).Decode(&got)
+		ch <- got
+	}()
+	time.Sleep(30 * time.Millisecond)
+	log.Emit(LevelWarn, "a.b", "second", nil)
+	select {
+	case got := <-ch:
+		if len(got) != 1 || got[0].Msg != "second" {
+			t.Fatalf("blocked poll returned %+v", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("long-poll never returned")
+	}
+
+	// Bad query parameters are 400s.
+	for _, q := range []string{"?since=x", "?timeout=x"} {
+		resp, err := http.Get("http://" + addr + "/events" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 400 {
+			t.Fatalf("%s: code %d", q, resp.StatusCode)
+		}
+	}
+
+	// After Close the poll reports the closed header so pollers stop.
+	log.Close()
+	resp, err = http.Get("http://" + addr + "/events?since=0&timeout=1s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.Header.Get("X-Events-Closed") != "1" {
+		t.Fatal("missing X-Events-Closed after Close")
+	}
+}
+
+func TestEventsSSE(t *testing.T) {
+	log := NewEventLog(EventLogConfig{})
+	srv, addr, err := StartDebug("127.0.0.1:0", nil, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	req, _ := http.NewRequest("GET", "http://"+addr+"/events?since=0", nil)
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+
+	log.Emit(LevelInfo, "sse.test", "hello", map[string]float64{"n": 1})
+	log.Emit(LevelInfo, "sse.test", "world", map[string]float64{"n": 2})
+
+	sc := bufio.NewScanner(resp.Body)
+	var ids []string
+	var payloads []Event
+	deadline := time.AfterFunc(10*time.Second, func() { resp.Body.Close() })
+	defer deadline.Stop()
+	for sc.Scan() && len(payloads) < 2 {
+		line := sc.Text()
+		if id, ok := strings.CutPrefix(line, "id: "); ok {
+			ids = append(ids, id)
+		}
+		if data, ok := strings.CutPrefix(line, "data: "); ok {
+			var ev Event
+			if err := json.Unmarshal([]byte(data), &ev); err != nil {
+				t.Fatalf("bad SSE data %q: %v", data, err)
+			}
+			payloads = append(payloads, ev)
+		}
+	}
+	if len(payloads) != 2 || payloads[0].Msg != "hello" || payloads[1].Msg != "world" {
+		t.Fatalf("SSE events: %+v", payloads)
+	}
+	if len(ids) != 2 || ids[0] != fmt.Sprint(payloads[0].Seq) {
+		t.Fatalf("SSE ids %v for %+v", ids, payloads)
 	}
 }

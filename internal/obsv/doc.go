@@ -1,7 +1,7 @@
 // Package obsv is the observability layer shared by the state-space
 // deriver (internal/pepa), the iterative solvers (internal/linalg),
-// the simulator (internal/sim) and the three CLIs. It has four parts,
-// each usable on its own:
+// the sweep engine (internal/sweep), the simulator (internal/sim) and
+// the three CLIs. It has six parts, each usable on its own:
 //
 //   - Run statistics and progress callbacks. DeriveStats describes one
 //     state-space derivation (filled via pepa.DeriveOptions.Stats, even
@@ -24,15 +24,37 @@
 //     tree renderer and a Chrome trace-event JSON export for
 //     chrome://tracing / Perfetto.
 //
+//   - A structured event log (event.go). EventLog carries leveled,
+//     rate-limited events (derive.*, solve.*, sweep.*, sim.*) to an
+//     optional JSON-lines sink and always into a fixed-size
+//     flight-recorder ring of the most recent events, dumped on
+//     failure or signal so dead runs stay diagnosable. Wait() is the
+//     long-poll primitive behind the /events endpoint. All methods
+//     are nil-receiver-safe, so producers thread an optional log with
+//     no conditionals.
+//
+//   - A progress heartbeat (heartbeat.go). Heartbeat turns the
+//     Progress callback stream into periodic "progress: phase=..."
+//     lines with rates and ETA — the -progress flag shared by all
+//     three CLIs — and mirrors each beat as a heartbeat event.
+//
 //   - Run manifests (manifest.go). Manifest is the machine-readable
 //     record of one CLI run — schema-tagged JSON carrying the full
 //     parameter set, seed, derive/solve stats, result measures,
-//     artefact series, a metrics snapshot and the span tree. The
-//     -manifest flag of cmd/pepa, cmd/tagseval and cmd/tagssim writes
-//     one; tools/manifestcheck validates them in CI.
+//     artefact series, a metrics snapshot, the span tree and the
+//     event-log accounting (with the flight-recorder tail and the
+//     error on failed runs). The -manifest flag of cmd/pepa,
+//     cmd/tagseval and cmd/tagssim writes one; tools/manifestcheck
+//     validates them in CI.
 //
 // StartDebug (debug.go) serves the opt-in -debug-addr HTTP endpoint:
-// pprof, expvar and a live registry dump.
+// an OpenMetrics /metrics exposition of the registry (openmetrics.go;
+// ParseOpenMetrics is the round-trip parser the tests scrape it
+// with), a live /events stream (long-poll JSON or SSE), pprof, expvar
+// and the human-oriented /debug/metrics dump. StartTelemetry
+// (cli.go) bundles all of it — event log, heartbeat, signal-dump,
+// debug server, failure manifests — behind the flags the CLIs share.
+// docs/OBSERVABILITY.md documents the plane end to end.
 //
 // obsv depends only on the standard library and is imported by the
 // layers below it; it must never import any other internal package.

@@ -1,0 +1,104 @@
+// Package obsv_test holds the end-to-end acceptance test for the live
+// telemetry plane: it must live outside package obsv because it drives
+// a real derivation (internal/pepa imports obsv, so an internal test
+// would be an import cycle).
+package obsv_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"pepatags/internal/core"
+	"pepatags/internal/obsv"
+	"pepatags/internal/pepa"
+)
+
+// TestEventsStreamLiveDerivation is the issue's acceptance scenario: a
+// K=28 TAG derivation runs with the debug endpoint up, and an HTTP
+// client long-polling /events receives the derivation's own events
+// while metrics land on /metrics. The poll loop follows seq cursors
+// exactly as a real consumer would.
+func TestEventsStreamLiveDerivation(t *testing.T) {
+	model, err := pepa.Parse(core.NewTAGExp(5, 10, 42, 6, 28, 28).PEPASource())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obsv.NewRegistry()
+	log := obsv.NewEventLog(obsv.EventLogConfig{RecorderSize: 4096})
+	srv, addr, err := obsv.StartDebug("127.0.0.1:0", reg, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	type result struct {
+		states int
+		err    error
+	}
+	derived := make(chan result, 1)
+	go func() {
+		ss, err := pepa.Derive(model, pepa.DeriveOptions{Workers: 2, Metrics: reg, Events: log})
+		if err != nil {
+			derived <- result{err: err}
+			return
+		}
+		derived <- result{states: ss.Chain.NumStates()}
+	}()
+
+	// Long-poll with a moving cursor until the derivation reports done.
+	kinds := make(map[string]int)
+	var since uint64
+	deadline := time.Now().Add(60 * time.Second)
+	for kinds["derive.done"] == 0 && time.Now().Before(deadline) {
+		resp, err := http.Get(fmt.Sprintf("http://%s/events?since=%d&timeout=2s", addr, since))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var evs []obsv.Event
+		err = json.NewDecoder(resp.Body).Decode(&evs)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ev := range evs {
+			kinds[ev.Kind]++
+			since = ev.Seq
+		}
+	}
+	res := <-derived
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	if res.states < 1000 {
+		t.Fatalf("K=28 model derived only %d states", res.states)
+	}
+	if kinds["derive.start"] != 1 || kinds["derive.done"] != 1 {
+		t.Fatalf("streamed kinds: %v", kinds)
+	}
+	if kinds["derive.level"] == 0 {
+		t.Fatalf("no per-level events streamed: %v", kinds)
+	}
+
+	// The same run's aggregates are scrapable from /metrics.
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	fams, err := obsv.ParseOpenMetrics(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	df := fams["derive_states"]
+	if df == nil || len(df.Samples) == 0 || df.Samples[0].Value != float64(res.states) {
+		t.Fatalf("derive_states family: %+v", df)
+	}
+	if !strings.HasPrefix(resp.Header.Get("Content-Type"), "application/openmetrics-text") {
+		t.Fatalf("Content-Type %q", resp.Header.Get("Content-Type"))
+	}
+}

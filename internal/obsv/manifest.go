@@ -68,6 +68,19 @@ type Manifest struct {
 	// survived. The full report, including shrunken reproducers, lives
 	// in the tool's -json output; the manifest keeps the accounting.
 	Conform *ConformRecord `json:"conform,omitempty"`
+
+	// Events is the event-log accounting for the run: how many events
+	// were emitted/dropped per level, where the JSON-lines sink went
+	// (-events), and — on a failed or interrupted run — the flight
+	// recorder's tail of the last events before the failure. See
+	// docs/OBSERVABILITY.md.
+	Events *EventLogRecord `json:"events,omitempty"`
+
+	// Error records why the run failed, for manifests written on the
+	// failure path. A manifest with a non-empty Error is allowed to
+	// record no results (the run never produced any); the events
+	// section then carries the diagnosis.
+	Error string `json:"error,omitempty"`
 }
 
 // ConformRecord is the accounting of one tools/conform run.
@@ -211,6 +224,35 @@ func (m *Manifest) Validate() error {
 		}
 		if c.Checks > 0 && c.Scenarios == 0 {
 			return fmt.Errorf("obsv: conform record has %d checks over zero scenarios", c.Checks)
+		}
+	}
+	if e := m.Events; e != nil {
+		if e.Emitted < 0 || e.Dropped < 0 || e.SinkErrs < 0 {
+			return fmt.Errorf("obsv: events record has negative counts")
+		}
+		var byLevel int64
+		for level, n := range e.ByLevel {
+			if _, ok := ParseLevel(level); !ok {
+				return fmt.Errorf("obsv: events record counts unknown level %q", level)
+			}
+			if n < 0 {
+				return fmt.Errorf("obsv: events record has %d %s events", n, level)
+			}
+			byLevel += n
+		}
+		if len(e.ByLevel) > 0 && byLevel != e.Emitted {
+			return fmt.Errorf("obsv: events record by_level sums to %d, emitted is %d", byLevel, e.Emitted)
+		}
+		if int64(len(e.Recorder)) > e.Emitted {
+			return fmt.Errorf("obsv: events recorder holds %d events but only %d were emitted", len(e.Recorder), e.Emitted)
+		}
+		for i, ev := range e.Recorder {
+			if ev.Seq == 0 || ev.Kind == "" {
+				return fmt.Errorf("obsv: recorder event %d has no seq or kind", i)
+			}
+			if i > 0 && ev.Seq <= e.Recorder[i-1].Seq {
+				return fmt.Errorf("obsv: recorder events out of order at %d (seq %d after %d)", i, ev.Seq, e.Recorder[i-1].Seq)
+			}
 		}
 	}
 	if l := m.Lint; l != nil {

@@ -35,6 +35,14 @@ func sampleManifest() *Manifest {
 		CacheHits: 28, CacheMisses: 1, ElapsedSec: 1.5,
 	}
 	m.Trace = &SpanRecord{Name: "run", DurUS: 100, Children: []SpanRecord{{Name: "derive", StartUS: 1, DurUS: 50}}}
+	m.Events = &EventLogRecord{
+		Emitted: 3, Dropped: 1, Sink: "run-events.jsonl",
+		ByLevel: map[string]int64{"info": 2, "error": 1},
+		Recorder: []Event{
+			{Seq: 2, TS: "2026-08-08T00:00:00Z", Level: "info", Kind: "derive.level", Fields: map[string]float64{"level": 3}},
+			{Seq: 3, TS: "2026-08-08T00:00:01Z", Level: "error", Kind: "derive.error", Msg: "boom"},
+		},
+	}
 	return m
 }
 
@@ -81,6 +89,12 @@ func TestManifestValidate(t *testing.T) {
 		{"sweep without points", func(m *Manifest) { m.Sweep.Points = 0 }},
 		{"sweep resumed beyond points", func(m *Manifest) { m.Sweep.Resumed = m.Sweep.Points + 1 }},
 		{"sweep negative cache counter", func(m *Manifest) { m.Sweep.CacheMisses = -1 }},
+		{"events negative counts", func(m *Manifest) { m.Events.Dropped = -1 }},
+		{"events unknown level", func(m *Manifest) { m.Events.ByLevel = map[string]int64{"fatal": 3} }},
+		{"events by_level mismatch", func(m *Manifest) { m.Events.ByLevel = map[string]int64{"info": 1} }},
+		{"events recorder exceeds emitted", func(m *Manifest) { m.Events.Emitted = 1; m.Events.ByLevel = nil }},
+		{"events recorder kindless event", func(m *Manifest) { m.Events.Recorder[0].Kind = "" }},
+		{"events recorder out of order", func(m *Manifest) { m.Events.Recorder[1].Seq = 1 }},
 	}
 	for _, tc := range cases {
 		m := ok()

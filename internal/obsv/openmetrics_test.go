@@ -1,0 +1,202 @@
+package obsv
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// buildTestRegistry populates a registry with one of each instrument
+// kind, including an indexed gauge family whose dotted name must be
+// sanitized for exposition.
+func buildTestRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("derive.count").Add(3)
+	r.Counter("sweep.cache_hits").Add(41)
+	r.Gauge("sim.node0.queue").Set(4.5)
+	h := r.Histogram("solve.seconds")
+	for _, x := range []float64{0.001, 0.002, 0.004, 0.008, 0.5, 1.5} {
+		h.Observe(x)
+	}
+	return r
+}
+
+func TestOpenMetricsRoundTrip(t *testing.T) {
+	r := buildTestRegistry()
+	var buf bytes.Buffer
+	if err := r.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.HasSuffix(strings.TrimRight(text, "\n"), "# EOF") {
+		t.Fatalf("exposition does not end with # EOF:\n%s", text)
+	}
+
+	fams, err := ParseOpenMetrics(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("ParseOpenMetrics: %v\n%s", err, text)
+	}
+
+	// Counters: value survives, sample carries the _total suffix.
+	c := fams["derive_count"]
+	if c == nil || c.Type != "counter" {
+		t.Fatalf("derive_count family missing or mistyped: %+v", c)
+	}
+	if len(c.Samples) != 1 || c.Samples[0].Name != "derive_count_total" || c.Samples[0].Value != 3 {
+		t.Fatalf("derive_count samples: %+v", c.Samples)
+	}
+
+	// Gauges: dotted name sanitized, value exact.
+	g := fams["sim_node0_queue"]
+	if g == nil || g.Type != "gauge" || len(g.Samples) != 1 || g.Samples[0].Value != 4.5 {
+		t.Fatalf("sim_node0_queue family: %+v", g)
+	}
+
+	// Histogram: cumulative buckets equal the registry's own snapshot,
+	// +Inf bucket equals the count, sum/count exact.
+	hf := fams["solve_seconds"]
+	if hf == nil || hf.Type != "histogram" {
+		t.Fatalf("solve_seconds family missing or mistyped: %+v", hf)
+	}
+	hist := r.Histogram("solve.seconds")
+	want := hist.Buckets()
+	got := hf.HistogramSamples()
+	if len(got) != len(want)+1 {
+		t.Fatalf("bucket samples = %d, want %d+Inf: %+v", len(got), len(want), got)
+	}
+	for i, b := range want {
+		if got[i].Upper != b.Upper || got[i].Count != b.Count {
+			t.Fatalf("bucket %d: got %+v want %+v", i, got[i], b)
+		}
+	}
+	inf := got[len(got)-1]
+	if !math.IsInf(inf.Upper, 1) || inf.Count != hist.Count() {
+		t.Fatalf("+Inf bucket %+v, want count %d", inf, hist.Count())
+	}
+	var sum, count float64
+	sawSum, sawCount := false, false
+	for _, s := range hf.Samples {
+		switch s.Name {
+		case "solve_seconds_sum":
+			sum, sawSum = s.Value, true
+		case "solve_seconds_count":
+			count, sawCount = s.Value, true
+		}
+	}
+	if !sawSum || !sawCount {
+		t.Fatalf("missing _sum/_count samples: %+v", hf.Samples)
+	}
+	if sum != hist.Sum() || int64(count) != hist.Count() {
+		t.Fatalf("sum/count = %g/%g, want %g/%d", sum, count, hist.Sum(), hist.Count())
+	}
+
+	// Quantile companion family: labelled gauge per exported quantile.
+	qf := fams["solve_seconds_quantile"]
+	if qf == nil || qf.Type != "gauge" || len(qf.Samples) != 3 {
+		t.Fatalf("solve_seconds_quantile family: %+v", qf)
+	}
+	for _, s := range qf.Samples {
+		q := s.Labels["quantile"]
+		if q == "" {
+			t.Fatalf("quantile sample without label: %+v", s)
+		}
+		var p float64
+		switch q {
+		case "0.5":
+			p = 0.5
+		case "0.9":
+			p = 0.9
+		case "0.99":
+			p = 0.99
+		default:
+			t.Fatalf("unexpected quantile label %q", q)
+		}
+		if s.Value != hist.Quantile(p) {
+			t.Fatalf("quantile %s = %g, want %g", q, s.Value, hist.Quantile(p))
+		}
+	}
+}
+
+func TestOpenMetricsBucketsMonotone(t *testing.T) {
+	r := buildTestRegistry()
+	var buf bytes.Buffer
+	if err := r.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseOpenMetrics(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := fams["solve_seconds"].HistogramSamples()
+	for i := 1; i < len(bs); i++ {
+		if bs[i].Upper <= bs[i-1].Upper {
+			t.Fatalf("bucket bounds not ascending at %d: %+v", i, bs)
+		}
+		if bs[i].Count < bs[i-1].Count {
+			t.Fatalf("cumulative counts not monotone at %d: %+v", i, bs)
+		}
+	}
+}
+
+func TestParseOpenMetricsRejects(t *testing.T) {
+	cases := map[string]string{
+		"no EOF":          "# TYPE a counter\na_total 1\n",
+		"content after":   "# EOF\nx 1\n",
+		"unquoted label":  "# TYPE a gauge\na{b=c} 1\n# EOF\n",
+		"no value":        "# TYPE a gauge\na\n# EOF\n",
+		"bad value":       "# TYPE a gauge\na zz\n# EOF\n",
+		"open label set":  "# TYPE a gauge\na{b=\"c\" 1\n# EOF\n",
+		"duplicate TYPE":  "# TYPE a gauge\n# TYPE a counter\n# EOF\n",
+		"bad escape":      "# TYPE a gauge\na{b=\"\\t\"} 1\n# EOF\n",
+		"unclosed string": "# TYPE a gauge\na{b=\"c} 1\n# EOF\n",
+	}
+	for name, src := range cases {
+		if _, err := ParseOpenMetrics(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: parser accepted %q", name, src)
+		}
+	}
+}
+
+func TestParseOpenMetricsEscapes(t *testing.T) {
+	src := "# TYPE a gauge\na{b=\"x\\\\y\\\"z\\n\"} 2.5\n# EOF\n"
+	fams, err := ParseOpenMetrics(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fams["a"].Samples[0]
+	if s.Labels["b"] != "x\\y\"z\n" || s.Value != 2.5 {
+		t.Fatalf("escaped sample: %+v", s)
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"sim.node0.queue": "sim_node0_queue",
+		"derive.count":    "derive_count",
+		"a-b.c":           "a_b_c",
+		"0abc":            "_0abc",
+	}
+	for in, want := range cases {
+		if got := sanitizeMetricName(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	h := newHistogram()
+	h.Observe(1)
+	h.Observe(1)
+	h.Observe(100)
+	bs := h.Buckets()
+	if len(bs) != 2 {
+		t.Fatalf("buckets = %+v, want 2 occupied", bs)
+	}
+	if bs[0].Count != 2 || bs[1].Count != 3 {
+		t.Fatalf("cumulative counts %+v, want 2 then 3", bs)
+	}
+	if bs[0].Upper <= 1 || bs[0].Upper > 1.1 {
+		t.Fatalf("bucket upper %g not just above 1", bs[0].Upper)
+	}
+}

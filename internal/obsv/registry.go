@@ -121,6 +121,44 @@ func bucketMid(i int) float64 {
 	return math.Ldexp(1+(float64(j)+0.5)/histBucketsPerOctave, e)
 }
 
+// bucketUpper is the exclusive upper edge of bucket i — the value the
+// OpenMetrics exposition reports as the bucket's `le` bound. The
+// ≤-vs-< distinction at the edge is absorbed by the bucketing error
+// the histogram already carries.
+func bucketUpper(i int) float64 {
+	e := histMinExp + i/histBucketsPerOctave
+	j := i % histBucketsPerOctave
+	return math.Ldexp(1+(float64(j)+1)/histBucketsPerOctave, e)
+}
+
+// BucketCount is one occupied histogram bucket in a snapshot: Count is
+// the cumulative number of observations ≤ Upper (Prometheus bucket
+// semantics), so counts are monotone non-decreasing across a
+// snapshot's buckets.
+type BucketCount struct {
+	Upper float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// Buckets returns the occupied buckets with cumulative counts, in
+// ascending bound order. Only buckets whose own count is non-zero get
+// an entry, which keeps the 2048-bucket table's sparse occupancy from
+// bloating expositions and manifests. A read concurrent with writers
+// sees a slightly torn but monotone snapshot.
+func (h *Histogram) Buckets() []BucketCount {
+	var out []BucketCount
+	var cum int64
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		cum += n
+		out = append(out, BucketCount{Upper: bucketUpper(i), Count: cum})
+	}
+	return out
+}
+
 // Observe records one observation.
 func (h *Histogram) Observe(x float64) {
 	h.count.Add(1)
@@ -350,6 +388,11 @@ type Metric struct {
 	Min       float64            `json:"min,omitempty"`
 	Max       float64            `json:"max,omitempty"`
 	Quantiles map[string]float64 `json:"quantiles,omitempty"`
+	// Buckets carries the occupied histogram buckets (cumulative
+	// counts with their upper bounds), so manifest consumers and the
+	// debug endpoint see the full distribution, not just the quantile
+	// point estimates.
+	Buckets []BucketCount `json:"buckets,omitempty"`
 }
 
 // Snapshot returns the state of every registered instrument, sorted by
@@ -373,6 +416,7 @@ func (r *Registry) Snapshot() []Metric {
 				"p90": h.Quantile(0.90),
 				"p99": h.Quantile(0.99),
 			},
+			Buckets: h.Buckets(),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })

@@ -283,6 +283,14 @@ type DeriveOptions struct {
 	// "derive.transitions" counters and the "derive.seconds"
 	// histogram. Recorded once per call, off the exploration hot path.
 	Metrics *obsv.Registry
+
+	// Events, when non-nil, receives structured events: "derive.start"
+	// (info) when exploration begins, "derive.level" (debug, so subject
+	// to the log's rate limit) per completed BFS level with the frontier
+	// size, "derive.done" (info) with the final counts including the
+	// dedup/collision shard statistics, and "derive.error" (error) on
+	// failure. Emitted from the coordinating goroutine only.
+	Events *obsv.EventLog
 }
 
 func (o DeriveOptions) workers() int {
@@ -315,6 +323,28 @@ func Derive(m *Model, opts DeriveOptions) (*StateSpace, error) {
 		maxStates = DefaultMaxStates
 	}
 	start := time.Now()
+	if opts.Events != nil {
+		// The done/error events report the shard statistics, which live
+		// in DeriveStats; make sure somewhere collects them.
+		if opts.Stats == nil {
+			opts.Stats = new(obsv.DeriveStats)
+		}
+		opts.Events.Emit(obsv.LevelInfo, "derive.start", "", map[string]float64{
+			"workers":    float64(opts.workers()),
+			"max_states": float64(maxStates),
+		})
+		progress := opts.Progress
+		opts.Progress = func(p obsv.Progress) {
+			opts.Events.Emit(obsv.LevelDebug, "derive.level", "", map[string]float64{
+				"level":    float64(p.Step),
+				"states":   float64(p.Count),
+				"frontier": p.Value,
+			})
+			if progress != nil {
+				progress(p)
+			}
+		}
+	}
 	if !opts.SkipLint {
 		var lintSpan *obsv.Span
 		if opts.Span != nil {
@@ -325,6 +355,7 @@ func Derive(m *Model, opts DeriveOptions) (*StateSpace, error) {
 			lintSpan.End()
 		}
 		if err != nil {
+			opts.Events.Errorf("derive.error", "%v", err)
 			return nil, err
 		}
 	}
@@ -342,7 +373,9 @@ func Derive(m *Model, opts DeriveOptions) (*StateSpace, error) {
 		compileSpan.End()
 	}
 	if nLeaf == 0 {
-		return nil, fmt.Errorf("pepa: system has no sequential components")
+		err := fmt.Errorf("pepa: system has no sequential components")
+		opts.Events.Errorf("derive.error", "%v", err)
+		return nil, err
 	}
 	var exploreSpan *obsv.Span
 	if opts.Span != nil {
@@ -366,6 +399,20 @@ func Derive(m *Model, opts DeriveOptions) (*StateSpace, error) {
 		opts.Metrics.Counter(metricDeriveStates).Add(int64(ss.Chain.NumStates()))
 		opts.Metrics.Counter(metricDeriveTransitions).Add(int64(ss.Chain.NumTransitions()))
 		opts.Metrics.Histogram(metricDeriveSeconds).Observe(time.Since(start).Seconds())
+	}
+	if opts.Events != nil {
+		if err != nil {
+			opts.Events.Errorf("derive.error", "%v", err)
+		} else {
+			opts.Events.Emit(obsv.LevelInfo, "derive.done", "", map[string]float64{
+				"states":          float64(ss.Chain.NumStates()),
+				"transitions":     float64(ss.Chain.NumTransitions()),
+				"levels":          float64(opts.Stats.Levels),
+				"dedup_hits":      float64(opts.Stats.DedupHits),
+				"hash_collisions": float64(opts.Stats.HashCollisions),
+				"elapsed_s":       time.Since(start).Seconds(),
+			})
+		}
 	}
 	return ss, err
 }

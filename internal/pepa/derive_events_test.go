@@ -1,0 +1,126 @@
+package pepa
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"pepatags/internal/core"
+	"pepatags/internal/obsv"
+)
+
+// TestDeriveEvents: with an event log attached, Derive announces
+// itself, streams per-level progress and reports the final counts —
+// including the dedup statistics — without changing the result.
+func TestDeriveEvents(t *testing.T) {
+	m := mustParse(t, core.NewTAGExp(5, 10, 12, 3, 4, 4).PEPASource())
+	log := obsv.NewEventLog(obsv.EventLogConfig{RecorderSize: 4096})
+	ss, err := Derive(m, DeriveOptions{Events: log})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var start, done *obsv.Event
+	var levels int
+	for _, ev := range log.Recorder() {
+		switch ev.Kind {
+		case "derive.start":
+			e := ev
+			start = &e
+		case "derive.level":
+			levels++
+			if ev.Level != "debug" {
+				t.Fatalf("derive.level at level %q", ev.Level)
+			}
+		case "derive.done":
+			e := ev
+			done = &e
+		}
+	}
+	if start == nil || start.Fields["workers"] != 1 || start.Fields["max_states"] != DefaultMaxStates {
+		t.Fatalf("derive.start: %+v", start)
+	}
+	if levels == 0 {
+		t.Fatal("no derive.level events streamed")
+	}
+	if done == nil {
+		t.Fatal("no derive.done event")
+	}
+	if got, want := done.Fields["states"], float64(ss.Chain.NumStates()); got != want {
+		t.Fatalf("derive.done states = %g, want %g", got, want)
+	}
+	if done.Fields["transitions"] != float64(ss.Chain.NumTransitions()) || done.Fields["levels"] <= 0 {
+		t.Fatalf("derive.done fields: %+v", done.Fields)
+	}
+}
+
+// TestDeriveErrorEvent: a failing derivation leaves a derive.error
+// event in the flight recorder — the record an operator reads after a
+// crashed run.
+func TestDeriveErrorEvent(t *testing.T) {
+	m := mustParse(t, core.NewTAGExp(5, 10, 12, 3, 4, 4).PEPASource())
+	log := obsv.NewEventLog(obsv.EventLogConfig{})
+	if _, err := Derive(m, DeriveOptions{MaxStates: 3, Events: log}); err == nil {
+		t.Fatal("MaxStates 3 should overflow")
+	}
+	var sawErr bool
+	for _, ev := range log.Recorder() {
+		if ev.Kind == "derive.error" && ev.Level == "error" {
+			sawErr = true
+		}
+	}
+	if !sawErr {
+		t.Fatalf("no derive.error in recorder: %+v", log.Recorder())
+	}
+}
+
+// TestRegistryScrapeDuringDerive holds the telemetry read paths — a
+// registry snapshot, an OpenMetrics scrape, an event-log poll — open
+// while a parallel derivation is writing hot. Run under -race (make
+// race covers this package) it proves scraping a live run is safe.
+func TestRegistryScrapeDuringDerive(t *testing.T) {
+	m := mustParse(t, core.NewTAGExp(5, 10, 42, 6, 10, 10).PEPASource())
+	reg := obsv.NewRegistry()
+	log := obsv.NewEventLog(obsv.EventLogConfig{})
+
+	var busy atomic.Bool
+	busy.Store(true)
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for busy.Load() {
+				reg.Snapshot()
+				if err := reg.WriteOpenMetrics(io.Discard); err != nil {
+					t.Errorf("scrape: %v", err)
+					return
+				}
+				log.Recorder()
+				log.After(0)
+			}
+		}()
+	}
+
+	for run := 0; run < 3; run++ {
+		ss, err := Derive(m, DeriveOptions{Workers: 4, Metrics: reg, Events: log})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ss.Chain.NumStates() != 4331 {
+			t.Fatalf("run %d: %d states", run, ss.Chain.NumStates())
+		}
+	}
+	busy.Store(false)
+	wg.Wait()
+
+	// The scraped registry still reads consistently afterwards.
+	fams := make(map[string]bool)
+	for _, mt := range reg.Snapshot() {
+		fams[mt.Name] = true
+	}
+	if !fams["derive.count"] || !fams["derive.seconds"] {
+		t.Fatalf("registry after derives: %v", fams)
+	}
+}

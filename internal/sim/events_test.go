@@ -1,0 +1,58 @@
+package sim_test
+
+import (
+	"testing"
+
+	"pepatags/internal/dist"
+	"pepatags/internal/obsv"
+	"pepatags/internal/policies"
+	"pepatags/internal/sim"
+	"pepatags/internal/workload"
+)
+
+// TestSimEvents: with an event log attached a run streams sim.progress
+// debug events on the ProgressEvery cadence and ends with a sim.done
+// summary whose counts match the returned metrics.
+func TestSimEvents(t *testing.T) {
+	log := obsv.NewEventLog(obsv.EventLogConfig{RecorderSize: 4096})
+	cfg := sim.Config{
+		Nodes:  []sim.NodeConfig{{}},
+		Policy: policies.FirstNode{},
+		Source: &workload.StochasticSource{
+			Arrivals: workload.NewPoisson(5),
+			Sizes:    dist.NewExponential(10),
+			Limit:    5000,
+		},
+		Seed:          42,
+		ProgressEvery: 1000,
+		Events:        log,
+	}
+	m := sim.NewSystem(cfg).Run(0)
+
+	var progress int
+	var done *obsv.Event
+	for _, ev := range log.Recorder() {
+		switch ev.Kind {
+		case "sim.progress":
+			progress++
+			if ev.Level != "debug" || ev.Fields["events"] <= 0 {
+				t.Fatalf("sim.progress: %+v", ev)
+			}
+		case "sim.done":
+			e := ev
+			done = &e
+		}
+	}
+	if progress == 0 {
+		t.Fatal("no sim.progress events streamed")
+	}
+	if done == nil {
+		t.Fatal("no sim.done event")
+	}
+	if got, want := done.Fields["completed"], float64(m.Completed); got != want {
+		t.Fatalf("sim.done completed = %g, metrics say %g", got, want)
+	}
+	if done.Fields["clock"] != m.Elapsed {
+		t.Fatalf("sim.done clock = %g, metrics say %g", done.Fields["clock"], m.Elapsed)
+	}
+}

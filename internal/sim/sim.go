@@ -95,6 +95,11 @@ type Config struct {
 	// ProgressEvery is the event interval between Progress calls;
 	// <= 0 means every 65536 events.
 	ProgressEvery int
+
+	// Events, when non-nil, receives a "sim.progress" debug event on
+	// the Progress cadence (event count, completed jobs, simulation
+	// clock) and a "sim.done" info event when the run drains.
+	Events *obsv.EventLog
 }
 
 // Metrics aggregates the simulation output.
@@ -439,6 +444,13 @@ func (s *System) Run(maxTime float64) *Metrics {
 			if s.cfg.Progress != nil {
 				s.cfg.Progress(obsv.Progress{Phase: "sim", Step: processed, Count: s.metrics.Completed, Value: s.now})
 			}
+			if s.cfg.Events != nil {
+				s.cfg.Events.Emit(obsv.LevelDebug, "sim.progress", "", map[string]float64{
+					"events":    float64(processed),
+					"completed": float64(s.metrics.Completed),
+					"clock":     s.now,
+				})
+			}
 		}
 	}
 	if s.inst != nil {
@@ -447,6 +459,15 @@ func (s *System) Run(maxTime float64) *Metrics {
 	}
 	s.metrics.Elapsed = s.now
 	s.metrics.Warmup = s.cfg.Warmup
+	if s.cfg.Events != nil {
+		s.cfg.Events.Emit(obsv.LevelInfo, "sim.done", "", map[string]float64{
+			"events":    float64(processed),
+			"completed": float64(s.metrics.Completed),
+			"dropped":   float64(s.metrics.Dropped),
+			"killed":    float64(s.metrics.Killed),
+			"clock":     s.now,
+		})
+	}
 	return &s.metrics
 }
 

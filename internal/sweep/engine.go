@@ -38,6 +38,16 @@ type Options struct {
 	Registry *obsv.Registry
 	// Span, when set, gets child spans for the run's phases.
 	Span *obsv.Span
+	// Events, when set, receives "sweep.start" (info), per-point
+	// "sweep.point" debug events (point seq, series, elapsed, running
+	// cache hit-rate), and "sweep.done"/"sweep.error" at the end.
+	Events *obsv.EventLog
+	// Progress, when set, is called after every completed point with
+	// Phase "sweep", Count = points finished (including resumed) and
+	// Value = the running cache hit-rate; the CLIs hang a Heartbeat
+	// here for -progress. Called concurrently from the worker pool, so
+	// the callback must be safe for concurrent use (Heartbeat is).
+	Progress obsv.ProgressFunc
 }
 
 // RunResult is the outcome of a sweep: every row (resumed and freshly
@@ -80,16 +90,19 @@ func Run(spec *Spec, opt Options) (*RunResult, error) {
 	sp := child("expand")
 	if err := spec.Validate(); err != nil {
 		end(sp)
+		opt.Events.Errorf("sweep.error", "%v", err)
 		return nil, err
 	}
 	points, err := spec.Expand()
 	if err != nil {
 		end(sp)
+		opt.Events.Errorf("sweep.error", "%v", err)
 		return nil, err
 	}
 	hash, err := spec.Hash()
 	end(sp)
 	if err != nil {
+		opt.Events.Errorf("sweep.error", "%v", err)
 		return nil, err
 	}
 
@@ -105,6 +118,7 @@ func Run(spec *Spec, opt Options) (*RunResult, error) {
 			jw, prev, err = resumeJournal(opt.Journal, hdr)
 			if err != nil {
 				end(sp)
+				opt.Events.Errorf("sweep.error", "%v", err)
 				return nil, err
 			}
 			for _, r := range prev {
@@ -115,6 +129,7 @@ func Run(spec *Spec, opt Options) (*RunResult, error) {
 			jw, err = createJournal(opt.Journal, hdr)
 			if err != nil {
 				end(sp)
+				opt.Events.Errorf("sweep.error", "%v", err)
 				return nil, err
 			}
 		}
@@ -143,6 +158,20 @@ func Run(spec *Spec, opt Options) (*RunResult, error) {
 	}
 	if workers > len(todo) && len(todo) > 0 {
 		workers = len(todo)
+	}
+	if opt.Events != nil {
+		opt.Events.Emit(obsv.LevelInfo, "sweep.start", spec.Name, map[string]float64{
+			"points":  float64(len(points)),
+			"resumed": float64(res.Resumed),
+			"workers": float64(workers),
+		})
+	}
+	hitRate := func() float64 {
+		h, m := cache.Hits(), cache.Misses()
+		if h+m == 0 {
+			return 0
+		}
+		return float64(h) / float64(h+m)
 	}
 
 	var (
@@ -179,7 +208,23 @@ func Run(spec *Spec, opt Options) (*RunResult, error) {
 						}
 					}
 				}
+				finished := res.Resumed + len(rows)
 				mu.Unlock()
+				if err == nil {
+					rate := hitRate()
+					if opt.Events != nil {
+						opt.Events.Emit(obsv.LevelDebug, "sweep.point", points[seq].Series, map[string]float64{
+							"seq":            float64(seq),
+							"x":              points[seq].X,
+							"elapsed_s":      time.Since(t0).Seconds(),
+							"done":           float64(finished),
+							"cache_hit_rate": rate,
+						})
+					}
+					if opt.Progress != nil {
+						opt.Progress(obsv.Progress{Phase: "sweep", Step: seq, Count: finished, Value: rate})
+					}
+				}
 			}
 		}()
 	}
@@ -218,14 +263,27 @@ func Run(spec *Spec, opt Options) (*RunResult, error) {
 		}
 	}
 	if firstErr != nil {
+		opt.Events.Errorf("sweep.error", "%v", firstErr)
 		return nil, firstErr
 	}
 	for i, r := range res.Rows {
 		if r.Seq != i {
-			return nil, fmt.Errorf("sweep: internal error: row %d has seq %d", i, r.Seq)
+			err := fmt.Errorf("sweep: internal error: row %d has seq %d", i, r.Seq)
+			opt.Events.Errorf("sweep.error", "%v", err)
+			return nil, err
 		}
 	}
 	res.Elapsed = time.Since(start)
+	if opt.Events != nil {
+		opt.Events.Emit(obsv.LevelInfo, "sweep.done", spec.Name, map[string]float64{
+			"points":         float64(len(res.Rows)),
+			"resumed":        float64(res.Resumed),
+			"cache_hits":     float64(res.CacheHits),
+			"cache_misses":   float64(res.CacheMisses),
+			"elapsed_s":      res.Elapsed.Seconds(),
+			"cache_hit_rate": hitRate(),
+		})
+	}
 	return res, nil
 }
 

@@ -1,0 +1,98 @@
+package sweep
+
+import (
+	"sync"
+	"testing"
+
+	"pepatags/internal/obsv"
+)
+
+// TestSweepEvents: a run with an event log announces itself, streams
+// one sweep.point debug event per solved point (with the running cache
+// hit-rate) and summarises with sweep.done.
+func TestSweepEvents(t *testing.T) {
+	spec := testSpec(4)
+	log := obsv.NewEventLog(obsv.EventLogConfig{RecorderSize: 1024})
+
+	var mu sync.Mutex
+	var ticks []obsv.Progress
+	res, err := Run(spec, Options{
+		Workers: 2,
+		Events:  log,
+		Progress: func(p obsv.Progress) {
+			mu.Lock()
+			ticks = append(ticks, p)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var start, done *obsv.Event
+	var points int
+	for _, ev := range log.Recorder() {
+		switch ev.Kind {
+		case "sweep.start":
+			e := ev
+			start = &e
+		case "sweep.point":
+			points++
+		case "sweep.done":
+			e := ev
+			done = &e
+		}
+	}
+	if start == nil || start.Fields["points"] != 5 || start.Fields["workers"] != 2 {
+		t.Fatalf("sweep.start: %+v", start)
+	}
+	if points != 5 {
+		t.Fatalf("sweep.point events = %d, want 5", points)
+	}
+	if done == nil || done.Fields["points"] != 5 || done.Msg != "test" {
+		t.Fatalf("sweep.done: %+v", done)
+	}
+	if done.Fields["cache_hits"] != float64(res.CacheHits) {
+		t.Fatalf("sweep.done cache_hits %g, result says %d", done.Fields["cache_hits"], res.CacheHits)
+	}
+
+	// Progress fired once per point, with the finished count reaching
+	// the total and the hit-rate in [0, 1].
+	if len(ticks) != 5 {
+		t.Fatalf("progress ticks = %d, want 5", len(ticks))
+	}
+	var maxCount int
+	for _, p := range ticks {
+		if p.Phase != "sweep" {
+			t.Fatalf("progress phase %q", p.Phase)
+		}
+		if p.Count > maxCount {
+			maxCount = p.Count
+		}
+		if p.Value < 0 || p.Value > 1 {
+			t.Fatalf("hit-rate out of range: %+v", p)
+		}
+	}
+	if maxCount != 5 {
+		t.Fatalf("max progress count = %d, want 5", maxCount)
+	}
+}
+
+// TestSweepErrorEvent: a failing point leaves a sweep.error event.
+func TestSweepErrorEvent(t *testing.T) {
+	spec := testSpec(2)
+	spec.Points[0].Model = "no-such-model"
+	log := obsv.NewEventLog(obsv.EventLogConfig{})
+	if _, err := Run(spec, Options{Events: log}); err == nil {
+		t.Fatal("bad model should fail the run")
+	}
+	var sawErr bool
+	for _, ev := range log.Recorder() {
+		if ev.Kind == "sweep.error" && ev.Level == "error" {
+			sawErr = true
+		}
+	}
+	if !sawErr {
+		t.Fatalf("no sweep.error in recorder: %+v", log.Recorder())
+	}
+}

@@ -87,7 +87,18 @@ func check(path string) error {
 		return fmt.Errorf("unknown tool %q", m.Tool)
 	}
 	// A manifest that records nothing is a wiring bug in the producer.
-	if len(m.Measures) == 0 && len(m.Artefacts) == 0 && m.Derive == nil && m.Sweep == nil && m.Lint == nil && m.Conform == nil {
+	// The one exception is a failure manifest: a run that died before
+	// producing results records its error plus the flight recorder, and
+	// that pair is the record.
+	hasResults := len(m.Measures) > 0 || len(m.Artefacts) > 0 || m.Derive != nil ||
+		m.Sweep != nil || m.Lint != nil || m.Conform != nil
+	if m.Error != "" {
+		if m.Events == nil || len(m.Events.Recorder) == 0 {
+			return fmt.Errorf("failure manifest (error %q) carries no flight-recorder events", m.Error)
+		}
+		return nil
+	}
+	if !hasResults {
 		return fmt.Errorf("manifest records no measures, artefacts, derive stats, sweep, lint or conform record")
 	}
 	return nil

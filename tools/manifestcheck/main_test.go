@@ -215,6 +215,37 @@ func TestUnknownFlag(t *testing.T) {
 	}
 }
 
+// TestCheckFailureManifest: a run that dies before producing results
+// writes a manifest with the error and the flight-recorder tail; that
+// pair is valid content, but an error without the recorder is not.
+func TestCheckFailureManifest(t *testing.T) {
+	m := obsv.NewManifest("pepa")
+	m.Error = "derive: state space exceeds 10 states"
+	m.Events = &obsv.EventLogRecord{
+		Emitted: 2,
+		Recorder: []obsv.Event{
+			{Seq: 1, Level: "info", Kind: "derive.start"},
+			{Seq: 2, Level: "error", Kind: "derive.error", Msg: "state space exceeds 10 states"},
+		},
+	}
+	path := filepath.Join(t.TempDir(), "failed.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := check(path); err != nil {
+		t.Fatalf("failure manifest rejected: %v", err)
+	}
+
+	// An error with no recorder captured is a producer wiring bug.
+	m.Events = nil
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := check(path); err == nil {
+		t.Fatal("recorder-less failure manifest accepted")
+	}
+}
+
 // TestCheckAcceptsSweepOnlyManifest: a -sweep run without a figure
 // section records only the sweep section, which is valid content.
 func TestCheckAcceptsSweepOnlyManifest(t *testing.T) {
