@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint fmt-check bench manifest-smoke sweep-smoke conform-smoke fuzz-smoke overhead-smoke cover clean
+.PHONY: all build test race vet lint fmt-check bench manifest-smoke sweep-smoke serve-smoke conform-smoke fuzz-smoke overhead-smoke docs-check cover clean
 
 all: build test
 
@@ -81,6 +81,18 @@ sweep-smoke:
 	$(GO) run ./cmd/tagseval -sweep models/sweep_smoke.json -journal sweep-resume.jsonl -resume > /dev/null
 	cmp sweep-clean.jsonl sweep-resume.jsonl
 	$(GO) run ./tools/manifestcheck sweep-run.json
+
+# End-to-end daemon smoke: build the real pepad binary, start it on
+# an ephemeral port, submit the Figure 8 sweep spec over HTTP, poll
+# the job to completion, drain with SIGTERM and validate the run
+# manifest (docs/PEPAD.md).
+serve-smoke:
+	$(GO) run ./tools/servesmoke
+
+# Dead-link check over the documentation set (tools/doccheck): every
+# relative link and heading anchor in the markdown must resolve.
+docs-check:
+	$(GO) run ./tools/doccheck README.md DESIGN.md EXPERIMENTS.md ROADMAP.md PAPER.md docs/*.md
 
 clean:
 	rm -f BENCH_derive.txt BENCH_derive.json pepa-run.json pepa-run.jsonl pepa-lint.json pepa-fail.json \

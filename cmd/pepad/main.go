@@ -1,0 +1,140 @@
+// pepad is the persistent model-evaluation daemon: an HTTP/JSON
+// service that accepts sweep specs (pepatags/sweep-spec/v1, the same
+// documents tagseval -sweep runs), executes them on a bounded worker
+// pool over a shared content-addressed state-space cache, streams
+// per-job progress over SSE/long-poll, and applies threshold
+// admission control to its own overload — the repo's theory, dogfooded.
+// The HTTP API is documented in docs/PEPAD.md.
+//
+// Usage:
+//
+//	pepad                                  # listen on 127.0.0.1:8700
+//	pepad -addr :9000 -workers 4           # all interfaces, 4 solve workers
+//	pepad -admit-bound 30                  # reject above ~30s of queued work
+//	pepad -manifest-dir runs/              # one run manifest per job
+//	pepad -events pepad.jsonl              # server event log to a file
+//
+// A SIGINT/SIGTERM drains: no new submissions (503 + Retry-After),
+// queued and running jobs finish, then the process exits. Jobs still
+// unfinished at -drain-timeout are canceled and leave failure
+// manifests.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"pepatags/internal/obsv"
+	"pepatags/internal/serve"
+)
+
+func main() {
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	if err := run(os.Args[1:], os.Stderr, nil, stop); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until a signal arrives on stop or
+// the listener fails. ready, when non-nil, is called once with the
+// bound address (tests listen on port 0).
+func run(args []string, stderr io.Writer, ready func(net.Addr), stop <-chan os.Signal) error {
+	fs := flag.NewFlagSet("pepad", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr        = fs.String("addr", "127.0.0.1:8700", "listen address")
+		jobWorkers  = fs.Int("job-workers", 1, "jobs run concurrently")
+		workers     = fs.Int("workers", -1, "solve pool size per job (-1 = one per CPU)")
+		queue       = fs.Int("queue", 64, "admitted-job queue depth")
+		admitBound  = fs.Float64("admit-bound", 0, "admission threshold in estimated seconds of queued work (0 = admit everything)")
+		seedPoint   = fs.Float64("seed-point-cost", 0, "estimator seed: seconds per cached-shape point (0 = measured default)")
+		seedShape   = fs.Float64("seed-shape-cost", 0, "estimator seed: seconds per state-space derivation (0 = measured default)")
+		manifestDir = fs.String("manifest-dir", "", "write one run manifest per finished job into this directory")
+		eventsPath  = fs.String("events", "", "write server JSON-lines events to this file")
+		drain       = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget before unfinished jobs are canceled")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *workers < 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+	if *manifestDir != "" {
+		if err := os.MkdirAll(*manifestDir, 0o755); err != nil {
+			return fmt.Errorf("pepad: manifest dir: %w", err)
+		}
+	}
+
+	logCfg := obsv.EventLogConfig{}
+	if *eventsPath != "" {
+		f, err := os.Create(*eventsPath)
+		if err != nil {
+			return fmt.Errorf("pepad: events sink: %w", err)
+		}
+		defer f.Close()
+		logCfg.Sink = f
+	}
+	log := obsv.NewEventLog(logCfg)
+
+	srv := serve.New(serve.Config{
+		JobWorkers:       *jobWorkers,
+		SolveWorkers:     *workers,
+		QueueDepth:       *queue,
+		AdmissionBound:   *admitBound,
+		SeedPointSeconds: *seedPoint,
+		SeedShapeSeconds: *seedShape,
+		ManifestDir:      *manifestDir,
+		Log:              log,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("pepad: listen: %w", err)
+	}
+	fmt.Fprintf(stderr, "pepad: listening on %s\n", ln.Addr())
+	log.Infof("serve.listen", "listening on %s", ln.Addr())
+	if ready != nil {
+		ready(ln.Addr())
+	}
+
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		srv.Shutdown(context.Background())
+		return fmt.Errorf("pepad: serve: %w", err)
+	case <-stop:
+	}
+
+	// Drain jobs first (the API stays up so clients can collect
+	// results and watch event streams end), then close the listener.
+	fmt.Fprintf(stderr, "pepad: draining (timeout %v)\n", *drain)
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	drainErr := srv.Shutdown(ctx)
+
+	hctx, hcancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer hcancel()
+	if err := hs.Shutdown(hctx); err != nil {
+		hs.Close()
+	}
+	<-serveErr // always http.ErrServerClosed after Shutdown/Close
+	if drainErr != nil {
+		return fmt.Errorf("pepad: %w", drainErr)
+	}
+	fmt.Fprintln(stderr, "pepad: drained cleanly")
+	return nil
+}

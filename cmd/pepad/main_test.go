@@ -1,0 +1,173 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"pepatags/internal/obsv"
+)
+
+// startDaemon runs the daemon on an ephemeral port and returns its
+// base URL, a stop function (sends the signal and waits for a clean
+// exit), and the stderr transcript.
+func startDaemon(t *testing.T, extra ...string) (url string, stop func() error, errBuf *bytes.Buffer) {
+	t.Helper()
+	errBuf = &bytes.Buffer{}
+	addrs := make(chan net.Addr, 1)
+	sig := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	args := append([]string{"-addr", "127.0.0.1:0"}, extra...)
+	go func() {
+		done <- run(args, errBuf, func(a net.Addr) { addrs <- a }, sig)
+	}()
+	select {
+	case a := <-addrs:
+		url = "http://" + a.String()
+	case err := <-done:
+		t.Fatalf("daemon exited before listening: %v\n%s", err, errBuf)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never started listening")
+	}
+	stop = func() error {
+		sig <- os.Interrupt
+		select {
+		case err := <-done:
+			return err
+		case <-time.After(60 * time.Second):
+			t.Fatal("daemon never exited after the stop signal")
+			return nil
+		}
+	}
+	return url, stop, errBuf
+}
+
+const smokeSpec = `{"spec":{
+  "schema": "pepatags/sweep-spec/v1",
+  "name": "pepad-smoke",
+  "groups": [{
+    "point": {"series": "tag", "model": "tagexp", "lambda": 5, "n": 2, "k1": 3, "k2": 3,
+              "service": {"kind": "exp", "mu": 10}},
+    "axes": [{"field": "t", "values": [2, 6, 10]}]
+  }]
+}}`
+
+// TestDaemonSubmitPollShutdown: the full lifecycle through the real
+// binary entrypoint — listen on an ephemeral port, submit over HTTP,
+// poll to completion, write a manifest, drain on signal.
+func TestDaemonSubmitPollShutdown(t *testing.T) {
+	dir := t.TempDir()
+	url, stop, errBuf := startDaemon(t, "-workers", "2", "-manifest-dir", dir)
+
+	resp, err := http.Post(url+"/v1/jobs", "application/json", strings.NewReader(smokeSpec))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, b)
+	}
+	var sub struct {
+		Job struct {
+			ID string `json:"id"`
+		} `json:"job"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	resp.Body.Close()
+
+	deadline := time.Now().Add(60 * time.Second)
+	state := ""
+	for time.Now().Before(deadline) && state != "done" {
+		r, err := http.Get(url + "/v1/jobs/" + sub.Job.ID)
+		if err != nil {
+			t.Fatalf("GET: %v", err)
+		}
+		var v struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		json.NewDecoder(r.Body).Decode(&v)
+		r.Body.Close()
+		if v.State == "failed" {
+			t.Fatalf("job failed: %s", v.Error)
+		}
+		state = v.State
+		time.Sleep(5 * time.Millisecond)
+	}
+	if state != "done" {
+		t.Fatalf("job stuck in %q", state)
+	}
+
+	if err := stop(); err != nil {
+		t.Fatalf("drain: %v\n%s", err, errBuf)
+	}
+	if !strings.Contains(errBuf.String(), "drained cleanly") {
+		t.Errorf("stderr transcript missing clean drain:\n%s", errBuf)
+	}
+	// The daemon is gone.
+	if _, err := http.Get(url + "/healthz"); err == nil {
+		t.Error("daemon still serving after drain")
+	}
+	// The job manifest was written and validates.
+	m, err := obsv.ReadManifest(filepath.Join(dir, sub.Job.ID+".json"))
+	if err != nil {
+		t.Fatalf("manifest: %v", err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("manifest invalid: %v", err)
+	}
+	if m.Tool != "pepad" {
+		t.Errorf("manifest tool %q", m.Tool)
+	}
+}
+
+// TestDaemonEventsSink: -events writes server JSON-lines events.
+func TestDaemonEventsSink(t *testing.T) {
+	dir := t.TempDir()
+	sink := filepath.Join(dir, "events.jsonl")
+	url, stop, _ := startDaemon(t, "-events", sink)
+	if r, err := http.Get(url + "/healthz"); err == nil {
+		r.Body.Close()
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	data, err := os.ReadFile(sink)
+	if err != nil {
+		t.Fatalf("events sink: %v", err)
+	}
+	if !strings.Contains(string(data), "serve.listen") {
+		t.Errorf("events sink misses serve.listen:\n%s", data)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var ev obsv.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("sink line %q: %v", line, err)
+		}
+	}
+}
+
+func TestDaemonFlagErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-no-such-flag"}, &buf, nil, nil); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"-addr", "256.0.0.1:bad"}, &buf, nil, nil); err == nil {
+		t.Error("unlistenable address accepted")
+	}
+	// Fail fast on an uncreatable manifest dir.
+	f := filepath.Join(t.TempDir(), "file")
+	os.WriteFile(f, nil, 0o644)
+	if err := run([]string{"-manifest-dir", filepath.Join(f, "sub")}, &buf, nil, nil); err == nil {
+		t.Error("manifest dir under a file accepted")
+	}
+}

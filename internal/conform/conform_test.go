@@ -25,7 +25,7 @@ func TestRunSmoke(t *testing.T) {
 	if rep.Scenarios != 60 {
 		t.Fatalf("ran %d scenarios, want 60", rep.Scenarios)
 	}
-	for _, kind := range []string{KindTAGExp, KindRandom, KindJSQ, KindPEPA} {
+	for _, kind := range []string{KindTAGExp, KindRandom, KindJSQ, KindPEPA, KindAdmission} {
 		if rep.ByKind[kind] == 0 {
 			t.Errorf("kind %q never generated in 60 scenarios", kind)
 		}

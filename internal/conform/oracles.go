@@ -38,6 +38,8 @@ const (
 	OracleDeriveParallel = "derive/parallel-vs-serial"
 	OracleRoundTrip      = "derive/print-parse-roundtrip"
 	OracleStationarity   = "solver/stationarity"
+	OracleAdmissionSS    = "admission/closed-form-vs-chain"
+	OracleAdmissionFlow  = "admission/flow-balance"
 	OraclePanic          = "panic"
 )
 
@@ -126,6 +128,8 @@ func (ck Checker) Check(sc Scenario) (res *result) {
 		ck.checkJSQ(sc, res)
 	case KindPEPA:
 		ck.checkPEPA(sc, res)
+	case KindAdmission:
+		ck.checkAdmission(sc, res)
 	default:
 		res.failf(OraclePanic, "unknown scenario kind %q", sc.Kind)
 	}
@@ -572,4 +576,58 @@ func chainsIdentical(a, b *ctmc.Chain) string {
 		}
 	}
 	return ""
+}
+
+// ---------------------------------------------------------------
+// Admission scenarios: the pepad overload policy as a model
+// (policies.AdmissionQueue). The closed-form birth-death solution is
+// checked against a general-purpose steady-state solve of the
+// explicitly built CTMC, and the accepted/rejected flows against the
+// arrival rate.
+
+func (ck Checker) checkAdmission(sc Scenario, res *result) {
+	a := policies.AdmissionQueue{Lambda: sc.Lambda, Mu: sc.Mu, Servers: sc.Servers, Queue: sc.Queue}
+	m, err := a.Measures()
+	if err != nil {
+		res.failf(OracleAdmissionSS, "closed form rejected parameters: %v", err)
+		return
+	}
+	ch, err := a.BuildChain()
+	if err != nil {
+		res.failf(OracleAdmissionSS, "chain build rejected parameters: %v", err)
+		return
+	}
+	pi, ok := steadyGTH(ch, res)
+	if !ok {
+		return
+	}
+	res.ran(OracleAdmissionSS)
+	x := ch.ActionThroughput(pi, "service")
+	rej := ch.ActionThroughput(pi, "reject")
+	l := ch.Expectation(pi, func(s int) float64 { return float64(s) })
+	if d := relDiff(x, m.Throughput); d > tolThroughput {
+		res.failf(OracleAdmissionSS, "throughput: chain %g vs closed form %g (rel %g)", x, m.Throughput, d)
+	}
+	if d := relDiff(rej, m.RejectRate); d > tolThroughput {
+		res.failf(OracleAdmissionSS, "reject rate: chain %g vs closed form %g (rel %g)", rej, m.RejectRate, d)
+	}
+	if d := relDiff(l, m.MeanJobs); d > tolThroughput {
+		res.failf(OracleAdmissionSS, "mean jobs: chain %g vs closed form %g (rel %g)", l, m.MeanJobs, d)
+	}
+
+	// Every arrival is either admitted (and eventually served) or
+	// rejected: the two stationary flows must sum to lambda on both
+	// routes to the model.
+	res.ran(OracleAdmissionFlow)
+	if d := relDiff(m.Throughput+m.RejectRate, sc.Lambda); d > tolConserve {
+		res.failf(OracleAdmissionFlow, "closed form: throughput %g + reject %g != lambda %g", m.Throughput, m.RejectRate, sc.Lambda)
+	}
+	if d := relDiff(x+rej, sc.Lambda); d > tolConserve {
+		res.failf(OracleAdmissionFlow, "chain: throughput %g + reject %g != lambda %g", x, rej, sc.Lambda)
+	}
+}
+
+// relDiff is the relative difference |a-b| / max(1, |b|).
+func relDiff(a, b float64) float64 {
+	return math.Abs(a-b) / math.Max(1, math.Abs(b))
 }

@@ -12,10 +12,11 @@ import (
 // Scenario kinds. Each kind selects the backends the oracle battery
 // cross-checks; see Check.
 const (
-	KindTAGExp = "tagexp" // two-node TAG, exponential service: PEPA vs direct vs solvers vs transient vs approx
-	KindRandom = "random" // weighted random allocation: M/PH/1/K decomposition vs closed form vs simulator
-	KindJSQ    = "jsq"    // join-the-shortest-queue: direct CTMC vs solvers vs simulator
-	KindPEPA   = "pepa"   // random well-formed PEPA model: serial vs parallel derive, print/parse round trip
+	KindTAGExp    = "tagexp"    // two-node TAG, exponential service: PEPA vs direct vs solvers vs transient vs approx
+	KindRandom    = "random"    // weighted random allocation: M/PH/1/K decomposition vs closed form vs simulator
+	KindJSQ       = "jsq"       // join-the-shortest-queue: direct CTMC vs solvers vs simulator
+	KindPEPA      = "pepa"      // random well-formed PEPA model: serial vs parallel derive, print/parse round trip
+	KindAdmission = "admission" // threshold admission policy: closed form vs direct CTMC vs M/M/c/K
 )
 
 // ServiceSpec is a JSON-serialisable service distribution, so a repro
@@ -80,6 +81,13 @@ type Scenario struct {
 	K       int          `json:"k,omitempty"`
 	Service *ServiceSpec `json:"service,omitempty"`
 
+	// Admission-policy parameters (KindAdmission): parallel servers and
+	// queue places past them (Lambda and Mu are shared with the TAG
+	// fields). This is the pepad overload policy as a model — see
+	// internal/policies.AdmissionQueue.
+	Servers int `json:"servers,omitempty"`
+	Queue   int `json:"queue,omitempty"`
+
 	// PEPA source text (KindPEPA). Stored verbatim so the repro is
 	// independent of the generator.
 	PEPA string `json:"pepa,omitempty"`
@@ -100,6 +108,9 @@ func (sc Scenario) String() string {
 		return fmt.Sprintf("jsq(lambda=%g k=%d service=%s)", sc.Lambda, sc.K, sc.Service)
 	case KindPEPA:
 		return fmt.Sprintf("pepa(%d bytes)", len(sc.PEPA))
+	case KindAdmission:
+		return fmt.Sprintf("admission(lambda=%g mu=%g servers=%d queue=%d)",
+			sc.Lambda, sc.Mu, sc.Servers, sc.Queue)
 	default:
 		return "unknown(" + sc.Kind + ")"
 	}
@@ -131,16 +142,22 @@ func Generate(rng *rand.Rand) Scenario {
 	case p < 0.65:
 		sc.Kind = KindPEPA
 		sc.PEPA = randomPEPAModel(rng)
-	case p < 0.85:
+	case p < 0.80:
 		sc.Kind = KindRandom
 		sc.Lambda = roundRate(rng, 0.5, 15)
 		sc.K = 1 + rng.IntN(5)
 		sc.Service = randomService(rng)
-	default:
+	case p < 0.92:
 		sc.Kind = KindJSQ
 		sc.Lambda = roundRate(rng, 0.5, 18)
 		sc.K = 1 + rng.IntN(4)
 		sc.Service = randomServiceH2OrExp(rng)
+	default:
+		sc.Kind = KindAdmission
+		sc.Lambda = roundRate(rng, 0.5, 30)
+		sc.Mu = roundRate(rng, 0.5, 10)
+		sc.Servers = 1 + rng.IntN(8)
+		sc.Queue = rng.IntN(32)
 	}
 	return sc
 }

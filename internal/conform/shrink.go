@@ -104,6 +104,11 @@ func shrinkCandidates(sc Scenario) []Scenario {
 				shrinkFloat(sc.Service.Mu2, func(s *Scenario, v float64) { s.Service.Mu2 = v })
 			}
 		}
+	case KindAdmission:
+		shrinkInt(sc.Servers, 1, func(s *Scenario, v int) { s.Servers = v })
+		shrinkInt(sc.Queue, 0, func(s *Scenario, v int) { s.Queue = v })
+		shrinkFloat(sc.Lambda, func(s *Scenario, v float64) { s.Lambda = v })
+		shrinkFloat(sc.Mu, func(s *Scenario, v float64) { s.Mu = v })
 	case KindPEPA:
 		// PEPA sources are kept verbatim; there is no structural
 		// shrink that is guaranteed to stay well-formed.

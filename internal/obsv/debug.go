@@ -75,7 +75,7 @@ func StartDebug(addr string, reg *Registry, log *EventLog) (srv *http.Server, bo
 			http.Error(w, "no event log attached (run with -events or a registry-bearing flag)", http.StatusNotFound)
 			return
 		}
-		serveEvents(w, r, log)
+		ServeEvents(w, r, log)
 	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -86,7 +86,10 @@ func StartDebug(addr string, reg *Registry, log *EventLog) (srv *http.Server, bo
 	return srv, ln.Addr().String(), nil
 }
 
-// serveEvents streams the event log over HTTP. Two modes:
+// ServeEvents streams an event log over HTTP. It backs both the
+// -debug-addr /events endpoint and pepad's per-job
+// /v1/jobs/{id}/events endpoint — any server that scopes an *EventLog
+// to a unit of work can expose it with this one handler. Two modes:
 //
 //   - SSE, when the client sends Accept: text/event-stream (or
 //     ?stream=sse): one `data: <json>` frame per event, starting after
@@ -99,7 +102,11 @@ func StartDebug(addr string, reg *Registry, log *EventLog) (srv *http.Server, bo
 //     a JSON array. An empty array means the timeout passed; the
 //     X-Events-Closed: 1 response header means the log is closed and
 //     polling can stop.
-func serveEvents(w http.ResponseWriter, r *http.Request, log *EventLog) {
+func ServeEvents(w http.ResponseWriter, r *http.Request, log *EventLog) {
+	if log == nil {
+		http.Error(w, "no event log attached", http.StatusNotFound)
+		return
+	}
 	q := r.URL.Query()
 	since := log.Seq()
 	if s := q.Get("since"); s != "" {

@@ -1,0 +1,166 @@
+package policies
+
+import (
+	"fmt"
+
+	"pepatags/internal/ctmc"
+	"pepatags/internal/queueing"
+)
+
+// AdmissionQueue is the threshold admission policy of Mazzucco &
+// Mitrani, "Allocation and Admission Policies for Service Streams",
+// as an analyzable Markov model: Servers identical workers each
+// completing jobs at rate Mu, Poisson arrivals at rate Lambda, and a
+// hard admission bound — a job is admitted while fewer than
+// Servers + Queue jobs are in the system and rejected otherwise.
+// Rejection is immediate and permanent (no retries inside the model);
+// admitted jobs are never lost.
+//
+// The state is the number of jobs present, so the model is the
+// birth–death chain M/M/c/K with c = Servers and K = Servers + Queue.
+// It is also precisely the overload policy the pepad daemon runs
+// (internal/serve/admission), with the daemon's work-seconds bound
+// mapped to Queue places by dividing through the mean job size — the
+// conform battery and the serve tests cross-validate the
+// implementation against this model's steady-state predictions.
+type AdmissionQueue struct {
+	Lambda, Mu float64 // arrival rate; per-server service rate
+	Servers    int     // parallel workers (c)
+	Queue      int     // admission bound beyond the servers (K - c)
+}
+
+// AdmissionMeasures are the steady-state predictions of the model.
+type AdmissionMeasures struct {
+	States int // K + 1 = Servers + Queue + 1
+
+	// RejectProbability is the stationary probability that an arriving
+	// job finds the system at the admission bound (PASTA: the blocking
+	// probability pi_K).
+	RejectProbability float64
+	// Throughput is the admitted-job completion rate
+	// Lambda (1 - RejectProbability).
+	Throughput float64
+	// RejectRate is Lambda * RejectProbability.
+	RejectRate float64
+	// MeanJobs is the stationary mean number of jobs present.
+	MeanJobs float64
+	// MeanResponse is the mean sojourn time of an admitted job, by
+	// Little's law over the admitted flow.
+	MeanResponse float64
+	// Utilization is the mean busy fraction of a server.
+	Utilization float64
+}
+
+func (a AdmissionQueue) validate() error {
+	if a.Lambda <= 0 || a.Mu <= 0 || a.Servers < 1 || a.Queue < 0 {
+		return fmt.Errorf("policies: invalid admission queue lambda=%g mu=%g servers=%d queue=%d",
+			a.Lambda, a.Mu, a.Servers, a.Queue)
+	}
+	return nil
+}
+
+// mmck maps the policy onto its birth–death closed form.
+func (a AdmissionQueue) mmck() queueing.MMcK {
+	return queueing.NewMMcK(a.Lambda, a.Mu, a.Servers, a.Servers+a.Queue)
+}
+
+// Measures evaluates the closed-form stationary measures.
+func (a AdmissionQueue) Measures() (AdmissionMeasures, error) {
+	if err := a.validate(); err != nil {
+		return AdmissionMeasures{}, err
+	}
+	q := a.mmck()
+	pRej := q.LossProbability()
+	x := q.Throughput()
+	l := q.MeanQueueLength()
+	return AdmissionMeasures{
+		States:            a.Servers + a.Queue + 1,
+		RejectProbability: pRej,
+		Throughput:        x,
+		RejectRate:        a.Lambda * pRej,
+		MeanJobs:          l,
+		MeanResponse:      queueing.Little(l, x),
+		Utilization:       q.Utilization(),
+	}, nil
+}
+
+// BuildChain constructs the policy's CTMC explicitly, with "arrival",
+// "service" and "reject" action labels, so the conform oracles can
+// cross-check the closed form against a general-purpose steady-state
+// solve (and the reject flow against ActionThroughput).
+func (a AdmissionQueue) BuildChain() (*ctmc.Chain, error) {
+	if err := a.validate(); err != nil {
+		return nil, err
+	}
+	k := a.Servers + a.Queue
+	b := ctmc.NewBuilder()
+	for n := 0; n <= k; n++ {
+		b.State(fmt.Sprintf("N%d", n))
+	}
+	for n := 0; n <= k; n++ {
+		if n < k {
+			b.Transition(n, n+1, a.Lambda, "arrival")
+		} else {
+			// The rejected stream leaves the state unchanged; the
+			// self-loop carries the label so the reject rate is a
+			// measurable action throughput, exactly like the TAG
+			// models' loss accounting.
+			b.Transition(n, n, a.Lambda, "reject")
+		}
+		if n > 0 {
+			servers := n
+			if servers > a.Servers {
+				servers = a.Servers
+			}
+			b.Transition(n, n-1, float64(servers)*a.Mu, "service")
+		}
+	}
+	return b.Build(), nil
+}
+
+// NetRevenue is the economic criterion of Mazzucco & Mitrani: each
+// completed job earns charge, each rejected job costs penalty, so the
+// long-run revenue rate is
+//
+//	Throughput*charge - RejectRate*penalty.
+//
+// For a fixed number of servers this is the objective the admission
+// bound should maximize: a bound too low rejects work that would have
+// earned its charge, a bound too high admits jobs whose waiting
+// (eventually) displaces future earnings. With this linear criterion
+// and no waiting cost the revenue is monotone in Queue; adding a
+// holding cost per job-second in the system (the paper's waiting
+// penalty) makes an interior bound optimal.
+func (m AdmissionMeasures) NetRevenue(charge, penalty float64) float64 {
+	return m.Throughput*charge - m.RejectRate*penalty
+}
+
+// NetRevenueWithHolding extends NetRevenue with a holding cost per
+// job-second spent in the system, the form under which a finite
+// admission bound becomes optimal.
+func (m AdmissionMeasures) NetRevenueWithHolding(charge, penalty, holding float64) float64 {
+	return m.NetRevenue(charge, penalty) - holding*m.MeanJobs
+}
+
+// OptimalQueue searches Queue in [0, maxQueue] for the bound that
+// maximizes NetRevenueWithHolding, returning the best bound, its
+// measures and the achieved revenue rate. Ties go to the smaller
+// bound (fewer admitted jobs waiting).
+func OptimalQueue(lambda, mu float64, servers int, charge, penalty, holding float64, maxQueue int) (int, AdmissionMeasures, float64, error) {
+	if maxQueue < 0 {
+		return 0, AdmissionMeasures{}, 0, fmt.Errorf("policies: maxQueue must be >= 0, got %d", maxQueue)
+	}
+	bestQ, bestRev := 0, 0.0
+	var bestM AdmissionMeasures
+	for q := 0; q <= maxQueue; q++ {
+		m, err := AdmissionQueue{Lambda: lambda, Mu: mu, Servers: servers, Queue: q}.Measures()
+		if err != nil {
+			return 0, AdmissionMeasures{}, 0, err
+		}
+		rev := m.NetRevenueWithHolding(charge, penalty, holding)
+		if q == 0 || rev > bestRev {
+			bestQ, bestRev, bestM = q, rev, m
+		}
+	}
+	return bestQ, bestM, bestRev, nil
+}

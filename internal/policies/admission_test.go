@@ -1,0 +1,129 @@
+package policies
+
+import (
+	"math"
+	"testing"
+
+	"pepatags/internal/queueing"
+)
+
+func TestAdmissionMeasuresAgainstChain(t *testing.T) {
+	cases := []AdmissionQueue{
+		{Lambda: 3, Mu: 1, Servers: 2, Queue: 4},
+		{Lambda: 0.5, Mu: 2, Servers: 1, Queue: 0},
+		{Lambda: 12, Mu: 1.5, Servers: 4, Queue: 10},
+		{Lambda: 8, Mu: 10, Servers: 1, Queue: 3},
+	}
+	for _, a := range cases {
+		m, err := a.Measures()
+		if err != nil {
+			t.Fatalf("%+v: %v", a, err)
+		}
+		ch, err := a.BuildChain()
+		if err != nil {
+			t.Fatalf("%+v: %v", a, err)
+		}
+		if ch.NumStates() != m.States {
+			t.Fatalf("%+v: chain has %d states, measures report %d", a, ch.NumStates(), m.States)
+		}
+		pi, err := ch.SteadyState()
+		if err != nil {
+			t.Fatalf("%+v: steady state: %v", a, err)
+		}
+		xChain := ch.ActionThroughput(pi, "service")
+		rejChain := ch.ActionThroughput(pi, "reject")
+		lChain := ch.Expectation(pi, func(s int) float64 { return float64(s) })
+		const tol = 1e-9
+		if d := math.Abs(xChain - m.Throughput); d > tol*(1+m.Throughput) {
+			t.Errorf("%+v: throughput closed-form %g vs chain %g", a, m.Throughput, xChain)
+		}
+		if d := math.Abs(rejChain - m.RejectRate); d > tol*(1+m.RejectRate) {
+			t.Errorf("%+v: reject rate closed-form %g vs chain %g", a, m.RejectRate, rejChain)
+		}
+		if d := math.Abs(lChain - m.MeanJobs); d > tol*(1+m.MeanJobs) {
+			t.Errorf("%+v: mean jobs closed-form %g vs chain %g", a, m.MeanJobs, lChain)
+		}
+		// Flow balance inside the closed form itself.
+		if d := math.Abs(m.Throughput + m.RejectRate - a.Lambda); d > tol*a.Lambda {
+			t.Errorf("%+v: throughput %g + reject rate %g != lambda %g", a, m.Throughput, m.RejectRate, a.Lambda)
+		}
+	}
+}
+
+func TestAdmissionMatchesMMcK(t *testing.T) {
+	a := AdmissionQueue{Lambda: 7, Mu: 2, Servers: 3, Queue: 5}
+	m, err := a.Measures()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := queueing.NewMMcK(a.Lambda, a.Mu, a.Servers, a.Servers+a.Queue)
+	if got, want := m.RejectProbability, q.LossProbability(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("reject probability %g, M/M/c/K loss %g", got, want)
+	}
+	if got, want := m.MeanResponse, q.ResponseTime(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("mean response %g, M/M/c/K response %g", got, want)
+	}
+}
+
+func TestAdmissionValidation(t *testing.T) {
+	bad := []AdmissionQueue{
+		{Lambda: 0, Mu: 1, Servers: 1},
+		{Lambda: 1, Mu: 0, Servers: 1},
+		{Lambda: 1, Mu: 1, Servers: 0},
+		{Lambda: 1, Mu: 1, Servers: 1, Queue: -1},
+	}
+	for _, a := range bad {
+		if _, err := a.Measures(); err == nil {
+			t.Errorf("%+v: expected a validation error", a)
+		}
+		if _, err := a.BuildChain(); err == nil {
+			t.Errorf("%+v: BuildChain expected a validation error", a)
+		}
+	}
+}
+
+func TestNetRevenueMonotoneWithoutHolding(t *testing.T) {
+	// With no holding cost, widening the bound only converts rejections
+	// into completions: revenue must be nondecreasing in Queue.
+	prev := math.Inf(-1)
+	for q := 0; q <= 12; q++ {
+		m, err := AdmissionQueue{Lambda: 6, Mu: 1, Servers: 4, Queue: q}.Measures()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rev := m.NetRevenue(1, 0.5)
+		if rev < prev-1e-12 {
+			t.Fatalf("revenue decreased at queue=%d: %g -> %g", q, prev, rev)
+		}
+		prev = rev
+	}
+}
+
+func TestOptimalQueueInterior(t *testing.T) {
+	// A strong holding cost under overload makes a small finite bound
+	// optimal: admitted jobs queue for a long time and cost more than
+	// the charge they earn.
+	q, m, rev, err := OptimalQueue(10, 1, 2, 1.0, 0.1, 0.9, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q == 40 {
+		t.Fatalf("optimal bound hit the search ceiling (q=%d, rev=%g)", q, rev)
+	}
+	// The optimum must beat both neighbours.
+	for _, nq := range []int{q - 1, q + 1} {
+		if nq < 0 {
+			continue
+		}
+		nm, err := AdmissionQueue{Lambda: 10, Mu: 1, Servers: 2, Queue: nq}.Measures()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nrev := nm.NetRevenueWithHolding(1.0, 0.1, 0.9); nrev > rev+1e-12 {
+			t.Errorf("queue=%d revenue %g beats reported optimum queue=%d revenue %g", nq, nrev, q, rev)
+		}
+	}
+	if m.RejectProbability <= 0 {
+		t.Errorf("overloaded optimum should reject some jobs, got P_rej=%g", m.RejectProbability)
+	}
+}

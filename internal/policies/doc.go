@@ -18,4 +18,11 @@
 // deterministic as the paper's idealised policy, Erlang as the
 // tractable approximation analysed in Sections 3-4, and adaptive
 // (backlog-scaled) as the Section 7 suggestion for bursty arrivals.
+//
+// AdmissionQueue stands slightly apart: it is the threshold admission
+// policy of Mazzucco & Mitrani as an analyzable M/M/c/K model — the
+// overload policy the pepad daemon applies to its own job stream
+// (internal/serve/admission). The conform oracle battery checks its
+// closed form against an explicitly built CTMC, and tools/admitbench
+// measures the running daemon against its predictions.
 package policies

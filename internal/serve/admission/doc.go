@@ -1,0 +1,28 @@
+// Package admission implements pepad's overload policy: the
+// threshold admission control of Mazzucco & Mitrani ("Allocation and
+// Admission Policies for Service Streams") applied to jobs whose
+// service duration is unknown — the source paper's question, made
+// literal in the serving layer.
+//
+// An Estimator predicts each job's cost in seconds from what is
+// observable at submission time: how many points the sweep expands to
+// and how many distinct state-space shapes the shared cache has not
+// derived yet (sweep.FreshShapes). Two EWMAs — seconds per cached
+// point and seconds per fresh derivation — are seeded from measured
+// DeriveStats history and recalibrated from every completed job, so
+// the estimates track the hardware without ever knowing a job's true
+// duration in advance.
+//
+// A Controller serializes decisions: Submit consults the Policy with
+// the current estimated backlog, and admitted jobs stay in the
+// backlog until Finish (success, feeds the estimator) or Abort
+// (failure/cancel, does not). The Threshold policy rejects while the
+// backlog is at or above a configured bound of estimated seconds —
+// the work-conserving analogue of "admit while fewer than K jobs are
+// present", which makes policies.AdmissionQueue (an M/M/c/K loss
+// system with Queue = Bound/E[job] - Servers places) its analyzable
+// counterpart. The package tests drive a Poisson arrival stream
+// through the Controller and check the observed reject rate against
+// that model's blocking probability; the conform oracle battery
+// cross-checks the model itself against an explicitly built CTMC.
+package admission

@@ -1,0 +1,34 @@
+package admission_test
+
+import (
+	"fmt"
+
+	"pepatags/internal/serve/admission"
+)
+
+// ExampleController walks the threshold policy through a burst: each
+// admitted two-point job adds two estimated seconds to the backlog,
+// and the bound of three seconds trips on the third submission.
+func ExampleController() {
+	est := admission.NewEstimator(1, 1) // 1 s per point, 1 s per fresh shape
+	ctrl := admission.NewController(admission.Threshold{Bound: 3}, est, 1)
+	for i := 0; i < 4; i++ {
+		_, d := ctrl.Submit(2, 0)
+		fmt.Printf("job %d: admit=%v backlog=%.0fs\n", i, d.Admit, d.BacklogSeconds)
+	}
+	// Output:
+	// job 0: admit=true backlog=0s
+	// job 1: admit=true backlog=2s
+	// job 2: admit=false backlog=4s
+	// job 3: admit=false backlog=4s
+}
+
+// ExampleThreshold maps the work bound onto the analyzable model's
+// queue places: a 30-second bound holds six jobs of five-second mean,
+// so the daemon behaves like an M/M/c/K queue with K = c + 6.
+func ExampleThreshold() {
+	pol := admission.Threshold{Bound: 30}
+	fmt.Println(pol, "holds", pol.QueuePlaces(5), "mean jobs")
+	// Output:
+	// threshold(bound=30s) holds 6 mean jobs
+}

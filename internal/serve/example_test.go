@@ -1,0 +1,77 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"pepatags/internal/obsv"
+	"pepatags/internal/serve"
+	"pepatags/internal/sweep"
+)
+
+// Example submits a two-point TAG sweep to a pepad server over real
+// HTTP, waits for it, fetches the result accounting, and then reads
+// the job's event stream through the long-poll endpoint.
+func Example() {
+	srv := serve.New(serve.Config{JobWorkers: 1, SolveWorkers: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	spec := &sweep.Spec{
+		Schema: sweep.SpecSchema,
+		Name:   "example",
+		Groups: []sweep.Group{{
+			Point: sweep.Point{
+				Series: "tag", Model: "tagexp",
+				Lambda: 5, N: 2, K1: 3, K2: 3,
+				Service: sweep.ServiceSpec{Kind: "exp", Mu: 10},
+			},
+			Axes: []sweep.Axis{{Field: "t", Values: []float64{2, 6}}},
+		}},
+	}
+	body, _ := json.Marshal(serve.SubmitRequest{Spec: spec})
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fmt.Println("submit:", err)
+		return
+	}
+	var sub serve.SubmitResponse
+	json.NewDecoder(resp.Body).Decode(&sub)
+	resp.Body.Close()
+
+	// Wait for the job (over HTTP a client would poll /v1/jobs/{id}
+	// or stream /v1/jobs/{id}/events; in-process the Job handle has a
+	// Done channel).
+	job, _ := srv.Job(sub.Job.ID)
+	<-job.Done()
+	view := job.View()
+	fmt.Printf("%s: %d rows\n", view.State, view.Result.Rows)
+
+	// The job's whole event history replays from the flight recorder;
+	// the closed log answers a long-poll immediately.
+	er, err := http.Get(ts.URL + "/v1/jobs/" + sub.Job.ID + "/events?since=0&timeout=5s")
+	if err != nil {
+		fmt.Println("events:", err)
+		return
+	}
+	var events []obsv.Event
+	json.NewDecoder(er.Body).Decode(&events)
+	er.Body.Close()
+	for _, ev := range events {
+		if strings.HasPrefix(ev.Kind, "sweep.") {
+			fmt.Println(ev.Kind)
+		}
+	}
+	// Output:
+	// done: 2 rows
+	// sweep.start
+	// sweep.point
+	// sweep.point
+	// sweep.done
+}

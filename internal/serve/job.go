@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"pepatags/internal/obsv"
+	"pepatags/internal/sweep"
+)
+
+// Job states, in lifecycle order. A job moves queued -> running ->
+// one of done/failed/canceled; cancellation requested while queued
+// still passes through running (the worker picks it up, the engine
+// aborts immediately) so every job takes exactly one path through the
+// pool and leaves exactly one manifest.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// Job is one admitted sweep. The immutable identity fields are set at
+// submission; the mutable lifecycle fields are guarded by mu.
+type Job struct {
+	// Immutable after submission.
+	ID       string
+	Spec     *sweep.Spec
+	SpecHash string
+	Points   int
+	Fresh    int // fresh shapes at admission time (cache misses to come)
+	Workers  int
+	Handle   uint64  // admission-controller handle
+	Cost     float64 // admission-time cost estimate, seconds
+
+	// Log is the job-scoped event stream: the engine's sweep.start /
+	// sweep.point / sweep.done events land here and are served over
+	// /v1/jobs/{id}/events. Closed when the job reaches a final state.
+	Log *obsv.EventLog
+
+	cancelOnce sync.Once
+	cancel     chan struct{}
+	done       chan struct{} // closed on final state
+
+	mu           sync.Mutex
+	state        string
+	err          error
+	res          *sweep.RunResult
+	submitted    time.Time
+	started      time.Time
+	finished     time.Time
+	manifestPath string
+}
+
+// Cancel requests cancellation; safe to call any number of times and
+// in any state (a no-op once the job is final).
+func (j *Job) Cancel() {
+	j.cancelOnce.Do(func() { close(j.cancel) })
+}
+
+// Done returns a channel closed when the job reaches a final state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// State returns the current lifecycle state.
+func (j *Job) State() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Result returns the run result, or nil while the job has not
+// completed successfully.
+func (j *Job) Result() *sweep.RunResult {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateDone {
+		return nil
+	}
+	return j.res
+}
+
+func (j *Job) setRunning(at time.Time) {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = at
+	j.mu.Unlock()
+}
+
+func (j *Job) setFinal(state string, res *sweep.RunResult, err error, at time.Time, manifest string) {
+	j.mu.Lock()
+	j.state = state
+	j.res = res
+	j.err = err
+	j.finished = at
+	j.manifestPath = manifest
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// View is the JSON representation of a job served by the API.
+type View struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	Spec     string `json:"spec"`
+	SpecHash string `json:"spec_sha256"`
+	Points   int    `json:"points"`
+	// FreshShapes is the number of distinct state-space shapes the job
+	// was going to derive when admitted (its cache misses).
+	FreshShapes int     `json:"fresh_shapes"`
+	Workers     int     `json:"workers"`
+	CostSeconds float64 `json:"cost_estimate_sec"`
+
+	SubmittedAt string `json:"submitted_at"`
+	StartedAt   string `json:"started_at,omitempty"`
+	FinishedAt  string `json:"finished_at,omitempty"`
+
+	Error    string      `json:"error,omitempty"`
+	Manifest string      `json:"manifest,omitempty"`
+	Result   *ResultInfo `json:"result,omitempty"`
+}
+
+// ResultInfo is the run accounting of a completed job.
+type ResultInfo struct {
+	Rows        int     `json:"rows"`
+	Resumed     int     `json:"resumed,omitempty"`
+	CacheHits   int64   `json:"cache_hits"`
+	CacheMisses int64   `json:"cache_misses"`
+	ElapsedSec  float64 `json:"elapsed_sec"`
+}
+
+func rfc3339(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.UTC().Format(time.RFC3339Nano)
+}
+
+// View snapshots the job for the API.
+func (j *Job) View() View {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := View{
+		ID:          j.ID,
+		State:       j.state,
+		Spec:        j.Spec.Name,
+		SpecHash:    j.SpecHash,
+		Points:      j.Points,
+		FreshShapes: j.Fresh,
+		Workers:     j.Workers,
+		CostSeconds: j.Cost,
+		SubmittedAt: rfc3339(j.submitted),
+		StartedAt:   rfc3339(j.started),
+		FinishedAt:  rfc3339(j.finished),
+		Manifest:    j.manifestPath,
+	}
+	if j.err != nil {
+		v.Error = j.err.Error()
+	}
+	if j.state == StateDone && j.res != nil {
+		v.Result = &ResultInfo{
+			Rows:        len(j.res.Rows),
+			Resumed:     j.res.Resumed,
+			CacheHits:   j.res.CacheHits,
+			CacheMisses: j.res.CacheMisses,
+			ElapsedSec:  j.res.Elapsed.Seconds(),
+		}
+	}
+	return v
+}

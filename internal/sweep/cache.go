@@ -47,6 +47,22 @@ func NewCache() *Cache {
 func (c *Cache) Hits() int64   { return c.hits.Load() }
 func (c *Cache) Misses() int64 { return c.misses.Load() }
 
+// Contains reports whether the shape key already has a derived
+// skeleton — i.e. whether a solve of that shape would be a cache hit.
+// An entry that was allocated but whose derivation has not finished
+// yet counts as absent.
+func (c *Cache) Contains(key string) bool {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	c.mu.Unlock()
+	if !ok {
+		return false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.skel != nil
+}
+
 // Shapes returns the number of distinct shapes derived so far.
 func (c *Cache) Shapes() int {
 	c.mu.Lock()

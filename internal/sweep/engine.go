@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -22,10 +23,25 @@ const (
 	metricCacheMisses   = "sweep.cache_misses"
 )
 
+// ErrCanceled is returned (wrapped) by Run when the Cancel channel
+// closes before every point has been solved. The journal keeps the
+// completed prefix, so a canceled run resumes exactly like a killed
+// one.
+var ErrCanceled = errors.New("sweep: run canceled")
+
 // Options configure one engine run.
 type Options struct {
 	// Workers is the size of the solve pool; <= 1 runs serially.
 	Workers int
+	// Cache, when non-nil, is used instead of a fresh per-run cache, so
+	// long-running callers (the pepad daemon) share derived state
+	// spaces across runs. RunResult.CacheHits/CacheMisses then report
+	// the deltas this run contributed, not the cache's lifetime totals.
+	Cache *Cache
+	// Cancel, when non-nil, aborts the run when closed: in-flight
+	// points finish, no further points start, and Run returns an error
+	// wrapping ErrCanceled.
+	Cancel <-chan struct{}
 	// Journal is the path of the append-only result journal; empty
 	// disables journaling (results are only returned in memory).
 	Journal string
@@ -136,7 +152,11 @@ func Run(spec *Spec, opt Options) (*RunResult, error) {
 		end(sp)
 	}
 
-	cache := NewCache()
+	cache := opt.Cache
+	if cache == nil {
+		cache = NewCache()
+	}
+	hits0, misses0 := cache.Hits(), cache.Misses()
 	var pointSeconds *obsv.Histogram
 	if opt.Registry != nil {
 		opt.Registry.Counter(metricPointsTotal).Add(int64(len(points)))
@@ -167,7 +187,7 @@ func Run(spec *Spec, opt Options) (*RunResult, error) {
 		})
 	}
 	hitRate := func() float64 {
-		h, m := cache.Hits(), cache.Misses()
+		h, m := cache.Hits()-hits0, cache.Misses()-misses0
 		if h+m == 0 {
 			return 0
 		}
@@ -228,6 +248,7 @@ func Run(spec *Spec, opt Options) (*RunResult, error) {
 			}
 		}()
 	}
+dispatch:
 	for _, seq := range todo {
 		mu.Lock()
 		stop := firstErr != nil
@@ -235,13 +256,38 @@ func Run(spec *Spec, opt Options) (*RunResult, error) {
 		if stop {
 			break
 		}
-		jobs <- seq
+		if opt.Cancel != nil {
+			canceled := false
+			// Check Cancel on its own first: when both it and a worker
+			// are ready, a two-way select picks at random, so a job
+			// canceled before dispatch could still leak points.
+			select {
+			case <-opt.Cancel:
+				canceled = true
+			default:
+				select {
+				case <-opt.Cancel:
+					canceled = true
+				case jobs <- seq:
+				}
+			}
+			if canceled {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%w after %d of %d points", ErrCanceled, res.Resumed+len(rows), len(points))
+				}
+				mu.Unlock()
+				break dispatch
+			}
+		} else {
+			jobs <- seq
+		}
 	}
 	close(jobs)
 	wg.Wait()
 	end(sp)
 
-	res.CacheHits, res.CacheMisses = cache.Hits(), cache.Misses()
+	res.CacheHits, res.CacheMisses = cache.Hits()-hits0, cache.Misses()-misses0
 	if opt.Registry != nil {
 		opt.Registry.Counter(metricCacheHits).Add(res.CacheHits)
 		opt.Registry.Counter(metricCacheMisses).Add(res.CacheMisses)

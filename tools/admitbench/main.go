@@ -1,0 +1,296 @@
+// admitbench measures pepad's admission control under overload and
+// compares it with the analyzable model (policies.AdmissionQueue).
+// It stands up the serving stack on a real HTTP socket, calibrates
+// the mean job size with an admit-everything warmup, then drives a
+// seeded Poisson arrival stream of exponentially-sized sweep jobs at
+// several offered loads against a work-seconds admission bound,
+// counting 202s and 429s. For each load it prints the observed
+// reject fraction and completed-job throughput next to the M/M/c/K
+// prediction built from the measured mean job size — the numbers
+// behind the "Admission control under overload" section of
+// EXPERIMENTS.md.
+//
+// Job sizes are drawn exponential (a point count ~ Exp with the
+// -points mean; every point is one cached-shape solve) so the
+// measured system actually is the M in the model's service position.
+// All jobs share one model shape, so after the first derivation the
+// shared cache makes job cost proportional to the point count.
+//
+// Usage (from the repository root):
+//
+//	go run ./tools/admitbench
+//	go run ./tools/admitbench -jobs 400 -queue-places 4 -loads 0.5,0.9,1.2,1.5,2.0
+//
+// The daemon runs one job at a time (-job-workers 1 by default): on
+// the single-CPU containers this is benchmarked on, concurrent jobs
+// would time-share the core and break the "c independent servers"
+// reading of the model.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"pepatags/internal/obsv"
+	"pepatags/internal/policies"
+	"pepatags/internal/serve"
+	"pepatags/internal/sweep"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("admitbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		points  = fs.Int("points", 6, "mean sweep points per job (job sizes are Exp with this mean)")
+		jobs    = fs.Int("jobs", 300, "arrivals per load point")
+		warm    = fs.Int("warm", 30, "calibration jobs before measuring")
+		workers = fs.Int("job-workers", 1, "concurrent jobs (the model's c servers)")
+		places  = fs.Int("queue-places", 4, "admission bound beyond the servers, in mean jobs (the model's Queue)")
+		loads   = fs.String("loads", "0.5,0.8,1.0,1.2,1.5,2.0", "offered loads rho = lambda/(c*mu), comma-separated")
+		seed    = fs.Uint64("seed", 1, "PCG seed for job sizes and the Poisson arrival stream")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	var rhos []float64
+	for _, s := range strings.Split(*loads, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil || v <= 0 {
+			fmt.Fprintf(stderr, "admitbench: bad load %q\n", s)
+			return 2
+		}
+		rhos = append(rhos, v)
+	}
+	if err := bench(*points, *jobs, *warm, *workers, *places, rhos, *seed, stdout); err != nil {
+		fmt.Fprintln(stderr, "admitbench:", err)
+		return 1
+	}
+	return 0
+}
+
+// jobBody marshals a submit request for one job whose size (point
+// count) is drawn exponential with the given mean. Every job uses the
+// same model shape — only the t-axis length varies — so all of them
+// resolve through one cached derivation and cost ~points x solve.
+func jobBody(rng *rand.Rand, meanPoints int) ([]byte, error) {
+	n := int(rng.ExpFloat64() * float64(meanPoints))
+	if n < 1 {
+		n = 1
+	}
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = 1 + 14*float64(i)/float64(n)
+	}
+	spec := &sweep.Spec{
+		Schema: sweep.SpecSchema,
+		Name:   "admitbench",
+		Groups: []sweep.Group{{
+			Point: sweep.Point{
+				Series: "tag", Model: "tagexp",
+				Lambda: 5, N: 4, K1: 10, K2: 10,
+				Service: sweep.ServiceSpec{Kind: "exp", Mu: 10},
+			},
+			Axes: []sweep.Axis{{Field: "t", Values: vals}},
+		}},
+	}
+	return json.Marshal(serve.SubmitRequest{Spec: spec})
+}
+
+type admissionStats struct {
+	Admitted            int64   `json:"admitted"`
+	Rejected            int64   `json:"rejected"`
+	ObservedJobs        int64   `json:"observed_jobs"`
+	ObservedWorkSeconds float64 `json:"observed_work_seconds"`
+}
+
+func getStats(base string) (admissionStats, error) {
+	var st admissionStats
+	r, err := http.Get(base + "/v1/admission")
+	if err != nil {
+		return st, err
+	}
+	defer r.Body.Close()
+	err = json.NewDecoder(r.Body).Decode(&st)
+	return st, err
+}
+
+// submit POSTs one job; it returns the job ID for 202 and "" for 429.
+func submit(base string, body []byte) (string, error) {
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusAccepted:
+		var sub serve.SubmitResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+			return "", err
+		}
+		return sub.Job.ID, nil
+	case http.StatusTooManyRequests:
+		io.Copy(io.Discard, resp.Body)
+		return "", nil
+	default:
+		b, _ := io.ReadAll(resp.Body)
+		return "", fmt.Errorf("submit: status %d: %s", resp.StatusCode, b)
+	}
+}
+
+// drain waits until every admitted job has left the system.
+func drain(srv *serve.Server) {
+	for _, j := range srv.Jobs() {
+		<-j.Done()
+	}
+}
+
+func bench(meanPoints, jobs, warm, workers, places int, rhos []float64, seed uint64, stdout io.Writer) error {
+	rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+
+	// runOne submits one random-size job and waits for it.
+	runOne := func(base string, srv *serve.Server) error {
+		body, err := jobBody(rng, meanPoints)
+		if err != nil {
+			return err
+		}
+		id, err := submit(base, body)
+		if err != nil {
+			return err
+		}
+		if j, ok := srv.Job(id); ok {
+			<-j.Done()
+		}
+		return nil
+	}
+
+	// Phase 1: calibrate the mean job size with an admit-everything
+	// server — sequential jobs, with the cold first job (which pays
+	// the state-space derivation) excluded from the mean via a stats
+	// snapshot taken after it finishes.
+	cal := serve.New(serve.Config{JobWorkers: 1, SolveWorkers: 1, Log: obsv.NewEventLog(obsv.EventLogConfig{})})
+	ts := httptest.NewServer(cal.Handler())
+	if err := runOne(ts.URL, cal); err != nil {
+		return fmt.Errorf("warmup: %w", err)
+	}
+	cold, err := getStats(ts.URL)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < warm; i++ {
+		if err := runOne(ts.URL, cal); err != nil {
+			return fmt.Errorf("warmup: %w", err)
+		}
+	}
+	st, err := getStats(ts.URL)
+	ts.Close()
+	cal.Shutdown(context.Background())
+	if err != nil {
+		return err
+	}
+	if st.ObservedJobs-cold.ObservedJobs < 1 {
+		return fmt.Errorf("warmup produced no warm jobs")
+	}
+	meanJob := (st.ObservedWorkSeconds - cold.ObservedWorkSeconds) / float64(st.ObservedJobs-cold.ObservedJobs)
+	mu := 1 / meanJob
+	bound := float64(workers+places) * meanJob
+	fmt.Fprintf(stdout, "admitbench: Exp(%d)-point jobs, E[job] = %.1f ms (mu = %.2f/s), c = %d, bound = %.3f s (K = %d)\n\n",
+		meanPoints, meanJob*1e3, mu, workers, bound, workers+places)
+
+	// Phase 2: one measured server, estimator seeded calibrated,
+	// bound set in work-seconds.
+	srv := serve.New(serve.Config{
+		JobWorkers:       workers,
+		SolveWorkers:     1,
+		QueueDepth:       4 * (workers + places),
+		AdmissionBound:   bound,
+		SeedPointSeconds: meanJob / float64(meanPoints),
+		Log:              obsv.NewEventLog(obsv.EventLogConfig{}),
+	})
+	ms := httptest.NewServer(srv.Handler())
+	defer ms.Close()
+	defer srv.Shutdown(context.Background())
+
+	// Re-warm this server's own cache before measuring.
+	if err := runOne(ms.URL, srv); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "%5s %9s %9s %9s %9s %3s %11s %11s %11s %11s\n",
+		"rho", "lambda/s", "E[job]ms", "admitted", "rejected", "K", "p_rej obs", "p_rej model", "X obs /s", "X model /s")
+	for _, rho := range rhos {
+		lambda := rho * float64(workers) * mu
+		before, err := getStats(ms.URL)
+		if err != nil {
+			return err
+		}
+		// Absolute-clock Poisson schedule: submit latency does not
+		// stretch the inter-arrival gaps.
+		start := time.Now()
+		next := start
+		for i := 0; i < jobs; i++ {
+			time.Sleep(time.Until(next))
+			body, err := jobBody(rng, meanPoints)
+			if err != nil {
+				return err
+			}
+			if _, err := submit(ms.URL, body); err != nil {
+				return err
+			}
+			next = next.Add(time.Duration(rng.ExpFloat64() / lambda * float64(time.Second)))
+		}
+		// The driver and the daemon share the CPU, so the submission
+		// window stretches under load; the model gets the arrival rate
+		// the daemon actually saw, not the intended one.
+		window := time.Since(start).Seconds()
+		effLambda := float64(jobs) / window
+		drain(srv)
+		elapsed := time.Since(start).Seconds()
+		after, err := getStats(ms.URL)
+		if err != nil {
+			return err
+		}
+
+		admitted := after.Admitted - before.Admitted
+		rejected := after.Rejected - before.Rejected
+		if admitted+rejected != int64(jobs) {
+			return fmt.Errorf("accounting: %d admitted + %d rejected != %d submitted", admitted, rejected, jobs)
+		}
+		pObs := float64(rejected) / float64(jobs)
+		xObs := float64(admitted) / elapsed
+
+		// The model is built from what this load point actually served:
+		// the measured mean job size sets mu, and the fixed work-seconds
+		// bound maps to K = bound/E[job] jobs in system.
+		if after.ObservedJobs == before.ObservedJobs {
+			return fmt.Errorf("rho %.2f: no jobs observed", rho)
+		}
+		meas := (after.ObservedWorkSeconds - before.ObservedWorkSeconds) / float64(after.ObservedJobs-before.ObservedJobs)
+		k := int(bound/meas + 0.5)
+		if k < workers+1 {
+			k = workers + 1
+		}
+		pred, err := policies.AdmissionQueue{Lambda: effLambda, Mu: 1 / meas, Servers: workers, Queue: k - workers}.Measures()
+		if err != nil {
+			return err
+		}
+		effRho := effLambda * meas / float64(workers)
+		fmt.Fprintf(stdout, "%5.2f %9.2f %9.1f %9d %9d %3d %11.4f %11.4f %11.2f %11.2f\n",
+			effRho, effLambda, meas*1e3, admitted, rejected, k, pObs, pred.RejectProbability, xObs, pred.Throughput)
+	}
+	return nil
+}

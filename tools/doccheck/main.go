@@ -1,0 +1,209 @@
+// doccheck is a dead-link checker for the repository's markdown
+// documentation. It scans inline links ([text](target)) in the given
+// files and reports:
+//
+//   - relative links whose target file does not exist (resolved
+//     against the linking file's directory);
+//   - fragment links (#section, file.md#section) whose heading does
+//     not exist in the target file, using GitHub's heading-anchor
+//     rules (lowercase, punctuation stripped, spaces to hyphens,
+//     duplicate slugs suffixed -1, -2, ...).
+//
+// External links (http://, https://, mailto:) are not fetched — CI
+// must not depend on the network — and links inside fenced code
+// blocks are ignored.
+//
+// Usage:
+//
+//	doccheck [-quiet] README.md docs/*.md
+//
+// Exit codes: 0 all links resolve, 1 at least one dead link,
+// 2 usage or I/O problems.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links, non-greedily, skipping images
+// by allowing but not requiring the leading bang to be absent. Nested
+// brackets and parenthesised URLs are out of scope — the docs do not
+// use them.
+var linkRe = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// headingRe matches ATX headings (the only style the docs use).
+var headingRe = regexp.MustCompile(`^#{1,6}\s+(.*?)\s*#*\s*$`)
+
+// slug converts a heading to its GitHub anchor, minus the duplicate
+// suffixing (handled by the caller): inline formatting stripped,
+// lowercased, punctuation removed, spaces and runs thereof hyphenated.
+func slug(heading string) string {
+	s := strings.NewReplacer("`", "", "*", "", "_", " ").Replace(heading)
+	s = strings.ToLower(s)
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// anchors returns the set of heading anchors a markdown file defines.
+func anchors(content string) map[string]bool {
+	out := map[string]bool{}
+	counts := map[string]int{}
+	inFence := false
+	for _, line := range strings.Split(content, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		m := headingRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		base := slug(m[1])
+		if n := counts[base]; n > 0 {
+			out[fmt.Sprintf("%s-%d", base, n)] = true
+		} else {
+			out[base] = true
+		}
+		counts[base]++
+	}
+	return out
+}
+
+// links returns the inline link targets of a markdown file, skipping
+// fenced code blocks, with the 1-based line of each.
+type link struct {
+	target string
+	line   int
+}
+
+func links(content string) []link {
+	var out []link
+	inFence := false
+	for i, line := range strings.Split(content, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			out = append(out, link{target: m[1], line: i + 1})
+		}
+	}
+	return out
+}
+
+func external(target string) bool {
+	return strings.HasPrefix(target, "http://") ||
+		strings.HasPrefix(target, "https://") ||
+		strings.HasPrefix(target, "mailto:")
+}
+
+// checkFile reports every dead link in one markdown file.
+func checkFile(path string, anchorCache map[string]map[string]bool) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	content := string(data)
+	anchorCache[path] = anchors(content)
+
+	var dead []string
+	for _, l := range links(content) {
+		if external(l.target) {
+			continue
+		}
+		file, frag, _ := strings.Cut(l.target, "#")
+		targetPath := path
+		if file != "" {
+			targetPath = filepath.Join(filepath.Dir(path), file)
+			info, err := os.Stat(targetPath)
+			if err != nil {
+				dead = append(dead, fmt.Sprintf("%s:%d: broken link %q: %s does not exist", path, l.line, l.target, targetPath))
+				continue
+			}
+			if info.IsDir() {
+				continue // directory links render fine on GitHub
+			}
+		}
+		if frag == "" {
+			continue
+		}
+		if !strings.HasSuffix(targetPath, ".md") {
+			continue // anchors into non-markdown files are not ours to judge
+		}
+		a, ok := anchorCache[targetPath]
+		if !ok {
+			tdata, err := os.ReadFile(targetPath)
+			if err != nil {
+				return nil, err
+			}
+			a = anchors(string(tdata))
+			anchorCache[targetPath] = a
+		}
+		if !a[frag] {
+			dead = append(dead, fmt.Sprintf("%s:%d: broken anchor %q: no heading #%s in %s", path, l.line, l.target, frag, targetPath))
+		}
+	}
+	return dead, nil
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("doccheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	quiet := fs.Bool("quiet", false, "suppress per-file ok lines")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "usage: doccheck [-quiet] <file.md> ...")
+		return 2
+	}
+
+	anchorCache := map[string]map[string]bool{}
+	failed := 0
+	for _, path := range fs.Args() {
+		dead, err := checkFile(path, anchorCache)
+		if err != nil {
+			fmt.Fprintf(stderr, "doccheck: %s: %v\n", path, err)
+			return 2
+		}
+		if len(dead) > 0 {
+			failed++
+			for _, d := range dead {
+				fmt.Fprintln(stderr, d)
+			}
+			continue
+		}
+		if !*quiet {
+			fmt.Fprintf(stdout, "ok %s\n", path)
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(stderr, "doccheck: %d of %d files have dead links\n", failed, fs.NArg())
+		return 1
+	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}

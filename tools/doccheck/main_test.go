@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSlug(t *testing.T) {
+	cases := map[string]string{
+		"Quick start":                    "quick-start",
+		"POST /v1/jobs — submit a sweep": "post-v1jobs--submit-a-sweep",
+		"`GET /healthz`":                 "get-healthz",
+		"Reading order by task":          "reading-order-by-task",
+		"M/M/c/K":                        "mmck",
+	}
+	for heading, want := range cases {
+		if got := slug(heading); got != want {
+			t.Errorf("slug(%q) = %q, want %q", heading, got, want)
+		}
+	}
+}
+
+func TestAnchorsDeduplicates(t *testing.T) {
+	a := anchors("# Top\n## Same\ntext\n## Same\n")
+	for _, want := range []string{"top", "same", "same-1"} {
+		if !a[want] {
+			t.Errorf("anchors missing %q (have %v)", want, a)
+		}
+	}
+}
+
+func TestGoodLinks(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "other.md", "# Other doc\n\n## Details\n")
+	good := write(t, dir, "good.md", strings.Join([]string{
+		"# Good",
+		"",
+		"A [local](other.md) link, an [anchored](other.md#details) one,",
+		"a [self](#good) fragment, an [external](https://example.com/x) one,",
+		"and a [dir](sub) link.",
+		"",
+		"```sh",
+		"echo 'links in [code](missing.md) fences do not count'",
+		"```",
+	}, "\n"))
+	write(t, dir, "sub/keep", "")
+
+	var out, errs bytes.Buffer
+	if code := run([]string{good}, &out, &errs); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errs.String())
+	}
+	if !strings.Contains(out.String(), "ok "+good) {
+		t.Errorf("missing ok line:\n%s", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-quiet", good}, &out, &errs); code != 0 || out.String() != "" {
+		t.Errorf("-quiet run: exit %d, stdout %q", code, out.String())
+	}
+}
+
+func TestDeadLinks(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "other.md", "# Other doc\n")
+	bad := write(t, dir, "bad.md", strings.Join([]string{
+		"# Bad",
+		"",
+		"A [gone](missing.md) file, a [bad anchor](other.md#nope),",
+		"and a [bad self anchor](#also-nope).",
+	}, "\n"))
+
+	var out, errs bytes.Buffer
+	if code := run([]string{bad}, &out, &errs); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	for _, want := range []string{"missing.md", "#nope", "#also-nope", "bad.md:3", "1 of 1 files"} {
+		if !strings.Contains(errs.String(), want) {
+			t.Errorf("diagnostics missing %q:\n%s", want, errs.String())
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errs bytes.Buffer
+	if code := run(nil, &out, &errs); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	if code := run([]string{"-no-such-flag"}, &out, &errs); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+	if code := run([]string{filepath.Join(t.TempDir(), "absent.md")}, &out, &errs); code != 2 {
+		t.Errorf("unreadable input: exit %d, want 2", code)
+	}
+}
+
+// TestRepoDocsAreClean runs the checker over the repository's own
+// documentation, so a dead link fails `go test ./...`, not just the
+// dedicated CI step.
+func TestRepoDocsAreClean(t *testing.T) {
+	root := "../.."
+	files := []string{
+		filepath.Join(root, "README.md"),
+		filepath.Join(root, "DESIGN.md"),
+		filepath.Join(root, "EXPERIMENTS.md"),
+		filepath.Join(root, "ROADMAP.md"),
+	}
+	globbed, err := filepath.Glob(filepath.Join(root, "docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	files = append(files, globbed...)
+
+	var out, errs bytes.Buffer
+	if code := run(append([]string{"-quiet"}, files...), &out, &errs); code != 0 {
+		t.Errorf("repo docs have dead links:\n%s", errs.String())
+	}
+}

@@ -1,5 +1,6 @@
 // manifestcheck validates run manifests written by the -manifest flag
-// of cmd/pepa, cmd/tagseval and cmd/tagssim. It is the CI gate for the
+// of cmd/pepa, cmd/tagseval and cmd/tagssim, and by the pepad daemon's
+// -manifest-dir (one manifest per job). It is the CI gate for the
 // manifest schema: every file passed on the command line must load,
 // validate against pepatags/run-manifest/v1 and come from a known
 // tool, or the process exits non-zero.
@@ -26,6 +27,7 @@ var knownTools = map[string]bool{
 	"tagseval": true,
 	"tagssim":  true,
 	"conform":  true,
+	"pepad":    true,
 }
 
 func usage(w io.Writer) {
@@ -33,9 +35,10 @@ func usage(w io.Writer) {
 
 Validates run manifests (schema pepatags/run-manifest/v1, see
 docs/MANIFEST.md) written by the -manifest flag of cmd/pepa,
-cmd/tagseval and cmd/tagssim. Exits 0 when every file validates,
-1 when any fails (with a per-file failure summary), 2 on usage
-errors such as no files at all.`)
+cmd/tagseval and cmd/tagssim, or by cmd/pepad's -manifest-dir.
+Exits 0 when every file validates, 1 when any fails (with a
+per-file failure summary), 2 on usage errors such as no files
+at all.`)
 }
 
 func main() {

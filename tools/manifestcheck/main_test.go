@@ -263,3 +263,55 @@ func TestCheckAcceptsSweepOnlyManifest(t *testing.T) {
 		t.Fatalf("sweep-only manifest rejected: %v", err)
 	}
 }
+
+// TestCheckAcceptsPepadManifests: the daemon writes one manifest per
+// job — a success manifest carrying the sweep accounting, and a
+// failure manifest (killed mid-drain or canceled) carrying the error
+// plus the job's flight-recorder tail. Both shapes must validate.
+func TestCheckAcceptsPepadManifests(t *testing.T) {
+	dir := t.TempDir()
+
+	done := obsv.NewManifest("pepad")
+	done.Args = []string{"job-0001"}
+	done.Params = map[string]any{"job": "job-0001", "spec": "figure8"}
+	done.Sweep = &obsv.SweepRecord{
+		Name:       "figure8",
+		SpecSHA256: "4ec9599fc203d176a301536c2e091a19bc852759b255bd6818810a42c5fed14a",
+		Points:     28,
+		CacheHits:  27,
+	}
+	donePath := filepath.Join(dir, "job-0001.json")
+	if err := done.WriteFile(donePath); err != nil {
+		t.Fatal(err)
+	}
+	if err := check(donePath); err != nil {
+		t.Fatalf("pepad success manifest rejected: %v", err)
+	}
+
+	killed := obsv.NewManifest("pepad")
+	killed.Error = "sweep: run canceled"
+	killed.Events = &obsv.EventLogRecord{
+		Emitted: 2,
+		Recorder: []obsv.Event{
+			{Seq: 1, Level: "info", Kind: "sweep.start"},
+			{Seq: 2, Level: "error", Kind: "sweep.error", Msg: "run canceled"},
+		},
+	}
+	killedPath := filepath.Join(dir, "job-0002.json")
+	if err := killed.WriteFile(killedPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := check(killedPath); err != nil {
+		t.Fatalf("pepad failure manifest rejected: %v", err)
+	}
+
+	// A canceled job whose recorder was lost is a wiring bug in the
+	// daemon, same as for the CLIs.
+	killed.Events = nil
+	if err := killed.WriteFile(killedPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := check(killedPath); err == nil {
+		t.Fatal("recorder-less pepad failure manifest accepted")
+	}
+}
