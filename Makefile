@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint fmt-check bench manifest-smoke sweep-smoke serve-smoke conform-smoke fuzz-smoke overhead-smoke docs-check cover clean
+.PHONY: all build test race vet lint analyze fmt-check bench manifest-smoke sweep-smoke serve-smoke conform-smoke fuzz-smoke overhead-smoke docs-check cover clean
 
 all: build test
 
@@ -19,11 +19,19 @@ vet:
 	$(GO) vet ./...
 
 # Project static analysis (docs/LINT.md): pepalint over the shipped
-# PEPA models, then the custom Go analyzers (floatcmp, metricname,
-# spanpair) over every package.
+# PEPA models, then the govet-suite analyzers (floatcmp, metricname,
+# spanpair, lockorder, goroleak, ctxflow, sentinelerr) over every
+# package — tools and _test.go files included.
 lint:
 	$(GO) run ./tools/pepalint models/*.pepa
 	$(GO) run ./tools/govet-suite ./...
+
+# Same suite, machine-readable: a pepatags/analysis/v1 report on
+# stdout and a run manifest with the analysis section, validated by
+# manifestcheck. CI uploads both when the suite finds anything.
+analyze:
+	$(GO) run ./tools/govet-suite -json -manifest analyze-manifest.json ./... > analyze.json
+	$(GO) run ./tools/manifestcheck analyze-manifest.json
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
@@ -97,5 +105,6 @@ docs-check:
 clean:
 	rm -f BENCH_derive.txt BENCH_derive.json pepa-run.json pepa-run.jsonl pepa-lint.json pepa-fail.json \
 		tagseval-run.json tagssim-run.json \
-		sweep-clean.jsonl sweep-resume.jsonl sweep-run.json conform-run.json coverage.out
+		sweep-clean.jsonl sweep-resume.jsonl sweep-run.json conform-run.json coverage.out \
+		analyze.json analyze-manifest.json
 	rm -rf conform-repros

@@ -63,6 +63,13 @@ type Manifest struct {
 	// Trace is the pipeline span tree, when tracing was on.
 	Trace *SpanRecord `json:"trace,omitempty"`
 
+	// Analysis records a static-analysis suite run (tools/govet-suite
+	// -manifest): which analyzers ran, over how many packages, how many
+	// findings came out and how they split per analyzer. The individual
+	// findings live in the tool's -json report; the manifest keeps the
+	// accounting, so CI history shows when a gate started firing.
+	Analysis *AnalysisRecord `json:"analysis,omitempty"`
+
 	// Conform records a differential-conformance run (tools/conform):
 	// how many scenarios and oracle checks ran and how many violations
 	// survived. The full report, including shrunken reproducers, lives
@@ -81,6 +88,15 @@ type Manifest struct {
 	// record no results (the run never produced any); the events
 	// section then carries the diagnosis.
 	Error string `json:"error,omitempty"`
+}
+
+// AnalysisRecord is the accounting of one static-analysis suite run.
+type AnalysisRecord struct {
+	Analyzers  []string       `json:"analyzers"`
+	Packages   int            `json:"packages"`
+	Findings   int            `json:"findings"`
+	ByAnalyzer map[string]int `json:"by_analyzer,omitempty"`
+	ElapsedSec float64        `json:"elapsed_sec"`
 }
 
 // ConformRecord is the accounting of one tools/conform run.
@@ -216,6 +232,34 @@ func (m *Manifest) Validate() error {
 		}
 		if s.CacheHits < 0 || s.CacheMisses < 0 {
 			return fmt.Errorf("obsv: sweep record has negative cache counters")
+		}
+	}
+	if a := m.Analysis; a != nil {
+		if len(a.Analyzers) == 0 {
+			return fmt.Errorf("obsv: analysis record names no analyzers")
+		}
+		known := map[string]bool{}
+		for _, name := range a.Analyzers {
+			if name == "" {
+				return fmt.Errorf("obsv: analysis record has an unnamed analyzer")
+			}
+			known[name] = true
+		}
+		if a.Packages < 0 || a.Findings < 0 {
+			return fmt.Errorf("obsv: analysis record has negative counts")
+		}
+		sum := 0
+		for name, n := range a.ByAnalyzer {
+			if !known[name] {
+				return fmt.Errorf("obsv: analysis record counts findings for unlisted analyzer %q", name)
+			}
+			if n < 0 {
+				return fmt.Errorf("obsv: analysis record has %d findings for %q", n, name)
+			}
+			sum += n
+		}
+		if len(a.ByAnalyzer) > 0 && sum != a.Findings {
+			return fmt.Errorf("obsv: analysis record by_analyzer sums to %d, findings is %d", sum, a.Findings)
 		}
 	}
 	if c := m.Conform; c != nil {

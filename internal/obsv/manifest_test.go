@@ -34,6 +34,13 @@ func sampleManifest() *Manifest {
 		Points:     31, Resumed: 12, Journal: "fig6.jsonl", Workers: 4,
 		CacheHits: 28, CacheMisses: 1, ElapsedSec: 1.5,
 	}
+	m.Analysis = &AnalysisRecord{
+		Analyzers:  []string{"floatcmp", "lockorder", "sentinelerr"},
+		Packages:   23,
+		Findings:   2,
+		ByAnalyzer: map[string]int{"lockorder": 1, "sentinelerr": 1},
+		ElapsedSec: 3.25,
+	}
 	m.Trace = &SpanRecord{Name: "run", DurUS: 100, Children: []SpanRecord{{Name: "derive", StartUS: 1, DurUS: 50}}}
 	m.Events = &EventLogRecord{
 		Emitted: 3, Dropped: 1, Sink: "run-events.jsonl",
@@ -89,6 +96,16 @@ func TestManifestValidate(t *testing.T) {
 		{"sweep without points", func(m *Manifest) { m.Sweep.Points = 0 }},
 		{"sweep resumed beyond points", func(m *Manifest) { m.Sweep.Resumed = m.Sweep.Points + 1 }},
 		{"sweep negative cache counter", func(m *Manifest) { m.Sweep.CacheMisses = -1 }},
+		{"analysis without analyzers", func(m *Manifest) { m.Analysis.Analyzers = nil }},
+		{"analysis unnamed analyzer", func(m *Manifest) { m.Analysis.Analyzers = []string{"lockorder", ""} }},
+		{"analysis negative packages", func(m *Manifest) { m.Analysis.Packages = -1 }},
+		{"analysis negative findings", func(m *Manifest) { m.Analysis.Findings = -1 }},
+		{"analysis unknown analyzer in by_analyzer", func(m *Manifest) { m.Analysis.ByAnalyzer = map[string]int{"bogus": 2} }},
+		{"analysis by_analyzer sum mismatch", func(m *Manifest) { m.Analysis.ByAnalyzer = map[string]int{"lockorder": 5} }},
+		{"analysis negative by_analyzer count", func(m *Manifest) {
+			m.Analysis.Findings = 0
+			m.Analysis.ByAnalyzer = map[string]int{"lockorder": -1, "sentinelerr": 1}
+		}},
 		{"events negative counts", func(m *Manifest) { m.Events.Dropped = -1 }},
 		{"events unknown level", func(m *Manifest) { m.Events.ByLevel = map[string]int64{"fatal": 3} }},
 		{"events by_level mismatch", func(m *Manifest) { m.Events.ByLevel = map[string]int64{"info": 1} }},

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand/v2"
@@ -199,7 +200,7 @@ func LoadTraceCSV(r io.Reader) (*Trace, error) {
 	line := 0
 	for {
 		rec, err := cr.Read()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {

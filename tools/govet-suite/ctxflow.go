@@ -1,0 +1,181 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ctxflowAnalyzer enforces context propagation in blocking code. A
+// function that has a context in scope — a context.Context parameter,
+// or an *http.Request (whose r.Context() carries the client
+// disconnect) — has promised its caller it can be canceled. Two
+// constructs silently break that promise:
+//
+//   - time.Sleep: sleeps through cancellation; a canceled request or
+//     a draining server waits the full duration anyway. Use a
+//     time.Timer in a select with ctx.Done().
+//   - a bare channel receive (`<-ch` as a statement or assignment)
+//     outside any select: blocks until the far side sends, even after
+//     the context is gone. Select on the channel and ctx.Done().
+//
+// Receives that are themselves cancellation-aware are exempt:
+// <-ctx.Done() (that is the point), timer/ticker channels (<-t.C,
+// <-time.After(d) — time-bounded by construction), and every receive
+// inside a select. Functions with no context in scope — CLI drivers,
+// benchmarks, the simulators — are out of scope: there is nothing to
+// propagate.
+//
+// Handlers and long loops that should take a context but don't are a
+// design smell this analyzer cannot fix; what it guarantees is that
+// where a context exists, blocking sites consult it.
+var ctxflowAnalyzer = &Analyzer{
+	Name:  "ctxflow",
+	Doc:   "blocking calls must respect an in-scope context",
+	Tests: true,
+	Run:   runCtxflow,
+}
+
+func runCtxflow(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if hasContextParam(p, fd.Type) {
+				checkCtxBody(p, fd.Body)
+			} else {
+				// No context at this level; func literals further down
+				// may introduce one of their own.
+				descendLookingForCtx(p, fd.Body)
+			}
+		}
+	}
+}
+
+// descendLookingForCtx walks a context-free region and starts the
+// real check at any nested func literal that introduces a context.
+func descendLookingForCtx(p *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		fl, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		if hasContextParam(p, fl.Type) {
+			checkCtxBody(p, fl.Body)
+			return false
+		}
+		return true // keep looking deeper
+	})
+}
+
+// checkCtxBody flags context-ignoring blocking sites in a body that
+// has a context in scope. Nested func literals inherit the scope —
+// they capture the context — so the walk continues into them. A
+// select guards its comm clauses by construction, so only the case
+// bodies are descended into.
+func checkCtxBody(p *Pass, body *ast.BlockStmt) {
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					for _, b := range cc.Body {
+						ast.Inspect(b, visit)
+					}
+				}
+			}
+			return false
+		case *ast.UnaryExpr:
+			if s.Op == token.ARROW && !isCancellationAware(p, s.X) {
+				p.Reportf(s.OpPos, "bare channel receive with a context in scope: select on it and ctx.Done() so cancellation is honored")
+			}
+		case *ast.CallExpr:
+			if isTimeSleep(p, s) {
+				p.Reportf(s.Pos(), "time.Sleep with a context in scope: use a timer select with ctx.Done() so cancellation is honored")
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, visit)
+}
+
+// hasContextParam reports whether the function type takes a
+// context.Context or an *http.Request.
+func hasContextParam(p *Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		tv, ok := p.Info.Types[field.Type]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if isContextType(tv.Type) || isHTTPRequestPtr(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == "Context" && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "context"
+}
+
+func isHTTPRequestPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := ptr.Elem().(*types.Named)
+	return ok && n.Obj().Name() == "Request" && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "net/http"
+}
+
+// isCancellationAware exempts receive operands that are bounded or
+// are the cancellation signal itself: ctx.Done(), timer and ticker
+// channels (x.C), and time.After/time.Tick calls.
+func isCancellationAware(p *Pass, ch ast.Expr) bool {
+	switch e := ch.(type) {
+	case *ast.CallExpr:
+		sel, ok := e.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		if sel.Sel.Name == "Done" {
+			return true // ctx.Done() (or any Done(): the signal channel idiom)
+		}
+		if fn, ok := p.Info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil &&
+			fn.Pkg().Path() == "time" && (fn.Name() == "After" || fn.Name() == "Tick") {
+			return true
+		}
+	case *ast.SelectorExpr:
+		// <-t.C on a time.Timer/time.Ticker: bounded by the timer.
+		if e.Sel.Name != "C" {
+			return false
+		}
+		tv, ok := p.Info.Types[e.X]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		t := tv.Type
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if n, ok := t.(*types.Named); ok && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "time" {
+			return true
+		}
+	}
+	return false
+}
+
+func isTimeSleep(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Sleep" {
+		return false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "time"
+}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/types"
+)
+
+// A Fact is a piece of information an analyzer learns about an object
+// or package and wants to make visible to later passes over packages
+// that import it — "this var is a sentinel error", "this method
+// acquires these locks". Facts cross package boundaries where syntax
+// cannot: a dependency's source is long gone by the time a dependent
+// is analyzed (imports resolve through compiler export data), so the
+// driver carries facts between passes instead, serialized per package
+// exactly like go/analysis does between processes.
+//
+// Fact types must be JSON-serializable structs; the marker method ties
+// the type to the mechanism.
+type Fact interface{ AFact() }
+
+// factStore holds every exported fact, serialized. Keys are
+// (analyzer, object key) where the object key is a stable path —
+// "pkg/path.Name" for package-level objects, "pkg/path.(Type).Method"
+// for methods, "pkg/path" for package facts — so an object seen
+// through export data later resolves to the fact recorded when its
+// defining package was analyzed from source.
+type factStore struct {
+	byAnalyzer map[string]map[string]json.RawMessage
+}
+
+func newFactStore() *factStore {
+	return &factStore{byAnalyzer: map[string]map[string]json.RawMessage{}}
+}
+
+func (s *factStore) set(analyzer, key string, f Fact) error {
+	b, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Errorf("serializing %s fact for %s: %v", analyzer, key, err)
+	}
+	m := s.byAnalyzer[analyzer]
+	if m == nil {
+		m = map[string]json.RawMessage{}
+		s.byAnalyzer[analyzer] = m
+	}
+	m[key] = b
+	return nil
+}
+
+func (s *factStore) get(analyzer, key string, f Fact) bool {
+	b, ok := s.byAnalyzer[analyzer][key]
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(b, f) == nil
+}
+
+// objectKey builds the stable fact key for an object: package path
+// plus name, with the receiver type spliced in for methods. Returns
+// "" for objects facts cannot attach to (locals, builtins).
+func objectKey(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	pkg := canonicalPath(obj.Pkg().Path())
+	if f, ok := obj.(*types.Func); ok {
+		if recv := f.Type().(*types.Signature).Recv(); recv != nil {
+			t := recv.Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if n, ok := t.(*types.Named); ok {
+				return pkg + ".(" + n.Obj().Name() + ")." + f.Name()
+			}
+			return ""
+		}
+	}
+	return pkg + "." + obj.Name()
+}
+
+// ExportObjectFact records a fact about obj, visible to this pass and
+// to every later pass over a package that imports this one.
+func (p *Pass) ExportObjectFact(obj types.Object, f Fact) {
+	key := objectKey(obj)
+	if key == "" {
+		return
+	}
+	if err := p.facts.set(p.Analyzer.Name, key, f); err != nil {
+		panic(err) // a non-serializable fact type is an analyzer bug
+	}
+}
+
+// ImportObjectFact loads the fact recorded for obj into f, reporting
+// whether one exists. The object may come from source or from export
+// data; both resolve to the same key.
+func (p *Pass) ImportObjectFact(obj types.Object, f Fact) bool {
+	key := objectKey(obj)
+	return key != "" && p.facts.get(p.Analyzer.Name, key, f)
+}
+
+// ExportPackageFact records a fact about the package being analyzed.
+func (p *Pass) ExportPackageFact(f Fact) {
+	if err := p.facts.set(p.Analyzer.Name, canonicalPath(p.Pkg.Path()), f); err != nil {
+		panic(err)
+	}
+}
+
+// ImportPackageFact loads the package fact of pkgPath into f,
+// reporting whether one exists. Dependencies are analyzed before
+// dependents, so a dependency's package facts are always in place by
+// the time its importers run.
+func (p *Pass) ImportPackageFact(pkgPath string, f Fact) bool {
+	return p.facts.get(p.Analyzer.Name, canonicalPath(pkgPath), f)
+}
+
+// Deps returns the canonical import paths of every package this one
+// depends on (transitively), sorted. Analyzers use it to gather the
+// package facts of the whole dependency cone.
+func (p *Pass) Deps() []string { return p.deps }

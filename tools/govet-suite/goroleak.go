@@ -1,0 +1,285 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// goroleakAnalyzer checks that every goroutine has a reachable
+// termination path. The repo's long-running goroutines — job workers,
+// heartbeat tickers, SSE pumps — all follow one of three shapes:
+// `for range ch` ended by a channel close, a counter-managed body
+// (WaitGroup/errgroup) that simply returns, or a `for { select }`
+// loop with a ctx.Done()/stop-channel case that returns. What must
+// never ship is the fourth shape: an unconditional `for {}` no
+// iteration of which can leave — no return, no break out of the
+// loop, no panic/os.Exit. Such a goroutine survives for the life of
+// the process, pinning its closure (caches, buffers, the server
+// itself) and, under churn, leaking a goroutine per call.
+//
+// The classic near-miss is flagged too: `for { select { case <-stop:
+// break } }` — that break leaves the select, not the for, so the
+// loop is exactly as unbounded as an empty one. A bare `select {}`
+// blocks forever and is reported for the same reason.
+//
+// Named functions get the same body check as func literals, across
+// package boundaries through facts: analyzing a package records a
+// neverTerminates fact on each function whose body ends in an
+// escape-proof loop, and `go pkg.Fn()` in a dependent package reports
+// against the fact.
+var goroleakAnalyzer = &Analyzer{
+	Name:  "goroleak",
+	Doc:   "goroutines must have a reachable termination path",
+	Tests: true,
+	Run:   runGoroleak,
+}
+
+// neverTerminates marks a function whose body contains an
+// unconditional loop with no way out.
+type neverTerminates struct{}
+
+func (neverTerminates) AFact() {}
+
+func runGoroleak(p *Pass) {
+	// Phase 1: summarize every named function in the package and
+	// export facts for the unbounded ones, so `go pkg.Fn()` elsewhere
+	// sees it.
+	bodies := map[*types.Func]*ast.BlockStmt{}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			bodies[fn] = fd.Body
+			if _, bad := unboundedLoop(fd.Body); bad {
+				p.ExportObjectFact(fn, &neverTerminates{})
+			}
+		}
+	}
+
+	// Phase 2: check every go statement.
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if fun, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+				if pos, bad := unboundedLoop(fun.Body); bad {
+					p.Reportf(pos.Pos(), "goroutine never terminates: unconditional loop with no return or break out — add a ctx.Done()/stop-channel case or range over a closable channel")
+				}
+				return true
+			}
+			fn := staticCallee(p, gs.Call)
+			if fn == nil {
+				return true
+			}
+			if body, ok := bodies[fn]; ok {
+				if _, bad := unboundedLoop(body); bad {
+					p.Reportf(gs.Pos(), "goroutine never terminates: %s has an unconditional loop with no return or break out", fn.Name())
+				}
+			} else if p.ImportObjectFact(fn, &neverTerminates{}) {
+				p.Reportf(gs.Pos(), "goroutine never terminates: %s has an unconditional loop with no return or break out", qualified(p, fn))
+			}
+			return true
+		})
+	}
+}
+
+// staticCallee resolves a call to the *types.Func it invokes, when
+// that is statically known (plain function or concrete method call).
+// Interface-dispatched and function-valued calls return nil.
+func staticCallee(p *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		if s, ok := p.Info.Selections[fun]; ok {
+			if fn, ok := s.Obj().(*types.Func); ok {
+				if _, iface := s.Recv().Underlying().(*types.Interface); iface {
+					return nil
+				}
+				return fn
+			}
+			return nil
+		}
+		id = fun.Sel // package-qualified function
+	default:
+		return nil
+	}
+	fn, _ := p.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// unboundedLoop scans a function body for an unconditional `for {}`
+// (or bare `select {}`) that no statement can leave, returning the
+// offending node. Loops left by return, break binding to the loop
+// itself, any labeled branch (conservatively assumed to escape),
+// panic, or a terminating call (os.Exit, runtime.Goexit, log.Fatal*,
+// t.Fatal*) are fine — as are conditional and range loops, whose exit
+// is the condition or a channel close.
+func unboundedLoop(body *ast.BlockStmt) (ast.Node, bool) {
+	var found ast.Node
+	var walk func(ast.Stmt)
+	walkBody := func(list []ast.Stmt) {
+		for _, s := range list {
+			walk(s)
+		}
+	}
+	walk = func(n ast.Stmt) {
+		if found != nil || n == nil {
+			return
+		}
+		switch s := n.(type) {
+		case *ast.LabeledStmt:
+			walk(s.Stmt)
+		case *ast.ForStmt:
+			if s.Cond == nil && !loopCanExit(s) {
+				found = s
+				return
+			}
+			walkBody(s.Body.List)
+		case *ast.RangeStmt:
+			walkBody(s.Body.List)
+		case *ast.BlockStmt:
+			walkBody(s.List)
+		case *ast.IfStmt:
+			walk(s.Body)
+			walk(s.Else)
+		case *ast.SelectStmt:
+			if len(s.Body.List) == 0 {
+				found = s // select{} blocks forever
+				return
+			}
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					walkBody(cc.Body)
+				}
+			}
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkBody(cc.Body)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkBody(cc.Body)
+				}
+			}
+		}
+	}
+	walkBody(body.List)
+	return found, found != nil
+}
+
+// loopCanExit reports whether any statement inside the unconditional
+// loop can leave it.
+func loopCanExit(loop *ast.ForStmt) bool {
+	// First: anything that exits the whole function (or process) from
+	// anywhere inside the loop, nested constructs included — but not
+	// from nested function literals, whose control flow is their own.
+	leaves := false
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		if leaves {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			leaves = true
+		case *ast.BranchStmt:
+			if n.Label != nil {
+				leaves = true // labeled break/continue/goto: assume it escapes
+			}
+		case *ast.ExprStmt:
+			if isTerminatingCall(n.X) {
+				leaves = true
+			}
+		}
+		return !leaves
+	})
+	if leaves {
+		return true
+	}
+	// Second: unlabeled breaks that bind to this loop. An unlabeled
+	// break inside a nested for/range binds to that loop; inside a
+	// select/switch it binds to the select/switch — the bug this
+	// analyzer exists to catch.
+	var scan func(s ast.Stmt, shadowed bool) bool
+	scanBody := func(list []ast.Stmt, shadowed bool) bool {
+		for _, s := range list {
+			if scan(s, shadowed) {
+				return true
+			}
+		}
+		return false
+	}
+	scan = func(s ast.Stmt, shadowed bool) bool {
+		switch s := s.(type) {
+		case *ast.BranchStmt:
+			return s.Tok.String() == "break" && !shadowed
+		case *ast.BlockStmt:
+			return scanBody(s.List, shadowed)
+		case *ast.IfStmt:
+			if scan(s.Body, shadowed) {
+				return true
+			}
+			if s.Else != nil {
+				return scan(s.Else, shadowed)
+			}
+		case *ast.ForStmt, *ast.RangeStmt:
+			return false // inner loop captures its own breaks
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && scanBody(cc.Body, true) {
+					return true
+				}
+			}
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok && scanBody(cc.Body, true) {
+					return true
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok && scanBody(cc.Body, true) {
+					return true
+				}
+			}
+		case *ast.LabeledStmt:
+			return scan(s.Stmt, shadowed)
+		}
+		return false
+	}
+	return scan(loop.Body, false)
+}
+
+// isTerminatingCall reports calls that never return: panic, os.Exit,
+// runtime.Goexit, log.Fatal*, and the testing helpers (t.Fatal* and
+// friends Goexit the goroutine).
+func isTerminatingCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		switch fun.Sel.Name {
+		case "Exit", "Goexit", "Fatal", "Fatalf", "Fatalln", "FailNow", "Skip", "Skipf", "SkipNow":
+			return true
+		}
+	}
+	return false
+}

@@ -13,74 +13,129 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
+	"strings"
 )
 
 // listedPackage is the subset of `go list -json` output the loader
 // needs: where the sources live, where the compiler export data is,
-// and whether the package was named by the patterns or only pulled in
-// as a dependency.
+// whether the package was named by the patterns or only pulled in as a
+// dependency, and — under -tests — which test variant it is.
 type listedPackage struct {
 	ImportPath string
 	Dir        string
-	GoFiles    []string
-	Export     string
-	DepOnly    bool
-	Standard   bool
-	ImportMap  map[string]string
+	// GoFiles is the compiled file set: for a test-augmented variant
+	// ("p [p.test]") go list already folds the _test.go files in, so
+	// it is always the right list to parse. (TestGoFiles on a plain
+	// entry is metadata about files that are NOT part of that build.)
+	GoFiles   []string
+	Export    string
+	DepOnly   bool
+	Standard  bool
+	ForTest   string
+	ImportMap map[string]string
+	Deps      []string
+	Error     *struct{ Err string }
 }
 
-// loadedPackage is one target package after parsing and type-checking.
+// loadedPackage is one package after parsing and type-checking, in
+// dependency order. target marks packages named by the patterns (the
+// ones whose findings are reported); the rest are analyzed only so
+// their facts are available to dependents.
 type loadedPackage struct {
-	path  string
-	files []*ast.File
-	types *types.Package
-	info  *types.Info
+	path   string // canonical import path (test-variant brackets stripped)
+	files  []*ast.File
+	types  *types.Package
+	info   *types.Info
+	target bool
+	deps   []string // canonical paths of transitive dependencies
 }
 
-// loadPackages resolves the patterns with `go list -deps -export`,
-// then type-checks each named (non-dependency) package from source.
-// Dependencies — the standard library included — are never re-parsed:
-// their compiler export data, already present in the build cache from
-// the surrounding `go build`, is fed to the gc importer. That keeps
-// the whole suite offline and dependency-free.
-func loadPackages(dir string, patterns []string) ([]*loadedPackage, *token.FileSet, error) {
-	listed, err := goList(dir, patterns)
+// canonicalPath strips the test-variant suffix go list attaches to
+// packages rebuilt for a test binary: "p [p.test]" -> "p".
+func canonicalPath(importPath string) string {
+	if i := strings.Index(importPath, " ["); i >= 0 {
+		return importPath[:i]
+	}
+	return importPath
+}
+
+// loadPackages resolves the patterns with `go list -deps -export`
+// (plus -test when tests is set), then type-checks every in-module
+// package from source in dependency order. Dependencies outside the
+// module — the standard library — are never re-parsed: their compiler
+// export data, already present in the build cache, is fed to the gc
+// importer. That keeps the whole suite offline and dependency-free.
+//
+// With tests on, each target package's in-package _test.go files are
+// type-checked together with its regular sources (go list's
+// test-variant entry), and external _test packages are loaded as
+// packages of their own, so the analyzers see test goroutines, locks
+// and error handling too.
+func loadPackages(dir string, patterns []string, tests bool) ([]*loadedPackage, *token.FileSet, error) {
+	listed, err := goList(dir, patterns, tests)
 	if err != nil {
 		return nil, nil, err
 	}
 	exports := map[string]string{}
-	var targets []*listedPackage
+	// hasVariant marks canonical paths that also appear as a
+	// test-augmented variant; the variant subsumes the plain package's
+	// sources, so the plain entry is skipped to avoid duplicate
+	// findings and duplicate fact exports.
+	hasVariant := map[string]bool{}
 	for _, p := range listed {
+		if p.Error != nil {
+			return nil, nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
 		}
-		if !p.DepOnly && !p.Standard {
-			targets = append(targets, p)
+		if p.ForTest != "" && canonicalPath(p.ImportPath) == p.ForTest {
+			hasVariant[p.ForTest] = true
 		}
 	}
 
 	fset := token.NewFileSet()
-	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
-		f, ok := exports[path]
-		if !ok {
-			return nil, fmt.Errorf("no export data for %q", path)
-		}
-		return os.Open(f)
-	})
-
 	var out []*loadedPackage
-	for _, p := range targets {
-		lp, err := typecheck(fset, imp, p)
+	for _, p := range listed {
+		if p.Standard {
+			continue
+		}
+		if strings.HasSuffix(p.ImportPath, ".test") {
+			continue // generated test-main package
+		}
+		if hasVariant[p.ImportPath] && p.ForTest == "" {
+			continue // superseded by its test-augmented variant
+		}
+		if c := canonicalPath(p.ImportPath); p.ForTest != "" && c != p.ForTest && c != p.ForTest+"_test" {
+			// A dependency rebuilt against some other package's test
+			// variant (it imports the package under test). The plain
+			// build of the same package carries the same source; only
+			// its export data is kept, for ImportMap resolution.
+			continue
+		}
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		lp, err := typecheck(fset, exports, p)
 		if err != nil {
 			return nil, nil, err
 		}
+		lp.target = !p.DepOnly
 		out = append(out, lp)
+	}
+	if len(out) == 0 {
+		return nil, nil, fmt.Errorf("patterns %v matched no analyzable packages", patterns)
 	}
 	return out, fset, nil
 }
 
-func goList(dir string, patterns []string) ([]*listedPackage, error) {
-	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+func goList(dir string, patterns []string, tests bool) ([]*listedPackage, error) {
+	args := []string{"list", "-deps", "-export", "-json"}
+	if tests {
+		args = append(args, "-test")
+	}
+	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	var stdout, stderr bytes.Buffer
@@ -101,11 +156,14 @@ func goList(dir string, patterns []string) ([]*listedPackage, error) {
 	return out, nil
 }
 
-// typecheck parses a target package's non-test sources (with
-// comments, for //vet:allow) and runs the standard type checker over
-// them, resolving imports through export data. Any type error is
-// fatal: the suite's answers are only as good as the type information.
-func typecheck(fset *token.FileSet, imp types.Importer, p *listedPackage) (*loadedPackage, error) {
+// typecheck parses one package's sources (with comments, for
+// //vet:allow) and runs the standard type checker over them, resolving
+// imports through export data. Each package gets its own importer so
+// go list's per-package ImportMap applies: an external _test package
+// importing the package under test must see the test-augmented export
+// data, not the plain build. Any type error is fatal: the suite's
+// answers are only as good as the type information.
+func typecheck(fset *token.FileSet, exports map[string]string, p *listedPackage) (*loadedPackage, error) {
 	files := make([]*ast.File, 0, len(p.GoFiles))
 	for _, name := range p.GoFiles {
 		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
@@ -114,16 +172,36 @@ func typecheck(fset *token.FileSet, imp types.Importer, p *listedPackage) (*load
 		}
 		files = append(files, f)
 	}
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if mapped, ok := p.ImportMap[path]; ok {
+			path = mapped
+		}
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (imported by %s): the package did not build — run 'go build ./...' and fix compile errors first", path, p.ImportPath)
+		}
+		return os.Open(f)
+	})
 	info := &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},
 		Defs:       map[*ast.Ident]types.Object{},
 		Uses:       map[*ast.Ident]types.Object{},
 		Selections: map[*ast.SelectorExpr]*types.Selection{},
 	}
+	path := canonicalPath(p.ImportPath)
 	conf := types.Config{Importer: imp}
-	pkg, err := conf.Check(p.ImportPath, fset, files, info)
+	pkg, err := conf.Check(path, fset, files, info)
 	if err != nil {
 		return nil, fmt.Errorf("type-checking %s: %v", p.ImportPath, err)
 	}
-	return &loadedPackage{path: p.ImportPath, files: files, types: pkg, info: info}, nil
+	deps := make([]string, 0, len(p.Deps))
+	seen := map[string]bool{}
+	for _, d := range p.Deps {
+		if c := canonicalPath(d); !seen[c] {
+			seen[c] = true
+			deps = append(deps, c)
+		}
+	}
+	sort.Strings(deps)
+	return &loadedPackage{path: path, files: files, types: pkg, info: info, deps: deps}, nil
 }

@@ -1,0 +1,587 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// lockorderAnalyzer builds a mutex-acquisition graph and enforces two
+// properties the race detector cannot check (deadlocks don't race):
+//
+//  1. A consistent global lock order. Every time lock B is acquired
+//     while lock A is held — directly, or through a call whose callee
+//     acquires B — the analyzer records the edge A→B. A cycle in the
+//     merged graph (A→B here, B→A somewhere else, possibly in another
+//     package) is a deadlock waiting for the right interleaving.
+//  2. No blocking inside a critical section. Channel sends and
+//     receives, selects without a default, time.Sleep and
+//     WaitGroup.Wait while a mutex is held stall every other goroutine
+//     that needs the lock — in this repo that means the admission
+//     gate, the event log, and the sweep engine all stop at once.
+//
+// Locks are identified structurally — "pkg.Type.field" for a mutex
+// field, "pkg.var" for a package-level mutex — so every instance of a
+// type shares one graph node: the ordering discipline is per-field,
+// which is how the code actually reasons about it.
+//
+// Cross-package edges come from facts. Analyzing a package exports a
+// lockSummary fact per function (the set of locks it may acquire,
+// transitively) and a lockGraph package fact (its edges). A dependent
+// package's pass imports both, so `s.mu.Lock(); dep.Helper()` adds
+// the edge s.mu→(whatever Helper locks) and cycles spanning packages
+// are found where the closing edge is written.
+//
+// Deliberately exempt: close(ch) (never blocks), sync.Cond.Wait
+// (releases the lock by contract), and select with a default clause
+// (non-blocking by construction — the repo's try-send idiom).
+var lockorderAnalyzer = &Analyzer{
+	Name:  "lockorder",
+	Doc:   "mutex acquisition: consistent order, no blocking while held",
+	Tests: true,
+	Run:   runLockorder,
+}
+
+// lockSummary is the set of lock IDs a function may acquire,
+// including through calls, recorded as an object fact so callers in
+// other packages can see through the call.
+type lockSummary struct {
+	Locks []string
+}
+
+func (lockSummary) AFact() {}
+
+// lockGraph is a package fact: the acquired-while-held edges observed
+// in the package's bodies.
+type lockGraph struct {
+	Edges map[string][]string
+}
+
+func (lockGraph) AFact() {}
+
+type lockEdge struct{ from, to string }
+
+type heldLock struct {
+	id    string
+	write bool
+	pos   token.Pos
+}
+
+type lockFnInfo struct {
+	fn      *types.Func
+	body    *ast.BlockStmt
+	direct  []string
+	callees []*types.Func
+}
+
+func runLockorder(p *Pass) {
+	// Pass A: per-function direct acquires and static callees.
+	var fns []*lockFnInfo
+	byFunc := map[*types.Func]*lockFnInfo{}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fi := &lockFnInfo{fn: fn, body: fd.Body}
+			collectLockInfo(p, fd.Body, fi)
+			fns = append(fns, fi)
+			byFunc[fn] = fi
+		}
+	}
+
+	// Transitive summaries: same-package fixpoint, imported facts for
+	// external callees.
+	summary := map[*types.Func]map[string]bool{}
+	for _, fi := range fns {
+		s := map[string]bool{}
+		for _, id := range fi.direct {
+			s[id] = true
+		}
+		summary[fi.fn] = s
+	}
+	external := func(fn *types.Func) []string {
+		var ls lockSummary
+		if p.ImportObjectFact(fn, &ls) {
+			return ls.Locks
+		}
+		return nil
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range fns {
+			s := summary[fi.fn]
+			for _, callee := range fi.callees {
+				var locks []string
+				if _, same := byFunc[callee]; same {
+					locks = sortedLockSet(summary[callee])
+				} else {
+					locks = external(callee)
+				}
+				for _, id := range locks {
+					if !s[id] {
+						s[id] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	for _, fi := range fns {
+		if len(summary[fi.fn]) > 0 {
+			p.ExportObjectFact(fi.fn, &lockSummary{Locks: sortedLockSet(summary[fi.fn])})
+		}
+	}
+
+	// Pass B: held-set walk — blocking reports, self-deadlocks, edges.
+	w := &lockWalker{p: p, byFunc: byFunc, summary: summary, edges: map[lockEdge]token.Pos{}}
+	for _, fi := range fns {
+		var held []heldLock
+		w.walkStmts(fi.body.List, &held)
+	}
+
+	// Merge this package's edges with every dependency's graph fact.
+	merged := map[string]map[string]bool{}
+	add := func(u, v string) {
+		if merged[u] == nil {
+			merged[u] = map[string]bool{}
+		}
+		merged[u][v] = true
+	}
+	for e := range w.edges {
+		add(e.from, e.to)
+	}
+	for _, dep := range p.Deps() {
+		var g lockGraph
+		if p.ImportPackageFact(dep, &g) {
+			for u, vs := range g.Edges {
+				for _, v := range vs {
+					add(u, v)
+				}
+			}
+		}
+	}
+	if len(w.edges) > 0 {
+		own := map[string][]string{}
+		for e := range w.edges {
+			own[e.from] = append(own[e.from], e.to)
+		}
+		for u := range own {
+			sort.Strings(own[u])
+		}
+		p.ExportPackageFact(&lockGraph{Edges: own})
+	}
+
+	// A local edge u→v closes a cycle iff v reaches u in the merged
+	// graph. Only local edges are reported, so a cycle is diagnosed in
+	// the package that writes its closing edge, once.
+	for e, pos := range w.edges {
+		if path := lockPath(merged, e.to, e.from); path != nil {
+			cycle := append([]string{e.from}, path...)
+			p.Reportf(pos, "acquiring %s while holding %s creates a lock-order cycle: %s",
+				e.to, e.from, strings.Join(cycle, " -> "))
+		}
+	}
+}
+
+// collectLockInfo gathers direct lock acquisitions and static callees
+// from a body. Func literals and go statements are skipped: a literal
+// runs under its own held-set walk, and a spawned goroutine's locks
+// are not acquired by the caller.
+func collectLockInfo(p *Pass, body *ast.BlockStmt, fi *lockFnInfo) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if fn, ok := p.Info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+					if fn.Name() == "Lock" || fn.Name() == "RLock" {
+						if id := lockExprID(p, sel.X); id != "" {
+							fi.direct = append(fi.direct, id)
+						}
+					}
+					return true
+				}
+			}
+			if fn := staticCallee(p, n); fn != nil {
+				fi.callees = append(fi.callees, fn)
+			}
+		}
+		return true
+	})
+}
+
+type lockWalker struct {
+	p       *Pass
+	byFunc  map[*types.Func]*lockFnInfo
+	summary map[*types.Func]map[string]bool
+	edges   map[lockEdge]token.Pos
+}
+
+func (w *lockWalker) addEdge(from, to string, pos token.Pos) {
+	e := lockEdge{from, to}
+	if _, ok := w.edges[e]; !ok {
+		w.edges[e] = pos
+	}
+}
+
+func copyHeld(held *[]heldLock) []heldLock {
+	return append([]heldLock(nil), (*held)...)
+}
+
+func (w *lockWalker) walkStmts(list []ast.Stmt, held *[]heldLock) {
+	for _, s := range list {
+		w.walkStmt(s, held)
+	}
+}
+
+func (w *lockWalker) walkStmt(s ast.Stmt, held *[]heldLock) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		w.scanExpr(s.X, held)
+	case *ast.SendStmt:
+		if len(*held) > 0 {
+			w.p.Reportf(s.Arrow, "channel send while holding %s: move it outside the critical section or use a select with default", heldDesc(*held))
+		}
+		w.scanExpr(s.Chan, held)
+		w.scanExpr(s.Value, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.scanExpr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.scanExpr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.scanExpr(e, held)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.scanExpr(e, held)
+		}
+	case *ast.IncDecStmt:
+		w.scanExpr(s.X, held)
+	case *ast.IfStmt:
+		w.walkStmt(s.Init, held)
+		w.scanExpr(s.Cond, held)
+		bh := copyHeld(held)
+		w.walkStmts(s.Body.List, &bh)
+		if s.Else != nil {
+			eh := copyHeld(held)
+			w.walkStmt(s.Else, &eh)
+		}
+	case *ast.BlockStmt:
+		w.walkStmts(s.List, held)
+	case *ast.ForStmt:
+		w.walkStmt(s.Init, held)
+		if s.Cond != nil {
+			w.scanExpr(s.Cond, held)
+		}
+		bh := copyHeld(held)
+		w.walkStmts(s.Body.List, &bh)
+	case *ast.RangeStmt:
+		w.scanExpr(s.X, held)
+		bh := copyHeld(held)
+		w.walkStmts(s.Body.List, &bh)
+	case *ast.SwitchStmt:
+		w.walkStmt(s.Init, held)
+		if s.Tag != nil {
+			w.scanExpr(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					w.scanExpr(e, held)
+				}
+				ch := copyHeld(held)
+				w.walkStmts(cc.Body, &ch)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		w.walkStmt(s.Init, held)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				ch := copyHeld(held)
+				w.walkStmts(cc.Body, &ch)
+			}
+		}
+	case *ast.SelectStmt:
+		if !selectHasDefault(s) && len(*held) > 0 {
+			w.p.Reportf(s.Pos(), "select without default while holding %s: the critical section blocks on channel traffic", heldDesc(*held))
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				ch := copyHeld(held)
+				w.walkStmts(cc.Body, &ch)
+			}
+		}
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held to function end —
+		// which is exactly what leaving it in the held set models. A
+		// deferred func literal runs at return with an unknowable held
+		// set; walk it with an empty one.
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			var none []heldLock
+			w.walkStmts(fl.Body.List, &none)
+		}
+		for _, a := range s.Call.Args {
+			w.scanExpr(a, held)
+		}
+	case *ast.GoStmt:
+		// The goroutine's body runs concurrently: the caller's held
+		// locks are not held there.
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			var none []heldLock
+			w.walkStmts(fl.Body.List, &none)
+		}
+		for _, a := range s.Call.Args {
+			w.scanExpr(a, held)
+		}
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt, held)
+	}
+}
+
+// scanExpr handles calls (lock ops, blocking ops, summary edges) and
+// bare receives inside an expression. Func literals get their own
+// empty held set.
+func (w *lockWalker) scanExpr(e ast.Expr, held *[]heldLock) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			var none []heldLock
+			w.walkStmts(n.Body.List, &none)
+			return false
+		case *ast.CallExpr:
+			w.handleCall(n, held)
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && len(*held) > 0 {
+				w.p.Reportf(n.OpPos, "channel receive while holding %s: move it outside the critical section", heldDesc(*held))
+			}
+		}
+		return true
+	})
+}
+
+func (w *lockWalker) handleCall(call *ast.CallExpr, held *[]heldLock) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if ok {
+		if fn, ok := w.p.Info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+			switch fn.Name() {
+			case "Lock", "RLock":
+				if id := lockExprID(w.p, sel.X); id != "" {
+					w.acquire(id, fn.Name() == "Lock", sel.Sel.Pos(), held)
+				}
+			case "Unlock", "RUnlock":
+				if id := lockExprID(w.p, sel.X); id != "" {
+					release(id, held)
+				}
+			case "Wait":
+				// Cond.Wait releases its locker by contract; exempt.
+				// WaitGroup.Wait does not.
+				if syncRecvName(fn) == "WaitGroup" && len(*held) > 0 {
+					w.p.Reportf(call.Pos(), "WaitGroup.Wait while holding %s: waiters that need the lock deadlock", heldDesc(*held))
+				}
+			}
+			return
+		}
+		if isTimeSleep(w.p, call) {
+			if len(*held) > 0 {
+				w.p.Reportf(call.Pos(), "time.Sleep while holding %s: every goroutine needing the lock stalls for the duration", heldDesc(*held))
+			}
+			return
+		}
+	}
+	if len(*held) == 0 {
+		return
+	}
+	fn := staticCallee(w.p, call)
+	if fn == nil {
+		return
+	}
+	var locks []string
+	if _, same := w.byFunc[fn]; same {
+		locks = sortedLockSet(w.summary[fn])
+	} else {
+		var ls lockSummary
+		if w.p.ImportObjectFact(fn, &ls) {
+			locks = ls.Locks
+		}
+	}
+	for _, to := range locks {
+		for _, h := range *held {
+			if h.id == to {
+				w.p.Reportf(call.Pos(), "call to %s may acquire %s, which is already held here: potential self-deadlock", qualified(w.p, fn), to)
+			} else {
+				w.addEdge(h.id, to, call.Pos())
+			}
+		}
+	}
+}
+
+func (w *lockWalker) acquire(id string, write bool, pos token.Pos, held *[]heldLock) {
+	for _, h := range *held {
+		if h.id == id {
+			// Re-acquiring a held lock deadlocks when either side is a
+			// write lock. RLock-after-RLock is left alone: legal unless
+			// a writer intervenes, and the repo never nests read locks.
+			if write || h.write {
+				w.p.Reportf(pos, "acquiring %s while already holding it: self-deadlock", id)
+			}
+		} else {
+			w.addEdge(h.id, id, pos)
+		}
+	}
+	*held = append(*held, heldLock{id: id, write: write, pos: pos})
+}
+
+func release(id string, held *[]heldLock) {
+	for i := len(*held) - 1; i >= 0; i-- {
+		if (*held)[i].id == id {
+			*held = append((*held)[:i], (*held)[i+1:]...)
+			return
+		}
+	}
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func heldDesc(held []heldLock) string {
+	ids := make([]string, len(held))
+	for i, h := range held {
+		ids[i] = h.id
+	}
+	return strings.Join(ids, ", ")
+}
+
+// lockExprID names a lock structurally: "pkg.Type.field" for a mutex
+// field (every instance of the type shares the node), "pkg.var" for a
+// package-level mutex, "local.name" for a function-local one. An
+// empty string means the expression is too dynamic to name (map
+// index, function result) and the acquisition is ignored.
+func lockExprID(p *Pass, e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return lockExprID(p, x.X)
+	case *ast.UnaryExpr:
+		return lockExprID(p, x.X)
+	case *ast.Ident:
+		obj := p.Info.Uses[x]
+		if obj == nil {
+			obj = p.Info.Defs[x]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return ""
+		}
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+		// Local or receiver: if its type is named (an embedded-mutex
+		// receiver, as in s.Lock()), the type is the lock's identity.
+		if n, ok := lockDeref(v.Type()).(*types.Named); ok && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() != "sync" {
+			return n.Obj().Pkg().Path() + "." + n.Obj().Name()
+		}
+		return "local." + v.Name()
+	case *ast.SelectorExpr:
+		fobj, ok := p.Info.Uses[x.Sel].(*types.Var)
+		if !ok {
+			return ""
+		}
+		if tv, ok := p.Info.Types[x.X]; ok && tv.Type != nil {
+			if n, ok := lockDeref(tv.Type).(*types.Named); ok && n.Obj().Pkg() != nil {
+				return n.Obj().Pkg().Path() + "." + n.Obj().Name() + "." + fobj.Name()
+			}
+		}
+		if fobj.Pkg() != nil && fobj.Parent() == fobj.Pkg().Scope() {
+			return fobj.Pkg().Path() + "." + fobj.Name()
+		}
+		return ""
+	}
+	return ""
+}
+
+func lockDeref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// syncRecvName returns the receiver type name of a sync method
+// ("Mutex", "RWMutex", "Cond", "WaitGroup", ...), or "".
+func syncRecvName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	if n, ok := lockDeref(sig.Recv().Type()).(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// lockPath finds a path from→to in the merged edge graph (BFS), or
+// nil. Used to close and print cycles.
+func lockPath(g map[string]map[string]bool, from, to string) []string {
+	parent := map[string]string{from: from}
+	queue := []string{from}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if u == to {
+			var rev []string
+			for n := to; ; n = parent[n] {
+				rev = append(rev, n)
+				if n == from {
+					break
+				}
+			}
+			path := make([]string, len(rev))
+			for i, n := range rev {
+				path[len(rev)-1-i] = n
+			}
+			return path
+		}
+		next := sortedLockSet(g[u])
+		for _, v := range next {
+			if _, seen := parent[v]; !seen {
+				parent[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	return nil
+}
+
+func sortedLockSet(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

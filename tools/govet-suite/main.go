@@ -1,7 +1,9 @@
-// govet-suite is a project-specific static checker for the numeric
-// core, in the style of go vet. It loads packages with the go command,
-// type-checks them from source against compiler export data, and runs
-// three analyzers:
+// govet-suite is a project-specific static checker in the style of go
+// vet, grown into a facts-driven cross-package analysis framework. It
+// loads packages with the go command, type-checks them from source
+// against compiler export data, analyzes them in dependency order —
+// each package's pass can consult serialized facts recorded while its
+// imports were analyzed — and runs seven analyzers:
 //
 //   - floatcmp: no == or != on floating-point operands outside sites
 //     annotated with a //vet:allow floatcmp comment. Exact float
@@ -13,13 +15,35 @@
 //   - spanpair: every obsv span assigned to a local must reach End()
 //     on all return paths (or be deferred), so trace trees are never
 //     missing a close.
+//   - lockorder: builds the mutex-acquisition graph (cross-package,
+//     via facts) and flags lock-order cycles, re-acquisition of a held
+//     mutex, and blocking operations — channel sends/receives,
+//     selects without default, time.Sleep, WaitGroup.Wait — executed
+//     while a mutex is held.
+//   - goroleak: every goroutine must have a reachable termination
+//     path; an unconditional `for {}` with no return/break inside a
+//     `go` statement keeps the goroutine (and whatever it pins) alive
+//     for the life of the process.
+//   - ctxflow: functions with a context in scope (a ctx parameter or
+//     an *http.Request) must not block without consulting it:
+//     time.Sleep and bare channel receives outside a select ignore
+//     cancellation.
+//   - sentinelerr: comparisons against sentinel errors must use
+//     errors.Is, and sentinels must be wrapped with %w, never %v/%s.
 //
 // Usage:
 //
 //	go run ./tools/govet-suite ./...
-//	go run ./tools/govet-suite -dir some/module ./...
+//	go run ./tools/govet-suite -dir some/module -tests=false ./...
+//	go run ./tools/govet-suite -run lockorder,goroleak ./internal/serve
+//	go run ./tools/govet-suite -json -manifest analyze.json ./...
 //
 // Exit codes: 0 clean, 1 findings, 2 load or type-check failure.
+//
+// -tests (default on) includes each package's _test.go files and
+// external _test packages in the analysis. -json emits the findings
+// as a pepatags/analysis/v1 report on stdout; -manifest writes a run
+// manifest with an analysis section (validated by tools/manifestcheck).
 //
 // A site is suppressed by a trailing "//vet:allow <analyzer>" comment
 // on the same line (or a comment alone on the line above), with a
@@ -33,6 +57,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
@@ -41,17 +66,26 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
+
+	"pepatags/internal/obsv"
 )
 
 // Analyzer is one named check over a type-checked package.
 type Analyzer struct {
 	Name string
 	Doc  string
-	Run  func(*Pass)
+	// Tests marks analyzers that also run over _test.go files; the
+	// numeric-style analyzers (floatcmp, metricname, spanpair) keep
+	// their historical production-code-only scope, the concurrency
+	// analyzers check tests too — a goroutine leak in a test harness
+	// wedges CI just as surely.
+	Tests bool
+	Run   func(*Pass)
 }
 
 // Pass carries one package's syntax and type information to an
-// analyzer, plus the reporting hook.
+// analyzer, plus the reporting hook and the cross-package fact store.
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
@@ -59,6 +93,8 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 
+	facts    *factStore
+	deps     []string
 	allowed  map[string]map[int]map[string]bool // file -> line -> analyzer set
 	findings *[]finding
 }
@@ -132,38 +168,80 @@ func collectAllowed(fset *token.FileSet, files []*ast.File) map[string]map[int]m
 	return out
 }
 
-var analyzers = []*Analyzer{floatcmpAnalyzer, metricnameAnalyzer, spanpairAnalyzer}
+var analyzers = []*Analyzer{
+	floatcmpAnalyzer, metricnameAnalyzer, spanpairAnalyzer,
+	lockorderAnalyzer, goroleakAnalyzer, ctxflowAnalyzer, sentinelerrAnalyzer,
+}
 
 func main() {
 	os.Exit(run(".", os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// options are the parsed command-line settings.
+type options struct {
+	dir      string
+	tests    bool
+	jsonOut  bool
+	manifest string
+	run      string // comma-separated analyzer subset; empty = all
+	patterns []string
+}
+
 func run(dir string, args []string, stdout, stderr io.Writer) int {
-	patterns, err := parseArgs(&dir, args)
+	opt := options{dir: dir, tests: true}
+	if err := parseArgs(&opt, args); err != nil {
+		fmt.Fprintf(stderr, "govet-suite: %v\n", err)
+		return 2
+	}
+	active, err := selectAnalyzers(opt.run)
 	if err != nil {
 		fmt.Fprintf(stderr, "govet-suite: %v\n", err)
 		return 2
 	}
-	pkgs, fset, err := loadPackages(dir, patterns)
+	start := time.Now()
+	pkgs, fset, err := loadPackages(opt.dir, opt.patterns, opt.tests)
 	if err != nil {
 		fmt.Fprintf(stderr, "govet-suite: %v\n", err)
 		return 2
 	}
-	var findings []finding
+
+	facts := newFactStore()
+	var findings, discard []finding
+	targets := 0
 	for _, pkg := range pkgs {
+		if pkg.target {
+			targets++
+		}
 		allowed := collectAllowed(fset, pkg.files)
-		for _, a := range analyzers {
+		for _, a := range active {
+			files := pkg.files
+			if !a.Tests {
+				files = nonTestFiles(fset, pkg.files)
+				if len(files) == 0 {
+					continue
+				}
+			}
+			sink := &findings
+			if !pkg.target {
+				// Dependencies are analyzed for their facts alone;
+				// their diagnostics belong to runs that target them.
+				sink = &discard
+			}
 			a.Run(&Pass{
 				Analyzer: a,
 				Fset:     fset,
-				Files:    pkg.files,
+				Files:    files,
 				Pkg:      pkg.types,
 				Info:     pkg.info,
+				facts:    facts,
+				deps:     pkg.deps,
 				allowed:  allowed,
-				findings: &findings,
+				findings: sink,
 			})
 		}
 	}
+	elapsed := time.Since(start)
+
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.pos.Filename != b.pos.Filename {
@@ -174,38 +252,197 @@ func run(dir string, args []string, stdout, stderr io.Writer) int {
 		}
 		return a.msg < b.msg
 	})
-	for _, f := range findings {
-		fmt.Fprintf(stdout, "%s:%d: %s: %s\n", f.pos.Filename, f.pos.Line, f.analyzer, f.msg)
+
+	if opt.manifest != "" {
+		if err := writeAnalysisManifest(opt, active, targets, findings, elapsed); err != nil {
+			fmt.Fprintf(stderr, "govet-suite: %v\n", err)
+			return 2
+		}
+	}
+	if opt.jsonOut {
+		if err := writeJSONReport(stdout, active, targets, findings, elapsed); err != nil {
+			fmt.Fprintf(stderr, "govet-suite: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintf(stdout, "%s:%d: %s: %s\n", f.pos.Filename, f.pos.Line, f.analyzer, f.msg)
+		}
+		if len(findings) > 0 {
+			fmt.Fprintf(stdout, "%d finding(s)\n", len(findings))
+		}
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(stdout, "%d finding(s)\n", len(findings))
 		return 1
 	}
 	return 0
 }
 
-// parseArgs handles the -dir flag by hand so package patterns can
-// follow flags in any order (go-command style).
-func parseArgs(dir *string, args []string) ([]string, error) {
-	var patterns []string
-	for i := 0; i < len(args); i++ {
-		switch {
-		case args[i] == "-dir" || args[i] == "--dir":
-			if i+1 == len(args) {
-				return nil, fmt.Errorf("-dir needs an argument")
-			}
-			i++
-			*dir = args[i]
-		case strings.HasPrefix(args[i], "-dir="):
-			*dir = strings.TrimPrefix(args[i], "-dir=")
-		case strings.HasPrefix(args[i], "-"):
-			return nil, fmt.Errorf("unknown flag %s (usage: govet-suite [-dir d] <patterns>)", args[i])
-		default:
-			patterns = append(patterns, args[i])
+// nonTestFiles filters the package's syntax down to non-_test.go
+// files for analyzers with the historical production-only scope.
+func nonTestFiles(fset *token.FileSet, files []*ast.File) []*ast.File {
+	out := make([]*ast.File, 0, len(files))
+	for _, f := range files {
+		if !strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go") {
+			out = append(out, f)
 		}
 	}
-	if len(patterns) == 0 {
-		return nil, fmt.Errorf("no package patterns (usage: govet-suite [-dir d] <patterns>)")
+	return out
+}
+
+// selectAnalyzers resolves the -run subset (comma-separated names);
+// empty keeps the full suite.
+func selectAnalyzers(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return analyzers, nil
 	}
-	return patterns, nil
+	byName := map[string]*Analyzer{}
+	for _, a := range analyzers {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		a, ok := byName[n]
+		if !ok {
+			all := make([]string, 0, len(analyzers))
+			for _, a := range analyzers {
+				all = append(all, a.Name)
+			}
+			return nil, fmt.Errorf("unknown analyzer %q (have %s)", n, strings.Join(all, ", "))
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// analysisReport is the -json output, schema pepatags/analysis/v1:
+// the machine-readable face of a suite run, consumed by CI (make
+// analyze) and archived next to run manifests.
+type analysisReport struct {
+	Schema     string            `json:"schema"`
+	Analyzers  []string          `json:"analyzers"`
+	Packages   int               `json:"packages"`
+	Findings   []reportedFinding `json:"findings"`
+	ElapsedSec float64           `json:"elapsed_sec"`
+}
+
+type reportedFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// analysisSchema identifies the -json report layout.
+const analysisSchema = "pepatags/analysis/v1"
+
+func buildReport(active []*Analyzer, targets int, findings []finding, elapsed time.Duration) analysisReport {
+	rep := analysisReport{
+		Schema:     analysisSchema,
+		Packages:   targets,
+		Findings:   make([]reportedFinding, 0, len(findings)),
+		ElapsedSec: elapsed.Seconds(),
+	}
+	for _, a := range active {
+		rep.Analyzers = append(rep.Analyzers, a.Name)
+	}
+	for _, f := range findings {
+		rep.Findings = append(rep.Findings, reportedFinding{
+			Analyzer: f.analyzer, File: f.pos.Filename, Line: f.pos.Line, Col: f.pos.Column, Message: f.msg,
+		})
+	}
+	return rep
+}
+
+func writeJSONReport(w io.Writer, active []*Analyzer, targets int, findings []finding, elapsed time.Duration) error {
+	b, err := json.MarshalIndent(buildReport(active, targets, findings, elapsed), "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", b)
+	return err
+}
+
+// writeAnalysisManifest records the run as a pepatags/run-manifest/v1
+// manifest with an analysis section, so suite runs land in the same
+// validated record stream as solver and sweep runs.
+func writeAnalysisManifest(opt options, active []*Analyzer, targets int, findings []finding, elapsed time.Duration) error {
+	m := obsv.NewManifest("govet-suite")
+	m.Params = map[string]any{"patterns": strings.Join(opt.patterns, " "), "tests": opt.tests}
+	rec := &obsv.AnalysisRecord{
+		Packages:   targets,
+		Findings:   len(findings),
+		ElapsedSec: elapsed.Seconds(),
+	}
+	for _, a := range active {
+		rec.Analyzers = append(rec.Analyzers, a.Name)
+	}
+	if len(findings) > 0 {
+		rec.ByAnalyzer = map[string]int{}
+		for _, f := range findings {
+			rec.ByAnalyzer[f.analyzer]++
+		}
+	}
+	m.Analysis = rec
+	return m.WriteFile(opt.manifest)
+}
+
+// parseArgs handles flags by hand so package patterns can follow
+// flags in any order (go-command style).
+func parseArgs(opt *options, args []string) error {
+	usage := "usage: govet-suite [-dir d] [-tests=bool] [-run names] [-json] [-manifest path] <patterns>"
+	needValue := func(i *int) (string, error) {
+		if *i+1 == len(args) {
+			return "", fmt.Errorf("%s needs an argument (%s)", args[*i], usage)
+		}
+		*i++
+		return args[*i], nil
+	}
+	var err error
+	for i := 0; i < len(args); i++ {
+		arg := args[i]
+		switch {
+		case arg == "-dir" || arg == "--dir":
+			if opt.dir, err = needValue(&i); err != nil {
+				return err
+			}
+		case strings.HasPrefix(arg, "-dir="):
+			opt.dir = strings.TrimPrefix(arg, "-dir=")
+		case arg == "-run" || arg == "--run":
+			if opt.run, err = needValue(&i); err != nil {
+				return err
+			}
+		case strings.HasPrefix(arg, "-run="):
+			opt.run = strings.TrimPrefix(arg, "-run=")
+		case arg == "-manifest" || arg == "--manifest":
+			if opt.manifest, err = needValue(&i); err != nil {
+				return err
+			}
+		case strings.HasPrefix(arg, "-manifest="):
+			opt.manifest = strings.TrimPrefix(arg, "-manifest=")
+		case arg == "-json" || arg == "--json":
+			opt.jsonOut = true
+		case arg == "-tests" || arg == "--tests":
+			opt.tests = true
+		case strings.HasPrefix(arg, "-tests="):
+			switch v := strings.TrimPrefix(arg, "-tests="); v {
+			case "true", "1":
+				opt.tests = true
+			case "false", "0":
+				opt.tests = false
+			default:
+				return fmt.Errorf("bad -tests value %q (want true or false)", v)
+			}
+		case strings.HasPrefix(arg, "-"):
+			return fmt.Errorf("unknown flag %s (%s)", arg, usage)
+		default:
+			opt.patterns = append(opt.patterns, arg)
+		}
+	}
+	if len(opt.patterns) == 0 {
+		return fmt.Errorf("no package patterns (%s)", usage)
+	}
+	return nil
 }

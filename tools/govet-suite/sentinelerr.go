@@ -1,0 +1,243 @@
+package main
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// sentinelerrAnalyzer enforces the two halves of the sentinel-error
+// contract. Sentinels — package-level `var ErrX = errors.New(...)`
+// values such as sweep.ErrCanceled and linalg.ErrNotConverged — are
+// compared with errors.Is, never == or != (the repo wraps errors with
+// %w as they cross layers, and == silently stops matching the moment
+// a wrap appears); and when a sentinel is wrapped into a new error it
+// goes through %w, never %v or %s, so errors.Is keeps seeing it.
+//
+// Sentinel-ness crosses package boundaries through facts: the pass
+// over the defining package records an isSentinel fact on the var,
+// and every importing package's pass reads it back — the analyzed
+// source of the importer only ever sees the var through export data,
+// which has no initializer. Standard-library sentinels (io.EOF,
+// sql.ErrNoRows), whose packages are never analyzed from source, are
+// recognized by the Err*/EOF naming convention instead.
+var sentinelerrAnalyzer = &Analyzer{
+	Name:  "sentinelerr",
+	Doc:   "sentinel errors: compare with errors.Is, wrap with %w",
+	Tests: true,
+	Run:   runSentinelerr,
+}
+
+// isSentinel marks a package-level error var initialized with
+// errors.New or fmt.Errorf.
+type isSentinel struct{}
+
+func (isSentinel) AFact() {}
+
+func runSentinelerr(p *Pass) {
+	// Phase 1: find this package's own sentinels and export facts, so
+	// both the checks below and every importing package see them.
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != len(vs.Values) {
+					continue
+				}
+				for i, name := range vs.Names {
+					obj, ok := p.Info.Defs[name].(*types.Var)
+					if !ok || obj.Parent() != p.Pkg.Scope() {
+						continue
+					}
+					if isErrorConstructor(p, vs.Values[i]) {
+						p.ExportObjectFact(obj, &isSentinel{})
+					}
+				}
+			}
+		}
+	}
+
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				for _, operand := range []ast.Expr{n.X, n.Y} {
+					if obj := sentinelObject(p, operand); obj != nil {
+						p.Reportf(n.OpPos, "%s against sentinel %s: use errors.Is so wrapped errors still match",
+							n.Op, qualified(p, obj))
+						break
+					}
+				}
+			case *ast.SwitchStmt:
+				if n.Tag == nil || !isErrorExpr(p, n.Tag) {
+					return true
+				}
+				for _, clause := range n.Body.List {
+					cc, ok := clause.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if obj := sentinelObject(p, e); obj != nil {
+							p.Reportf(e.Pos(), "switch case compares sentinel %s with ==: use if/else with errors.Is",
+								qualified(p, obj))
+						}
+					}
+				}
+			case *ast.CallExpr:
+				checkErrorfWrap(p, n)
+			}
+			return true
+		})
+	}
+}
+
+// isErrorConstructor reports whether the expression is an
+// errors.New(...) or fmt.Errorf(...) call.
+func isErrorConstructor(p *Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() + "." + fn.Name() {
+	case "errors.New", "fmt.Errorf":
+		return true
+	}
+	return false
+}
+
+// sentinelObject resolves an expression to a package-level sentinel
+// error var, or nil. Same-package and analyzed-dependency sentinels
+// come from facts; unanalyzed packages (the standard library) fall
+// back to the Err*/EOF naming convention on exported error vars.
+func sentinelObject(p *Pass, e ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch x := e.(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	obj, ok := p.Info.Uses[id].(*types.Var)
+	if !ok || obj.Pkg() == nil || obj.Parent() != obj.Pkg().Scope() {
+		return nil
+	}
+	if !isErrorType(obj.Type()) {
+		return nil
+	}
+	if p.ImportObjectFact(obj, &isSentinel{}) {
+		return obj
+	}
+	// No fact: the defining package was not analyzed from source
+	// (stdlib or outside the load). Fall back to naming convention.
+	if obj.Exported() && (strings.HasPrefix(obj.Name(), "Err") || obj.Name() == "EOF") {
+		return obj
+	}
+	return nil
+}
+
+// checkErrorfWrap flags sentinels passed to fmt.Errorf under a %v or
+// %s verb: the formatted message keeps the text but the error chain
+// loses the sentinel, so downstream errors.Is goes dark.
+func checkErrorfWrap(p *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := p.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	verbs := formatVerbs(constant.StringVal(tv.Value))
+	for i, arg := range call.Args[1:] {
+		if i >= len(verbs) {
+			break
+		}
+		if verbs[i] == 'w' {
+			continue
+		}
+		if obj := sentinelObject(p, arg); obj != nil {
+			p.Reportf(arg.Pos(), "sentinel %s wrapped with %%%c: use %%w so errors.Is still matches",
+				qualified(p, obj), verbs[i])
+		}
+	}
+}
+
+// formatVerbs extracts the verb letter for each argument-consuming
+// verb of a format string, in order. Width/precision stars also
+// consume arguments and are returned as '*'.
+func formatVerbs(format string) []byte {
+	var out []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		for i < len(format) {
+			c := format[i]
+			if c == '*' {
+				out = append(out, '*')
+				i++
+				continue
+			}
+			if strings.ContainsRune("+-# 0123456789.[]", rune(c)) {
+				i++
+				continue
+			}
+			break
+		}
+		if i >= len(format) {
+			break
+		}
+		if format[i] != '%' {
+			out = append(out, format[i])
+		}
+	}
+	return out
+}
+
+// isErrorType reports whether t is the error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// isErrorExpr reports whether the expression's static type is error.
+func isErrorExpr(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	return ok && tv.Type != nil && isErrorType(tv.Type)
+}
+
+// qualified renders an object as it reads at the use site:
+// "pkgname.Name" for imported objects, bare "Name" locally.
+func qualified(p *Pass, obj types.Object) string {
+	if obj.Pkg() == nil || obj.Pkg() == p.Pkg {
+		return obj.Name()
+	}
+	return obj.Pkg().Name() + "." + obj.Name()
+}

@@ -1,0 +1,61 @@
+// Package ctxflow is the corpus for the ctxflow analyzer: blocking
+// sites that ignore an in-scope context, and the cancellation-aware
+// shapes that are exempt.
+package ctxflow
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// waitsWrong has a context but sleeps and receives without it.
+func waitsWrong(ctx context.Context, ch chan int) int {
+	time.Sleep(time.Second) // want: sleep ignores ctx
+	return <-ch             // want: receive ignores ctx
+}
+
+// handler carries a context through the request.
+func handler(w http.ResponseWriter, r *http.Request) {
+	time.Sleep(10 * time.Millisecond) // want: sleep ignores r.Context()
+	w.WriteHeader(http.StatusOK)
+}
+
+// nested introduces the context in a func literal.
+func nested() func(context.Context, chan struct{}) {
+	return func(ctx context.Context, done chan struct{}) {
+		<-done // want: receive ignores ctx
+	}
+}
+
+// --- negatives ---
+
+// waitsRight selects over the channel and the context.
+func waitsRight(ctx context.Context, ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// timerBound receives only on time-bounded or cancellation channels.
+func timerBound(ctx context.Context) {
+	t := time.NewTimer(time.Second)
+	defer t.Stop()
+	<-t.C
+	<-time.After(time.Millisecond)
+	<-ctx.Done()
+}
+
+// noCtx has no context in scope: nothing to propagate.
+func noCtx(ch chan int) int {
+	time.Sleep(time.Millisecond)
+	return <-ch
+}
+
+// allowed is a deliberate bare receive, annotated.
+func allowed(ctx context.Context, ch chan int) int {
+	return <-ch //vet:allow ctxflow: producer is guaranteed to have sent already
+}

@@ -1,0 +1,78 @@
+// Package goroleak is the corpus for the goroleak analyzer:
+// goroutines with no reachable termination path, the
+// break-binds-to-select near-miss, and the loop shapes that are fine.
+package goroleak
+
+import (
+	"os"
+
+	"pepatags/tools/govet-suite/testdata/src/goroleakdep"
+)
+
+func spin() {
+	for {
+	}
+}
+
+// Leaks spawns goroutines that can never stop.
+func Leaks(ch chan int, stop chan struct{}) {
+	go func() {
+		for { // want: no way out
+		}
+	}()
+	go func() {
+		for { // want: break leaves the select, not the for
+			select {
+			case <-stop:
+				break
+			}
+		}
+	}()
+	go spin()                    // want: named local spinner
+	go goroleakdep.SpinForever() // want: imported spinner, via fact
+	go func() {
+		select {} // want: blocks forever
+	}()
+	_ = ch
+}
+
+// Fine spawns goroutines with real termination paths.
+func Fine(jobs chan int, stop chan struct{}) {
+	go func() {
+		for range jobs { // ends when jobs is closed
+		}
+	}()
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case j := <-jobs:
+				_ = j
+			}
+		}
+	}()
+	go func() {
+		for {
+			if len(jobs) == 0 {
+				break
+			}
+		}
+	}()
+	go func() {
+	loop:
+		for {
+			select {
+			case <-stop:
+				break loop // labeled: leaves the for
+			}
+		}
+	}()
+	go func() {
+		for {
+			os.Exit(1)
+		}
+	}()
+	go goroleakdep.Drain(jobs)
+	go spin() //vet:allow goroleak: fixture exercises the suppression path
+}

@@ -1,0 +1,16 @@
+// Package goroleakdep is a corpus dependency for the goroleak
+// analyzer: its never-terminating function must be flagged at `go`
+// sites in importers through the exported fact.
+package goroleakdep
+
+// SpinForever never returns.
+func SpinForever() {
+	for {
+	}
+}
+
+// Drain terminates when its channel closes.
+func Drain(ch chan int) {
+	for range ch {
+	}
+}

@@ -1,0 +1,39 @@
+// Package lockdep is a corpus dependency for the lockorder analyzer:
+// it defines locks and lock-acquiring helpers whose summaries and
+// edges must travel to importers as facts.
+package lockdep
+
+import "sync"
+
+// Global guards package state.
+var Global sync.Mutex
+
+// Store pairs its own mutex with uses of Global.
+type Store struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Update acquires the store lock: importers calling it while holding
+// another lock get an edge into Store.mu through the summary fact.
+func (s *Store) Update() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+// Refresh documents this package's lock order: Store.mu before
+// Global. The edge travels to importers as a package fact.
+func (s *Store) Refresh() {
+	s.mu.Lock()
+	Global.Lock()
+	s.n++
+	Global.Unlock()
+	s.mu.Unlock()
+}
+
+// LockGlobal and UnlockGlobal wrap Global for callers.
+func LockGlobal() { Global.Lock() }
+
+// UnlockGlobal releases Global.
+func UnlockGlobal() { Global.Unlock() }

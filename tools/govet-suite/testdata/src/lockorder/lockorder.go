@@ -1,0 +1,154 @@
+// Package lockorder is the corpus for the lockorder analyzer:
+// self-deadlocks, lock-order cycles (in-package and through imported
+// facts), blocking while a mutex is held, and the exempt idioms that
+// must stay quiet.
+package lockorder
+
+import (
+	"sync"
+	"time"
+
+	"pepatags/tools/govet-suite/testdata/src/lockdep"
+)
+
+// Cache is one lock domain.
+type Cache struct {
+	mu   sync.Mutex
+	vals map[string]int
+}
+
+// Index is a second lock domain, for ordering cases.
+type Index struct {
+	mu sync.Mutex
+}
+
+// relock re-acquires a held mutex: self-deadlock.
+func (c *Cache) relock() {
+	c.mu.Lock()
+	c.mu.Lock() // want: self-deadlock
+	c.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// lockAB and lockBA acquire the two locks in opposite orders: a
+// lock-order cycle, reported at both closing edges.
+func (c *Cache) lockAB(i *Index) {
+	c.mu.Lock()
+	i.mu.Lock() // want: cycle (Cache.mu -> Index.mu)
+	i.mu.Unlock()
+	c.mu.Unlock()
+}
+
+func (c *Cache) lockBA(i *Index) {
+	i.mu.Lock()
+	c.mu.Lock() // want: cycle (Index.mu -> Cache.mu)
+	c.mu.Unlock()
+	i.mu.Unlock()
+}
+
+// publish sends on a channel inside the critical section.
+func (c *Cache) publish(ch chan int) {
+	c.mu.Lock()
+	ch <- 1 // want: send while holding
+	c.mu.Unlock()
+}
+
+// wait receives inside the critical section.
+func (c *Cache) wait(ch chan int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return <-ch // want: receive while holding
+}
+
+// nap sleeps inside the critical section.
+func (c *Cache) nap() {
+	c.mu.Lock()
+	time.Sleep(time.Millisecond) // want: sleep while holding
+	c.mu.Unlock()
+}
+
+// waitAll blocks on a WaitGroup inside the critical section.
+func (c *Cache) waitAll(wg *sync.WaitGroup) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	wg.Wait() // want: WaitGroup.Wait while holding
+}
+
+// blockSelect has no default clause, so the critical section blocks
+// on channel traffic.
+func (c *Cache) blockSelect(a, b chan int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select { // want: select without default while holding
+	case <-a:
+	case <-b:
+	}
+}
+
+// reenter calls a dependency helper whose summary fact says it
+// acquires the lock already held here.
+func reenter() {
+	lockdep.Global.Lock()
+	defer lockdep.Global.Unlock()
+	lockdep.LockGlobal() // want: call may acquire Global, already held
+}
+
+// crossCycle closes a cycle against lockdep's documented order
+// (Store.mu before Global): holding Global while calling Update, which
+// the imported summary says takes Store.mu, reverses it.
+func crossCycle(s *lockdep.Store) {
+	lockdep.Global.Lock()
+	s.Update() // want: cross-package cycle via imported facts
+	lockdep.Global.Unlock()
+}
+
+// --- negatives ---
+
+// trySend uses select-with-default under the lock: non-blocking by
+// construction, the repo's try-send idiom.
+func (c *Cache) trySend(ch chan int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select {
+	case ch <- 1:
+	default:
+	}
+}
+
+// closeDone closes a channel under the lock: close never blocks.
+func (c *Cache) closeDone(done chan struct{}) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	close(done)
+}
+
+// condWait parks on a condition variable: Wait releases the lock by
+// contract.
+func condWait(cond *sync.Cond, n *int) {
+	cond.L.Lock()
+	for *n == 0 {
+		cond.Wait()
+	}
+	cond.L.Unlock()
+}
+
+// sendOutside releases the lock before the send.
+func (c *Cache) sendOutside(ch chan int) {
+	c.mu.Lock()
+	v := c.vals["k"]
+	c.mu.Unlock()
+	ch <- v
+}
+
+// updateUnlocked calls the lock-acquiring dependency with nothing
+// held: no edge, no report.
+func updateUnlocked(s *lockdep.Store) {
+	s.Update()
+}
+
+// allowedSend is a deliberate send under the lock, annotated.
+func (c *Cache) allowedSend(ch chan int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch <- 1 //vet:allow lockorder: fixture exercises the suppression path
+}

@@ -1,0 +1,10 @@
+// Package sentineldep is a corpus dependency for the sentinelerr
+// analyzer.
+package sentineldep
+
+import "errors"
+
+// Finished reports normal end of stream. Deliberately NOT named
+// "Err…": an importer can only learn it is a sentinel through the
+// exported fact, which is exactly what the corpus exercises.
+var Finished = errors.New("sentineldep: finished")

@@ -1,0 +1,73 @@
+// Package sentinelerr is the corpus for the sentinelerr analyzer:
+// ==/!=/switch comparisons against sentinels (local, imported-by-fact,
+// and stdlib-by-convention), %v-wrapping, and the correct idioms.
+package sentinelerr
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"pepatags/tools/govet-suite/testdata/src/sentineldep"
+)
+
+// ErrLocal is this package's own sentinel.
+var ErrLocal = errors.New("sentinelerr: local")
+
+// depCompare can only know Finished is a sentinel through the fact
+// exported while sentineldep was analyzed.
+func depCompare(err error) bool {
+	return err == sentineldep.Finished // want: == against imported sentinel
+}
+
+func localCompare(err error) bool {
+	return err != ErrLocal // want: != against local sentinel
+}
+
+func switchCompare(err error) string {
+	switch err {
+	case ErrLocal: // want: switch case compares with ==
+		return "local"
+	default:
+		return "other"
+	}
+}
+
+func badWrap(err error) error {
+	if errors.Is(err, ErrLocal) {
+		return fmt.Errorf("load failed: %v", ErrLocal) // want: %v loses the chain
+	}
+	return err
+}
+
+// stdlibCompare exercises the naming-convention fallback for packages
+// never analyzed from source.
+func stdlibCompare(err error) bool {
+	return err == io.EOF // want: == against stdlib sentinel
+}
+
+// --- negatives ---
+
+func goodCompare(err error) bool {
+	return errors.Is(err, sentineldep.Finished)
+}
+
+func goodWrap(err error) error {
+	return fmt.Errorf("load failed: %w", ErrLocal)
+}
+
+var limit = 10
+
+// notSentinel compares plain values: not an error at all.
+func notSentinel(n int) bool {
+	return n == limit
+}
+
+func nilCheck(err error) bool {
+	return err == nil
+}
+
+// allowedCompare is a deliberate identity check, annotated.
+func allowedCompare(err error) bool {
+	return err == ErrLocal //vet:allow sentinelerr: fixture exercises the suppression path
+}

@@ -1,9 +1,9 @@
 // manifestcheck validates run manifests written by the -manifest flag
-// of cmd/pepa, cmd/tagseval and cmd/tagssim, and by the pepad daemon's
-// -manifest-dir (one manifest per job). It is the CI gate for the
-// manifest schema: every file passed on the command line must load,
-// validate against pepatags/run-manifest/v1 and come from a known
-// tool, or the process exits non-zero.
+// of cmd/pepa, cmd/tagseval, cmd/tagssim and tools/govet-suite, and by
+// the pepad daemon's -manifest-dir (one manifest per job). It is the
+// CI gate for the manifest schema: every file passed on the command
+// line must load, validate against pepatags/run-manifest/v1 and come
+// from a known tool, or the process exits non-zero.
 //
 // Usage:
 //
@@ -23,11 +23,12 @@ import (
 )
 
 var knownTools = map[string]bool{
-	"pepa":     true,
-	"tagseval": true,
-	"tagssim":  true,
-	"conform":  true,
-	"pepad":    true,
+	"pepa":        true,
+	"tagseval":    true,
+	"tagssim":     true,
+	"conform":     true,
+	"pepad":       true,
+	"govet-suite": true,
 }
 
 func usage(w io.Writer) {
@@ -94,7 +95,7 @@ func check(path string) error {
 	// producing results records its error plus the flight recorder, and
 	// that pair is the record.
 	hasResults := len(m.Measures) > 0 || len(m.Artefacts) > 0 || m.Derive != nil ||
-		m.Sweep != nil || m.Lint != nil || m.Conform != nil
+		m.Sweep != nil || m.Lint != nil || m.Conform != nil || m.Analysis != nil
 	if m.Error != "" {
 		if m.Events == nil || len(m.Events.Recorder) == 0 {
 			return fmt.Errorf("failure manifest (error %q) carries no flight-recorder events", m.Error)

@@ -137,6 +137,40 @@ func TestCheckAcceptsConformOnlyManifest(t *testing.T) {
 	}
 }
 
+// TestCheckAcceptsAnalysisOnlyManifest: a govet-suite run records only
+// the analysis section, which is valid content — including a clean run
+// with zero findings, which is the usual (and desired) case.
+func TestCheckAcceptsAnalysisOnlyManifest(t *testing.T) {
+	m := obsv.NewManifest("govet-suite")
+	m.Params = map[string]any{"patterns": "./...", "tests": true}
+	m.Analysis = &obsv.AnalysisRecord{
+		Analyzers:  []string{"floatcmp", "metricname", "spanpair", "lockorder", "goroleak", "ctxflow", "sentinelerr"},
+		Packages:   23,
+		ElapsedSec: 2.5,
+	}
+	path := filepath.Join(t.TempDir(), "analyze.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := check(path); err != nil {
+		t.Fatalf("analysis-only manifest rejected: %v", err)
+	}
+
+	// Findings must reconcile with the per-analyzer breakdown.
+	m.Analysis.Findings = 2
+	m.Analysis.ByAnalyzer = map[string]int{"lockorder": 1}
+	if err := m.WriteFile(path); err == nil {
+		t.Fatal("by_analyzer sum != findings accepted")
+	}
+	m.Analysis.ByAnalyzer["sentinelerr"] = 1
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := check(path); err != nil {
+		t.Fatalf("manifest with findings rejected: %v", err)
+	}
+}
+
 // TestMalformedInputs: non-JSON, truncated JSON and wrong-schema files
 // are all rejected with a diagnostic naming the file.
 func TestMalformedInputs(t *testing.T) {
