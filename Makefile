@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint analyze fmt-check bench manifest-smoke sweep-smoke serve-smoke conform-smoke fuzz-smoke overhead-smoke docs-check cover clean
+.PHONY: all build test race vet lint analyze fmt-check bench bench-sim sim-smoke manifest-smoke sweep-smoke serve-smoke conform-smoke fuzz-smoke overhead-smoke docs-check cover clean
 
 all: build test
 
@@ -42,6 +42,27 @@ bench:
 	$(GO) test -run=NONE -bench='BenchmarkDerive|BenchmarkSteady' -benchmem . | tee BENCH_derive.txt
 	$(GO) run ./tools/benchjson -o BENCH_derive.json < BENCH_derive.txt
 
+# Run the event-core benchmarks (calendar queue vs the retained heap
+# reference, clusters of 100/1000/4000 nodes) and write the events/s
+# figures to BENCH_sim.json (docs/SIMULATION.md).
+bench-sim:
+	$(GO) test -run=NONE -bench='BenchmarkSim' -benchmem ./internal/sim | tee BENCH_sim.txt
+	$(GO) run ./tools/benchjson -o BENCH_sim.json < BENCH_sim.txt
+
+# End-to-end replication smoke: generate a bounded-Pareto trace, replay
+# it across 4 parallel replications on each event core, and require the
+# two manifests to agree on pooled results (the cores are bit-identical
+# by construction; the differential battery in internal/conform is the
+# exhaustive check). Manifests validated against the schema.
+sim-smoke:
+	$(GO) run ./cmd/tagssim -gen-trace sim-smoke.jsonl -gen-jobs 5000 > /dev/null
+	$(GO) run ./cmd/tagssim -trace sim-smoke.jsonl -policy pod2 -replications 4 -rep-workers 2 -manifest sim-cal.json > sim-cal.txt
+	$(GO) run ./cmd/tagssim -trace sim-smoke.jsonl -policy pod2 -replications 4 -rep-workers 4 -core heap -manifest sim-heap.json > sim-heap.txt
+	grep -E 'completed|response|slowdown|loss' sim-cal.txt > sim-cal-stats.txt
+	grep -E 'completed|response|slowdown|loss' sim-heap.txt > sim-heap-stats.txt
+	cmp sim-cal-stats.txt sim-heap-stats.txt
+	$(GO) run ./tools/manifestcheck sim-cal.json sim-heap.json
+
 # Emit one manifest per CLI and validate all of them against the
 # run-manifest schema — including an intentionally failed run, whose
 # manifest must carry the error and the flight-recorder tail.
@@ -50,8 +71,9 @@ manifest-smoke:
 	$(GO) run ./cmd/pepa -tag -lint -json -manifest pepa-lint.json > /dev/null
 	$(GO) run ./cmd/tagseval -short -fig figure6 -manifest tagseval-run.json > /dev/null
 	$(GO) run ./cmd/tagssim -jobs 20000 -stats -manifest tagssim-run.json > /dev/null 2>&1
+	$(GO) run ./cmd/tagssim -jobs 20000 -replications 4 -rep-workers 2 -policy sq -manifest tagssim-reps.json > /dev/null
 	! $(GO) run ./cmd/pepa -tag -max-states 3 -manifest pepa-fail.json 2> /dev/null
-	$(GO) run ./tools/manifestcheck pepa-run.json pepa-lint.json tagseval-run.json tagssim-run.json pepa-fail.json
+	$(GO) run ./tools/manifestcheck pepa-run.json pepa-lint.json tagseval-run.json tagssim-run.json tagssim-reps.json pepa-fail.json
 
 # Timing-sensitive gate: full telemetry (registry + events + progress)
 # must stay within 2% of the bare derivation kernel (best-of-7 + 2ms
@@ -103,8 +125,11 @@ docs-check:
 	$(GO) run ./tools/doccheck README.md DESIGN.md EXPERIMENTS.md ROADMAP.md PAPER.md docs/*.md
 
 clean:
-	rm -f BENCH_derive.txt BENCH_derive.json pepa-run.json pepa-run.jsonl pepa-lint.json pepa-fail.json \
-		tagseval-run.json tagssim-run.json \
+	rm -f BENCH_derive.txt BENCH_derive.json BENCH_sim.txt BENCH_sim.json \
+		pepa-run.json pepa-run.jsonl pepa-lint.json pepa-fail.json \
+		tagseval-run.json tagssim-run.json tagssim-reps.json \
+		sim-smoke.jsonl sim-cal.json sim-heap.json sim-cal.txt sim-heap.txt \
+		sim-cal-stats.txt sim-heap-stats.txt \
 		sweep-clean.jsonl sweep-resume.jsonl sweep-run.json conform-run.json coverage.out \
 		analyze.json analyze-manifest.json
 	rm -rf conform-repros

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pepatags/internal/obsv"
+	"pepatags/internal/workload"
+)
+
+func TestGenTraceKinds(t *testing.T) {
+	dir := t.TempDir()
+	for _, kind := range []string{"pareto", "mmpp"} {
+		path := filepath.Join(dir, kind+".jsonl")
+		var out, errs bytes.Buffer
+		err := run([]string{"-gen-trace", path, "-gen-kind", kind, "-gen-jobs", "500", "-seed", "3"}, &out, &errs)
+		if err != nil {
+			t.Fatalf("gen-trace %s: %v", kind, err)
+		}
+		if !strings.Contains(errs.String(), "wrote 500-job "+kind+" trace") {
+			t.Fatalf("missing confirmation on stderr: %s", errs.String())
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := workload.ParseTrace(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("generated %s trace does not parse: %v", kind, err)
+		}
+		if len(tr.Jobs) != 500 {
+			t.Fatalf("%s trace has %d jobs want 500", kind, len(tr.Jobs))
+		}
+
+		// The generated file must replay through the -trace path.
+		replay := runOK(t, "-trace", path, "-policy", "sq")
+		if !strings.Contains(replay, "completed:") {
+			t.Fatalf("replay of %s trace produced no stats:\n%s", kind, replay)
+		}
+	}
+}
+
+func TestGenTraceDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	paths := [2]string{filepath.Join(dir, "a.jsonl"), filepath.Join(dir, "b.jsonl")}
+	for _, p := range paths {
+		var out, errs bytes.Buffer
+		if err := run([]string{"-gen-trace", p, "-seed", "9"}, &out, &errs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(paths[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed must generate byte-identical traces")
+	}
+}
+
+func TestGenTraceErrors(t *testing.T) {
+	var out, errs bytes.Buffer
+	path := filepath.Join(t.TempDir(), "t.jsonl")
+	if err := run([]string{"-gen-trace", path, "-gen-jobs", "0"}, &out, &errs); err == nil {
+		t.Fatal("gen-jobs 0 must fail")
+	}
+	if err := run([]string{"-gen-trace", path, "-gen-kind", "nope"}, &out, &errs); err == nil {
+		t.Fatal("unknown gen-kind must fail")
+	}
+	if err := run([]string{"-gen-trace", filepath.Join(t.TempDir(), "no", "such", "dir", "t.jsonl")}, &out, &errs); err == nil {
+		t.Fatal("unwritable path must fail")
+	}
+}
+
+func TestRunReplicationsPooled(t *testing.T) {
+	mpath := filepath.Join(t.TempDir(), "reps.json")
+	var out, errs bytes.Buffer
+	args := []string{"-policy", "pod2", "-nodes", "4", "-jobs", "3000", "-seed", "5",
+		"-replications", "3", "-rep-workers", "2", "-stats", "-manifest", mpath}
+	if err := run(args, &out, &errs); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"replications:  3", "response time:", "mean slowdown:", "loss prob:", "±", "events:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("missing %q in:\n%s", want, out.String())
+		}
+	}
+	if !strings.Contains(errs.String(), "metrics registry:") {
+		t.Fatalf("missing registry summary on stderr:\n%s", errs.String())
+	}
+
+	m, err := obsv.ReadManifest(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Sim == nil {
+		t.Fatal("replication manifest must carry a sim section")
+	}
+	if m.Sim.Replications != 3 || m.Sim.Workers != 2 || m.Sim.Core != "calendar" {
+		t.Fatalf("sim section %+v", m.Sim)
+	}
+	if m.Sim.Events <= 0 {
+		t.Fatalf("sim section events %d", m.Sim.Events)
+	}
+	if m.Measures["response_mean"] != m.Sim.ResponseMean { //vet:allow floatcmp: same float stored twice
+		t.Fatal("measures and sim section disagree on the pooled mean")
+	}
+}
+
+// The pooled statistics must not depend on the worker count: run the
+// same batch serially and maximally parallel and compare every
+// statistical output line (only the wall-clock events/s line differs).
+func TestRunReplicationsWorkerCountInvariant(t *testing.T) {
+	stats := func(workers string) string {
+		var out, errs bytes.Buffer
+		args := []string{"-policy", "sq", "-jobs", "2000", "-seed", "11",
+			"-replications", "4", "-rep-workers", workers}
+		if err := run(args, &out, &errs); err != nil {
+			t.Fatal(err)
+		}
+		var keep []string
+		for _, ln := range strings.Split(out.String(), "\n") {
+			if strings.Contains(ln, "events/s wall") || strings.HasPrefix(ln, "replications:") {
+				continue
+			}
+			keep = append(keep, ln)
+		}
+		return strings.Join(keep, "\n")
+	}
+	if serial, parallel := stats("1"), stats("4"); serial != parallel {
+		t.Fatalf("worker count leaked into pooled stats:\nserial:\n%s\nparallel:\n%s", serial, parallel)
+	}
+}
+
+func TestRunReplicationsErrors(t *testing.T) {
+	var out, errs bytes.Buffer
+	if err := run([]string{"-replications", "0", "-jobs", "10"}, &out, &errs); err == nil {
+		t.Fatal("replications 0 must fail")
+	}
+	if err := run([]string{"-replications", "2", "-policy", "dynamic", "-jobs", "10"}, &out, &errs); err == nil {
+		t.Fatal("dynamic policy cannot replicate")
+	}
+	if err := run([]string{"-core", "nope", "-jobs", "10"}, &out, &errs); err == nil {
+		t.Fatal("unknown core must fail")
+	}
+}

@@ -13,13 +13,19 @@
 //	tagssim -stats                              # metrics registry on stderr
 //	tagssim -manifest run.json                  # machine-readable record
 //	tagssim -progress                           # liveness lines on stderr
+//	tagssim -replications 8 -rep-workers 4      # pooled 95% CIs over 8 runs
+//	tagssim -trace jobs.jsonl -replications 4   # sim-trace/v1 replay
+//	tagssim -nodes 1000 -policy pod2            # thousand-node cluster
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"os"
+	"strings"
+	"time"
 
 	"pepatags/internal/dist"
 	"pepatags/internal/obsv"
@@ -39,7 +45,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	fs := flag.NewFlagSet("tagssim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		policy   = fs.String("policy", "tag", "tag | random | rr | sq | lwl | dynamic")
+		policy   = fs.String("policy", "tag", "tag | random | rr | sq | pod<d> | lwl | dynamic")
 		distStr  = fs.String("dist", "exp", "exp | h2 | h2mild | pareto | det | weibull")
 		lambda   = fs.Float64("lambda", 8, "mean arrival rate")
 		mean     = fs.Float64("mean", 0.1, "mean service demand")
@@ -52,16 +58,25 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		warmup   = fs.Float64("warmup", 50, "warmup period excluded from metrics")
 		seed     = fs.Uint64("seed", 1, "RNG seed")
 		bursty   = fs.Bool("bursty", false, "use a bursty MMPP-2 arrival stream with the same mean rate")
-		trace    = fs.String("trace", "", "CSV file of arrival,size pairs (overrides -dist/-lambda/-jobs)")
+		trace    = fs.String("trace", "", "trace file: sim-trace/v1 JSON lines (.jsonl) or CSV arrival,size pairs (overrides -dist/-lambda/-jobs)")
+		reps     = fs.Int("replications", 1, "independent replications; > 1 reports pooled 95% CIs")
+		repWork  = fs.Int("rep-workers", 0, "parallel replication workers (0 = one per replication)")
+		coreName = fs.String("core", "calendar", "event core: calendar | heap (heap is the differential reference)")
 		stats    = fs.Bool("stats", false, "print the metrics-registry summary (counters, gauges, histograms) to stderr")
 		manifest = fs.String("manifest", "", "write a JSON run manifest to this path")
 		debug    = fs.String("debug-addr", "", "serve pprof/expvar/metrics/events on this address (e.g. :6060) for the duration of the run")
 		progress = fs.Bool("progress", false, "print periodic progress lines (events/sec, completed jobs, ETA) to stderr")
 		progIv   = fs.Duration("progress-interval", obsv.DefaultHeartbeatInterval, "interval between -progress lines")
 		events   = fs.String("events", "", "write JSON-lines structured events to this file")
+		genTrace = fs.String("gen-trace", "", "write a sim-trace/v1 file to this path and exit (seeded by -seed)")
+		genJobs  = fs.Int("gen-jobs", 10000, "job count for -gen-trace")
+		genKind  = fs.String("gen-kind", "pareto", "-gen-trace workload: pareto (Poisson + bounded-Pareto) | mmpp (bursty MMPP-2 + exponential)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *genTrace != "" {
+		return writeGeneratedTrace(*genTrace, *genKind, *genJobs, *seed, *lambda, *mean, stderr)
 	}
 
 	var sizes dist.Distribution
@@ -86,18 +101,34 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		return fmt.Errorf("unknown dist %q", *distStr)
 	}
 
-	var arrivals workload.ArrivalProcess
-	if *bursty {
-		// Mean-preserving: equal phase occupancy at 1.9x / 0.1x.
-		arrivals = workload.NewMMPP2(1.9**lambda, 0.1**lambda, 0.5, 0.5)
-	} else {
-		arrivals = workload.NewPoisson(*lambda)
+	// Sources are stateful (arrival clocks, MMPP phase, trace cursors),
+	// so each replication gets a fresh one from this factory; the
+	// single-run path just calls it once.
+	newArrivals := func() workload.ArrivalProcess {
+		if *bursty {
+			// Mean-preserving: equal phase occupancy at 1.9x / 0.1x.
+			return workload.NewMMPP2(1.9**lambda, 0.1**lambda, 0.5, 0.5)
+		}
+		return workload.NewPoisson(*lambda)
+	}
+	arrivals := newArrivals()
+	newSource := func() workload.Source {
+		return &workload.StochasticSource{Arrivals: newArrivals(), Sizes: sizes, Limit: *jobs}
 	}
 
 	cfg := sim.Config{
-		Source: &workload.StochasticSource{Arrivals: arrivals, Sizes: sizes, Limit: *jobs},
 		Seed:   *seed,
 		Warmup: *warmup,
+	}
+	switch *coreName {
+	case "calendar":
+	case "heap":
+		cfg.ReferenceCore = true
+	default:
+		return fmt.Errorf("unknown core %q (want calendar or heap)", *coreName)
+	}
+	if *reps < 1 {
+		return fmt.Errorf("need at least 1 replication, got %d", *reps)
 	}
 	var reg *obsv.Registry
 	if *stats || *manifest != "" || *debug != "" {
@@ -132,14 +163,20 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		if err != nil {
 			return err
 		}
-		tr, err := workload.LoadTraceCSV(f)
+		var tr *workload.Trace
+		if strings.HasSuffix(*trace, ".jsonl") {
+			tr, err = workload.ParseTrace(f)
+		} else {
+			tr, err = workload.LoadTraceCSV(f)
+		}
 		f.Close()
 		if err != nil {
 			return err
 		}
-		cfg.Source = tr
+		newSource = func() workload.Source { return &workload.Trace{Jobs: tr.Jobs} }
 		cfg.Warmup = 0
 	}
+	cfg.Source = newSource()
 	to := policies.ConstantTimeout(*timeout)
 	if *erlangN > 0 {
 		to = policies.ErlangTimeout(*erlangN, float64(*erlangN)/(*timeout))
@@ -152,24 +189,56 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		}
 		cfg.Nodes = append(cfg.Nodes, nc)
 	}
+	// Policies can be stateful (round-robin cursors), so replications
+	// construct a fresh one per run, like sources.
 	var sys *sim.System
+	newPolicy := func() sim.Policy { return nil }
 	switch *policy {
 	case "tag":
-		cfg.Policy = policies.FirstNode{}
+		newPolicy = func() sim.Policy { return policies.FirstNode{} }
 	case "dynamic":
-		cfg.Policy = policies.DynamicTAG{}
+		newPolicy = func() sim.Policy { return policies.DynamicTAG{} }
 		cfg.Nodes[0].Timeout = policies.AdaptiveTimeout(
 			func() int { return sys.QueueLength(0) }, *timeout, 0.15)
 	case "random":
-		cfg.Policy = policies.NewUniformRandom(*nodes)
+		newPolicy = func() sim.Policy { return policies.NewUniformRandom(*nodes) }
 	case "rr":
-		cfg.Policy = &policies.RoundRobin{}
+		newPolicy = func() sim.Policy { return &policies.RoundRobin{} }
 	case "sq":
-		cfg.Policy = policies.ShortestQueue{}
+		newPolicy = func() sim.Policy { return policies.ShortestQueue{} }
 	case "lwl":
-		cfg.Policy = policies.LeastWorkLeft{}
+		newPolicy = func() sim.Policy { return policies.LeastWorkLeft{} }
 	default:
-		return fmt.Errorf("unknown policy %q", *policy)
+		ds, ok := strings.CutPrefix(*policy, "pod")
+		if !ok {
+			return fmt.Errorf("unknown policy %q", *policy)
+		}
+		var d int
+		if _, err := fmt.Sscanf(ds, "%d", &d); err != nil || d < 1 {
+			return fmt.Errorf("bad power-of-d policy %q (want e.g. pod2)", *policy)
+		}
+		newPolicy = func() sim.Policy { return policies.NewPowerOfD(d) }
+	}
+	cfg.Policy = newPolicy()
+
+	if *reps > 1 {
+		if *policy == "dynamic" {
+			return fmt.Errorf("-replications does not support -policy dynamic (the adaptive timeout closes over one system)")
+		}
+		return runReplications(repRun{
+			base:      cfg,
+			newPolicy: newPolicy,
+			newSource: newSource,
+			reps:      *reps,
+			workers:   *repWork,
+			core:      *coreName,
+			trace:     *trace,
+			args:      args,
+			stats:     *stats,
+			manifest:  *manifest,
+			tele:      tele,
+			reg:       reg,
+		}, stdout, stderr)
 	}
 
 	sys = sim.NewSystem(cfg)
@@ -200,7 +269,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 			"mean": *mean, "nodes": *nodes, "cap": *cap,
 			"timeout": *timeout, "erlang": *erlangN, "resume": *resume,
 			"jobs": *jobs, "warmup": *warmup, "bursty": *bursty,
-			"trace": *trace,
+			"trace": *trace, "core": *coreName,
 		}
 		mf.Seed = *seed
 		mf.Measures = map[string]float64{
@@ -218,6 +287,143 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		mf.Metrics = reg.Snapshot()
 		mf.Events = tele.Record()
 		if err := mf.WriteFile(*manifest); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeGeneratedTrace materialises one of the internal/workload trace
+// generators into a sim-trace/v1 file, so `tagssim -trace` (and any
+// other consumer of the format) can replay a pinned workload.
+func writeGeneratedTrace(path, kind string, n int, seed uint64, lambda, mean float64, stderr io.Writer) error {
+	if n < 1 {
+		return fmt.Errorf("-gen-jobs must be at least 1, got %d", n)
+	}
+	rng := rand.New(rand.NewPCG(seed, seed^0x7ace))
+	var jobs []workload.Job
+	switch kind {
+	case "pareto":
+		// Same heavy-tailed shape as -dist pareto: alpha 1.1, p/k = 1e5,
+		// bounds scaled so the mean size is -mean.
+		b := dist.NewBoundedPareto(1, 1e5, 1.1)
+		scale := mean / b.Mean()
+		jobs = workload.BoundedParetoTrace(rng, n, lambda, scale, 1e5*scale, 1.1)
+	case "mmpp":
+		// Same mean-preserving burst profile as -bursty.
+		jobs = workload.MMPPTrace(rng, n, 1.9*lambda, 0.1*lambda, 0.5, 0.5, 1/mean)
+	default:
+		return fmt.Errorf("unknown -gen-kind %q (want pareto or mmpp)", kind)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := workload.WriteTrace(f, jobs); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "wrote %d-job %s trace to %s\n", len(jobs), kind, path)
+	return nil
+}
+
+// repRun carries the replication-mode inputs from flag parsing to the
+// batch runner.
+type repRun struct {
+	base      sim.Config
+	newPolicy func() sim.Policy
+	newSource func() workload.Source
+	reps      int
+	workers   int
+	core      string
+	trace     string
+	args      []string
+	stats     bool
+	manifest  string
+	tele      *obsv.RunTelemetry
+	reg       *obsv.Registry
+}
+
+// runReplications drives the embarrassingly-parallel batch path and
+// prints the pooled 95% confidence intervals.
+func runReplications(r repRun, stdout, stderr io.Writer) error {
+	start := time.Now()
+	rc := sim.ReplicationConfig{
+		Base:      r.base,
+		NewSource: func(rep int) workload.Source { return r.newSource() },
+		NewPolicy: func(rep int) sim.Policy { return r.newPolicy() },
+		Reps:      r.reps,
+		Workers:   r.workers,
+		Events:    r.tele.Log,
+	}
+	if r.tele.Heartbeat != nil {
+		rc.Progress = r.tele.Heartbeat.ObserveProgress
+		r.tele.Heartbeat.SetTotal(float64(r.reps))
+	}
+	res, err := sim.RunReplications(rc)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	var completed, dropped, killed int
+	for _, m := range res.Metrics {
+		completed += m.Completed
+		dropped += m.Dropped
+		killed += m.Killed
+	}
+	fmt.Fprintf(stdout, "policy:        %s\n", r.base.Policy)
+	fmt.Fprintf(stdout, "replications:  %d (workers %d, core %s)\n", r.reps, rc.Workers, r.core)
+	fmt.Fprintf(stdout, "completed:     %d   dropped: %d   killed: %d\n", completed, dropped, killed)
+	fmt.Fprintf(stdout, "response time: %s\n", res.Response)
+	fmt.Fprintf(stdout, "mean slowdown: %s\n", res.Slowdown)
+	fmt.Fprintf(stdout, "loss prob:     %s\n", res.Loss)
+	fmt.Fprintf(stdout, "events:        %d (%.3g events/s wall)\n",
+		res.Events, float64(res.Events)/elapsed.Seconds())
+	if r.stats {
+		fmt.Fprintln(stderr, "metrics registry:")
+		if err := r.reg.WriteSummary(stderr); err != nil {
+			return err
+		}
+	}
+	if r.manifest != "" {
+		mf := obsv.NewManifest("tagssim")
+		mf.Args = r.args
+		mf.Seed = r.base.Seed
+		mf.Workers = rc.Workers
+		mf.Sim = &obsv.SimRecord{
+			Replications: r.reps,
+			Workers:      rc.Workers,
+			Core:         r.core,
+			Trace:        r.trace,
+			Events:       int64(res.Events),
+			ResponseMean: res.Response.Mean,
+			ResponseCI:   res.Response.HalfWidth,
+			SlowdownMean: res.Slowdown.Mean,
+			SlowdownCI:   res.Slowdown.HalfWidth,
+			LossMean:     res.Loss.Mean,
+			LossCI:       res.Loss.HalfWidth,
+			ElapsedSec:   elapsed.Seconds(),
+		}
+		mf.Measures = map[string]float64{
+			"completed":     float64(completed),
+			"dropped":       float64(dropped),
+			"killed":        float64(killed),
+			"response_mean": res.Response.Mean,
+			"response_ci":   res.Response.HalfWidth,
+			"slowdown_mean": res.Slowdown.Mean,
+			"slowdown_ci":   res.Slowdown.HalfWidth,
+			"loss_mean":     res.Loss.Mean,
+			"loss_ci":       res.Loss.HalfWidth,
+		}
+		if r.reg != nil {
+			mf.Metrics = r.reg.Snapshot()
+		}
+		mf.Events = r.tele.Record()
+		if err := mf.WriteFile(r.manifest); err != nil {
 			return err
 		}
 	}

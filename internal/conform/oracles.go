@@ -40,6 +40,7 @@ const (
 	OracleStationarity   = "solver/stationarity"
 	OracleAdmissionSS    = "admission/closed-form-vs-chain"
 	OracleAdmissionFlow  = "admission/flow-balance"
+	OracleHetJSQPolicies = "hetjsq/jsq-vs-pod2"
 	OraclePanic          = "panic"
 )
 
@@ -60,10 +61,16 @@ const (
 	tolConserve    = 1e-8
 	// Simulator CI: a 99.9% Student-t interval over the replications,
 	// widened by a relative floor so a zero-variance degenerate run
-	// cannot produce a spurious violation.
-	simReps      = 4
+	// cannot produce a spurious violation. Eight replications, not
+	// four: with df = 3 the sample standard error occasionally
+	// collapses far below its true value (chi-square with 3 dof has
+	// real mass near zero), and no t multiplier can widen an interval
+	// whose width estimate is itself near zero — observed as a
+	// spurious loss-probability violation on a correct chain. df = 7
+	// makes that collapse vanishingly rare.
+	simReps      = 8
 	simJobs      = 25000
-	simTMult     = 12.92 // two-sided 99.9% t quantile, 3 degrees of freedom
+	simTMult     = 4.785 // two-sided 99.9% t quantile, 7 degrees of freedom
 	simRelFloor  = 0.01
 	approxBoundX = 0.30 // max relative error of decomposition throughput
 	approxBoundL = 1.50 // max relative error of decomposition mean population
@@ -130,6 +137,8 @@ func (ck Checker) Check(sc Scenario) (res *result) {
 		ck.checkPEPA(sc, res)
 	case KindAdmission:
 		ck.checkAdmission(sc, res)
+	case KindHetJSQ:
+		ck.checkHetJSQ(sc, res)
 	default:
 		res.failf(OraclePanic, "unknown scenario kind %q", sc.Kind)
 	}
@@ -624,6 +633,84 @@ func (ck Checker) checkAdmission(sc Scenario, res *result) {
 	}
 	if d := relDiff(x+rej, sc.Lambda); d > tolConserve {
 		res.failf(OracleAdmissionFlow, "chain: throughput %g + reject %g != lambda %g", x, rej, sc.Lambda)
+	}
+}
+
+// ---------------------------------------------------------------
+// Heterogeneous N=2 cluster under join-the-shortest-queue. No module
+// in the repo models this analytically, so the oracle builds the CTMC
+// directly over occupancy pairs (n1, n2): arrivals join the shorter
+// queue (ties split evenly, the simulator's uniform tie-break in
+// expectation), each node serves exponentially at its own speed, and
+// an arrival finding both queues full is lost on a labelled self-loop.
+// The simulator is then checked against the chain under both JSQ and
+// power-of-2 routing — with two nodes, sampling d=2 distinct nodes is
+// sampling all of them, so both policies must match the same chain
+// (Mukhopadhyay et al.'s heterogeneous power-of-d at its smallest
+// instance).
+
+// hetJSQChain builds the occupancy CTMC for the two-node cluster.
+// Node 1 serves at rate mu, node 2 at speed2*mu; each holds up to k
+// jobs.
+func hetJSQChain(lambda, mu, speed2 float64, k int) *ctmc.Chain {
+	b := ctmc.NewBuilder()
+	id := func(n1, n2 int) int { return b.State(fmt.Sprintf("(%d,%d)", n1, n2)) }
+	for n1 := 0; n1 <= k; n1++ {
+		for n2 := 0; n2 <= k; n2++ {
+			s := id(n1, n2)
+			switch {
+			case n1 < n2:
+				b.Transition(s, id(n1+1, n2), lambda, "arrive")
+			case n2 < n1:
+				b.Transition(s, id(n1, n2+1), lambda, "arrive")
+			case n1 < k: // tie below capacity: uniform tie-break
+				b.Transition(s, id(n1+1, n2), lambda/2, "arrive")
+				b.Transition(s, id(n1, n2+1), lambda/2, "arrive")
+			default: // both full: the arrival is lost
+				b.Transition(s, s, lambda, "loss")
+			}
+			if n1 > 0 {
+				b.Transition(s, id(n1-1, n2), mu, "service")
+			}
+			if n2 > 0 {
+				b.Transition(s, id(n1, n2-1), speed2*mu, "service")
+			}
+		}
+	}
+	return b.Build()
+}
+
+func (ck Checker) checkHetJSQ(sc Scenario, res *result) {
+	chain := hetJSQChain(sc.Lambda, sc.Mu, sc.Speed2, sc.K)
+	pi, ok := steadyGTH(chain, res)
+	if !ok {
+		return
+	}
+	solverBattery(chain, pi, res)
+
+	x := chain.ActionThroughput(pi, "service")
+	loss := chain.ActionThroughput(pi, "loss")
+	l := chain.Expectation(pi, func(s int) float64 {
+		var n1, n2 int
+		fmt.Sscanf(chain.Label(s), "(%d,%d)", &n1, &n2)
+		return float64(n1 + n2)
+	})
+
+	res.ran(OracleConservation)
+	if d := math.Abs(x + loss - sc.Lambda); d > tolConserve*sc.Lambda {
+		res.failf(OracleConservation, "hetjsq: throughput %g + loss %g != lambda %g", x, loss, sc.Lambda)
+	}
+
+	// Little's law on the admitted stream gives the mean response.
+	r := core.Measures{Throughput: x, Loss: loss, W: l / x}
+	service := dist.NewExponential(sc.Mu)
+	nodes := []sim.NodeConfig{
+		{Capacity: sc.K, Speed: 1},
+		{Capacity: sc.K, Speed: sc.Speed2},
+	}
+	res.ran(OracleHetJSQPolicies)
+	for _, pol := range []sim.Policy{policies.ShortestQueue{}, policies.NewPowerOfD(2)} {
+		ck.simOracle(res, sc, pol, nodes, service, r)
 	}
 }
 

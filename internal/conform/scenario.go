@@ -17,6 +17,7 @@ const (
 	KindJSQ       = "jsq"       // join-the-shortest-queue: direct CTMC vs solvers vs simulator
 	KindPEPA      = "pepa"      // random well-formed PEPA model: serial vs parallel derive, print/parse round trip
 	KindAdmission = "admission" // threshold admission policy: closed form vs direct CTMC vs M/M/c/K
+	KindHetJSQ    = "hetjsq"    // N=2 heterogeneous cluster under JSQ and power-of-2: direct CTMC vs simulator
 )
 
 // ServiceSpec is a JSON-serialisable service distribution, so a repro
@@ -88,6 +89,13 @@ type Scenario struct {
 	Servers int `json:"servers,omitempty"`
 	Queue   int `json:"queue,omitempty"`
 
+	// Heterogeneous-cluster parameter (KindHetJSQ): node 1 runs at
+	// speed 1 and node 2 at Speed2 (Lambda, Mu and K are shared with
+	// the fields above). Both JSQ and power-of-2 routing are checked —
+	// at N=2 the two policies coincide, which is what makes one CTMC
+	// an oracle for both.
+	Speed2 float64 `json:"speed2,omitempty"`
+
 	// PEPA source text (KindPEPA). Stored verbatim so the repro is
 	// independent of the generator.
 	PEPA string `json:"pepa,omitempty"`
@@ -111,6 +119,9 @@ func (sc Scenario) String() string {
 	case KindAdmission:
 		return fmt.Sprintf("admission(lambda=%g mu=%g servers=%d queue=%d)",
 			sc.Lambda, sc.Mu, sc.Servers, sc.Queue)
+	case KindHetJSQ:
+		return fmt.Sprintf("hetjsq(lambda=%g mu=%g speed2=%g k=%d)",
+			sc.Lambda, sc.Mu, sc.Speed2, sc.K)
 	default:
 		return "unknown(" + sc.Kind + ")"
 	}
@@ -147,11 +158,17 @@ func Generate(rng *rand.Rand) Scenario {
 		sc.Lambda = roundRate(rng, 0.5, 15)
 		sc.K = 1 + rng.IntN(5)
 		sc.Service = randomService(rng)
-	case p < 0.92:
+	case p < 0.88:
 		sc.Kind = KindJSQ
 		sc.Lambda = roundRate(rng, 0.5, 18)
 		sc.K = 1 + rng.IntN(4)
 		sc.Service = randomServiceH2OrExp(rng)
+	case p < 0.95:
+		sc.Kind = KindHetJSQ
+		sc.Lambda = roundRate(rng, 0.5, 12)
+		sc.Mu = roundRate(rng, 1, 10)
+		sc.Speed2 = roundRate(rng, 1, 4) // node 2 up to 4x faster
+		sc.K = 1 + rng.IntN(4)
 	default:
 		sc.Kind = KindAdmission
 		sc.Lambda = roundRate(rng, 0.5, 30)

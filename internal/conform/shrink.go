@@ -109,6 +109,11 @@ func shrinkCandidates(sc Scenario) []Scenario {
 		shrinkInt(sc.Queue, 0, func(s *Scenario, v int) { s.Queue = v })
 		shrinkFloat(sc.Lambda, func(s *Scenario, v float64) { s.Lambda = v })
 		shrinkFloat(sc.Mu, func(s *Scenario, v float64) { s.Mu = v })
+	case KindHetJSQ:
+		shrinkInt(sc.K, 1, func(s *Scenario, v int) { s.K = v })
+		shrinkFloat(sc.Lambda, func(s *Scenario, v float64) { s.Lambda = v })
+		shrinkFloat(sc.Mu, func(s *Scenario, v float64) { s.Mu = v })
+		shrinkFloat(sc.Speed2, func(s *Scenario, v float64) { s.Speed2 = v })
 	case KindPEPA:
 		// PEPA sources are kept verbatim; there is no structural
 		// shrink that is guaranteed to stay well-formed.

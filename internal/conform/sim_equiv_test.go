@@ -1,0 +1,227 @@
+package conform
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"pepatags/internal/dist"
+	"pepatags/internal/policies"
+	"pepatags/internal/sim"
+	"pepatags/internal/workload"
+)
+
+// The engine-swap differential test for the simulator, mirroring
+// derive_equiv_test.go: the calendar-queue event core must reproduce
+// the retained heap core's runs exactly — the same events processed in
+// the same order, and bit-identical Metrics — across a seeded scenario
+// generator spanning TAG, JSQ, power-of-d, random and round-robin
+// routing over heterogeneous multi-node clusters, stochastic and
+// trace-replay workloads, restart and resume semantics. Both cores
+// implement the same strict (at, seq) order, so any divergence is a
+// bug, not tolerance.
+
+const simEquivScenarios = 60
+
+// simScenario regenerates a fresh Config per run (policies and sources
+// are stateful), so the two cores consume identical inputs.
+type simScenario struct {
+	name    string
+	maxTime float64
+	makeCfg func() sim.Config
+}
+
+// randomSimScenario draws one scenario from seed. Every derived
+// parameter comes from its own PCG stream, so a scenario is a pure
+// function of its seed.
+func randomSimScenario(seed uint64) simScenario {
+	rng := rand.New(rand.NewPCG(seed, seed^0x51135))
+	nNodes := 1 + rng.IntN(6)
+
+	nodes := make([]sim.NodeConfig, nNodes)
+	for i := range nodes {
+		nodes[i] = sim.NodeConfig{
+			Capacity: rng.IntN(9), // 0 = unbounded
+			Servers:  1 + rng.IntN(3),
+			Speed:    0.5 + rng.Float64()*3,
+		}
+	}
+
+	var policyName string
+	newPolicy := func() sim.Policy { return nil }
+	switch rng.IntN(5) {
+	case 0:
+		// TAG: everything lands on node 0 and timeouts cascade down.
+		policyName = "tag"
+		tau := 0.5 + rng.Float64()*4
+		resume := rng.IntN(2) == 0
+		for i := range nodes {
+			nodes[i].Timeout = policies.ConstantTimeout(tau * float64(i+1))
+			nodes[i].Resume = resume
+		}
+		newPolicy = func() sim.Policy { return policies.FirstNode{} }
+	case 1:
+		policyName = "jsq"
+		newPolicy = func() sim.Policy { return policies.ShortestQueue{} }
+	case 2:
+		d := 1 + rng.IntN(3)
+		policyName = fmt.Sprintf("pod%d", d)
+		newPolicy = func() sim.Policy { return policies.NewPowerOfD(d) }
+	case 3:
+		policyName = "random"
+		newPolicy = func() sim.Policy { return policies.NewUniformRandom(nNodes) }
+	default:
+		policyName = "round-robin"
+		newPolicy = func() sim.Policy { return &policies.RoundRobin{} }
+	}
+
+	jobs := 1000 + rng.IntN(3000)
+	var sourceName string
+	newSource := func() workload.Source { return nil }
+	switch rng.IntN(4) {
+	case 0:
+		sourceName = "poisson-exp"
+		lambda, mu := 0.5+rng.Float64()*5, 0.5+rng.Float64()*3
+		newSource = func() workload.Source {
+			return &workload.StochasticSource{
+				Arrivals: workload.NewPoisson(lambda),
+				Sizes:    dist.NewExponential(mu),
+				Limit:    jobs,
+			}
+		}
+	case 1:
+		sourceName = "poisson-pareto"
+		lambda := 0.5 + rng.Float64()*4
+		newSource = func() workload.Source {
+			return &workload.StochasticSource{
+				Arrivals: workload.NewPoisson(lambda),
+				Sizes:    dist.NewBoundedPareto(0.3, 300, 1.2),
+				Limit:    jobs,
+			}
+		}
+	case 2:
+		sourceName = "mmpp-exp"
+		burst, mu := 4+rng.Float64()*6, 1+rng.Float64()*2
+		newSource = func() workload.Source {
+			return &workload.StochasticSource{
+				Arrivals: workload.NewMMPP2(burst, 0.3, 1, 0.4),
+				Sizes:    dist.NewExponential(mu),
+				Limit:    jobs,
+			}
+		}
+	default:
+		sourceName = "trace"
+		trace := workload.BoundedParetoTrace(
+			rand.New(rand.NewPCG(seed^0x7ace, 3)), jobs, 2+rng.Float64()*3, 0.4, 100, 1.3)
+		newSource = func() workload.Source { return &workload.Trace{Jobs: trace} }
+	}
+
+	var maxTime float64
+	if rng.IntN(4) == 0 {
+		maxTime = 50 + rng.Float64()*200
+	}
+	warmup := 0.0
+	if rng.IntN(2) == 0 {
+		warmup = rng.Float64() * 20
+	}
+	simSeed := rng.Uint64()
+
+	return simScenario{
+		name:    fmt.Sprintf("seed%d/%s/%s/n%d", seed, policyName, sourceName, nNodes),
+		maxTime: maxTime,
+		makeCfg: func() sim.Config {
+			return sim.Config{
+				Nodes:  append([]sim.NodeConfig(nil), nodes...),
+				Policy: newPolicy(),
+				Source: newSource(),
+				Seed:   simSeed,
+				Warmup: warmup,
+			}
+		},
+	}
+}
+
+// runCore executes one scenario on the chosen core, capturing the full
+// event stream and the final metrics.
+func runCore(sc simScenario, reference bool) ([]sim.EventRecord, *sim.Metrics) {
+	cfg := sc.makeCfg()
+	cfg.ReferenceCore = reference
+	var events []sim.EventRecord
+	cfg.EventObserver = func(r sim.EventRecord) { events = append(events, r) }
+	m := sim.NewSystem(cfg).Run(sc.maxTime)
+	return events, m
+}
+
+// metricsFingerprint renders a Metrics as exact bit patterns.
+func metricsFingerprint(m *sim.Metrics) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%x var=%x min=%x max=%x slown=%d slow=%x c=%d d=%d k=%d ev=%d el=%x wu=%x",
+		m.Response.N(), math.Float64bits(m.Response.Mean()), math.Float64bits(m.Response.Var()),
+		math.Float64bits(m.Response.Min()), math.Float64bits(m.Response.Max()),
+		m.Slowdown.N(), math.Float64bits(m.Slowdown.Mean()),
+		m.Completed, m.Dropped, m.Killed, m.Events,
+		math.Float64bits(m.Elapsed), math.Float64bits(m.Warmup))
+	for i, bt := range m.BusyTime {
+		fmt.Fprintf(&b, " busy%d=%x", i, math.Float64bits(bt))
+	}
+	return b.String()
+}
+
+// TestSimCoreEquivalence is the differential battery: for every seeded
+// scenario, the calendar core's event stream and metrics must be
+// identical — not close, identical — to the heap reference core's.
+func TestSimCoreEquivalence(t *testing.T) {
+	for seed := uint64(1); seed <= simEquivScenarios; seed++ {
+		sc := randomSimScenario(seed)
+		t.Run(sc.name, func(t *testing.T) {
+			refEvents, refM := runCore(sc, true)
+			calEvents, calM := runCore(sc, false)
+
+			if len(refEvents) == 0 {
+				t.Fatalf("degenerate scenario: no events processed")
+			}
+			if len(calEvents) != len(refEvents) {
+				t.Fatalf("event count differs: calendar %d vs heap %d", len(calEvents), len(refEvents))
+			}
+			for i := range refEvents {
+				if calEvents[i] != refEvents[i] {
+					t.Fatalf("event %d differs:\ncalendar %+v\nheap     %+v", i, calEvents[i], refEvents[i])
+				}
+			}
+			ref, cal := metricsFingerprint(refM), metricsFingerprint(calM)
+			if cal != ref {
+				t.Fatalf("metrics differ:\ncalendar %s\nheap     %s", cal, ref)
+			}
+		})
+	}
+}
+
+// TestSimCoreEquivalenceCoverage guards the generator itself: across
+// the committed seed range every policy family and source family must
+// actually appear, so a generator regression cannot silently hollow
+// out the battery.
+func TestSimCoreEquivalenceCoverage(t *testing.T) {
+	policies := map[string]bool{}
+	sources := map[string]bool{}
+	for seed := uint64(1); seed <= simEquivScenarios; seed++ {
+		parts := strings.Split(randomSimScenario(seed).name, "/")
+		pol := parts[1]
+		if strings.HasPrefix(pol, "pod") {
+			pol = "pod"
+		}
+		policies[pol] = true
+		sources[parts[2]] = true
+	}
+	for _, want := range []string{"tag", "jsq", "pod", "random", "round-robin"} {
+		if !policies[want] {
+			t.Errorf("no scenario exercises policy %q; widen the seed range", want)
+		}
+	}
+	for _, want := range []string{"poisson-exp", "poisson-pareto", "mmpp-exp", "trace"} {
+		if !sources[want] {
+			t.Errorf("no scenario exercises source %q; widen the seed range", want)
+		}
+	}
+}

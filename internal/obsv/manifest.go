@@ -76,6 +76,13 @@ type Manifest struct {
 	// in the tool's -json output; the manifest keeps the accounting.
 	Conform *ConformRecord `json:"conform,omitempty"`
 
+	// Sim records a replication batch run by the cluster simulator
+	// (tagssim -replications): seeds, worker count, event totals and
+	// the pooled confidence intervals. Single-run simulations keep
+	// using Measures; the record exists so batch runs stay auditable
+	// (which replication seeds produced which interval).
+	Sim *SimRecord `json:"sim,omitempty"`
+
 	// Events is the event-log accounting for the run: how many events
 	// were emitted/dropped per level, where the JSON-lines sink went
 	// (-events), and — on a failed or interrupted run — the flight
@@ -108,6 +115,25 @@ type ConformRecord struct {
 	ByKind     map[string]int `json:"by_kind,omitempty"`
 	Violations int            `json:"violations"`
 	ElapsedSec float64        `json:"elapsed_sec"`
+}
+
+// SimRecord is the accounting of one replication batch: how many
+// independent replications ran over how many workers, which event core
+// drove them, total events processed, and the pooled 95% confidence
+// intervals the run reported.
+type SimRecord struct {
+	Replications int     `json:"replications"`
+	Workers      int     `json:"workers,omitempty"`
+	Core         string  `json:"core,omitempty"` // "calendar" or "heap"
+	Trace        string  `json:"trace,omitempty"`
+	Events       int64   `json:"events"`
+	ResponseMean float64 `json:"response_mean"`
+	ResponseCI   float64 `json:"response_ci"` // 95% t half-width
+	SlowdownMean float64 `json:"slowdown_mean"`
+	SlowdownCI   float64 `json:"slowdown_ci"`
+	LossMean     float64 `json:"loss_mean"`
+	LossCI       float64 `json:"loss_ci"`
+	ElapsedSec   float64 `json:"elapsed_sec"`
 }
 
 // SweepRecord is the accounting of one sweep-engine run: which spec
@@ -260,6 +286,29 @@ func (m *Manifest) Validate() error {
 		}
 		if len(a.ByAnalyzer) > 0 && sum != a.Findings {
 			return fmt.Errorf("obsv: analysis record by_analyzer sums to %d, findings is %d", sum, a.Findings)
+		}
+	}
+	if s := m.Sim; s != nil {
+		if s.Replications < 1 {
+			return fmt.Errorf("obsv: sim record has %d replications", s.Replications)
+		}
+		if s.Workers < 0 {
+			return fmt.Errorf("obsv: sim record has %d workers", s.Workers)
+		}
+		if s.Core != "" && s.Core != "calendar" && s.Core != "heap" {
+			return fmt.Errorf("obsv: sim record names unknown core %q", s.Core)
+		}
+		if s.Events < 0 {
+			return fmt.Errorf("obsv: sim record has %d events", s.Events)
+		}
+		for name, v := range map[string]float64{
+			"response_mean": s.ResponseMean, "response_ci": s.ResponseCI,
+			"slowdown_mean": s.SlowdownMean, "slowdown_ci": s.SlowdownCI,
+			"loss_mean": s.LossMean, "loss_ci": s.LossCI,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return fmt.Errorf("obsv: sim record %s is %v", name, v)
+			}
 		}
 	}
 	if c := m.Conform; c != nil {

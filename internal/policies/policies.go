@@ -79,6 +79,89 @@ func (ShortestQueue) Route(s *sim.System, _ *sim.Job) int {
 }
 func (ShortestQueue) String() string { return "shortest-queue" }
 
+// PowerOfD samples D distinct nodes uniformly at random and routes to
+// the shortest queue among them, ties broken uniformly — the
+// power-of-d-choices policy of Mitzenmacher and, for heterogeneous
+// clusters, Mukhopadhyay et al. With D >= the node count it degenerates
+// to ShortestQueue (every node is sampled), which is the identity the
+// conform oracle exploits at N=2, D=2.
+type PowerOfD struct {
+	D int
+
+	// Scratch for the virtual Fisher-Yates shuffle: an association list
+	// of displaced entries (position -> value, at most 2D of them per
+	// call), reused across calls so Route stays O(D) and allocation-free
+	// at any cluster size. A policy instance is therefore stateful and
+	// must not be shared across concurrent simulations — replication
+	// batches get one per replication via ReplicationConfig.NewPolicy.
+	keys, vals, best []int
+}
+
+// NewPowerOfD validates and returns the policy.
+func NewPowerOfD(d int) *PowerOfD {
+	if d < 1 {
+		panic("policies: PowerOfD needs d >= 1")
+	}
+	return &PowerOfD{D: d}
+}
+
+// at reads position j of the virtually-shuffled index array, which
+// holds j wherever no swap has touched it.
+func (p *PowerOfD) at(j int) int {
+	for i, k := range p.keys {
+		if k == j {
+			return p.vals[i]
+		}
+	}
+	return j
+}
+
+func (p *PowerOfD) set(j, v int) {
+	for i, k := range p.keys {
+		if k == j {
+			p.vals[i] = v
+			return
+		}
+	}
+	p.keys = append(p.keys, j)
+	p.vals = append(p.vals, v)
+}
+
+func (p *PowerOfD) Route(s *sim.System, _ *sim.Job) int {
+	n := s.NumNodes()
+	d := p.D
+	if d > n {
+		d = n
+	}
+	// Partial Fisher-Yates over the node indices: the first d entries
+	// become a uniform random d-subset, drawn without replacement. The
+	// array 0..n-1 is never materialised — only displaced entries are
+	// stored — so the draw sequence and selected subset are exactly
+	// those of a literal shuffle, at O(d) cost.
+	rng := s.RNG()
+	p.keys, p.vals, p.best = p.keys[:0], p.vals[:0], p.best[:0]
+	bestLen := 0
+	for i := 0; i < d; i++ {
+		j := i + rng.IntN(n-i)
+		vi, vj := p.at(i), p.at(j)
+		p.set(i, vj)
+		p.set(j, vi)
+		l := s.QueueLength(vj)
+		switch {
+		case i == 0 || l < bestLen:
+			p.best = append(p.best[:0], vj)
+			bestLen = l
+		case l == bestLen:
+			p.best = append(p.best, vj)
+		}
+	}
+	if len(p.best) == 1 {
+		return p.best[0]
+	}
+	return p.best[rng.IntN(len(p.best))]
+}
+func (p *PowerOfD) String() string { return fmt.Sprintf("power-of-%d", p.D) }
+
 // LeastWorkLeft routes to the node with the least estimated unfinished
 // work. It needs job-size knowledge, so it serves as an oracle upper
 // bound rather than a deployable policy.

@@ -25,4 +25,22 @@
 // (the default) costs only a nil check; the simulation results are
 // bit-identical either way. Config.Progress gives long runs a
 // periodic liveness callback.
+//
+// The event core is a calendar queue (eventq.go) sized for clusters
+// of thousands of nodes; the original container/heap loop survives
+// behind Config.ReferenceCore as the differential oracle (the
+// engine-swap pattern of pepa.DeriveOptions.Reference). Both cores
+// implement the same strict (time, sequence) order, so every run is
+// bit-identical on either — a property pinned by the scenario
+// battery in internal/conform (sim_equiv_test.go) and benchmarked
+// by `make bench-sim`.
+//
+// RunReplications executes embarrassingly-parallel independent
+// replications: each replication gets its own RNG stream
+// (ReplicationSeed), source and policy, results land indexed by
+// replication number, and the pooled confidence intervals
+// (stats.PoolMeans) are permutation-invariant — so batch output is
+// byte-identical for any worker count. docs/SIMULATION.md walks
+// through the architecture, the sim-trace/v1 format and the
+// replication workflow.
 package sim

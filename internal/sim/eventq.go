@@ -1,0 +1,298 @@
+package sim
+
+import (
+	"container/heap"
+	"slices"
+)
+
+// The event core is pluggable so the calendar queue that makes
+// thousand-node runs affordable can be pinned, event for event,
+// against the original container/heap loop. Both implementations
+// order events by the same strict total order — (at, seq), with seq
+// the scheduling sequence number — so a correct queue is not merely
+// "a" priority order but "the" priority order: swapping cores must
+// reproduce bit-identical Metrics. The heap core is retained as the
+// differential oracle (Config.ReferenceCore), exactly like the
+// string-keyed derivation engine behind pepa.DeriveOptions.Reference.
+type eventQueue interface {
+	// push inserts an event. Event times must be non-negative.
+	push(*event)
+	// pop removes and returns the minimum event by (at, seq), or nil
+	// when the queue is empty.
+	pop() *event
+	// cancel marks a previously pushed event as dead; pop will never
+	// return it. Cancelling an event twice, or after it was popped, is
+	// undefined.
+	cancel(*event)
+	// len reports the number of live (non-cancelled) events.
+	len() int
+}
+
+// eventLess is the shared total order: time, then scheduling sequence.
+func eventLess(a, b *event) bool {
+	if a.at != b.at { //vet:allow floatcmp: event-time tie-break must be exact to keep FIFO order
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// ---------------------------------------------------------------
+// Reference core: container/heap, the original event loop.
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return eventLess(h[i], h[j]) }
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// heapQueue adapts eventHeap to the eventQueue interface. Cancelled
+// events stay in the heap and are skipped at pop time (lazy deletion),
+// which keeps cancel O(1) without touching heap order.
+type heapQueue struct {
+	h    eventHeap
+	live int
+}
+
+func newHeapQueue() *heapQueue { return &heapQueue{} }
+
+func (q *heapQueue) push(e *event) {
+	heap.Push(&q.h, e)
+	q.live++
+}
+
+func (q *heapQueue) pop() *event {
+	for q.h.Len() > 0 {
+		e := heap.Pop(&q.h).(*event)
+		if e.cancelled {
+			continue
+		}
+		q.live--
+		return e
+	}
+	return nil
+}
+
+func (q *heapQueue) cancel(e *event) {
+	e.cancelled = true
+	q.live--
+}
+
+func (q *heapQueue) len() int { return q.live }
+
+// ---------------------------------------------------------------
+// Calendar queue (Brown 1988): an array of day buckets over a rolling
+// year. With the bucket width tracking the mean event spacing, push
+// and pop touch O(1) events on the simulator's stationary workloads,
+// where container/heap pays O(log n) comparisons through interface
+// calls. The structure resizes by powers of two as the population
+// grows and shrinks.
+//
+// The implementation works in integer "windows": window w covers
+// times [w*width, (w+1)*width) and maps to bucket w % nbuckets. Both
+// push and pop derive the window with the same expression
+// (int64(at/width)), so there is no incremental floating-point
+// accumulation to drift out of agreement — the invariant the scan
+// relies on (no live event in a window before the cursor) is exact.
+// If a full lap of the calendar finds nothing (a sparse far-future
+// population), pop falls back to a direct minimum search over bucket
+// heads, which is always exact; the windowed scan is an optimisation,
+// never the authority.
+type calendarQueue struct {
+	buckets [][]*event // each bucket sorted ascending by (at, seq)
+	width   float64    // window width (time units per bucket)
+	window  int64      // scan cursor: the window of the last pop
+	live    int        // uncancelled events
+	total   int        // all events, cancelled included (resize trigger)
+}
+
+const (
+	calMinBuckets = 16
+	// calMaxWindow caps int64(at/width): conversions beyond the int64
+	// range are implementation-defined, so every farther event lumps
+	// into one final window (and one bucket), where the direct-search
+	// fallback still orders it exactly.
+	calMaxWindow = int64(1) << 60
+)
+
+func newCalendarQueue() *calendarQueue {
+	return &calendarQueue{
+		buckets: make([][]*event, calMinBuckets),
+		width:   1,
+	}
+}
+
+// windowOf maps a time to its integer window at the current width.
+func (q *calendarQueue) windowOf(at float64) int64 {
+	w := at / q.width
+	if w >= float64(calMaxWindow) {
+		return calMaxWindow
+	}
+	return int64(w)
+}
+
+func (q *calendarQueue) push(e *event) {
+	w := q.windowOf(e.at)
+	b := int(w % int64(len(q.buckets)))
+	q.insert(b, e)
+	if w < q.window {
+		// The new event precedes the scan cursor; pull the cursor back
+		// so the next lap starts at (or before) the new minimum.
+		q.window = w
+	}
+	q.live++
+	q.total++
+	if q.total > 2*len(q.buckets) {
+		q.resize()
+	}
+}
+
+// insert places e into bucket b keeping the bucket sorted. Events
+// arrive mostly in increasing time order, so scanning from the back
+// usually stops immediately.
+func (q *calendarQueue) insert(b int, e *event) {
+	bk := q.buckets[b]
+	i := len(bk)
+	for i > 0 && eventLess(e, bk[i-1]) {
+		i--
+	}
+	bk = append(bk, nil)
+	copy(bk[i+1:], bk[i:])
+	bk[i] = e
+	q.buckets[b] = bk
+}
+
+func (q *calendarQueue) pop() *event {
+	if q.live == 0 {
+		return nil
+	}
+	nb := int64(len(q.buckets))
+	// One lap of the calendar, window by window, from the cursor.
+	for c := int64(0); c < nb; c++ {
+		w := q.window + c
+		b := int(w % nb)
+		bk := q.purgeHead(b)
+		if len(bk) > 0 && q.windowOf(bk[0].at) <= w {
+			return q.take(b, w)
+		}
+	}
+	// Sparse population: no event within a lap. Find the global
+	// minimum over bucket heads directly.
+	minB := -1
+	var minEv *event
+	for b := range q.buckets {
+		bk := q.purgeHead(b)
+		if len(bk) > 0 && (minEv == nil || eventLess(bk[0], minEv)) {
+			minB, minEv = b, bk[0]
+		}
+	}
+	return q.take(minB, q.windowOf(minEv.at))
+}
+
+// take removes the head of bucket b, advances the cursor to window w
+// and applies the shrink rule.
+func (q *calendarQueue) take(b int, w int64) *event {
+	bk := q.buckets[b]
+	e := bk[0]
+	q.buckets[b] = bk[1:]
+	q.window = w
+	q.live--
+	q.total--
+	if q.total < len(q.buckets)/2 && len(q.buckets) > calMinBuckets {
+		q.resize()
+	}
+	return e
+}
+
+// purgeHead drops cancelled events from the front of bucket b and
+// returns the remaining slice.
+func (q *calendarQueue) purgeHead(b int) []*event {
+	bk := q.buckets[b]
+	for len(bk) > 0 && bk[0].cancelled {
+		bk = bk[1:]
+		q.total--
+	}
+	q.buckets[b] = bk
+	return bk
+}
+
+func (q *calendarQueue) cancel(e *event) {
+	e.cancelled = true
+	q.live--
+}
+
+func (q *calendarQueue) len() int { return q.live }
+
+// resize rebuilds the calendar for the current population: bucket
+// count a power of two near the event count, width from the mean gap
+// of a sample at the head of the sorted population (about two events
+// per window). Cancelled events are dropped for good here.
+func (q *calendarQueue) resize() {
+	all := make([]*event, 0, q.live)
+	for _, bk := range q.buckets {
+		for _, e := range bk {
+			if !e.cancelled {
+				all = append(all, e)
+			}
+		}
+	}
+	// The order is strict (seq is unique), so an unstable sort is safe.
+	slices.SortFunc(all, func(a, b *event) int {
+		if eventLess(a, b) {
+			return -1
+		}
+		return 1
+	})
+
+	nb := calMinBuckets
+	for nb < len(all) {
+		nb *= 2
+	}
+	q.buckets = make([][]*event, nb)
+	q.width = sampleWidth(all)
+	q.total = len(all)
+	q.live = len(all)
+	if len(all) == 0 {
+		q.window = 0
+		return
+	}
+	q.window = q.windowOf(all[0].at)
+	for _, e := range all {
+		b := int(q.windowOf(e.at) % int64(nb))
+		// Appending in globally sorted order keeps each bucket sorted.
+		q.buckets[b] = append(q.buckets[b], e)
+	}
+}
+
+// sampleWidth estimates the window width as twice the mean spacing of
+// the first events (up to 32 gaps), the Brown heuristic of roughly two
+// events per window near the head of the queue. Degenerate spacings
+// (all events simultaneous, or a single event) fall back to width 1.
+func sampleWidth(sorted []*event) float64 {
+	n := len(sorted)
+	if n < 2 {
+		return 1
+	}
+	k := n
+	if k > 33 {
+		k = 33
+	}
+	span := sorted[k-1].at - sorted[0].at
+	if span <= 0 {
+		return 1
+	}
+	w := 2 * span / float64(k-1)
+	// Keep windows addressable: never let the farthest event exceed
+	// the integer window cap at this width.
+	if lim := sorted[n-1].at / float64(calMaxWindow-1); w < lim {
+		w = lim
+	}
+	return w
+}

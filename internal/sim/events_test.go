@@ -10,49 +10,167 @@ import (
 	"pepatags/internal/workload"
 )
 
+// eventSource builds the small stochastic workload shared by the event
+// tests; each call returns a fresh source (they are stateful).
+func eventSource() workload.Source {
+	return &workload.StochasticSource{
+		Arrivals: workload.NewPoisson(5),
+		Sizes:    dist.NewExponential(10),
+		Limit:    5000,
+	}
+}
+
 // TestSimEvents: with an event log attached a run streams sim.progress
-// debug events on the ProgressEvery cadence and ends with a sim.done
-// summary whose counts match the returned metrics.
+// debug events on the ProgressEvery cadence and ends with one sim.done
+// summary. The assertions work off event kinds and the log's Seq
+// cursor — never off the position of any particular debug event — so
+// adding instrumentation elsewhere cannot break this test.
 func TestSimEvents(t *testing.T) {
 	log := obsv.NewEventLog(obsv.EventLogConfig{RecorderSize: 4096})
 	cfg := sim.Config{
-		Nodes:  []sim.NodeConfig{{}},
-		Policy: policies.FirstNode{},
-		Source: &workload.StochasticSource{
-			Arrivals: workload.NewPoisson(5),
-			Sizes:    dist.NewExponential(10),
-			Limit:    5000,
-		},
+		Nodes:         []sim.NodeConfig{{}},
+		Policy:        policies.FirstNode{},
+		Source:        eventSource(),
 		Seed:          42,
 		ProgressEvery: 1000,
 		Events:        log,
 	}
 	m := sim.NewSystem(cfg).Run(0)
 
-	var progress int
-	var done *obsv.Event
-	for _, ev := range log.Recorder() {
+	evs, _ := log.After(0)
+	var lastSeq uint64
+	var progress, done int
+	var lastProgressEvents, lastProgressClock float64
+	var doneEv obsv.Event
+	for _, ev := range evs {
+		if ev.Seq <= lastSeq {
+			t.Fatalf("event cursor not strictly increasing: %d after %d", ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
 		switch ev.Kind {
 		case "sim.progress":
 			progress++
-			if ev.Level != "debug" || ev.Fields["events"] <= 0 {
-				t.Fatalf("sim.progress: %+v", ev)
+			if ev.Level != obsv.LevelDebug.String() {
+				t.Fatalf("sim.progress level = %q, want debug", ev.Level)
 			}
+			// The cadence counters must advance monotonically; the exact
+			// field values at any given tick are not pinned.
+			if ev.Fields["events"] <= lastProgressEvents {
+				t.Fatalf("sim.progress events went %g -> %g", lastProgressEvents, ev.Fields["events"])
+			}
+			if ev.Fields["clock"] < lastProgressClock {
+				t.Fatalf("sim.progress clock went backwards: %g -> %g", lastProgressClock, ev.Fields["clock"])
+			}
+			lastProgressEvents, lastProgressClock = ev.Fields["events"], ev.Fields["clock"]
 		case "sim.done":
-			e := ev
-			done = &e
+			done++
+			doneEv = ev
 		}
 	}
 	if progress == 0 {
 		t.Fatal("no sim.progress events streamed")
 	}
-	if done == nil {
-		t.Fatal("no sim.done event")
+	if done != 1 {
+		t.Fatalf("got %d sim.done events, want exactly 1", done)
 	}
-	if got, want := done.Fields["completed"], float64(m.Completed); got != want {
+	if doneEv.Level != obsv.LevelInfo.String() {
+		t.Fatalf("sim.done level = %q, want info", doneEv.Level)
+	}
+	if got, want := doneEv.Fields["completed"], float64(m.Completed); got != want { //vet:allow floatcmp: both sides are exact integer counts
 		t.Fatalf("sim.done completed = %g, metrics say %g", got, want)
 	}
-	if done.Fields["clock"] != m.Elapsed {
-		t.Fatalf("sim.done clock = %g, metrics say %g", done.Fields["clock"], m.Elapsed)
+	if doneEv.Fields["events"] != float64(m.Events) { //vet:allow floatcmp: both sides are exact integer counts
+		t.Fatalf("sim.done events = %g, metrics say %d", doneEv.Fields["events"], m.Events)
+	}
+	if doneEv.Fields["clock"] != m.Elapsed { //vet:allow floatcmp: the done event copies the clock verbatim
+		t.Fatalf("sim.done clock = %g, metrics say %g", doneEv.Fields["clock"], m.Elapsed)
+	}
+}
+
+// TestReplicationEvents covers the batch-level telemetry: one
+// sim.replication debug event per replication (each replication index
+// reported exactly once, completion counts forming a permutation of
+// 1..Reps), one sim.replications.done summary, and the Progress hook
+// firing once per completed replication with Phase "sim.reps".
+func TestReplicationEvents(t *testing.T) {
+	const reps = 6
+	log := obsv.NewEventLog(obsv.EventLogConfig{RecorderSize: 4096})
+	var progress []obsv.Progress
+	rc := sim.ReplicationConfig{
+		Base: sim.Config{
+			Nodes:  []sim.NodeConfig{{}, {}},
+			Policy: policies.ShortestQueue{},
+			Seed:   7,
+		},
+		NewSource: func(rep int) workload.Source { return eventSource() },
+		Reps:      reps,
+		Workers:   3,
+		Events:    log,
+		// The Progress hook is called under the batch mutex in
+		// completion order, so appending here is race-free.
+		Progress: func(p obsv.Progress) { progress = append(progress, p) },
+	}
+	res, err := sim.RunReplications(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	evs, _ := log.After(0)
+	seenRep := map[int]bool{}
+	seenDone := map[int]bool{}
+	var batchDone int
+	var batchDoneEv obsv.Event
+	for _, ev := range evs {
+		switch ev.Kind {
+		case "sim.replication":
+			if ev.Level != obsv.LevelDebug.String() {
+				t.Fatalf("sim.replication level = %q, want debug", ev.Level)
+			}
+			rep := int(ev.Fields["rep"])
+			if rep < 0 || rep >= reps || seenRep[rep] {
+				t.Fatalf("sim.replication rep %d invalid or duplicated", rep)
+			}
+			seenRep[rep] = true
+			d := int(ev.Fields["done"])
+			if d < 1 || d > reps || seenDone[d] {
+				t.Fatalf("sim.replication done %d invalid or duplicated", d)
+			}
+			seenDone[d] = true
+			if ev.Fields["events"] <= 0 || ev.Fields["completed"] <= 0 {
+				t.Fatalf("sim.replication carries empty run: %+v", ev.Fields)
+			}
+		case "sim.replications.done":
+			batchDone++
+			batchDoneEv = ev
+		}
+	}
+	if len(seenRep) != reps || len(seenDone) != reps {
+		t.Fatalf("saw %d replication events covering %d completion counts, want %d", len(seenRep), len(seenDone), reps)
+	}
+	if batchDone != 1 {
+		t.Fatalf("got %d sim.replications.done events, want exactly 1", batchDone)
+	}
+	if batchDoneEv.Level != obsv.LevelInfo.String() {
+		t.Fatalf("sim.replications.done level = %q, want info", batchDoneEv.Level)
+	}
+	if got := batchDoneEv.Fields["events"]; got != float64(res.Events) { //vet:allow floatcmp: both sides are exact integer counts
+		t.Fatalf("sim.replications.done events = %g, result says %d", got, res.Events)
+	}
+
+	if len(progress) != reps {
+		t.Fatalf("Progress fired %d times, want %d", len(progress), reps)
+	}
+	steps := map[int]bool{}
+	for _, p := range progress {
+		if p.Phase != "sim.reps" {
+			t.Fatalf("Progress phase = %q, want sim.reps", p.Phase)
+		}
+		if p.Count != reps {
+			t.Fatalf("Progress count = %d, want %d", p.Count, reps)
+		}
+		if p.Step < 1 || p.Step > reps || steps[p.Step] {
+			t.Fatalf("Progress step %d invalid or duplicated", p.Step)
+		}
+		steps[p.Step] = true
 	}
 }

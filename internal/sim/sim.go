@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand/v2"
 
@@ -100,6 +99,30 @@ type Config struct {
 	// the Progress cadence (event count, completed jobs, simulation
 	// clock) and a "sim.done" info event when the run drains.
 	Events *obsv.EventLog
+
+	// ReferenceCore selects the retained container/heap event queue
+	// instead of the calendar queue. The two cores implement the same
+	// strict event order, so results are bit-identical either way; the
+	// heap survives purely as the differential oracle (the engine-swap
+	// pattern of pepa.DeriveOptions.Reference) and for benchmarking
+	// the calendar queue against its predecessor.
+	ReferenceCore bool
+
+	// EventObserver, when non-nil, receives every processed event in
+	// execution order. This is the hook the differential test battery
+	// uses to require identical event orderings across cores;
+	// production runs leave it nil (the check is one pointer test per
+	// event).
+	EventObserver func(EventRecord)
+}
+
+// EventRecord is the observer's view of one processed event.
+type EventRecord struct {
+	Seq  int     // scheduling sequence number (unique)
+	At   float64 // simulation time
+	Kind string  // "arrival", "departure" or "kill"
+	Node int     // node index; -1 for arrivals (not yet routed)
+	Job  int     // job ID
 }
 
 // Metrics aggregates the simulation output.
@@ -116,6 +139,7 @@ type Metrics struct {
 	Completed       int
 	Dropped         int // dropped at arrival (policy or full first queue)
 	Killed          int // dropped mid-route (full next queue after a timeout)
+	Events          int // discrete events processed by the run
 	BusyTime        []float64
 	Elapsed         float64 // full simulated horizon
 	Warmup          float64 // initial period excluded from job metrics
@@ -171,33 +195,15 @@ const (
 )
 
 type event struct {
-	at       float64
-	kind     eventKind
-	seq      int // tie-breaker for determinism
-	job      *Job
-	node     int
-	kill     bool    // departure is a timeout kill
-	start    float64 // service start time (departure events)
-	progress float64 // work performed during the attempt (speed-adjusted)
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at { //vet:allow floatcmp: event-time tie-break must be exact to keep FIFO order
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	at        float64
+	kind      eventKind
+	seq       int // tie-breaker for determinism
+	job       *Job
+	node      int
+	kill      bool    // departure is a timeout kill
+	cancelled bool    // lazily deleted (see eventQueue.cancel)
+	start     float64 // service start time (departure events)
+	progress  float64 // work performed during the attempt (speed-adjusted)
 }
 
 // instruments buffers the event loop's measurements locally — plain
@@ -270,7 +276,7 @@ type System struct {
 	cfg     Config
 	rng     *rand.Rand
 	nodes   []*node
-	events  eventHeap
+	events  eventQueue
 	now     float64
 	seq     int
 	metrics Metrics
@@ -289,6 +295,11 @@ func NewSystem(cfg Config) *System {
 	s := &System{
 		cfg: cfg,
 		rng: rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xdeadbeefcafe)),
+	}
+	if cfg.ReferenceCore {
+		s.events = newHeapQueue()
+	} else {
+		s.events = newCalendarQueue()
 	}
 	for i := range cfg.Nodes {
 		nc := cfg.Nodes[i]
@@ -355,7 +366,7 @@ func (s *System) RNG() *rand.Rand { return s.rng }
 func (s *System) schedule(e *event) {
 	e.seq = s.seq
 	s.seq++
-	heap.Push(&s.events, e)
+	s.events.push(e)
 }
 
 // admit places a job at node i (post-routing); returns false when the
@@ -420,13 +431,19 @@ func (s *System) Run(maxTime float64) *Metrics {
 	}
 	var processed int
 	s.scheduleNextArrival()
-	for s.events.Len() > 0 {
-		e := heap.Pop(&s.events).(*event)
+	for {
+		e := s.events.pop()
+		if e == nil {
+			break
+		}
 		if maxTime > 0 && e.at > maxTime {
 			s.now = maxTime
 			break
 		}
 		s.now = e.at
+		if s.cfg.EventObserver != nil {
+			s.cfg.EventObserver(record(e))
+		}
 		switch e.kind {
 		case evArrival:
 			s.pending = false
@@ -459,6 +476,7 @@ func (s *System) Run(maxTime float64) *Metrics {
 	}
 	s.metrics.Elapsed = s.now
 	s.metrics.Warmup = s.cfg.Warmup
+	s.metrics.Events = processed
 	if s.cfg.Events != nil {
 		s.cfg.Events.Emit(obsv.LevelInfo, "sim.done", "", map[string]float64{
 			"events":    float64(processed),
@@ -536,6 +554,20 @@ func (s *System) handleDeparture(e *event) {
 		}
 	}
 	s.serveNext(i)
+}
+
+// record converts an internal event to its observer view.
+func record(e *event) EventRecord {
+	r := EventRecord{Seq: e.seq, At: e.at, Job: e.job.ID}
+	switch {
+	case e.kind == evArrival:
+		r.Kind, r.Node = "arrival", -1
+	case e.kill:
+		r.Kind, r.Node = "kill", e.node
+	default:
+		r.Kind, r.Node = "departure", e.node
+	}
+	return r
 }
 
 // advanceKilled moves a timed-out job to node i+1.

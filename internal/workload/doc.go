@@ -12,4 +12,14 @@
 // fixed (or CSV-loaded) arrival/size sequence, so real logs and
 // hand-built adversarial sequences run through the same simulator
 // path as the stochastic models.
+//
+// Traces interchange as pepatags/sim-trace/v1, a JSON-lines format
+// (one header line, one job object per line) written by WriteTrace
+// and read by ParseTrace; both ends validate the same invariants
+// (strictly increasing ids, non-decreasing finite arrivals, positive
+// finite sizes), so a written trace always parses back identically.
+// GenerateTrace materialises any Source into a replayable job slice,
+// with BoundedParetoTrace (heavy-tailed Poisson) and MMPPTrace
+// (bursty) as canned generators; `tagssim -gen-trace` exposes them
+// on the command line. See docs/SIMULATION.md.
 package workload

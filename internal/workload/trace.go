@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand/v2"
+
+	"pepatags/internal/dist"
+)
+
+// TraceSchema identifies the JSON-lines trace format: a header line
+//
+//	{"schema":"pepatags/sim-trace/v1","jobs":N}
+//
+// followed by one job object per line,
+//
+//	{"id":1,"at":0.25,"size":3.5}
+//
+// with ids strictly increasing, arrival times ("at") finite and
+// non-decreasing, and sizes finite and positive. The format is the
+// interchange point between trace generators, recorded pod-style
+// arrival logs and `tagssim -trace`: anything that can emit these
+// lines can drive the cluster simulator.
+const TraceSchema = "pepatags/sim-trace/v1"
+
+type traceHeader struct {
+	Schema string `json:"schema"`
+	Jobs   int    `json:"jobs"`
+}
+
+type traceLine struct {
+	ID   int     `json:"id"`
+	At   float64 `json:"at"`
+	Size float64 `json:"size"`
+}
+
+// WriteTrace writes jobs in sim-trace/v1 form. It validates as it
+// writes, so a written trace always parses back.
+func WriteTrace(w io.Writer, jobs []Job) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(traceHeader{Schema: TraceSchema, Jobs: len(jobs)}); err != nil {
+		return err
+	}
+	prevID, prevAt := 0, math.Inf(-1)
+	for i, j := range jobs {
+		if err := checkTraceJob(i+2, j, prevID, prevAt); err != nil {
+			return err
+		}
+		prevID, prevAt = j.ID, j.Arrival
+		if err := enc.Encode(traceLine{ID: j.ID, At: j.Arrival, Size: j.Size}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseTrace reads a sim-trace/v1 stream into a replayable Trace.
+func ParseTrace(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("workload: trace header: %w", err)
+		}
+		return nil, fmt.Errorf("workload: empty trace stream")
+	}
+	var hdr traceHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return nil, fmt.Errorf("workload: trace header: %w", err)
+	}
+	if hdr.Schema != TraceSchema {
+		return nil, fmt.Errorf("workload: trace schema %q, want %q", hdr.Schema, TraceSchema)
+	}
+	if hdr.Jobs < 0 {
+		return nil, fmt.Errorf("workload: trace header: negative job count %d", hdr.Jobs)
+	}
+	t := &Trace{}
+	line := 1
+	prevID, prevAt := 0, math.Inf(-1)
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue // tolerate blank lines (trailing newline etc.)
+		}
+		var tl traceLine
+		if err := json.Unmarshal(sc.Bytes(), &tl); err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %w", line, err)
+		}
+		j := Job{ID: tl.ID, Arrival: tl.At, Size: tl.Size}
+		if err := checkTraceJob(line, j, prevID, prevAt); err != nil {
+			return nil, err
+		}
+		prevID, prevAt = j.ID, j.Arrival
+		t.Jobs = append(t.Jobs, j)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: trace line %d: %w", line, err)
+	}
+	if len(t.Jobs) != hdr.Jobs {
+		return nil, fmt.Errorf("workload: trace header promises %d jobs, stream has %d", hdr.Jobs, len(t.Jobs))
+	}
+	return t, nil
+}
+
+// checkTraceJob enforces the sim-trace/v1 invariants for one job.
+func checkTraceJob(line int, j Job, prevID int, prevAt float64) error {
+	if j.ID <= prevID {
+		return fmt.Errorf("workload: trace line %d: id %d not greater than previous %d", line, j.ID, prevID)
+	}
+	if math.IsNaN(j.Arrival) || math.IsInf(j.Arrival, 0) || j.Arrival < 0 {
+		return fmt.Errorf("workload: trace line %d: bad arrival %v", line, j.Arrival)
+	}
+	if j.Arrival < prevAt {
+		return fmt.Errorf("workload: trace line %d: arrival %g before previous %g", line, j.Arrival, prevAt)
+	}
+	if math.IsNaN(j.Size) || math.IsInf(j.Size, 0) || j.Size <= 0 {
+		return fmt.Errorf("workload: trace line %d: bad size %v", line, j.Size)
+	}
+	return nil
+}
+
+// GenerateTrace materialises up to n jobs from a source into a concrete
+// job slice, the bridge from stochastic workloads to replayable traces.
+func GenerateTrace(src Source, rng *rand.Rand, n int) []Job {
+	jobs := make([]Job, 0, n)
+	for i := 0; i < n; i++ {
+		j, ok := src.Next(rng)
+		if !ok {
+			break
+		}
+		jobs = append(jobs, j)
+	}
+	return jobs
+}
+
+// BoundedParetoTrace generates an n-job trace with Poisson(lambda)
+// arrivals and bounded-Pareto B(k, p, alpha) sizes — the heavy-tailed
+// workload under which size-based routing policies separate from
+// size-blind ones.
+func BoundedParetoTrace(rng *rand.Rand, n int, lambda, k, p, alpha float64) []Job {
+	src := &StochasticSource{
+		Arrivals: NewPoisson(lambda),
+		Sizes:    dist.NewBoundedPareto(k, p, alpha),
+		Limit:    n,
+	}
+	return GenerateTrace(src, rng, n)
+}
+
+// MMPPTrace generates an n-job trace with MMPP-2 arrivals (rates
+// rate1/rate2, switching rates switch1/switch2) and exponential(mu)
+// sizes — the bursty traffic of the paper's Section 7 conjecture.
+func MMPPTrace(rng *rand.Rand, n int, rate1, rate2, switch1, switch2, mu float64) []Job {
+	src := &StochasticSource{
+		Arrivals: NewMMPP2(rate1, rate2, switch1, switch2),
+		Sizes:    dist.NewExponential(mu),
+		Limit:    n,
+	}
+	return GenerateTrace(src, rng, n)
+}

@@ -1,0 +1,197 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTraceV1RoundTrip is the parse→write→parse golden test: a
+// generated trace written to sim-trace/v1 must parse back to identical
+// jobs, and the serialised bytes must be stable across a second lap.
+func TestTraceV1RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 8))
+	jobs := BoundedParetoTrace(rng, 500, 2.5, 0.5, 1000, 1.1)
+	if len(jobs) != 500 {
+		t.Fatalf("generated %d jobs, want 500", len(jobs))
+	}
+
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, jobs); err != nil {
+		t.Fatal(err)
+	}
+	first := buf.String()
+
+	tr, err := ParseTrace(strings.NewReader(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Jobs) != len(jobs) {
+		t.Fatalf("parsed %d jobs, want %d", len(tr.Jobs), len(jobs))
+	}
+	for i := range jobs {
+		if jobs[i] != tr.Jobs[i] {
+			t.Fatalf("job %d: %+v != %+v", i, jobs[i], tr.Jobs[i])
+		}
+	}
+
+	var buf2 bytes.Buffer
+	if err := WriteTrace(&buf2, tr.Jobs); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != first {
+		t.Fatal("second serialisation differs from the first")
+	}
+}
+
+// TestTraceGolden parses the committed golden file and pins its
+// contents, so the on-disk format can never drift silently.
+func TestTraceGolden(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "trace_v1.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ParseTrace(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Job{
+		{ID: 1, Arrival: 0, Size: 2.5},
+		{ID: 2, Arrival: 0.25, Size: 0.5},
+		{ID: 4, Arrival: 0.25, Size: 1},
+		{ID: 7, Arrival: 3.5, Size: 0.125},
+	}
+	if len(tr.Jobs) != len(want) {
+		t.Fatalf("parsed %d jobs, want %d", len(tr.Jobs), len(want))
+	}
+	for i := range want {
+		if tr.Jobs[i] != want[i] {
+			t.Fatalf("job %d: %+v, want %+v", i, tr.Jobs[i], want[i])
+		}
+	}
+
+	// Writing the parsed jobs reproduces the golden bytes exactly.
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr.Jobs); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != string(data) {
+		t.Fatalf("round-trip differs from golden file:\n%s", buf.String())
+	}
+}
+
+// TestTraceParseErrors covers every validation branch of the parser.
+func TestTraceParseErrors(t *testing.T) {
+	hdr := `{"schema":"pepatags/sim-trace/v1","jobs":1}` + "\n"
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"bad header json", "not json\n"},
+		{"wrong schema", `{"schema":"pepatags/sim-trace/v2","jobs":0}` + "\n"},
+		{"negative count", `{"schema":"pepatags/sim-trace/v1","jobs":-1}` + "\n"},
+		{"bad line json", hdr + "nope\n"},
+		{"zero id", hdr + `{"id":0,"at":1,"size":1}` + "\n"},
+		{"duplicate id", strings.Replace(hdr, `"jobs":1`, `"jobs":2`, 1) +
+			`{"id":1,"at":1,"size":1}` + "\n" + `{"id":1,"at":2,"size":1}` + "\n"},
+		{"negative arrival", hdr + `{"id":1,"at":-1,"size":1}` + "\n"},
+		{"nan arrival", hdr + `{"id":1,"at":"x","size":1}` + "\n"},
+		{"decreasing arrivals", strings.Replace(hdr, `"jobs":1`, `"jobs":2`, 1) +
+			`{"id":1,"at":5,"size":1}` + "\n" + `{"id":2,"at":4,"size":1}` + "\n"},
+		{"zero size", hdr + `{"id":1,"at":0,"size":0}` + "\n"},
+		{"negative size", hdr + `{"id":1,"at":0,"size":-2}` + "\n"},
+		{"count mismatch", hdr},
+	}
+	for _, tc := range cases {
+		if _, err := ParseTrace(strings.NewReader(tc.in)); err == nil {
+			t.Errorf("%s: expected parse error", tc.name)
+		}
+	}
+}
+
+// TestWriteTraceRejectsBadJobs mirrors the parser checks on the writer.
+func TestWriteTraceRejectsBadJobs(t *testing.T) {
+	bad := [][]Job{
+		{{ID: 0, Arrival: 0, Size: 1}},
+		{{ID: 1, Arrival: 0, Size: 1}, {ID: 1, Arrival: 1, Size: 1}},
+		{{ID: 1, Arrival: -1, Size: 1}},
+		{{ID: 1, Arrival: math.NaN(), Size: 1}},
+		{{ID: 1, Arrival: 0, Size: 0}},
+		{{ID: 1, Arrival: 0, Size: math.Inf(1)}},
+		{{ID: 1, Arrival: 5, Size: 1}, {ID: 2, Arrival: 4, Size: 1}},
+	}
+	for i, jobs := range bad {
+		if err := WriteTrace(&bytes.Buffer{}, jobs); err == nil {
+			t.Errorf("case %d: expected write error for %+v", i, jobs)
+		}
+	}
+}
+
+// TestMMPPTrace sanity-checks the bursty generator: jobs arrive in
+// order with positive sizes and a mean rate in the right regime.
+func TestMMPPTrace(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 14))
+	jobs := MMPPTrace(rng, 3000, 10, 0.5, 1, 0.2, 1)
+	if len(jobs) != 3000 {
+		t.Fatalf("generated %d jobs, want 3000", len(jobs))
+	}
+	prev := 0.0
+	for i, j := range jobs {
+		if j.Arrival < prev || j.Size <= 0 {
+			t.Fatalf("job %d out of order or non-positive: %+v", i, j)
+		}
+		prev = j.Arrival
+	}
+	// Stationary mean rate: pi1*10 + pi2*0.5 with pi1 = 0.2/1.2.
+	wantRate := (0.2*10 + 1*0.5) / 1.2
+	gotRate := float64(len(jobs)) / jobs[len(jobs)-1].Arrival
+	if gotRate < wantRate*0.7 || gotRate > wantRate*1.3 {
+		t.Fatalf("mean rate %g too far from stationary %g", gotRate, wantRate)
+	}
+	// A written MMPP trace replays through the v1 format too.
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, jobs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzParseTrace asserts the parser never panics and that anything it
+// accepts survives a write→parse round trip unchanged.
+func FuzzParseTrace(f *testing.F) {
+	f.Add(`{"schema":"pepatags/sim-trace/v1","jobs":2}` + "\n" +
+		`{"id":1,"at":0,"size":2.5}` + "\n" + `{"id":2,"at":0.25,"size":0.5}` + "\n")
+	f.Add(`{"schema":"pepatags/sim-trace/v1","jobs":0}` + "\n")
+	f.Add("")
+	f.Add("garbage\n")
+	f.Add(`{"schema":"pepatags/sim-trace/v1","jobs":1}` + "\n" + `{"id":1,"at":1e308,"size":1e-300}` + "\n")
+	f.Add(`{"schema":"pepatags/sim-trace/v1","jobs":1}` + "\n" + `{"id":1,"at":-0,"size":1}` + "\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := ParseTrace(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, tr.Jobs); err != nil {
+			t.Fatalf("accepted trace fails to write: %v", err)
+		}
+		tr2, err := ParseTrace(&buf)
+		if err != nil {
+			t.Fatalf("written trace fails to re-parse: %v", err)
+		}
+		if len(tr.Jobs) != len(tr2.Jobs) {
+			t.Fatalf("round trip changed job count: %d -> %d", len(tr.Jobs), len(tr2.Jobs))
+		}
+		for i := range tr.Jobs {
+			if tr.Jobs[i] != tr2.Jobs[i] {
+				t.Fatalf("round trip changed job %d: %+v -> %+v", i, tr.Jobs[i], tr2.Jobs[i])
+			}
+		}
+	})
+}

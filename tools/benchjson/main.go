@@ -22,6 +22,9 @@ type result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom b.ReportMetric pairs (e.g. "events/s" from
+	// the simulator benchmarks) keyed by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 type summary struct {
@@ -127,15 +130,23 @@ func parseBench(line string) (result, bool) {
 	}
 	r.NsPerOp = ns
 	for i := 4; i+1 < len(f); i += 2 {
-		v, err := strconv.ParseInt(f[i], 10, 64)
-		if err != nil {
-			continue
-		}
-		switch f[i+1] {
+		switch unit := f[i+1]; unit {
 		case "B/op":
-			r.BytesPerOp = v
+			if v, err := strconv.ParseInt(f[i], 10, 64); err == nil {
+				r.BytesPerOp = v
+			}
 		case "allocs/op":
-			r.AllocsPerOp = v
+			if v, err := strconv.ParseInt(f[i], 10, 64); err == nil {
+				r.AllocsPerOp = v
+			}
+		default:
+			// Custom b.ReportMetric units, e.g. "12345678 events/s".
+			if v, err := strconv.ParseFloat(f[i], 64); err == nil {
+				if r.Metrics == nil {
+					r.Metrics = map[string]float64{}
+				}
+				r.Metrics[unit] = v
+			}
 		}
 	}
 	return r, true

@@ -16,6 +16,7 @@ cpu: Intel(R) Xeon(R)
 BenchmarkDeriveTAG/K=20/workers=4-8  12  93210458 ns/op  1024 B/op  17 allocs/op
 BenchmarkDeriveTAG/K=20/workers=1-8  4  310093121 ns/op
 BenchmarkSolveGTH-8  100  1234567.5 ns/op
+BenchmarkSimCalendar/nodes=1000-8  5  240000000 ns/op  4150000.25 events/s  96 B/op  3 allocs/op
 PASS
 ok  	pepatags/internal/pepa	4.2s
 `
@@ -45,6 +46,17 @@ const goldenOutput = `{
       "procs": 8,
       "iterations": 100,
       "ns_per_op": 1234567.5
+    },
+    {
+      "name": "BenchmarkSimCalendar/nodes=1000",
+      "procs": 8,
+      "iterations": 5,
+      "ns_per_op": 240000000,
+      "bytes_per_op": 96,
+      "allocs_per_op": 3,
+      "metrics": {
+        "events/s": 4150000.25
+      }
     }
   ]
 }

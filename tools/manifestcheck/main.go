@@ -95,7 +95,8 @@ func check(path string) error {
 	// producing results records its error plus the flight recorder, and
 	// that pair is the record.
 	hasResults := len(m.Measures) > 0 || len(m.Artefacts) > 0 || m.Derive != nil ||
-		m.Sweep != nil || m.Lint != nil || m.Conform != nil || m.Analysis != nil
+		m.Sweep != nil || m.Lint != nil || m.Conform != nil || m.Analysis != nil ||
+		m.Sim != nil
 	if m.Error != "" {
 		if m.Events == nil || len(m.Events.Recorder) == 0 {
 			return fmt.Errorf("failure manifest (error %q) carries no flight-recorder events", m.Error)
